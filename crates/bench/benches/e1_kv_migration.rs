@@ -1,0 +1,82 @@
+//! E1 — §II claim: migrating user-preference and shopping-cart fragments to
+//! a key-value store improves the application workload by ≈20%.
+//!
+//! Compares workload-W1 execution time (stores + mediator runtime, with the
+//! datacenter latency calibration) under the baseline deployment vs the
+//! KV-migrated deployment. See EXPERIMENTS.md for paper-vs-measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use estocada::Latencies;
+use estocada_workloads::marketplace::{generate, w1_workload, MarketplaceConfig};
+use estocada_workloads::scenarios::{deploy_baseline, deploy_kv_migrated, run_w1_exec_time};
+use std::time::Duration;
+
+fn config() -> MarketplaceConfig {
+    MarketplaceConfig {
+        users: 400,
+        products: 150,
+        orders: 2_000,
+        log_entries: 4_000,
+        skew: 0.9,
+        seed: 42,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = config();
+    let m = generate(cfg);
+    let workload = w1_workload(&cfg, 40, 7);
+
+    // One-shot headline measurement (printed into bench_output.txt).
+    {
+        let mut base = deploy_baseline(&m, Latencies::datacenter());
+        let mut kv = deploy_kv_migrated(&m, Latencies::datacenter());
+        // Warm up both (first run pays cache warmup).
+        run_w1_exec_time(&mut base, &workload);
+        run_w1_exec_time(&mut kv, &workload);
+        let t_base = run_w1_exec_time(&mut base, &workload);
+        let t_kv = run_w1_exec_time(&mut kv, &workload);
+        let gain = 100.0 * (1.0 - t_kv.as_secs_f64() / t_base.as_secs_f64());
+        println!("== E1 summary ==");
+        println!(
+            "workload W1 ({} queries), datacenter latencies",
+            workload.len()
+        );
+        println!("  baseline (Postgres+Mongo-like): {t_base:?}");
+        println!("  kv-migrated (Voldemort-like):   {t_kv:?}");
+        println!("  improvement: {gain:.1}%  (paper: ~20%)");
+    }
+
+    let mut group = c.benchmark_group("e1_kv_migration");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    group.bench_function("baseline", |b| {
+        let mut est = deploy_baseline(&m, Latencies::datacenter());
+        run_w1_exec_time(&mut est, &workload); // warm
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += run_w1_exec_time(&mut est, &workload);
+            }
+            total
+        })
+    });
+
+    group.bench_function("kv_migrated", |b| {
+        let mut est = deploy_kv_migrated(&m, Latencies::datacenter());
+        run_w1_exec_time(&mut est, &workload);
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += run_w1_exec_time(&mut est, &workload);
+            }
+            total
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

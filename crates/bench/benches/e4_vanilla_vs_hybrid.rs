@@ -1,0 +1,202 @@
+//! E4 — §IV demo step 3: "comparing performance between the vanilla
+//! (one-store) execution and the one enabled by multiple stores", on the
+//! Big Data Benchmark queries Q1 (scan/filter), Q2 (aggregation) and Q3
+//! (join), with per-query statistics split across the DMSs and the
+//! ESTOCADA runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use estocada::{Estocada, FragmentSpec, Latencies, QueryResult};
+use estocada_engine::{execute, AggFun, AggSpec, Expr, Plan, RowBatch};
+use estocada_pivot::CqBuilder;
+use estocada_workloads::bigdata::{generate, q1_sql, q2_fetch_sql, q3_sql, BigDataConfig};
+use std::time::Duration;
+
+fn config() -> BigDataConfig {
+    BigDataConfig {
+        pages: 1_500,
+        visits: 15_000,
+        seed: 7,
+    }
+}
+
+/// Vanilla: everything in the relational store.
+fn vanilla(cfg: BigDataConfig) -> Estocada {
+    let mut est = Estocada::new(Latencies::datacenter());
+    est.register_dataset(generate(cfg));
+    est.add_fragment(FragmentSpec::NativeTables {
+        dataset: "bigdata".into(),
+        only: None,
+    })
+    .unwrap();
+    est
+}
+
+/// Hybrid: relational tables PLUS parallel-store fragments (UserVisits for
+/// bulk scans, the Rankings⋈UserVisits join materialized) — ESTOCADA picks
+/// per query.
+fn hybrid(cfg: BigDataConfig) -> Estocada {
+    let mut est = vanilla(cfg);
+    est.add_fragment(FragmentSpec::ParRows {
+        view: CqBuilder::new("VisitsPar")
+            .head_vars(["vid", "sourceIP", "destURL", "visitDate", "adRevenue"])
+            .atom("UserVisits", |a| {
+                a.v("vid")
+                    .v("sourceIP")
+                    .v("destURL")
+                    .v("visitDate")
+                    .v("adRevenue")
+                    .v("cc")
+                    .v("dur")
+            })
+            .build(),
+        index_on: vec![],
+        partitions: 0,
+    })
+    .unwrap();
+    est.add_fragment(FragmentSpec::ParRows {
+        view: CqBuilder::new("RankVisits")
+            .head_vars(["vid", "sourceIP", "adRevenue", "visitDate", "pageRank"])
+            .atom("Rankings", |a| a.v("url").v("pageRank").v("avg"))
+            .atom("UserVisits", |a| {
+                a.v("vid")
+                    .v("sourceIP")
+                    .v("url")
+                    .v("visitDate")
+                    .v("adRevenue")
+                    .v("cc")
+                    .v("dur")
+            })
+            .build(),
+        index_on: vec![],
+        partitions: 0,
+    })
+    .unwrap();
+    est
+}
+
+/// Q2's aggregation (SUBSTR(sourceIP, 1, 7), SUM(adRevenue)) runs in the
+/// mediator runtime over the fetched conjunctive core.
+fn q2_aggregate(r: &QueryResult) -> (usize, Duration) {
+    let batch = RowBatch {
+        columns: r.columns.clone(),
+        rows: r.rows.clone(),
+    };
+    let ip_col = batch.column_index("v.sourceIP").expect("sourceIP column");
+    let rev_col = batch.column_index("v.adRevenue").expect("adRevenue column");
+    let plan = Plan::Aggregate {
+        input: Box::new(Plan::Project {
+            input: Box::new(Plan::Values(batch)),
+            exprs: vec![
+                (
+                    "prefix".into(),
+                    Expr::Prefix(Box::new(Expr::col(ip_col)), 7),
+                ),
+                ("rev".into(), Expr::col(rev_col)),
+            ],
+        }),
+        group_by: vec![0],
+        aggs: vec![AggSpec {
+            fun: AggFun::Sum,
+            col: 1,
+            name: "sum_rev".into(),
+        }],
+    };
+    let (out, stats) = execute(&plan).unwrap();
+    (out.len(), stats.total_time)
+}
+
+struct QueryRun {
+    exec: Duration,
+    rows: usize,
+    systems: String,
+}
+
+fn run_q(est: &mut Estocada, sql: &str, aggregate: bool) -> QueryRun {
+    let r = est.query_sql(sql).expect("query failed");
+    let mut exec = r.report.exec.total_time;
+    let mut rows = r.rows.len();
+    if aggregate {
+        let (groups, agg_time) = q2_aggregate(&r);
+        exec += agg_time;
+        rows = groups;
+    }
+    let systems: Vec<String> = r
+        .report
+        .per_store
+        .iter()
+        .filter(|(_, m)| m.requests > 0)
+        .map(|(s, m)| format!("{s}({} req, {} out)", m.requests, m.tuples_out))
+        .collect();
+    QueryRun {
+        exec,
+        rows,
+        systems: systems.join(" + "),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = config();
+    let queries: Vec<(&str, String, bool)> = vec![
+        ("Q1 scan (pageRank > 2000)", q1_sql(2_000), false),
+        ("Q2 aggregation", q2_fetch_sql(), true),
+        ("Q3 join (date range)", q3_sql(19_900_000, 20_100_000), false),
+    ];
+
+    println!("== E4 summary: vanilla (one store) vs ESTOCADA hybrid ==");
+    let mut v = vanilla(cfg);
+    let mut h = hybrid(cfg);
+    for (name, sql, agg) in &queries {
+        // Warm both.
+        run_q(&mut v, sql, *agg);
+        run_q(&mut h, sql, *agg);
+        let rv = run_q(&mut v, sql, *agg);
+        let rh = run_q(&mut h, sql, *agg);
+        println!("{name}:");
+        println!(
+            "  vanilla: {:?} ({} rows) via {}",
+            rv.exec, rv.rows, rv.systems
+        );
+        println!(
+            "  hybrid:  {:?} ({} rows) via {}",
+            rh.exec, rh.rows, rh.systems
+        );
+        println!(
+            "  hybrid/vanilla: {:.2}x",
+            rv.exec.as_secs_f64() / rh.exec.as_secs_f64().max(1e-12)
+        );
+        assert_eq!(rv.rows, rh.rows, "{name}: configurations disagree");
+    }
+
+    let mut group = c.benchmark_group("e4_vanilla_vs_hybrid");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+    for (name, sql, agg) in &queries {
+        let label = name.split_whitespace().next().unwrap().to_lowercase();
+        group.bench_function(format!("{label}_vanilla"), |b| {
+            let mut est = vanilla(cfg);
+            run_q(&mut est, sql, *agg);
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += run_q(&mut est, sql, *agg).exec;
+                }
+                total
+            })
+        });
+        group.bench_function(format!("{label}_hybrid"), |b| {
+            let mut est = hybrid(cfg);
+            run_q(&mut est, sql, *agg);
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += run_q(&mut est, sql, *agg).exec;
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

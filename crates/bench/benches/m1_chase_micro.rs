@@ -1,0 +1,83 @@
+//! M1 — chase-engine microbenchmark (supports E3): chase time vs instance
+//! size and constraint mix, on the document-model constraint set
+//! (transitivity TGDs + functional-dependency EGDs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estocada_chase::{chase, ChaseConfig, Elem, Instance};
+use estocada_pivot::encoding::document::DocRelations;
+use estocada_pivot::{Constraint, Value};
+use std::time::Duration;
+
+/// A forest of `docs` documents, each a chain of `depth` nodes — the chase
+/// must derive the full descendant closure (depth² per doc).
+fn doc_instance(docs: u64, depth: u64) -> (Instance, Vec<Constraint>) {
+    let rels = DocRelations::for_collection("M1");
+    let mut inst = Instance::new();
+    let mut next_id = 0u64;
+    for d in 0..docs {
+        let root = next_id;
+        next_id += 1;
+        inst.insert(
+            rels.root,
+            vec![Elem::Const(Value::Id(d)), Elem::Const(Value::Id(root))],
+        );
+        let mut prev = root;
+        for i in 0..depth {
+            let node = next_id;
+            next_id += 1;
+            inst.insert(
+                rels.child,
+                vec![Elem::Const(Value::Id(prev)), Elem::Const(Value::Id(node))],
+            );
+            inst.insert(
+                rels.node,
+                vec![
+                    Elem::Const(Value::Id(node)),
+                    Elem::Const(Value::str(format!("tag{i}"))),
+                ],
+            );
+            prev = node;
+        }
+    }
+    (inst, rels.constraints())
+}
+
+fn bench(c: &mut Criterion) {
+    println!("== M1 summary ==");
+    for (docs, depth) in [(20u64, 6u64), (50, 8), (100, 10)] {
+        let (inst, constraints) = doc_instance(docs, depth);
+        let before = inst.len();
+        let mut work = inst.clone();
+        let t = std::time::Instant::now();
+        let stats = chase(&mut work, &constraints, &ChaseConfig::default()).unwrap();
+        println!(
+            "docs={docs} depth={depth}: {} → {} facts, {} TGD fires, {} rounds in {:?}",
+            before,
+            work.len(),
+            stats.tgd_fires,
+            stats.rounds,
+            t.elapsed()
+        );
+    }
+
+    let mut group = c.benchmark_group("m1_chase_micro");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for (docs, depth) in [(20u64, 6u64), (50, 8)] {
+        let (inst, constraints) = doc_instance(docs, depth);
+        group.bench_with_input(
+            BenchmarkId::new("doc_closure", format!("{docs}x{depth}")),
+            &(inst, constraints),
+            |b, (inst, constraints)| {
+                b.iter(|| {
+                    let mut work = inst.clone();
+                    chase(&mut work, constraints, &ChaseConfig::default()).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Benchmark helper crate; see benches/.

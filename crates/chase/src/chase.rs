@@ -1,0 +1,324 @@
+//! The standard (restricted) chase over instances with labelled nulls.
+
+use crate::hom::{find_homs, find_one_hom, HomConfig};
+use crate::instance::{Elem, Inconsistent, Instance};
+use estocada_pivot::{Constraint, Term, Var};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Resource budget and knobs for a chase run.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaseConfig {
+    /// Maximum number of full rounds over the constraint set.
+    pub max_rounds: usize,
+    /// Maximum number of facts the instance may grow to.
+    pub max_facts: usize,
+    /// Homomorphism search configuration.
+    pub hom: HomConfig,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> Self {
+        ChaseConfig {
+            max_rounds: 5_000,
+            max_facts: 500_000,
+            hom: HomConfig::default(),
+        }
+    }
+}
+
+/// Why a chase run failed.
+#[derive(Debug, Clone)]
+pub enum ChaseError {
+    /// Budget exhausted — the constraint set may be non-terminating (check
+    /// [`crate::wa::weakly_acyclic`]).
+    Budget {
+        /// Rounds executed when the budget ran out.
+        rounds: usize,
+        /// Facts in the instance when the budget ran out.
+        facts: usize,
+    },
+    /// An EGD forced two distinct constants equal.
+    Inconsistent(Inconsistent),
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::Budget { rounds, facts } => write!(
+                f,
+                "chase budget exhausted after {rounds} rounds / {facts} facts \
+                 (constraint set may be non-terminating)"
+            ),
+            ChaseError::Inconsistent(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+/// Counters reported by a successful chase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaseStats {
+    /// Rounds until fixpoint.
+    pub rounds: usize,
+    /// TGD firings that added facts.
+    pub tgd_fires: usize,
+    /// EGD firings that merged elements.
+    pub egd_merges: usize,
+}
+
+/// Run the restricted chase of `constraints` over `instance` to fixpoint.
+///
+/// TGD triggers fire only when the conclusion has no extension in the
+/// current instance (restricted-chase applicability); EGDs merge elements
+/// through the instance union-find. Deterministic: constraints fire in the
+/// given order, round-robin, until a full round changes nothing.
+pub fn chase(
+    instance: &mut Instance,
+    constraints: &[Constraint],
+    cfg: &ChaseConfig,
+) -> Result<ChaseStats, ChaseError> {
+    let mut stats = ChaseStats::default();
+    loop {
+        if stats.rounds >= cfg.max_rounds {
+            return Err(ChaseError::Budget {
+                rounds: stats.rounds,
+                facts: instance.len(),
+            });
+        }
+        stats.rounds += 1;
+        let mut changed = false;
+        for c in constraints {
+            changed |= apply_constraint(instance, c, cfg, &mut stats)?;
+            if instance.len() > cfg.max_facts {
+                return Err(ChaseError::Budget {
+                    rounds: stats.rounds,
+                    facts: instance.len(),
+                });
+            }
+        }
+        if !changed {
+            return Ok(stats);
+        }
+    }
+}
+
+fn apply_constraint(
+    instance: &mut Instance,
+    c: &Constraint,
+    cfg: &ChaseConfig,
+    stats: &mut ChaseStats,
+) -> Result<bool, ChaseError> {
+    let mut changed = false;
+    match c {
+        Constraint::Tgd(tgd) => {
+            let homs = find_homs(instance, &tgd.premise, &HashMap::new(), cfg.hom);
+            for h in homs {
+                // Re-resolve the trigger (earlier firings in this batch may
+                // have merged elements) and re-check applicability.
+                let fixed: HashMap<Var, Elem> = h
+                    .map
+                    .iter()
+                    .map(|(v, e)| (*v, instance.resolve(e)))
+                    .collect();
+                if find_one_hom(instance, &tgd.conclusion, &fixed).is_some() {
+                    continue;
+                }
+                // Fire: fresh nulls for existential variables.
+                let mut assignment = fixed;
+                for v in tgd.existentials() {
+                    let n = instance.fresh_null();
+                    assignment.insert(v, n);
+                }
+                for atom in &tgd.conclusion {
+                    let args: Vec<Elem> = atom
+                        .args
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(v) => Elem::Const(v.clone()),
+                            Term::Var(v) => assignment
+                                .get(v)
+                                .cloned()
+                                .expect("conclusion variable neither frontier nor existential"),
+                        })
+                        .collect();
+                    let (_, new) = instance.insert(atom.pred, args);
+                    changed |= new;
+                }
+                stats.tgd_fires += 1;
+            }
+        }
+        Constraint::Egd(egd) => {
+            let homs = find_homs(instance, &egd.premise, &HashMap::new(), cfg.hom);
+            for h in homs {
+                let resolve_term = |t: &Term, inst: &Instance| -> Elem {
+                    match t {
+                        Term::Const(v) => Elem::Const(v.clone()),
+                        Term::Var(v) => inst.resolve(
+                            h.map
+                                .get(v)
+                                .expect("EGD equality variable must occur in premise"),
+                        ),
+                    }
+                };
+                let a = resolve_term(&egd.equal.0, instance);
+                let b = resolve_term(&egd.equal.1, instance);
+                match instance.merge(&a, &b) {
+                    Ok(true) => {
+                        stats.egd_merges += 1;
+                        changed = true;
+                    }
+                    Ok(false) => {}
+                    Err(e) => return Err(ChaseError::Inconsistent(e)),
+                }
+            }
+        }
+    }
+    Ok(changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estocada_pivot::{Atom, Egd, Symbol, Tgd, Value};
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn c(v: i64) -> Elem {
+        Elem::Const(Value::Int(v))
+    }
+
+    #[test]
+    fn transitivity_chase_computes_closure() {
+        // Edge(a,b) ∧ Path(b,c) → Path(a,c); Edge(a,b) → Path(a,b)
+        let edge_to_path = Tgd::new(
+            "e2p",
+            vec![Atom::new("Edge", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("Path", vec![Term::var(0), Term::var(1)])],
+        );
+        let trans = Tgd::new(
+            "trans",
+            vec![
+                Atom::new("Edge", vec![Term::var(0), Term::var(1)]),
+                Atom::new("Path", vec![Term::var(1), Term::var(2)]),
+            ],
+            vec![Atom::new("Path", vec![Term::var(0), Term::var(2)])],
+        );
+        let mut i = Instance::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            i.insert(sym("Edge"), vec![c(a), c(b)]);
+        }
+        let stats = chase(
+            &mut i,
+            &[edge_to_path.into(), trans.into()],
+            &ChaseConfig::default(),
+        )
+        .unwrap();
+        assert!(stats.rounds >= 2);
+        // Paths: 12,23,34,13,24,14 = 6
+        assert_eq!(i.facts_of(sym("Path")).count(), 6);
+    }
+
+    #[test]
+    fn tgd_with_existential_invents_null_once() {
+        // Person(x) → HasParent(x, y)
+        let t = Tgd::new(
+            "parent",
+            vec![Atom::new("Person", vec![Term::var(0)])],
+            vec![Atom::new("HasParent", vec![Term::var(0), Term::var(1)])],
+        );
+        let mut i = Instance::new();
+        i.insert(sym("Person"), vec![c(1)]);
+        chase(&mut i, &[t.clone().into()], &ChaseConfig::default()).unwrap();
+        assert_eq!(i.facts_of(sym("HasParent")).count(), 1);
+        // Restricted chase: re-chasing adds nothing.
+        let stats = chase(&mut i, &[t.into()], &ChaseConfig::default()).unwrap();
+        assert_eq!(stats.tgd_fires, 0);
+        assert_eq!(i.facts_of(sym("HasParent")).count(), 1);
+    }
+
+    #[test]
+    fn egd_merges_nulls_into_constants() {
+        // R(x, y1) ∧ R(x, y2) → y1 = y2  (functional)
+        let e = Egd::new(
+            "fd",
+            vec![
+                Atom::new("R", vec![Term::var(0), Term::var(1)]),
+                Atom::new("R", vec![Term::var(0), Term::var(2)]),
+            ],
+            (Term::var(1), Term::var(2)),
+        );
+        let mut i = Instance::new();
+        let n = i.fresh_null();
+        i.insert(sym("R"), vec![c(1), n.clone()]);
+        i.insert(sym("R"), vec![c(1), c(9)]);
+        let stats = chase(&mut i, &[e.into()], &ChaseConfig::default()).unwrap();
+        assert!(stats.egd_merges >= 1);
+        assert_eq!(i.resolve(&n), c(9));
+        assert_eq!(i.len(), 1); // the two facts collapsed
+    }
+
+    #[test]
+    fn egd_constant_clash_errors() {
+        let e = Egd::new(
+            "fd",
+            vec![
+                Atom::new("R", vec![Term::var(0), Term::var(1)]),
+                Atom::new("R", vec![Term::var(0), Term::var(2)]),
+            ],
+            (Term::var(1), Term::var(2)),
+        );
+        let mut i = Instance::new();
+        i.insert(sym("R"), vec![c(1), c(8)]);
+        i.insert(sym("R"), vec![c(1), c(9)]);
+        match chase(&mut i, &[e.into()], &ChaseConfig::default()) {
+            Err(ChaseError::Inconsistent(_)) => {}
+            other => panic!("expected inconsistency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_terminating_set_hits_budget() {
+        // R(x) → S(x, y); S(x, y) → R(y)  — classic infinite chase.
+        let t1 = Tgd::new(
+            "t1",
+            vec![Atom::new("R", vec![Term::var(0)])],
+            vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+        );
+        let t2 = Tgd::new(
+            "t2",
+            vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("R", vec![Term::var(1)])],
+        );
+        let mut i = Instance::new();
+        i.insert(sym("R"), vec![c(1)]);
+        let cfg = ChaseConfig {
+            max_rounds: 50,
+            max_facts: 100,
+            ..ChaseConfig::default()
+        };
+        assert!(matches!(
+            chase(&mut i, &[t1.into(), t2.into()], &cfg),
+            Err(ChaseError::Budget { .. })
+        ));
+    }
+
+    #[test]
+    fn chase_is_idempotent_at_fixpoint() {
+        let t = Tgd::new(
+            "copy",
+            vec![Atom::new("A", vec![Term::var(0)])],
+            vec![Atom::new("B", vec![Term::var(0)])],
+        );
+        let mut i = Instance::new();
+        i.insert(sym("A"), vec![c(1)]);
+        chase(&mut i, &[t.clone().into()], &ChaseConfig::default()).unwrap();
+        let before = i.len();
+        let stats = chase(&mut i, &[t.into()], &ChaseConfig::default()).unwrap();
+        assert_eq!(i.len(), before);
+        assert_eq!(stats.tgd_fires, 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Chase-based containment, equivalence and minimization of conjunctive
+//! queries under constraints.
+
+use crate::chase::{chase, ChaseConfig, ChaseError};
+use crate::hom::find_one_hom;
+use crate::instance::{Elem, Instance};
+use estocada_pivot::{Constraint, Cq, Term, Var};
+use std::collections::HashMap;
+
+/// Build the canonical instance ("frozen body") of a query: variable `i`
+/// becomes labelled null `i`, constants stay constants.
+pub fn canonical_instance(q: &Cq) -> Instance {
+    let mut inst = Instance::new();
+    inst.reserve_nulls(q.var_space());
+    for atom in &q.body {
+        let args: Vec<Elem> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => Elem::Null(v.0),
+                Term::Const(c) => Elem::Const(c.clone()),
+            })
+            .collect();
+        inst.insert(atom.pred, args);
+    }
+    inst
+}
+
+/// The image of `q1`'s head terms in (a chase of) its canonical instance.
+fn head_images(q1: &Cq, inst: &Instance) -> Vec<Elem> {
+    q1.head
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => inst.resolve(&Elem::Null(v.0)),
+            Term::Const(c) => Elem::Const(c.clone()),
+        })
+        .collect()
+}
+
+/// Decide `q1 ⊆ q2` under `constraints`: chase `q1`'s canonical instance,
+/// then look for a containment mapping from `q2` that sends `q2`'s head to
+/// the (frozen, possibly merged) image of `q1`'s head.
+///
+/// Head arities must match; returns `Ok(false)` otherwise.
+pub fn contained_in(
+    q1: &Cq,
+    q2: &Cq,
+    constraints: &[Constraint],
+    cfg: &ChaseConfig,
+) -> Result<bool, ChaseError> {
+    if q1.head.len() != q2.head.len() {
+        return Ok(false);
+    }
+    let mut inst = canonical_instance(q1);
+    match chase(&mut inst, constraints, cfg) {
+        Ok(_) => {}
+        // An inconsistent canonical instance denotes the empty query, which
+        // is contained in everything.
+        Err(ChaseError::Inconsistent(_)) => return Ok(true),
+        Err(e) => return Err(e),
+    }
+    Ok(head_preserving_image(q2, &inst, &head_images(q1, &inst)))
+}
+
+/// Is there a homomorphism from `q`'s body into `inst` mapping `q`'s head
+/// terms exactly onto `targets`?
+pub fn head_preserving_image(q: &Cq, inst: &Instance, targets: &[Elem]) -> bool {
+    debug_assert_eq!(q.head.len(), targets.len());
+    let mut fixed: HashMap<Var, Elem> = HashMap::new();
+    for (t, target) in q.head.iter().zip(targets) {
+        match t {
+            Term::Const(c) => {
+                if Elem::Const(c.clone()) != *target {
+                    return false;
+                }
+            }
+            Term::Var(v) => {
+                if let Some(prev) = fixed.get(v) {
+                    if prev != target {
+                        return false;
+                    }
+                } else {
+                    fixed.insert(*v, target.clone());
+                }
+            }
+        }
+    }
+    find_one_hom(inst, &q.body, &fixed).is_some()
+}
+
+/// Decide `q1 ≡ q2` under `constraints` (containment both ways).
+pub fn equivalent(
+    q1: &Cq,
+    q2: &Cq,
+    constraints: &[Constraint],
+    cfg: &ChaseConfig,
+) -> Result<bool, ChaseError> {
+    Ok(contained_in(q1, q2, constraints, cfg)? && contained_in(q2, q1, constraints, cfg)?)
+}
+
+/// Compute the core (minimal equivalent subquery) of `q` with no
+/// constraints: repeatedly drop an atom while a head-preserving containment
+/// mapping from the full query into the reduced one exists.
+pub fn minimize(q: &Cq) -> Cq {
+    let mut current = q.clone();
+    loop {
+        let mut reduced = None;
+        for i in 0..current.body.len() {
+            let mut candidate = current.clone();
+            candidate.body.remove(i);
+            if !candidate.is_safe() {
+                continue;
+            }
+            // candidate ⊆ current always (fewer atoms); equivalence needs
+            // current-image in candidate's canonical instance.
+            let inst = canonical_instance(&candidate);
+            let targets = head_images(&candidate, &inst);
+            if head_preserving_image(&current, &inst, &targets) {
+                reduced = Some(candidate);
+                break;
+            }
+        }
+        match reduced {
+            Some(c) => current = c,
+            None => return current,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estocada_pivot::{Atom, CqBuilder, Tgd, ViewDef};
+
+    fn cfg() -> ChaseConfig {
+        ChaseConfig::default()
+    }
+
+    #[test]
+    fn syntactic_containment_via_homomorphism() {
+        // Q1(x) :- R(x, y), R(y, z)  vs  Q2(x) :- R(x, y)
+        let q1 = CqBuilder::new("Q1")
+            .head_vars(["x"])
+            .atom("R", |a| a.v("x").v("y"))
+            .atom("R", |a| a.v("y").v("z"))
+            .build();
+        let q2 = CqBuilder::new("Q2")
+            .head_vars(["x"])
+            .atom("R", |a| a.v("x").v("y"))
+            .build();
+        assert!(contained_in(&q1, &q2, &[], &cfg()).unwrap());
+        assert!(!contained_in(&q2, &q1, &[], &cfg()).unwrap());
+    }
+
+    #[test]
+    fn constants_block_containment() {
+        let q1 = CqBuilder::new("Q1")
+            .head_vars(["x"])
+            .atom("R", |a| a.v("x").c(1i64))
+            .build();
+        let q2 = CqBuilder::new("Q2")
+            .head_vars(["x"])
+            .atom("R", |a| a.v("x").c(2i64))
+            .build();
+        assert!(!contained_in(&q1, &q2, &[], &cfg()).unwrap());
+        // But both are contained in the unconstrained version.
+        let q3 = CqBuilder::new("Q3")
+            .head_vars(["x"])
+            .atom("R", |a| a.v("x").v("y"))
+            .build();
+        assert!(contained_in(&q1, &q3, &[], &cfg()).unwrap());
+    }
+
+    #[test]
+    fn containment_under_tgd() {
+        // Σ: Child(x,y) → Desc(x,y). Then Q1(x,y):-Child(x,y) ⊆ Q2(x,y):-Desc(x,y).
+        let t: Constraint = Tgd::new(
+            "c2d",
+            vec![Atom::new("Child", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("Desc", vec![Term::var(0), Term::var(1)])],
+        )
+        .into();
+        let q1 = CqBuilder::new("Q1")
+            .head_vars(["x", "y"])
+            .atom("Child", |a| a.v("x").v("y"))
+            .build();
+        let q2 = CqBuilder::new("Q2")
+            .head_vars(["x", "y"])
+            .atom("Desc", |a| a.v("x").v("y"))
+            .build();
+        assert!(contained_in(&q1, &q2, std::slice::from_ref(&t), &cfg()).unwrap());
+        assert!(!contained_in(&q2, &q1, &[t], &cfg()).unwrap());
+    }
+
+    #[test]
+    fn view_expansion_equivalence() {
+        // V(x,z) :- R(x,y), S(y,z); query over V equals the join.
+        let v = ViewDef::new(
+            CqBuilder::new("V")
+                .head_vars(["x", "z"])
+                .atom("R", |a| a.v("x").v("y"))
+                .atom("S", |a| a.v("y").v("z"))
+                .build(),
+        );
+        let sigma: Vec<Constraint> = v.constraints().into();
+        let over_view = CqBuilder::new("Qv")
+            .head_vars(["x", "z"])
+            .atom("V", |a| a.v("x").v("z"))
+            .build();
+        let join = CqBuilder::new("Qj")
+            .head_vars(["x", "z"])
+            .atom("R", |a| a.v("x").v("y"))
+            .atom("S", |a| a.v("y").v("z"))
+            .build();
+        assert!(equivalent(&over_view, &join, &sigma, &cfg()).unwrap());
+    }
+
+    #[test]
+    fn minimize_removes_redundant_atoms() {
+        // Q(x) :- R(x,y), R(x,z)  — second atom is redundant.
+        let q = CqBuilder::new("Q")
+            .head_vars(["x"])
+            .atom("R", |a| a.v("x").v("y"))
+            .atom("R", |a| a.v("x").v("z"))
+            .build();
+        let m = minimize(&q);
+        assert_eq!(m.body.len(), 1);
+    }
+
+    #[test]
+    fn minimize_keeps_necessary_atoms() {
+        let q = CqBuilder::new("Q")
+            .head_vars(["x", "z"])
+            .atom("R", |a| a.v("x").v("y"))
+            .atom("S", |a| a.v("y").v("z"))
+            .build();
+        let m = minimize(&q);
+        assert_eq!(m.body.len(), 2);
+    }
+
+    #[test]
+    fn head_arity_mismatch_is_not_contained() {
+        let q1 = CqBuilder::new("Q1")
+            .head_vars(["x"])
+            .atom("R", |a| a.v("x").v("y"))
+            .build();
+        let q2 = CqBuilder::new("Q2")
+            .head_vars(["x", "y"])
+            .atom("R", |a| a.v("x").v("y"))
+            .build();
+        assert!(!contained_in(&q1, &q2, &[], &cfg()).unwrap());
+    }
+
+    #[test]
+    fn repeated_head_vars_must_agree() {
+        // Q1(x,x) :- R(x,x)   Q2(a,b) :- R(a,b): Q1 ⊆ Q2 but not conversely.
+        let q1 = CqBuilder::new("Q1")
+            .head_vars(["x", "x"])
+            .atom("R", |a| a.v("x").v("x"))
+            .build();
+        let q2 = CqBuilder::new("Q2")
+            .head_vars(["a", "b"])
+            .atom("R", |a| a.v("a").v("b"))
+            .build();
+        assert!(contained_in(&q1, &q2, &[], &cfg()).unwrap());
+        assert!(!contained_in(&q2, &q1, &[], &cfg()).unwrap());
+    }
+}

@@ -1,0 +1,271 @@
+//! Homomorphism search: matching conjunctions of atoms into instances.
+//!
+//! This is the workhorse of the chase (trigger finding), of containment
+//! checks (query images in chased canonical databases) and of the backchase
+//! (finding images of the original query with their provenance).
+
+use crate::instance::{Elem, Instance};
+use estocada_pivot::{Atom, Term, Var};
+use std::collections::HashMap;
+
+/// A homomorphism: a variable assignment plus the ids of the facts each atom
+/// was matched to (parallel to the atom list it was searched for).
+#[derive(Debug, Clone)]
+pub struct Hom {
+    /// Variable assignment.
+    pub map: HashMap<Var, Elem>,
+    /// Matched fact id per atom, in atom order.
+    pub fact_ids: Vec<u32>,
+}
+
+impl Hom {
+    /// Image of a term under the homomorphism (constants map to
+    /// themselves).
+    pub fn apply(&self, t: &Term) -> Option<Elem> {
+        match t {
+            Term::Const(v) => Some(Elem::Const(v.clone())),
+            Term::Var(v) => self.map.get(v).cloned(),
+        }
+    }
+}
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct HomConfig {
+    /// Stop after this many homomorphisms (guards exponential blowups).
+    pub limit: usize,
+}
+
+impl Default for HomConfig {
+    fn default() -> Self {
+        HomConfig { limit: 1_000_000 }
+    }
+}
+
+/// Find homomorphisms from `atoms` into `instance`, extending the partial
+/// assignment `fixed`. Returns at most `cfg.limit` results.
+///
+/// The search backtracks over atoms, at each step choosing the most
+/// selective remaining atom (fewest candidate facts under the current
+/// partial assignment, using the instance's positional indexes).
+pub fn find_homs(
+    instance: &Instance,
+    atoms: &[Atom],
+    fixed: &HashMap<Var, Elem>,
+    cfg: HomConfig,
+) -> Vec<Hom> {
+    let mut results = Vec::new();
+    let mut map: HashMap<Var, Elem> = fixed
+        .iter()
+        .map(|(v, e)| (*v, instance.resolve(e)))
+        .collect();
+    let mut fact_ids = vec![u32::MAX; atoms.len()];
+    let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+    search(
+        instance,
+        atoms,
+        &mut map,
+        &mut fact_ids,
+        &mut remaining,
+        &mut results,
+        cfg.limit,
+    );
+    results
+}
+
+/// Find one homomorphism, if any (cheaper early exit).
+pub fn find_one_hom(
+    instance: &Instance,
+    atoms: &[Atom],
+    fixed: &HashMap<Var, Elem>,
+) -> Option<Hom> {
+    find_homs(instance, atoms, fixed, HomConfig { limit: 1 })
+        .into_iter()
+        .next()
+}
+
+/// Candidate fact ids for `atom` under `map`: uses the most selective bound
+/// position, falling back to the whole predicate list.
+fn candidates(instance: &Instance, atom: &Atom, map: &HashMap<Var, Elem>) -> Vec<u32> {
+    let mut best: Option<Vec<u32>> = None;
+    for (i, t) in atom.args.iter().enumerate() {
+        let elem = match t {
+            Term::Const(v) => Some(Elem::Const(v.clone())),
+            Term::Var(v) => map.get(v).cloned(),
+        };
+        if let Some(e) = elem {
+            let hits = instance.facts_with(atom.pred, i as u32, &e);
+            if best.as_ref().map(|b| hits.len() < b.len()).unwrap_or(true) {
+                best = Some(hits);
+            }
+        }
+    }
+    best.unwrap_or_else(|| instance.facts_of(atom.pred).collect())
+}
+
+fn search(
+    instance: &Instance,
+    atoms: &[Atom],
+    map: &mut HashMap<Var, Elem>,
+    fact_ids: &mut Vec<u32>,
+    remaining: &mut Vec<usize>,
+    results: &mut Vec<Hom>,
+    limit: usize,
+) {
+    if results.len() >= limit {
+        return;
+    }
+    if remaining.is_empty() {
+        results.push(Hom {
+            map: map.clone(),
+            fact_ids: fact_ids.clone(),
+        });
+        return;
+    }
+    // Most selective remaining atom first.
+    let (pos, _) = remaining
+        .iter()
+        .enumerate()
+        .map(|(i, &ai)| (i, candidates(instance, &atoms[ai], map).len()))
+        .min_by_key(|(_, n)| *n)
+        .unwrap();
+    let atom_idx = remaining.remove(pos);
+    let atom = &atoms[atom_idx];
+    for fid in candidates(instance, atom, map) {
+        let fact = instance.fact(fid);
+        if fact.args.len() != atom.args.len() {
+            continue;
+        }
+        // Try to unify atom args against the fact, recording new bindings.
+        let mut new_bindings: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (t, e) in atom.args.iter().zip(fact.args.iter()) {
+            match t {
+                Term::Const(v) => {
+                    if Elem::Const(v.clone()) != *e {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match map.get(v) {
+                    Some(bound) => {
+                        if bound != e {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        map.insert(*v, e.clone());
+                        new_bindings.push(*v);
+                    }
+                },
+            }
+        }
+        if ok {
+            fact_ids[atom_idx] = fid;
+            search(instance, atoms, map, fact_ids, remaining, results, limit);
+            fact_ids[atom_idx] = u32::MAX;
+        }
+        for v in new_bindings {
+            map.remove(&v);
+        }
+        if results.len() >= limit {
+            break;
+        }
+    }
+    remaining.insert(pos, atom_idx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estocada_pivot::{Symbol, Value};
+
+    fn setup() -> Instance {
+        // R(1,2), R(2,3), S(3)
+        let mut i = Instance::new();
+        let c = |v: i64| Elem::Const(Value::Int(v));
+        i.insert(Symbol::intern("R"), vec![c(1), c(2)]);
+        i.insert(Symbol::intern("R"), vec![c(2), c(3)]);
+        i.insert(Symbol::intern("S"), vec![c(3)]);
+        i
+    }
+
+    fn atom(pred: &str, args: Vec<Term>) -> Atom {
+        Atom::new(pred, args)
+    }
+
+    #[test]
+    fn path_query_finds_single_match() {
+        let i = setup();
+        // R(x,y), R(y,z), S(z)
+        let atoms = vec![
+            atom("R", vec![Term::var(0), Term::var(1)]),
+            atom("R", vec![Term::var(1), Term::var(2)]),
+            atom("S", vec![Term::var(2)]),
+        ];
+        let homs = find_homs(&i, &atoms, &HashMap::new(), HomConfig::default());
+        assert_eq!(homs.len(), 1);
+        let h = &homs[0];
+        assert_eq!(h.map[&Var(0)], Elem::Const(Value::Int(1)));
+        assert_eq!(h.map[&Var(2)], Elem::Const(Value::Int(3)));
+        assert_eq!(h.fact_ids.len(), 3);
+    }
+
+    #[test]
+    fn all_matches_enumerated() {
+        let i = setup();
+        let atoms = vec![atom("R", vec![Term::var(0), Term::var(1)])];
+        let homs = find_homs(&i, &atoms, &HashMap::new(), HomConfig::default());
+        assert_eq!(homs.len(), 2);
+    }
+
+    #[test]
+    fn fixed_bindings_restrict_matches() {
+        let i = setup();
+        let atoms = vec![atom("R", vec![Term::var(0), Term::var(1)])];
+        let mut fixed = HashMap::new();
+        fixed.insert(Var(0), Elem::Const(Value::Int(2)));
+        let homs = find_homs(&i, &atoms, &fixed, HomConfig::default());
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].map[&Var(1)], Elem::Const(Value::Int(3)));
+    }
+
+    #[test]
+    fn constants_in_atoms_must_match() {
+        let i = setup();
+        let atoms = vec![atom("R", vec![Term::constant(7i64), Term::var(0)])];
+        assert!(find_one_hom(&i, &atoms, &HashMap::new()).is_none());
+        let atoms = vec![atom("R", vec![Term::constant(1i64), Term::var(0)])];
+        assert!(find_one_hom(&i, &atoms, &HashMap::new()).is_some());
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let mut i = setup();
+        i.insert(
+            Symbol::intern("R"),
+            vec![Elem::Const(Value::Int(5)), Elem::Const(Value::Int(5))],
+        );
+        let atoms = vec![atom("R", vec![Term::var(0), Term::var(0)])];
+        let homs = find_homs(&i, &atoms, &HashMap::new(), HomConfig::default());
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].map[&Var(0)], Elem::Const(Value::Int(5)));
+    }
+
+    #[test]
+    fn limit_caps_result_count() {
+        let i = setup();
+        let atoms = vec![atom("R", vec![Term::var(0), Term::var(1)])];
+        let homs = find_homs(&i, &atoms, &HashMap::new(), HomConfig { limit: 1 });
+        assert_eq!(homs.len(), 1);
+    }
+
+    #[test]
+    fn empty_atom_list_yields_identity() {
+        let i = setup();
+        let homs = find_homs(&i, &[], &HashMap::new(), HomConfig::default());
+        assert_eq!(homs.len(), 1);
+        assert!(homs[0].map.is_empty());
+    }
+}

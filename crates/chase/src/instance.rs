@@ -1,0 +1,411 @@
+//! Instances with labelled nulls: the structures the chase runs over.
+//!
+//! An [`Instance`] stores facts whose arguments are either constants or
+//! labelled nulls. EGD steps merge elements through a union-find; the
+//! instance is kept *normalized* (every stored argument is a representative)
+//! so that homomorphism matching is plain equality.
+
+use crate::prov::Dnf;
+use estocada_pivot::{Symbol, Value};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An instance element: a constant or a labelled null.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Elem {
+    /// A constant value.
+    Const(Value),
+    /// A labelled null, identified by id.
+    Null(u32),
+}
+
+impl Elem {
+    /// The null id, if this is a null.
+    pub fn as_null(&self) -> Option<u32> {
+        match self {
+            Elem::Null(n) => Some(*n),
+            Elem::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Elem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Elem::Const(v) => write!(f, "{v}"),
+            Elem::Null(n) => write!(f, "_N{n}"),
+        }
+    }
+}
+
+/// A stored fact.
+#[derive(Debug, Clone)]
+pub struct StoredFact {
+    /// Relation name.
+    pub pred: Symbol,
+    /// Arguments (always representatives — see normalization invariant).
+    pub args: Vec<Elem>,
+    /// `false` once merged away by deduplication.
+    pub alive: bool,
+    /// Provenance (used by the provenance chase; `⊤` elsewhere).
+    pub prov: Dnf,
+}
+
+/// Union-find state of one null.
+#[derive(Debug, Clone)]
+enum NullState {
+    Root,
+    Child(u32),
+    Bound(Value),
+}
+
+/// Error raised when two distinct constants are forced equal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inconsistent {
+    /// The clashing constants.
+    pub left: Value,
+    /// The clashing constants.
+    pub right: Value,
+}
+
+impl fmt::Display for Inconsistent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EGD forces distinct constants equal: {} = {}",
+            self.left, self.right
+        )
+    }
+}
+
+impl std::error::Error for Inconsistent {}
+
+/// An instance with labelled nulls, per-predicate and per-position indexes,
+/// and EGD merging.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    facts: Vec<StoredFact>,
+    nulls: Vec<NullState>,
+    by_pred: HashMap<Symbol, Vec<u32>>,
+    /// (pred, position, element) → fact ids. Rebuilt on normalization.
+    by_pos: HashMap<(Symbol, u32, Elem), Vec<u32>>,
+    dedup: HashMap<(Symbol, Vec<Elem>), u32>,
+}
+
+impl Instance {
+    /// Empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Allocate a fresh labelled null.
+    pub fn fresh_null(&mut self) -> Elem {
+        let id = self.nulls.len() as u32;
+        self.nulls.push(NullState::Root);
+        Elem::Null(id)
+    }
+
+    /// Ensure nulls `0..n` exist (used to freeze query variables so that
+    /// variable id = null id).
+    pub fn reserve_nulls(&mut self, n: u32) {
+        while (self.nulls.len() as u32) < n {
+            self.nulls.push(NullState::Root);
+        }
+    }
+
+    /// Number of allocated nulls.
+    pub fn null_count(&self) -> usize {
+        self.nulls.len()
+    }
+
+    /// Resolve an element to its representative.
+    pub fn resolve(&self, e: &Elem) -> Elem {
+        match e {
+            Elem::Const(_) => e.clone(),
+            Elem::Null(n) => self.resolve_null(*n),
+        }
+    }
+
+    fn resolve_null(&self, mut n: u32) -> Elem {
+        loop {
+            match &self.nulls[n as usize] {
+                NullState::Root => return Elem::Null(n),
+                NullState::Child(p) => n = *p,
+                NullState::Bound(v) => return Elem::Const(v.clone()),
+            }
+        }
+    }
+
+    /// Insert a fact with provenance `⊤`. Returns the fact id and whether
+    /// the fact is new.
+    pub fn insert(&mut self, pred: Symbol, args: Vec<Elem>) -> (u32, bool) {
+        self.insert_with_prov(pred, args, Dnf::tru())
+    }
+
+    /// Insert a fact carrying a provenance formula. If the fact already
+    /// exists its provenance is extended by disjunction. Returns `(fact id,
+    /// changed)` where `changed` covers both new facts and provenance
+    /// growth.
+    pub fn insert_with_prov(&mut self, pred: Symbol, args: Vec<Elem>, prov: Dnf) -> (u32, bool) {
+        let args: Vec<Elem> = args.iter().map(|e| self.resolve(e)).collect();
+        match self.dedup.entry((pred, args.clone())) {
+            Entry::Occupied(o) => {
+                let id = *o.get();
+                let changed = self.facts[id as usize].prov.or_assign(&prov);
+                (id, changed)
+            }
+            Entry::Vacant(v) => {
+                let id = self.facts.len() as u32;
+                v.insert(id);
+                for (i, a) in args.iter().enumerate() {
+                    self.by_pos
+                        .entry((pred, i as u32, a.clone()))
+                        .or_default()
+                        .push(id);
+                }
+                self.by_pred.entry(pred).or_default().push(id);
+                self.facts.push(StoredFact {
+                    pred,
+                    args,
+                    alive: true,
+                    prov,
+                });
+                (id, true)
+            }
+        }
+    }
+
+    /// All alive fact ids.
+    pub fn fact_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.facts.len() as u32).filter(|id| self.facts[*id as usize].alive)
+    }
+
+    /// Access a fact by id (caller must respect `alive`).
+    pub fn fact(&self, id: u32) -> &StoredFact {
+        &self.facts[id as usize]
+    }
+
+    /// Mutable provenance access.
+    pub fn fact_prov_mut(&mut self, id: u32) -> &mut Dnf {
+        &mut self.facts[id as usize].prov
+    }
+
+    /// Alive fact count.
+    pub fn len(&self) -> usize {
+        self.facts.iter().filter(|f| f.alive).count()
+    }
+
+    /// `true` when no alive facts exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fact ids of a predicate (alive only).
+    pub fn facts_of(&self, pred: Symbol) -> impl Iterator<Item = u32> + '_ {
+        self.by_pred
+            .get(&pred)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(move |id| self.facts[*id as usize].alive)
+    }
+
+    /// Fact ids of `pred` whose `position` equals `elem` (alive only).
+    /// `elem` must be a representative.
+    pub fn facts_with(&self, pred: Symbol, position: u32, elem: &Elem) -> Vec<u32> {
+        self.by_pos
+            .get(&(pred, position, elem.clone()))
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|id| self.facts[*id as usize].alive)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Merge two elements (EGD step). Returns `Ok(true)` if the instance
+    /// changed; `Err` when two distinct constants clash.
+    pub fn merge(&mut self, a: &Elem, b: &Elem) -> Result<bool, Inconsistent> {
+        let ra = self.resolve(a);
+        let rb = self.resolve(b);
+        if ra == rb {
+            return Ok(false);
+        }
+        match (&ra, &rb) {
+            (Elem::Const(x), Elem::Const(y)) => Err(Inconsistent {
+                left: x.clone(),
+                right: y.clone(),
+            }),
+            (Elem::Null(n), Elem::Const(v)) => {
+                self.nulls[*n as usize] = NullState::Bound(v.clone());
+                self.normalize();
+                Ok(true)
+            }
+            (Elem::Const(v), Elem::Null(n)) => {
+                self.nulls[*n as usize] = NullState::Bound(v.clone());
+                self.normalize();
+                Ok(true)
+            }
+            (Elem::Null(n1), Elem::Null(n2)) => {
+                // Merge the younger null into the older one so that frozen
+                // query variables (low ids) stay representatives.
+                let (child, parent) = if n1 > n2 { (*n1, *n2) } else { (*n2, *n1) };
+                self.nulls[child as usize] = NullState::Child(parent);
+                self.normalize();
+                Ok(true)
+            }
+        }
+    }
+
+    /// Re-canonicalize every fact after a merge: rewrite arguments to
+    /// representatives, de-duplicate facts that became equal (joining their
+    /// provenance), and rebuild indexes.
+    fn normalize(&mut self) {
+        self.dedup.clear();
+        self.by_pos.clear();
+        self.by_pred.clear();
+        let n = self.facts.len();
+        for id in 0..n {
+            if !self.facts[id].alive {
+                continue;
+            }
+            let pred = self.facts[id].pred;
+            let args: Vec<Elem> = self.facts[id]
+                .args
+                .iter()
+                .map(|e| self.resolve(e))
+                .collect();
+            match self.dedup.entry((pred, args.clone())) {
+                Entry::Occupied(o) => {
+                    let keep = *o.get() as usize;
+                    let prov = self.facts[id].prov.clone();
+                    self.facts[keep].prov.or_assign(&prov);
+                    self.facts[id].alive = false;
+                }
+                Entry::Vacant(v) => {
+                    v.insert(id as u32);
+                    for (i, a) in args.iter().enumerate() {
+                        self.by_pos
+                            .entry((pred, i as u32, a.clone()))
+                            .or_default()
+                            .push(id as u32);
+                    }
+                    self.by_pred.entry(pred).or_default().push(id as u32);
+                    self.facts[id].args = args;
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for id in self.fact_ids() {
+            if !first {
+                writeln!(f)?;
+            }
+            first = false;
+            let fact = self.fact(id);
+            write!(f, "{}(", fact.pred)?;
+            for (i, a) in fact.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn insert_dedups_identical_facts() {
+        let mut i = Instance::new();
+        let n = i.fresh_null();
+        let (id1, new1) = i.insert(sym("R"), vec![n.clone(), Elem::Const(Value::Int(1))]);
+        let (id2, new2) = i.insert(sym("R"), vec![n, Elem::Const(Value::Int(1))]);
+        assert!(new1);
+        assert!(!new2);
+        assert_eq!(id1, id2);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn merge_null_with_constant_rewrites_facts() {
+        let mut i = Instance::new();
+        let n = i.fresh_null();
+        i.insert(sym("R"), vec![n.clone()]);
+        i.merge(&n, &Elem::Const(Value::Int(9))).unwrap();
+        let id = i.fact_ids().next().unwrap();
+        assert_eq!(i.fact(id).args[0], Elem::Const(Value::Int(9)));
+        assert_eq!(i.resolve(&n), Elem::Const(Value::Int(9)));
+    }
+
+    #[test]
+    fn merge_two_nulls_dedups_facts_and_joins_prov() {
+        let mut i = Instance::new();
+        let a = i.fresh_null();
+        let b = i.fresh_null();
+        i.insert_with_prov(sym("R"), vec![a.clone()], Dnf::var(1));
+        i.insert_with_prov(sym("R"), vec![b.clone()], Dnf::var(2));
+        assert_eq!(i.len(), 2);
+        i.merge(&a, &b).unwrap();
+        assert_eq!(i.len(), 1);
+        let id = i.fact_ids().next().unwrap();
+        assert_eq!(i.fact(id).prov.len(), 2); // p1 ∨ p2
+    }
+
+    #[test]
+    fn constant_clash_is_inconsistent() {
+        let mut i = Instance::new();
+        let a = Elem::Const(Value::Int(1));
+        let b = Elem::Const(Value::Int(2));
+        assert!(i.merge(&a, &b).is_err());
+    }
+
+    #[test]
+    fn lower_null_id_stays_representative() {
+        let mut i = Instance::new();
+        let a = i.fresh_null(); // N0 — e.g. a frozen head variable
+        let b = i.fresh_null(); // N1 — e.g. a chase-invented null
+        i.merge(&b, &a).unwrap();
+        assert_eq!(i.resolve(&b), a);
+    }
+
+    #[test]
+    fn position_index_finds_facts() {
+        let mut i = Instance::new();
+        let n = i.fresh_null();
+        i.insert(sym("R"), vec![n.clone(), Elem::Const(Value::Int(1))]);
+        i.insert(sym("R"), vec![n.clone(), Elem::Const(Value::Int(2))]);
+        let hits = i.facts_with(sym("R"), 1, &Elem::Const(Value::Int(2)));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(i.facts_with(sym("R"), 0, &n).len(), 2);
+    }
+
+    #[test]
+    fn transitive_null_chains_resolve() {
+        let mut i = Instance::new();
+        let a = i.fresh_null();
+        let b = i.fresh_null();
+        let c = i.fresh_null();
+        i.merge(&b, &c).unwrap(); // c -> b
+        i.merge(&a, &b).unwrap(); // b -> a
+        assert_eq!(i.resolve(&c), a);
+        i.merge(&c, &Elem::Const(Value::Int(5))).unwrap();
+        assert_eq!(i.resolve(&a), Elem::Const(Value::Int(5)));
+        assert_eq!(i.resolve(&b), Elem::Const(Value::Int(5)));
+    }
+}

@@ -1,0 +1,33 @@
+//! # estocada-chase
+//!
+//! Chase-based reasoning for the ESTOCADA mediator: instances with labelled
+//! nulls, homomorphism search, the standard (restricted) chase with TGDs and
+//! EGDs, weak-acyclicity termination analysis, chase-based containment /
+//! equivalence / minimization, and two view-based rewriting algorithms —
+//! the **provenance-aware Chase & Backchase (PACB)** of Ileana et al.
+//! (SIGMOD 2014), which the paper relies on, and the classical exhaustive
+//! backchase used as the performance baseline.
+
+#![warn(missing_docs)]
+
+pub mod chase;
+pub mod containment;
+pub mod hom;
+pub mod instance;
+pub mod naive;
+pub mod pacb;
+pub mod pchase;
+pub mod prov;
+pub mod wa;
+
+pub use chase::{chase, ChaseConfig, ChaseError, ChaseStats};
+pub use containment::{canonical_instance, contained_in, equivalent, minimize};
+pub use hom::{find_homs, find_one_hom, Hom, HomConfig};
+pub use instance::{Elem, Inconsistent, Instance, StoredFact};
+pub use naive::{naive_rewrite, NaiveConfig};
+pub use pacb::{
+    pacb_rewrite, RewriteConfig, RewriteError, RewriteOutcome, RewriteProblem, RewriteStats,
+};
+pub use pchase::{prov_chase, ProvChaseConfig, ProvChaseStats};
+pub use prov::Dnf;
+pub use wa::weakly_acyclic;

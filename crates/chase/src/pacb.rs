@@ -1,0 +1,654 @@
+//! PACB — the provenance-aware Chase & Backchase [Ileana et al., SIGMOD'14]
+//! — computing minimal view-based rewritings of conjunctive queries under
+//! constraints. This is the rewriting engine at the heart of ESTOCADA.
+//!
+//! Pipeline for a query `Q`, views `V1..Vk` and model constraints `Σ`:
+//!
+//! 1. **Chase** the canonical instance of `Q` with the *forward* view
+//!    inclusions (`body(Vi) → Vi(x̄)`) and `Σ` — every view atom that shows
+//!    up forms the **universal plan** `U`.
+//! 2. **Backchase** `U` once: freeze it, give each view atom a provenance
+//!    variable, and run the provenance-aware chase with the *backward*
+//!    inclusions (`Vi(x̄) → body(Vi)`) and `Σ`. Every head-preserving image
+//!    of `Q` in the result contributes the conjunction of its facts'
+//!    provenance; the accumulated minimized DNF's clauses are exactly the
+//!    **minimal sub-queries of `U` that derive `Q`** — the candidate
+//!    rewritings. (The classical backchase instead chases *every* subset of
+//!    `U` separately — see [`crate::naive`] for that baseline.)
+//! 3. Each candidate is checked for safety, for **feasibility** under the
+//!    access patterns of binding-restricted fragments, and (because our EGD
+//!    provenance treatment is conservative, see `pchase`) re-verified by a
+//!    chase-based containment test before being reported.
+
+use crate::chase::{chase, ChaseConfig, ChaseError, ChaseStats};
+use crate::containment::{canonical_instance, contained_in};
+use crate::hom::{find_homs, HomConfig};
+use crate::instance::{Elem, Instance};
+use crate::pchase::{prov_chase, ProvChaseConfig, ProvChaseStats};
+use crate::prov::Dnf;
+use estocada_pivot::{AccessMap, Atom, Constraint, Cq, Symbol, Term, Var, ViewDef};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A rewriting problem: query, views, and ambient constraints.
+#[derive(Debug, Clone)]
+pub struct RewriteProblem {
+    /// The query to rewrite (over the source schema).
+    pub query: Cq,
+    /// Materialized-view definitions (fragments).
+    pub views: Vec<ViewDef>,
+    /// Constraints over the source schema (model axioms, keys).
+    pub source_constraints: Vec<Constraint>,
+    /// Constraints over the view (fragment) schema, if any.
+    pub target_constraints: Vec<Constraint>,
+    /// Access patterns of the view relations (key-value fragments etc.).
+    pub access: AccessMap,
+}
+
+impl RewriteProblem {
+    /// A problem with no ambient constraints and free access.
+    pub fn new(query: Cq, views: Vec<ViewDef>) -> RewriteProblem {
+        RewriteProblem {
+            query,
+            views,
+            source_constraints: Vec::new(),
+            target_constraints: Vec::new(),
+            access: AccessMap::new(),
+        }
+    }
+
+    /// The full constraint set (both view directions + source + target).
+    pub fn all_constraints(&self) -> Vec<Constraint> {
+        let mut out = Vec::new();
+        for v in &self.views {
+            out.extend(v.constraints());
+        }
+        out.extend(self.source_constraints.iter().cloned());
+        out.extend(self.target_constraints.iter().cloned());
+        out
+    }
+
+    fn view_names(&self) -> HashSet<Symbol> {
+        self.views.iter().map(|v| v.name()).collect()
+    }
+}
+
+/// Knobs for the rewriting algorithms.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteConfig {
+    /// Budget of the (plain) chase phases.
+    pub chase: ChaseConfig,
+    /// Budget of the provenance chase (backchase).
+    pub prov: ProvChaseConfig,
+    /// Cap on the number of query images collected in the backchase.
+    pub max_images: usize,
+    /// Re-verify every candidate by a chase-based containment check.
+    pub verify: bool,
+}
+
+impl Default for RewriteConfig {
+    fn default() -> Self {
+        RewriteConfig {
+            chase: ChaseConfig::default(),
+            prov: ProvChaseConfig::default(),
+            max_images: 10_000,
+            verify: true,
+        }
+    }
+}
+
+/// Counters describing one rewriting run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RewriteStats {
+    /// Forward-chase counters.
+    pub forward: ChaseStats,
+    /// Backchase counters.
+    pub backward: ProvChaseStats,
+    /// Universal-plan size (number of view atoms).
+    pub universal_plan_atoms: usize,
+    /// Query images found in the backchased instance.
+    pub images: usize,
+    /// Candidate subqueries extracted from provenance (or enumerated, for
+    /// the naive algorithm).
+    pub candidates: usize,
+    /// Candidates that passed all checks.
+    pub accepted: usize,
+    /// Candidates rejected as infeasible under access patterns.
+    pub infeasible: usize,
+    /// Candidates rejected by verification.
+    pub rejected: usize,
+}
+
+/// Result of a rewriting run.
+#[derive(Debug, Clone)]
+pub struct RewriteOutcome {
+    /// Minimal feasible rewritings, ascending by body size.
+    pub rewritings: Vec<Cq>,
+    /// The universal plan (empty body if no view atom was derivable).
+    pub universal_plan: Cq,
+    /// `false` when provenance truncation or image caps may have hidden
+    /// additional rewritings.
+    pub complete: bool,
+    /// Run counters.
+    pub stats: RewriteStats,
+}
+
+/// Rewriting failure.
+#[derive(Debug, Clone)]
+pub enum RewriteError {
+    /// A chase phase failed (budget or inconsistency).
+    Chase(ChaseError),
+    /// The query is not a safe CQ.
+    UnsafeQuery,
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::Chase(e) => write!(f, "rewriting chase failed: {e}"),
+            RewriteError::UnsafeQuery => write!(f, "query head uses variables absent from body"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<ChaseError> for RewriteError {
+    fn from(e: ChaseError) -> Self {
+        RewriteError::Chase(e)
+    }
+}
+
+/// The universal plan: view atoms derivable from the query under the
+/// forward constraints, plus the (possibly merged) head.
+pub(crate) struct UniversalPlan {
+    /// Head terms after forward-chase merges.
+    pub head: Vec<Term>,
+    /// View atoms (sorted, deduplicated).
+    pub atoms: Vec<Atom>,
+    /// Forward-chase stats.
+    pub stats: ChaseStats,
+}
+
+/// Compute the universal plan of `problem.query`.
+pub(crate) fn universal_plan(
+    problem: &RewriteProblem,
+    cfg: &ChaseConfig,
+) -> Result<UniversalPlan, RewriteError> {
+    if !problem.query.is_safe() {
+        return Err(RewriteError::UnsafeQuery);
+    }
+    let mut inst = canonical_instance(&problem.query);
+    let mut constraints: Vec<Constraint> = problem
+        .views
+        .iter()
+        .map(|v| Constraint::Tgd(v.forward_tgd()))
+        .collect();
+    constraints.extend(problem.source_constraints.iter().cloned());
+    let stats = chase(&mut inst, &constraints, cfg)?;
+
+    let names = problem.view_names();
+    let mut atoms: Vec<Atom> = Vec::new();
+    for id in inst.fact_ids() {
+        let f = inst.fact(id);
+        if !names.contains(&f.pred) {
+            continue;
+        }
+        let args: Vec<Term> = f.args.iter().map(elem_to_term).collect();
+        atoms.push(Atom::new(f.pred, args));
+    }
+    atoms.sort();
+    atoms.dedup();
+
+    let head: Vec<Term> = problem
+        .query
+        .head
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => elem_to_term(&inst.resolve(&Elem::Null(v.0))),
+            Term::Const(c) => Term::Const(c.clone()),
+        })
+        .collect();
+    Ok(UniversalPlan { head, atoms, stats })
+}
+
+fn elem_to_term(e: &Elem) -> Term {
+    match e {
+        Elem::Null(n) => Term::Var(Var(*n)),
+        Elem::Const(c) => Term::Const(c.clone()),
+    }
+}
+
+fn term_to_elem(t: &Term) -> Elem {
+    match t {
+        Term::Var(v) => Elem::Null(v.0),
+        Term::Const(c) => Elem::Const(c.clone()),
+    }
+}
+
+/// Build a candidate rewriting from a subset of universal-plan atoms.
+pub(crate) fn build_candidate(
+    query: &Cq,
+    plan_head: &[Term],
+    atoms: &[Atom],
+    selection: &BTreeSet<usize>,
+    index: usize,
+) -> Cq {
+    let body: Vec<Atom> = selection.iter().map(|i| atoms[*i].clone()).collect();
+    Cq::new(
+        format!("{}_rw{}", query.name, index).as_str(),
+        plan_head.to_vec(),
+        body,
+    )
+}
+
+/// Shared acceptance filter: safety, feasibility, optional verification.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn accept_candidate(
+    candidate: &Cq,
+    problem: &RewriteProblem,
+    all_constraints: &[Constraint],
+    cfg: &RewriteConfig,
+    stats: &mut RewriteStats,
+) -> bool {
+    if !candidate.is_safe() {
+        stats.rejected += 1;
+        return false;
+    }
+    if !problem
+        .access
+        .is_feasible(&candidate.body, &BTreeSet::new())
+    {
+        stats.infeasible += 1;
+        return false;
+    }
+    if cfg.verify {
+        // Q ⊆ R holds for every subquery of the universal plan (chase
+        // soundness); only R ⊆ Q needs checking.
+        match contained_in(candidate, &problem.query, all_constraints, &cfg.chase) {
+            Ok(true) => {}
+            Ok(false) => {
+                stats.rejected += 1;
+                return false;
+            }
+            Err(_) => {
+                stats.rejected += 1;
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Rewrite `problem.query` over the views with the provenance-aware Chase &
+/// Backchase. Returns all minimal feasible rewritings.
+pub fn pacb_rewrite(
+    problem: &RewriteProblem,
+    cfg: &RewriteConfig,
+) -> Result<RewriteOutcome, RewriteError> {
+    let up = universal_plan(problem, &cfg.chase)?;
+    let mut stats = RewriteStats {
+        forward: up.stats,
+        universal_plan_atoms: up.atoms.len(),
+        ..RewriteStats::default()
+    };
+    let universal_plan_cq = Cq::new(
+        format!("{}_up", problem.query.name).as_str(),
+        up.head.clone(),
+        up.atoms.clone(),
+    );
+    if up.atoms.is_empty() {
+        return Ok(RewriteOutcome {
+            rewritings: Vec::new(),
+            universal_plan: universal_plan_cq,
+            complete: true,
+            stats,
+        });
+    }
+
+    // --- Backchase: freeze U, annotate, provenance-chase. ---
+    let mut inst = Instance::new();
+    let max_null = up
+        .atoms
+        .iter()
+        .flat_map(|a| a.vars())
+        .chain(up.head.iter().filter_map(Term::as_var))
+        .map(|v| v.0 + 1)
+        .max()
+        .unwrap_or(0);
+    inst.reserve_nulls(max_null);
+    for (i, atom) in up.atoms.iter().enumerate() {
+        let args: Vec<Elem> = atom.args.iter().map(term_to_elem).collect();
+        inst.insert_with_prov(atom.pred, args, Dnf::var(i as u32));
+    }
+    let mut back_constraints: Vec<Constraint> = problem
+        .views
+        .iter()
+        .map(|v| Constraint::Tgd(v.backward_tgd()))
+        .collect();
+    back_constraints.extend(problem.source_constraints.iter().cloned());
+    back_constraints.extend(problem.target_constraints.iter().cloned());
+    let pstats = prov_chase(&mut inst, &back_constraints, &cfg.prov)?;
+    stats.backward = pstats;
+    let mut complete = !pstats.truncated;
+
+    // --- Collect head-preserving images of Q and their provenance. ---
+    let targets: Vec<Elem> = up
+        .head
+        .iter()
+        .map(|t| inst.resolve(&term_to_elem(t)))
+        .collect();
+    let fixed = match head_fixed_map(&problem.query, &targets) {
+        Some(f) => f,
+        None => {
+            return Ok(RewriteOutcome {
+                rewritings: Vec::new(),
+                universal_plan: universal_plan_cq,
+                complete,
+                stats,
+            })
+        }
+    };
+    let homs = find_homs(
+        &inst,
+        &problem.query.body,
+        &fixed,
+        HomConfig {
+            limit: cfg.max_images,
+        },
+    );
+    stats.images = homs.len();
+    if homs.len() >= cfg.max_images {
+        complete = false;
+    }
+
+    let mut total = Dnf::fals();
+    for h in &homs {
+        let mut conj = Dnf::tru();
+        let mut seen = HashSet::new();
+        for fid in &h.fact_ids {
+            if !seen.insert(*fid) {
+                continue;
+            }
+            let (next, trunc) = conj.and(&inst.fact(*fid).prov, cfg.prov.clause_cap);
+            conj = next;
+            if trunc {
+                complete = false;
+            }
+        }
+        total.or_assign(&conj);
+        if total.truncate(cfg.prov.clause_cap) {
+            complete = false;
+        }
+    }
+
+    // --- Clauses → candidate rewritings. ---
+    let all_constraints = problem.all_constraints();
+    let mut rewritings: Vec<Cq> = Vec::new();
+    let mut seen_canonical: HashSet<String> = HashSet::new();
+    for clause in total.clauses() {
+        stats.candidates += 1;
+        let selection: BTreeSet<usize> = clause.iter().map(|p| *p as usize).collect();
+        let candidate = build_candidate(
+            &problem.query,
+            &up.head,
+            &up.atoms,
+            &selection,
+            rewritings.len(),
+        );
+        if !accept_candidate(&candidate, problem, &all_constraints, cfg, &mut stats) {
+            continue;
+        }
+        let key = format!("{}", candidate.canonicalize());
+        if seen_canonical.insert(key) {
+            stats.accepted += 1;
+            rewritings.push(candidate);
+        }
+    }
+    rewritings.sort_by_key(|r| r.body.len());
+
+    Ok(RewriteOutcome {
+        rewritings,
+        universal_plan: universal_plan_cq,
+        complete,
+        stats,
+    })
+}
+
+/// Build the fixed-variable map forcing `q`'s head onto `targets`; `None`
+/// when a head constant disagrees or a repeated head variable is forced onto
+/// two different elements.
+pub(crate) fn head_fixed_map(q: &Cq, targets: &[Elem]) -> Option<HashMap<Var, Elem>> {
+    let mut fixed: HashMap<Var, Elem> = HashMap::new();
+    for (t, target) in q.head.iter().zip(targets) {
+        match t {
+            Term::Const(c) => {
+                if Elem::Const(c.clone()) != *target {
+                    return None;
+                }
+            }
+            Term::Var(v) => match fixed.get(v) {
+                Some(prev) if prev != target => return None,
+                Some(_) => {}
+                None => {
+                    fixed.insert(*v, target.clone());
+                }
+            },
+        }
+    }
+    Some(fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estocada_pivot::CqBuilder;
+
+    fn rewrite(problem: &RewriteProblem) -> RewriteOutcome {
+        pacb_rewrite(problem, &RewriteConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn single_view_covers_query() {
+        // V(x,z) :- R(x,y), S(y,z);  Q(x,z) :- R(x,y), S(y,z)  ⇒  Q(x,z) :- V(x,z)
+        let v = ViewDef::new(
+            CqBuilder::new("V")
+                .head_vars(["x", "z"])
+                .atom("R", |a| a.v("x").v("y"))
+                .atom("S", |a| a.v("y").v("z"))
+                .build(),
+        );
+        let q = CqBuilder::new("Q")
+            .head_vars(["x", "z"])
+            .atom("R", |a| a.v("x").v("y"))
+            .atom("S", |a| a.v("y").v("z"))
+            .build();
+        let out = rewrite(&RewriteProblem::new(q, vec![v]));
+        assert_eq!(out.rewritings.len(), 1);
+        assert_eq!(out.rewritings[0].body.len(), 1);
+        assert_eq!(out.rewritings[0].body[0].pred, Symbol::intern("V"));
+        assert!(out.complete);
+    }
+
+    #[test]
+    fn join_of_two_views() {
+        // V1(x,y) :- R(x,y); V2(y,z) :- S(y,z); Q = R ⋈ S ⇒ V1 ⋈ V2.
+        let v1 = ViewDef::new(
+            CqBuilder::new("V1")
+                .head_vars(["x", "y"])
+                .atom("R", |a| a.v("x").v("y"))
+                .build(),
+        );
+        let v2 = ViewDef::new(
+            CqBuilder::new("V2")
+                .head_vars(["y", "z"])
+                .atom("S", |a| a.v("y").v("z"))
+                .build(),
+        );
+        let q = CqBuilder::new("Q")
+            .head_vars(["x", "z"])
+            .atom("R", |a| a.v("x").v("y"))
+            .atom("S", |a| a.v("y").v("z"))
+            .build();
+        let out = rewrite(&RewriteProblem::new(q, vec![v1, v2]));
+        assert_eq!(out.rewritings.len(), 1);
+        assert_eq!(out.rewritings[0].body.len(), 2);
+    }
+
+    #[test]
+    fn no_rewriting_when_views_miss_needed_column() {
+        // V(x) :- R(x,y) projects y away; Q(x,y) :- R(x,y) unanswerable.
+        let v = ViewDef::new(
+            CqBuilder::new("V")
+                .head_vars(["x"])
+                .atom("R", |a| a.v("x").v("y"))
+                .build(),
+        );
+        let q = CqBuilder::new("Q")
+            .head_vars(["x", "y"])
+            .atom("R", |a| a.v("x").v("y"))
+            .build();
+        let out = rewrite(&RewriteProblem::new(q, vec![v]));
+        assert!(out.rewritings.is_empty());
+    }
+
+    #[test]
+    fn redundant_view_not_included_in_minimal_rewriting() {
+        // V1 answers Q alone; V2 is redundant. Minimal rewriting = {V1}.
+        let v1 = ViewDef::new(
+            CqBuilder::new("V1")
+                .head_vars(["x", "y"])
+                .atom("R", |a| a.v("x").v("y"))
+                .build(),
+        );
+        let v2 = ViewDef::new(
+            CqBuilder::new("V2")
+                .head_vars(["x"])
+                .atom("R", |a| a.v("x").v("y"))
+                .build(),
+        );
+        let q = CqBuilder::new("Q")
+            .head_vars(["x", "y"])
+            .atom("R", |a| a.v("x").v("y"))
+            .build();
+        let out = rewrite(&RewriteProblem::new(q, vec![v1, v2]));
+        assert_eq!(out.rewritings.len(), 1);
+        assert_eq!(out.rewritings[0].body.len(), 1);
+        assert_eq!(out.rewritings[0].body[0].pred, Symbol::intern("V1"));
+    }
+
+    #[test]
+    fn multiple_alternative_rewritings_found() {
+        // Two copies of the same view content: both are minimal rewritings.
+        let v1 = ViewDef::new(
+            CqBuilder::new("Va")
+                .head_vars(["x", "y"])
+                .atom("R", |a| a.v("x").v("y"))
+                .build(),
+        );
+        let v2 = ViewDef::new(
+            CqBuilder::new("Vb")
+                .head_vars(["x", "y"])
+                .atom("R", |a| a.v("x").v("y"))
+                .build(),
+        );
+        let q = CqBuilder::new("Q")
+            .head_vars(["x", "y"])
+            .atom("R", |a| a.v("x").v("y"))
+            .build();
+        let out = rewrite(&RewriteProblem::new(q, vec![v1, v2]));
+        assert_eq!(out.rewritings.len(), 2);
+    }
+
+    #[test]
+    fn access_pattern_filters_infeasible_rewriting() {
+        use estocada_pivot::AccessPattern;
+        // KV(k, v) with pattern io; Q(k,v) :- Base(k,v). Only view = KV over
+        // Base. Rewriting KV(k,v) with free k is infeasible.
+        let v = ViewDef::new(
+            CqBuilder::new("KV")
+                .head_vars(["k", "v"])
+                .atom("Base", |a| a.v("k").v("v"))
+                .build(),
+        );
+        let q = CqBuilder::new("Q")
+            .head_vars(["k", "v"])
+            .atom("Base", |a| a.v("k").v("v"))
+            .build();
+        let mut problem = RewriteProblem::new(q, vec![v]);
+        problem.access.set("KV", AccessPattern::parse("io"));
+        let out = rewrite(&problem);
+        assert!(out.rewritings.is_empty());
+        assert_eq!(out.stats.infeasible, 1);
+
+        // With the key bound by a constant in the query, it becomes feasible.
+        let q2 = CqBuilder::new("Q2")
+            .head_vars(["v"])
+            .atom("Base", |a| a.c(7i64).v("v"))
+            .build();
+        let mut problem2 = RewriteProblem::new(
+            q2,
+            vec![ViewDef::new(
+                CqBuilder::new("KV")
+                    .head_vars(["k", "v"])
+                    .atom("Base", |a| a.v("k").v("v"))
+                    .build(),
+            )],
+        );
+        problem2.access.set("KV", AccessPattern::parse("io"));
+        let out2 = rewrite(&problem2);
+        assert_eq!(out2.rewritings.len(), 1);
+    }
+
+    #[test]
+    fn constraint_based_rewriting_through_model_axioms() {
+        // Source axiom: Child ⊆ Desc. View stores Desc pairs; query asks
+        // Child... unanswerable (Desc ⊄ Child). Conversely a Desc query is
+        // answerable from a Child-derived view only via the axiom.
+        let axiom: Constraint = estocada_pivot::Tgd::new(
+            "c2d",
+            vec![Atom::new("Child", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("Desc", vec![Term::var(0), Term::var(1)])],
+        )
+        .into();
+        let v = ViewDef::new(
+            CqBuilder::new("V")
+                .head_vars(["x", "y"])
+                .atom("Child", |a| a.v("x").v("y"))
+                .build(),
+        );
+        let q = CqBuilder::new("Q")
+            .head_vars(["x", "y"])
+            .atom("Desc", |a| a.v("x").v("y"))
+            .build();
+        let mut p = RewriteProblem::new(q, vec![v]);
+        p.source_constraints.push(axiom);
+        let out = rewrite(&p);
+        // V(x,y) ⊆ Q (every child pair is a desc pair) but V is NOT
+        // equivalent to Q in general — must be rejected by verification.
+        assert!(out.rewritings.is_empty());
+        assert!(out.stats.rejected >= 1 || out.stats.candidates == 0);
+    }
+
+    #[test]
+    fn query_with_constant_rewrites_to_view_with_constant() {
+        let v = ViewDef::new(
+            CqBuilder::new("V")
+                .head_vars(["x", "y"])
+                .atom("R", |a| a.v("x").v("y"))
+                .build(),
+        );
+        let q = CqBuilder::new("Q")
+            .head_vars(["y"])
+            .atom("R", |a| a.c("alice").v("y"))
+            .build();
+        let out = rewrite(&RewriteProblem::new(q, vec![v]));
+        assert_eq!(out.rewritings.len(), 1);
+        let rw = &out.rewritings[0];
+        assert_eq!(rw.body.len(), 1);
+        assert!(rw.body[0]
+            .args
+            .iter()
+            .any(|t| t.as_const().map(|c| c.as_str() == Some("alice")) == Some(true)));
+    }
+}

@@ -1,0 +1,344 @@
+//! The provenance-aware chase: the engine of the PACB backchase.
+//!
+//! Differences from the standard chase:
+//!
+//! - every fact carries a monotone-DNF provenance formula over the
+//!   provenance variables of the initial (universal-plan) facts;
+//! - firing a TGD propagates the *conjunction* of the trigger facts'
+//!   provenance to the conclusion facts; re-derivations extend provenance by
+//!   *disjunction*;
+//! - existential variables are Skolemized per (constraint, frontier binding)
+//!   so that re-firing a trigger hits the same conclusion facts — this makes
+//!   provenance propagation a well-defined fixpoint computation;
+//! - EGDs fire only when the trigger provenance is `⊤` (derivable under
+//!   every subset). This is a *conservative* treatment: it can only lose
+//!   candidate rewritings, never fabricate them, and PACB verifies every
+//!   candidate before reporting it (see `pacb` module docs).
+
+use crate::chase::{ChaseError, ChaseStats};
+use crate::hom::{find_homs, HomConfig};
+use crate::instance::{Elem, Instance};
+use crate::prov::Dnf;
+use estocada_pivot::{Constraint, Term, Var};
+use std::collections::HashMap;
+
+/// Budget and knobs of a provenance chase run.
+#[derive(Debug, Clone, Copy)]
+pub struct ProvChaseConfig {
+    /// Maximum full rounds over the constraint set.
+    pub max_rounds: usize,
+    /// Maximum fact count.
+    pub max_facts: usize,
+    /// Cap on the number of DNF clauses kept per fact; beyond it the
+    /// smallest clauses win and the run is flagged truncated.
+    pub clause_cap: usize,
+    /// Homomorphism search knobs.
+    pub hom: HomConfig,
+}
+
+impl Default for ProvChaseConfig {
+    fn default() -> Self {
+        ProvChaseConfig {
+            max_rounds: 2_000,
+            max_facts: 200_000,
+            clause_cap: 2_048,
+            hom: HomConfig::default(),
+        }
+    }
+}
+
+/// Outcome counters of a provenance chase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProvChaseStats {
+    /// Underlying chase counters.
+    pub chase: ChaseStats,
+    /// Whether any provenance formula was truncated (completeness may be
+    /// reduced; soundness is unaffected).
+    pub truncated: bool,
+}
+
+/// Run the provenance-aware chase to (provenance) fixpoint.
+pub fn prov_chase(
+    instance: &mut Instance,
+    constraints: &[Constraint],
+    cfg: &ProvChaseConfig,
+) -> Result<ProvChaseStats, ChaseError> {
+    let mut stats = ProvChaseStats::default();
+    // Skolem memo: (constraint index, frontier images) → existential images.
+    let mut skolems: HashMap<(usize, Vec<Elem>), Vec<Elem>> = HashMap::new();
+
+    loop {
+        if stats.chase.rounds >= cfg.max_rounds {
+            return Err(ChaseError::Budget {
+                rounds: stats.chase.rounds,
+                facts: instance.len(),
+            });
+        }
+        stats.chase.rounds += 1;
+        let mut changed = false;
+
+        for (cidx, c) in constraints.iter().enumerate() {
+            match c {
+                Constraint::Tgd(tgd) => {
+                    let homs = find_homs(instance, &tgd.premise, &HashMap::new(), cfg.hom);
+                    // Frontier variables that actually occur in the conclusion,
+                    // in a deterministic order — the Skolem key.
+                    let frontier: Vec<Var> = {
+                        let f = tgd.frontier();
+                        let mut used: Vec<Var> = tgd
+                            .conclusion
+                            .iter()
+                            .flat_map(|a| a.vars())
+                            .filter(|v| f.contains(v))
+                            .collect();
+                        used.sort();
+                        used.dedup();
+                        used
+                    };
+                    let existentials: Vec<Var> = {
+                        let mut e: Vec<Var> = tgd.existentials().into_iter().collect();
+                        e.sort();
+                        e
+                    };
+                    for h in homs {
+                        // Trigger provenance: conjunction over premise facts.
+                        let mut trigger = Dnf::tru();
+                        for fid in &h.fact_ids {
+                            let (next, trunc) =
+                                trigger.and(&instance.fact(*fid).prov, cfg.clause_cap);
+                            trigger = next;
+                            stats.truncated |= trunc;
+                        }
+                        if trigger.is_false() {
+                            continue;
+                        }
+                        let key: Vec<Elem> = frontier
+                            .iter()
+                            .map(|v| instance.resolve(&h.map[v]))
+                            .collect();
+                        // Resolve Skolem images for the existentials.
+                        let exist_elems: Vec<Elem> = match skolems.get(&(cidx, key.clone())) {
+                            Some(es) => es.iter().map(|e| instance.resolve(e)).collect(),
+                            None => {
+                                let es: Vec<Elem> =
+                                    existentials.iter().map(|_| instance.fresh_null()).collect();
+                                skolems.insert((cidx, key.clone()), es.clone());
+                                es
+                            }
+                        };
+                        let assignment: HashMap<Var, Elem> = frontier
+                            .iter()
+                            .cloned()
+                            .zip(key.iter().cloned())
+                            .chain(existentials.iter().cloned().zip(exist_elems))
+                            .collect();
+                        for atom in &tgd.conclusion {
+                            let args: Vec<Elem> = atom
+                                .args
+                                .iter()
+                                .map(|t| match t {
+                                    Term::Const(v) => Elem::Const(v.clone()),
+                                    Term::Var(v) => assignment[v].clone(),
+                                })
+                                .collect();
+                            let (_, ch) =
+                                instance.insert_with_prov(atom.pred, args, trigger.clone());
+                            if ch {
+                                stats.chase.tgd_fires += 1;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                Constraint::Egd(egd) => {
+                    let homs = find_homs(instance, &egd.premise, &HashMap::new(), cfg.hom);
+                    for h in homs {
+                        // Conservative: only fire with certain (⊤) trigger
+                        // provenance.
+                        let certain = h
+                            .fact_ids
+                            .iter()
+                            .all(|fid| instance.fact(*fid).prov.is_true());
+                        if !certain {
+                            continue;
+                        }
+                        let resolve_term = |t: &Term, inst: &Instance| -> Elem {
+                            match t {
+                                Term::Const(v) => Elem::Const(v.clone()),
+                                Term::Var(v) => inst.resolve(&h.map[v]),
+                            }
+                        };
+                        let a = resolve_term(&egd.equal.0, instance);
+                        let b = resolve_term(&egd.equal.1, instance);
+                        match instance.merge(&a, &b) {
+                            Ok(true) => {
+                                stats.chase.egd_merges += 1;
+                                changed = true;
+                            }
+                            Ok(false) => {}
+                            Err(e) => return Err(ChaseError::Inconsistent(e)),
+                        }
+                    }
+                }
+            }
+            if instance.len() > cfg.max_facts {
+                return Err(ChaseError::Budget {
+                    rounds: stats.chase.rounds,
+                    facts: instance.len(),
+                });
+            }
+        }
+        if !changed {
+            return Ok(stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estocada_pivot::{Atom, Symbol, Tgd, Value};
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn c(v: i64) -> Elem {
+        Elem::Const(Value::Int(v))
+    }
+
+    #[test]
+    fn provenance_conjoins_along_derivations() {
+        // A(x) ∧ B(x) → C(x). A gets p0, B gets p1 ⇒ C has p0∧p1.
+        let t = Tgd::new(
+            "t",
+            vec![
+                Atom::new("A", vec![Term::var(0)]),
+                Atom::new("B", vec![Term::var(0)]),
+            ],
+            vec![Atom::new("C", vec![Term::var(0)])],
+        );
+        let mut i = Instance::new();
+        i.insert_with_prov(sym("A"), vec![c(1)], Dnf::var(0));
+        i.insert_with_prov(sym("B"), vec![c(1)], Dnf::var(1));
+        prov_chase(&mut i, &[t.into()], &ProvChaseConfig::default()).unwrap();
+        let cid = i.facts_of(sym("C")).next().unwrap();
+        let p = &i.fact(cid).prov;
+        assert_eq!(p.len(), 1);
+        let clause = p.clauses().next().unwrap();
+        assert!(clause.contains(&0) && clause.contains(&1));
+    }
+
+    #[test]
+    fn alternative_derivations_disjoin() {
+        // A(x) → C(x); B(x) → C(x). C(1) from either ⇒ p0 ∨ p1.
+        let t1 = Tgd::new(
+            "t1",
+            vec![Atom::new("A", vec![Term::var(0)])],
+            vec![Atom::new("C", vec![Term::var(0)])],
+        );
+        let t2 = Tgd::new(
+            "t2",
+            vec![Atom::new("B", vec![Term::var(0)])],
+            vec![Atom::new("C", vec![Term::var(0)])],
+        );
+        let mut i = Instance::new();
+        i.insert_with_prov(sym("A"), vec![c(1)], Dnf::var(0));
+        i.insert_with_prov(sym("B"), vec![c(1)], Dnf::var(1));
+        prov_chase(&mut i, &[t1.into(), t2.into()], &ProvChaseConfig::default()).unwrap();
+        let cid = i.facts_of(sym("C")).next().unwrap();
+        assert_eq!(i.fact(cid).prov.len(), 2);
+    }
+
+    #[test]
+    fn skolems_are_reused_across_rounds() {
+        // V(x) → ∃y R(x, y), plus A(x) → V(x). V(1) starts with p0; in a
+        // later round A enlarges V's provenance to p0 ∨ p1, the backward
+        // trigger re-fires — and must hit the SAME Skolem null, leaving a
+        // single R fact whose provenance is p0 ∨ p1.
+        let bw = Tgd::new(
+            "bw",
+            vec![Atom::new("V", vec![Term::var(0)])],
+            vec![Atom::new("R", vec![Term::var(0), Term::var(1)])],
+        );
+        let a2v = Tgd::new(
+            "a2v",
+            vec![Atom::new("A", vec![Term::var(0)])],
+            vec![Atom::new("V", vec![Term::var(0)])],
+        );
+        let mut i = Instance::new();
+        i.insert_with_prov(sym("V"), vec![c(1)], Dnf::var(0));
+        i.insert_with_prov(sym("A"), vec![c(1)], Dnf::var(1));
+        prov_chase(
+            &mut i,
+            &[bw.into(), a2v.into()],
+            &ProvChaseConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(i.facts_of(sym("R")).count(), 1);
+        let rid = i.facts_of(sym("R")).next().unwrap();
+        assert_eq!(i.fact(rid).prov.len(), 2); // p0 ∨ p1
+    }
+
+    #[test]
+    fn provenance_reaches_fixpoint_through_chains() {
+        // A(x) → M(x); M(x) → C(x); and also B(x) → M(x).
+        let ts: Vec<Constraint> = vec![
+            Tgd::new(
+                "a2m",
+                vec![Atom::new("A", vec![Term::var(0)])],
+                vec![Atom::new("M", vec![Term::var(0)])],
+            )
+            .into(),
+            Tgd::new(
+                "m2c",
+                vec![Atom::new("M", vec![Term::var(0)])],
+                vec![Atom::new("C", vec![Term::var(0)])],
+            )
+            .into(),
+            Tgd::new(
+                "b2m",
+                vec![Atom::new("B", vec![Term::var(0)])],
+                vec![Atom::new("M", vec![Term::var(0)])],
+            )
+            .into(),
+        ];
+        let mut i = Instance::new();
+        i.insert_with_prov(sym("A"), vec![c(1)], Dnf::var(0));
+        i.insert_with_prov(sym("B"), vec![c(1)], Dnf::var(1));
+        prov_chase(&mut i, &ts, &ProvChaseConfig::default()).unwrap();
+        let cid = i.facts_of(sym("C")).next().unwrap();
+        // C must record both unit derivations p0 ∨ p1.
+        assert_eq!(i.fact(cid).prov.len(), 2);
+    }
+
+    #[test]
+    fn certain_egd_fires_uncertain_egd_skipped() {
+        use estocada_pivot::Egd;
+        let e: Constraint = Egd::new(
+            "fd",
+            vec![
+                Atom::new("R", vec![Term::var(0), Term::var(1)]),
+                Atom::new("R", vec![Term::var(0), Term::var(2)]),
+            ],
+            (Term::var(1), Term::var(2)),
+        )
+        .into();
+        // Uncertain provenance: no merge.
+        let mut i = Instance::new();
+        let n1 = i.fresh_null();
+        let n2 = i.fresh_null();
+        i.insert_with_prov(sym("R"), vec![c(1), n1.clone()], Dnf::var(0));
+        i.insert_with_prov(sym("R"), vec![c(1), n2.clone()], Dnf::var(1));
+        prov_chase(&mut i, std::slice::from_ref(&e), &ProvChaseConfig::default()).unwrap();
+        assert_ne!(i.resolve(&n1), i.resolve(&n2));
+        // Certain provenance: merge happens.
+        let mut j = Instance::new();
+        let m1 = j.fresh_null();
+        let m2 = j.fresh_null();
+        j.insert(sym("R"), vec![c(1), m1.clone()]);
+        j.insert(sym("R"), vec![c(1), m2.clone()]);
+        prov_chase(&mut j, &[e], &ProvChaseConfig::default()).unwrap();
+        assert_eq!(j.resolve(&m1), j.resolve(&m2));
+    }
+}

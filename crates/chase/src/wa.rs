@@ -1,0 +1,262 @@
+//! Weak acyclicity: the standard sufficient condition for chase termination.
+//!
+//! The *position graph* has a node per (relation, position). For every TGD
+//! and every frontier variable `x` at premise position `p`:
+//!
+//! - a **regular** edge `p → q` for every conclusion position `q` where `x`
+//!   occurs, and
+//! - a **special** edge `p ⇒ q` for every conclusion position `q` holding an
+//!   existential variable.
+//!
+//! The TGD set is weakly acyclic iff no cycle passes through a special edge;
+//! the chase then terminates on every instance. EGDs do not participate
+//! (they can, in rare mixes, break termination — our chase keeps its budget
+//! guard precisely for that).
+
+use estocada_pivot::{Constraint, Symbol, Term};
+use std::collections::{HashMap, HashSet};
+
+/// A position-graph node.
+type Pos = (Symbol, usize);
+
+/// Check weak acyclicity of the TGDs in `constraints`.
+pub fn weakly_acyclic(constraints: &[Constraint]) -> bool {
+    let mut regular: HashMap<Pos, HashSet<Pos>> = HashMap::new();
+    let mut special: HashMap<Pos, HashSet<Pos>> = HashMap::new();
+    let mut nodes: HashSet<Pos> = HashSet::new();
+
+    for c in constraints {
+        let tgd = match c {
+            Constraint::Tgd(t) => t,
+            Constraint::Egd(_) => continue,
+        };
+        let existentials = tgd.existentials();
+        // Conclusion positions per variable.
+        let mut conc_positions: HashMap<estocada_pivot::Var, Vec<Pos>> = HashMap::new();
+        let mut exist_positions: Vec<Pos> = Vec::new();
+        for a in &tgd.conclusion {
+            for (i, t) in a.args.iter().enumerate() {
+                nodes.insert((a.pred, i));
+                if let Term::Var(v) = t {
+                    if existentials.contains(v) {
+                        exist_positions.push((a.pred, i));
+                    } else {
+                        conc_positions.entry(*v).or_default().push((a.pred, i));
+                    }
+                }
+            }
+        }
+        for a in &tgd.premise {
+            for (i, t) in a.args.iter().enumerate() {
+                nodes.insert((a.pred, i));
+                if let Term::Var(v) = t {
+                    let from = (a.pred, i);
+                    if let Some(tos) = conc_positions.get(v) {
+                        for q in tos {
+                            regular.entry(from).or_default().insert(*q);
+                        }
+                    }
+                    // Special edges only originate from variables that
+                    // actually propagate into the conclusion? No — the
+                    // standard definition adds them from every premise
+                    // position of every frontier variable, because firing
+                    // copies a value from `from` while inventing a null at
+                    // each existential position.
+                    for q in &exist_positions {
+                        special.entry(from).or_default().insert(*q);
+                    }
+                }
+            }
+        }
+    }
+
+    // Weakly acyclic iff no strongly connected component contains a special
+    // edge (i.e. no special edge has its endpoints in the same SCC).
+    let scc = tarjan_scc(&nodes, &regular, &special);
+    for (from, tos) in &special {
+        for to in tos {
+            if scc.get(from) == scc.get(to) && scc.contains_key(from) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Tarjan SCC over the union of regular and special edges; returns the
+/// component index per node.
+fn tarjan_scc(
+    nodes: &HashSet<Pos>,
+    regular: &HashMap<Pos, HashSet<Pos>>,
+    special: &HashMap<Pos, HashSet<Pos>>,
+) -> HashMap<Pos, usize> {
+    struct State<'a> {
+        index: usize,
+        indices: HashMap<Pos, usize>,
+        lowlink: HashMap<Pos, usize>,
+        on_stack: HashSet<Pos>,
+        stack: Vec<Pos>,
+        comp: HashMap<Pos, usize>,
+        comp_count: usize,
+        regular: &'a HashMap<Pos, HashSet<Pos>>,
+        special: &'a HashMap<Pos, HashSet<Pos>>,
+    }
+
+    fn neighbors<'a>(s: &State<'a>, v: &Pos) -> Vec<Pos> {
+        let mut out = Vec::new();
+        if let Some(e) = s.regular.get(v) {
+            out.extend(e.iter().copied());
+        }
+        if let Some(e) = s.special.get(v) {
+            out.extend(e.iter().copied());
+        }
+        out
+    }
+
+    // Iterative Tarjan (explicit stack) to avoid recursion limits.
+    fn strongconnect(s: &mut State<'_>, root: Pos) {
+        let mut call_stack: Vec<(Pos, Vec<Pos>, usize)> = Vec::new();
+        call_stack.push((root, neighbors(s, &root), 0));
+        s.indices.insert(root, s.index);
+        s.lowlink.insert(root, s.index);
+        s.index += 1;
+        s.stack.push(root);
+        s.on_stack.insert(root);
+
+        while let Some((v, neigh, mut i)) = call_stack.pop() {
+            let mut descended = false;
+            while i < neigh.len() {
+                let w = neigh[i];
+                i += 1;
+                if !s.indices.contains_key(&w) {
+                    // Descend into w.
+                    call_stack.push((v, neigh.clone(), i));
+                    s.indices.insert(w, s.index);
+                    s.lowlink.insert(w, s.index);
+                    s.index += 1;
+                    s.stack.push(w);
+                    s.on_stack.insert(w);
+                    call_stack.push((w, neighbors(s, &w), 0));
+                    descended = true;
+                    break;
+                } else if s.on_stack.contains(&w) {
+                    let lw = s.indices[&w];
+                    let lv = s.lowlink[&v];
+                    s.lowlink.insert(v, lv.min(lw));
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v finished: pop SCC if root.
+            if s.lowlink[&v] == s.indices[&v] {
+                loop {
+                    let w = s.stack.pop().unwrap();
+                    s.on_stack.remove(&w);
+                    s.comp.insert(w, s.comp_count);
+                    if w == v {
+                        break;
+                    }
+                }
+                s.comp_count += 1;
+            }
+            // Propagate lowlink to parent.
+            if let Some((p, _, _)) = call_stack.last() {
+                let lv = s.lowlink[&v];
+                let lp = s.lowlink[p];
+                let p = *p;
+                s.lowlink.insert(p, lp.min(lv));
+            }
+        }
+    }
+
+    let mut s = State {
+        index: 0,
+        indices: HashMap::new(),
+        lowlink: HashMap::new(),
+        on_stack: HashSet::new(),
+        stack: Vec::new(),
+        comp: HashMap::new(),
+        comp_count: 0,
+        regular,
+        special,
+    };
+    for n in nodes {
+        if !s.indices.contains_key(n) {
+            strongconnect(&mut s, *n);
+        }
+    }
+    s.comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estocada_pivot::{Atom, Tgd};
+
+    fn tgd(name: &str, premise: Vec<Atom>, conclusion: Vec<Atom>) -> Constraint {
+        Tgd::new(name, premise, conclusion).into()
+    }
+
+    #[test]
+    fn full_tgds_are_weakly_acyclic() {
+        let t = tgd(
+            "t",
+            vec![Atom::new("Child", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("Desc", vec![Term::var(0), Term::var(1)])],
+        );
+        assert!(weakly_acyclic(&[t]));
+    }
+
+    #[test]
+    fn classic_infinite_pair_is_rejected() {
+        // R(x) → ∃y S(x,y); S(x,y) → R(y)
+        let t1 = tgd(
+            "t1",
+            vec![Atom::new("R", vec![Term::var(0)])],
+            vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+        );
+        let t2 = tgd(
+            "t2",
+            vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("R", vec![Term::var(1)])],
+        );
+        assert!(!weakly_acyclic(&[t1, t2]));
+    }
+
+    #[test]
+    fn acyclic_existentials_are_fine() {
+        // Person(x) → ∃y HasParent(x, y) with nothing flowing back.
+        let t = tgd(
+            "t",
+            vec![Atom::new("Person", vec![Term::var(0)])],
+            vec![Atom::new("HasParent", vec![Term::var(0), Term::var(1)])],
+        );
+        assert!(weakly_acyclic(&[t]));
+    }
+
+    #[test]
+    fn self_loop_with_existential_rejected() {
+        // S(x,y) → ∃z S(y,z)
+        let t = tgd(
+            "t",
+            vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("S", vec![Term::var(1), Term::var(2)])],
+        );
+        assert!(!weakly_acyclic(&[t]));
+    }
+
+    #[test]
+    fn view_constraint_pairs_are_weakly_acyclic() {
+        use estocada_pivot::{CqBuilder, ViewDef};
+        let v = ViewDef::new(
+            CqBuilder::new("V")
+                .head_vars(["x", "z"])
+                .atom("R", |a| a.v("x").v("y"))
+                .atom("S", |a| a.v("y").v("z"))
+                .build(),
+        );
+        let cs: Vec<Constraint> = v.constraints().into();
+        assert!(weakly_acyclic(&cs));
+    }
+}

@@ -1,0 +1,329 @@
+//! The Storage Advisor: "recommends dropping redundant fragments that are
+//! rarely used or under-performing, and adding new fragments that fit
+//! recently heavy-hitting queries" — the paper's simple heuristics,
+//! implemented over the pivot model and the cost model.
+//!
+//! Candidate generation generalizes each workload query: every constant in
+//! the query body is lifted to a key variable, producing a parameterized
+//! view; the candidate stores that view keyed by the lifted variables —
+//! as a key-value fragment when the generalized query is a point lookup, or
+//! as an indexed parallel-store fragment when it is a join. Benefit is
+//! `weight × (current cost − estimated cost with the candidate)`.
+
+use crate::catalog::FragmentSpec;
+use crate::connector::Residual;
+use crate::cost::CostModel;
+use crate::error::Result;
+use crate::evaluator::Estocada;
+use crate::system::SystemId;
+use crate::translate::translate;
+use estocada_chase::{pacb_rewrite, RewriteProblem};
+use estocada_pivot::{Cq, Symbol, Term, Var};
+
+/// One workload entry: a pivot query with a frequency weight.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// Display name.
+    pub name: String,
+    /// The query.
+    pub cq: Cq,
+    /// Output names.
+    pub head_names: Vec<String>,
+    /// Residual comparisons.
+    pub residuals: Vec<Residual>,
+    /// Relative frequency.
+    pub weight: f64,
+}
+
+/// A recommended catalog change.
+#[derive(Debug)]
+pub enum Action {
+    /// Materialize a new fragment.
+    Add(FragmentSpec),
+    /// Drop an existing fragment (by id).
+    Drop(String),
+}
+
+/// One recommendation with its estimated benefit.
+#[derive(Debug)]
+pub struct Recommendation {
+    /// What to do.
+    pub action: Action,
+    /// Why.
+    pub reason: String,
+    /// Estimated workload benefit (cost units/period).
+    pub benefit: f64,
+}
+
+/// Generalize `cq`: lift every *distinct constant value* of the body to one
+/// fresh variable (all occurrences of the same constant share it —
+/// `o.uid = 5 ∧ l.uid = 5` stays an equi-join after lifting) and prepend
+/// the lifted variables to the head. Returns the view and the number of
+/// lifted parameters.
+pub fn generalize(cq: &Cq, view_name: &str) -> (Cq, usize) {
+    use estocada_pivot::Value;
+    let mut next = cq.var_space();
+    let mut lifted: std::collections::BTreeMap<Value, Var> = Default::default();
+    let mut order: Vec<Var> = Vec::new();
+    let mut body = Vec::new();
+    for atom in &cq.body {
+        let args = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => {
+                    let v = *lifted.entry(c.clone()).or_insert_with(|| {
+                        let v = Var(next);
+                        next += 1;
+                        order.push(v);
+                        v
+                    });
+                    Term::Var(v)
+                }
+                v => v.clone(),
+            })
+            .collect();
+        body.push(estocada_pivot::Atom::new(atom.pred, args));
+    }
+    let mut head: Vec<Term> = order.iter().map(|v| Term::Var(*v)).collect();
+    head.extend(cq.head.iter().cloned());
+    let count = order.len();
+    (Cq::new(Symbol::intern(view_name), head, body), count)
+}
+
+/// Current (best) cost of answering `q`, or `None` when unanswerable.
+fn current_cost(est: &mut Estocada, q: &WorkloadQuery) -> Option<f64> {
+    let problem = RewriteProblem {
+        query: q.cq.clone(),
+        views: est.catalog().view_defs(),
+        source_constraints: est.schema().constraints.clone(),
+        target_constraints: Vec::new(),
+        access: est.catalog().access_map(),
+    };
+    let outcome = pacb_rewrite(&problem, &estocada_chase::RewriteConfig::default()).ok()?;
+    let mut best = None::<f64>;
+    for rw in &outcome.rewritings {
+        if let Ok(tr) = translate(
+            rw,
+            &q.head_names,
+            &q.residuals,
+            est.catalog(),
+            &est.stores,
+            est.cost_model(),
+        ) {
+            best = Some(best.map_or(tr.est_cost, |b: f64| b.min(tr.est_cost)));
+        }
+    }
+    best
+}
+
+/// Estimated cost of answering `q` *through a dedicated candidate
+/// fragment*: a point access when all lifted constants form the key, plus
+/// per-result-tuple transfer.
+fn candidate_cost(cost: &CostModel, system: SystemId, est_result_rows: f64) -> f64 {
+    cost.request_cost(system, est_result_rows, 0.0)
+}
+
+/// Produce recommendations for `workload` against the current catalog.
+pub fn recommend(est: &mut Estocada, workload: &[WorkloadQuery]) -> Result<Vec<Recommendation>> {
+    let mut recs = Vec::new();
+    // Identical generalized shapes (same query template with different
+    // parameters) share one candidate; weights accumulate.
+    let mut seen_shapes: std::collections::HashMap<String, usize> = Default::default();
+
+    for q in workload {
+        let baseline = current_cost(est, q);
+        let (view, lifted) = generalize(&q.cq, &format!("Adv_{}", q.name));
+        if !view.is_safe() {
+            continue;
+        }
+        // Estimate the per-access result size: with all lifted constants
+        // bound, a handful of rows come back.
+        let est_rows = 4.0;
+        let (spec, system, kind) = if lifted == 1 && q.cq.body.len() == 1 {
+            // Single parameter over one relation: a point-access shape.
+            (
+                FragmentSpec::KeyValue { view: view.clone() },
+                SystemId::KeyValue,
+                "key-value point-access fragment",
+            )
+        } else if lifted >= 1 {
+            // Joins / composite parameters: materialized view in the
+            // parallel store, key-indexed on the lifted parameters (the
+            // generalized head names them c0..c{k-1}).
+            let index_on: Vec<String> = (0..lifted).map(|i| format!("c{i}")).collect();
+            (
+                FragmentSpec::ParRows {
+                    view: view.clone(),
+                    index_on,
+                    partitions: 0,
+                },
+                SystemId::Parallel,
+                "materialized indexed join fragment",
+            )
+        } else {
+            continue;
+        };
+        let with_candidate = candidate_cost(est.cost_model(), system, est_rows);
+        let benefit = match baseline {
+            Some(b) => (b - with_candidate) * q.weight,
+            // Currently unanswerable: any covering fragment is valuable.
+            None => with_candidate.max(1.0) * q.weight * 10.0,
+        };
+        if benefit <= 0.0 {
+            continue;
+        }
+        // Canonical shape key: name-independent.
+        let shape = {
+            let mut c = view.clone();
+            c.name = Symbol::intern("AdvShape");
+            format!("{}", c.canonicalize())
+        };
+        match seen_shapes.get(&shape) {
+            Some(&idx) => {
+                let r: &mut Recommendation = &mut recs[idx];
+                r.benefit += benefit;
+            }
+            None => {
+                seen_shapes.insert(shape, recs.len());
+                recs.push(Recommendation {
+                    action: Action::Add(spec),
+                    reason: format!(
+                        "{kind} for heavy-hitter {} (weight {}), lifted {lifted} parameter(s)",
+                        q.name, q.weight
+                    ),
+                    benefit,
+                });
+            }
+        }
+    }
+
+    // Drop recommendations: fragments never used by the optimizer.
+    for f in est.fragments() {
+        if f.use_count == 0 {
+            recs.push(Recommendation {
+                action: Action::Drop(f.id.clone()),
+                reason: format!(
+                    "fragment {} ({} on {}) unused by the workload",
+                    f.id,
+                    f.spec.kind(),
+                    f.system
+                ),
+                benefit: 0.0,
+            });
+        }
+    }
+
+    recs.sort_by(|a, b| b.benefit.partial_cmp(&a.benefit).unwrap());
+    Ok(recs)
+}
+
+/// Budget-aware recommendation (the paper's stated future work: "cost-based
+/// recommendation of optimal fragmentation"): candidates are sized by
+/// evaluating their generalized views over the staged datasets, then chosen
+/// greedily by benefit density (benefit per byte) under `budget_bytes`.
+/// Drop recommendations pass through unchanged (they free space).
+pub fn recommend_under_budget(
+    est: &mut Estocada,
+    workload: &[WorkloadQuery],
+    budget_bytes: u64,
+) -> Result<Vec<Recommendation>> {
+    let recs = recommend(est, workload)?;
+    let mut sized: Vec<(Recommendation, u64)> = Vec::new();
+    let mut drops = Vec::new();
+    for r in recs {
+        match &r.action {
+            Action::Add(spec) => {
+                let view = match spec {
+                    FragmentSpec::Table { view, .. }
+                    | FragmentSpec::KeyValue { view }
+                    | FragmentSpec::DocRows { view, .. }
+                    | FragmentSpec::ParRows { view, .. } => view.clone(),
+                    _ => continue,
+                };
+                let rows = est.oracle_eval(&view);
+                let bytes: u64 = rows
+                    .iter()
+                    .map(|r| {
+                        r.iter()
+                            .map(estocada_pivot::Value::approx_size)
+                            .sum::<usize>() as u64
+                    })
+                    .sum();
+                sized.push((r, bytes.max(1)));
+            }
+            Action::Drop(_) => drops.push(r),
+        }
+    }
+    // Greedy by benefit density.
+    sized.sort_by(|(a, ab), (b, bb)| {
+        let da = a.benefit / *ab as f64;
+        let db = b.benefit / *bb as f64;
+        db.partial_cmp(&da).unwrap()
+    });
+    let mut out = Vec::new();
+    let mut used = 0u64;
+    for (mut r, bytes) in sized {
+        if used + bytes <= budget_bytes {
+            used += bytes;
+            r.reason = format!("{} [{} bytes of {} budget]", r.reason, bytes, budget_bytes);
+            out.push(r);
+        }
+    }
+    out.extend(drops);
+    Ok(out)
+}
+
+/// Apply the `Add` recommendations (materializing fragments); `Drop`s are
+/// applied only when `apply_drops` is set. Returns the new fragment ids.
+pub fn apply(
+    est: &mut Estocada,
+    recs: Vec<Recommendation>,
+    apply_drops: bool,
+) -> Result<Vec<String>> {
+    let mut ids = Vec::new();
+    for r in recs {
+        match r.action {
+            Action::Add(spec) => ids.push(est.add_fragment(spec)?),
+            Action::Drop(id) => {
+                if apply_drops {
+                    est.drop_fragment(&id)?;
+                }
+            }
+        }
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estocada_pivot::CqBuilder;
+
+    #[test]
+    fn generalize_lifts_constants_into_key() {
+        let q = CqBuilder::new("Q")
+            .head_vars(["n"])
+            .atom("Users", |a| a.c(7i64).v("n").v("t"))
+            .build();
+        let (view, lifted) = generalize(&q, "V");
+        assert_eq!(lifted, 1);
+        assert_eq!(view.head.len(), 2); // key var + n
+        assert!(view.is_safe());
+        assert!(view
+            .body
+            .iter()
+            .all(|a| a.args.iter().all(|t| t.is_var())));
+    }
+
+    #[test]
+    fn generalize_keeps_queries_without_constants() {
+        let q = CqBuilder::new("Q")
+            .head_vars(["x", "y"])
+            .atom("R", |a| a.v("x").v("y"))
+            .build();
+        let (view, lifted) = generalize(&q, "V");
+        assert_eq!(lifted, 0);
+        assert_eq!(view.head.len(), 2);
+    }
+}

@@ -1,0 +1,1019 @@
+//! Per-DMS connectors: translate a group of rewriting atoms that live in a
+//! single fragment/store into a native query, packaged as an executable
+//! *unit* — either a `Delegated` plan leaf (runs eagerly) or a
+//! [`BindSource`] (probed by BindJoin when the fragment has an access
+//! pattern).
+
+use crate::catalog::{DocRole, FragmentRelation, FragmentStats, WhereSpec};
+use crate::error::{Error, Result};
+use crate::system::{Stores, SystemId};
+use estocada_docstore::{DocQuery, QueryNode};
+use estocada_engine::{BindSource, RowBatch, Tuple};
+use estocada_pivot::{Atom, Term, Value, Var};
+use estocada_relstore::{CmpOp as RelOp, ColRef, Pred, SqlQuery};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Column name carrying variable `v` through engine plans.
+pub fn var_col(v: Var) -> String {
+    format!("?{}", v.0)
+}
+
+/// Comparison operators of residual predicates (the non-equality
+/// conditions that ride along the conjunctive rewriting core).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<>`
+    Ne,
+}
+
+impl ResOp {
+    /// Relational-store operator.
+    pub fn to_rel(self) -> RelOp {
+        match self {
+            ResOp::Lt => RelOp::Lt,
+            ResOp::Le => RelOp::Le,
+            ResOp::Gt => RelOp::Gt,
+            ResOp::Ge => RelOp::Ge,
+            ResOp::Ne => RelOp::Ne,
+        }
+    }
+
+    /// Parallel-store operator (`<>` is not delegable there).
+    pub fn to_par(self) -> Option<estocada_parstore::ParOp> {
+        use estocada_parstore::ParOp;
+        match self {
+            ResOp::Lt => Some(ParOp::Lt),
+            ResOp::Le => Some(ParOp::Le),
+            ResOp::Gt => Some(ParOp::Gt),
+            ResOp::Ge => Some(ParOp::Ge),
+            ResOp::Ne => None,
+        }
+    }
+
+    /// Engine operator.
+    pub fn to_engine(self) -> estocada_engine::CmpOp {
+        use estocada_engine::CmpOp;
+        match self {
+            ResOp::Lt => CmpOp::Lt,
+            ResOp::Le => CmpOp::Le,
+            ResOp::Gt => CmpOp::Gt,
+            ResOp::Ge => CmpOp::Ge,
+            ResOp::Ne => CmpOp::Ne,
+        }
+    }
+}
+
+/// A residual comparison `var op constant`.
+#[derive(Debug, Clone)]
+pub struct Residual {
+    /// The compared variable.
+    pub var: Var,
+    /// Operator.
+    pub op: ResOp,
+    /// Constant.
+    pub value: Value,
+}
+
+/// Tracks which residual predicates were pushed into delegated units; the
+/// rest run as a runtime filter on top of the plan.
+#[derive(Debug, Default)]
+pub struct ResidualTracker {
+    /// All residuals of the query.
+    pub items: Vec<Residual>,
+    used: Vec<bool>,
+}
+
+impl ResidualTracker {
+    /// Track `items`.
+    pub fn new(items: Vec<Residual>) -> ResidualTracker {
+        let used = vec![false; items.len()];
+        ResidualTracker { items, used }
+    }
+
+    /// Mark residual `i` as pushed down.
+    pub fn mark_used(&mut self, i: usize) {
+        self.used[i] = true;
+    }
+
+    /// Residuals not yet pushed down, with their indices.
+    pub fn remaining(&self) -> Vec<(usize, Residual)> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.used[*i])
+            .map(|(i, r)| (i, r.clone()))
+            .collect()
+    }
+}
+
+/// An executable unit of a translated rewriting.
+pub struct Unit {
+    /// Display label (store + native query).
+    pub label: String,
+    /// Variables the unit outputs (for `Bind` units: *excluding* inputs).
+    pub out_vars: Vec<Var>,
+    /// Variables that must be bound before the unit can run.
+    pub inputs: Vec<Var>,
+    /// Executable form.
+    pub kind: UnitKind,
+    /// Estimated output cardinality.
+    pub est_rows: f64,
+    /// Estimated tuples scanned inside the store (0 for point accesses).
+    pub est_scanned: f64,
+    /// The store the unit runs on.
+    pub system: SystemId,
+}
+
+/// Executable form of a unit.
+pub enum UnitKind {
+    /// Runs standalone (free access).
+    Run(Arc<dyn Fn() -> RowBatch + Send + Sync>),
+    /// Must be probed with bound inputs.
+    Bind(Arc<dyn BindSource>),
+}
+
+/// Bind `terms` against `values` under pre-bound `pre`; returns the values
+/// of `out_vars` when constants match and repeated variables agree.
+fn bind_row(
+    terms: &[Term],
+    values: &[Value],
+    pre: &HashMap<Var, Value>,
+    out_vars: &[Var],
+) -> Option<Vec<Value>> {
+    debug_assert_eq!(terms.len(), values.len());
+    let mut local: HashMap<Var, &Value> = HashMap::new();
+    for (t, v) in terms.iter().zip(values) {
+        match t {
+            Term::Const(c) => {
+                if c != v {
+                    return None;
+                }
+            }
+            Term::Var(var) => {
+                if let Some(p) = pre.get(var) {
+                    if p != v {
+                        return None;
+                    }
+                } else if let Some(prev) = local.get(var) {
+                    if *prev != v {
+                        return None;
+                    }
+                } else {
+                    local.insert(*var, v);
+                }
+            }
+        }
+    }
+    Some(
+        out_vars
+            .iter()
+            .map(|v| (*local.get(v).expect("out var not bound by row")).clone())
+            .collect(),
+    )
+}
+
+/// Distinct variables of `atoms` in first-occurrence order.
+pub fn atom_vars(atoms: &[Atom]) -> Vec<Var> {
+    let mut seen = Vec::new();
+    for a in atoms {
+        for v in a.vars() {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+    }
+    seen
+}
+
+fn batch_of(out_vars: &[Var], rows: Vec<Tuple>) -> RowBatch {
+    RowBatch {
+        columns: out_vars.iter().map(|v| var_col(*v)).collect(),
+        rows,
+    }
+}
+
+/// `true` when `terms` are pairwise-distinct variables — rows from the
+/// store can then stream through unchanged (no per-row rebinding).
+fn is_plain_var_pattern(terms: &[Term]) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    terms.iter().all(|t| match t {
+        Term::Var(v) => seen.insert(*v),
+        Term::Const(_) => false,
+    })
+}
+
+/// Decode the rows stored under one key-value key (the materializer packs
+/// every value tuple of a key as one list — see `materialize`).
+fn unpack_kv_rows(values: &[Value]) -> Vec<Vec<Value>> {
+    match values {
+        [Value::Array(rows)] => rows
+            .iter()
+            .filter_map(|r| r.as_array().map(<[Value]>::to_vec))
+            .collect(),
+        _ => vec![values.to_vec()],
+    }
+}
+
+/// Selectivity helper: `1 / distinct` clamped sanely.
+fn eq_selectivity(stats: &FragmentStats, col: usize) -> f64 {
+    let d = stats.distinct.get(col).copied().unwrap_or(1).max(1);
+    1.0 / d as f64
+}
+
+/// Build one SQL unit from relational-fragment atoms (the largest subquery
+/// delegated to the relational store).
+pub fn sql_unit(
+    atoms: &[(Atom, FragmentRelation, FragmentStats)],
+    residuals: &mut ResidualTracker,
+    stores: &Stores,
+) -> Result<Unit> {
+    let mut q = SqlQuery::new();
+    let mut var_ref: HashMap<Var, ColRef> = HashMap::new();
+    let mut out_vars: Vec<Var> = Vec::new();
+    let mut est = 1.0f64;
+    let mut join_sel = 1.0f64;
+    let mut est_scanned = 0.0f64;
+    let mut has_const = false;
+    for (atom, rel, stats) in atoms {
+        let table = match &rel.place {
+            WhereSpec::Table { table, .. } => table.clone(),
+            other => {
+                return Err(Error::Untranslatable(format!(
+                    "atom {} is not table-placed: {other:?}",
+                    atom.pred
+                )))
+            }
+        };
+        let t = q.add_table(&table);
+        est *= stats.rows.max(1) as f64;
+        est_scanned += stats.rows as f64;
+        for (pos, term) in atom.args.iter().enumerate() {
+            let cr = ColRef {
+                table: t,
+                column: pos,
+            };
+            match term {
+                Term::Const(c) => {
+                    q.predicates.push(Pred::ColConst(cr, RelOp::Eq, c.clone()));
+                    est *= eq_selectivity(stats, pos);
+                    has_const = true;
+                }
+                Term::Var(v) => {
+                    if let Some(existing) = var_ref.get(v) {
+                        q.predicates.push(Pred::ColCol(*existing, RelOp::Eq, cr));
+                        join_sel *= eq_selectivity(stats, pos);
+                    } else {
+                        var_ref.insert(*v, cr);
+                        out_vars.push(*v);
+                    }
+                }
+            }
+        }
+    }
+    // Push applicable residual comparisons into the delegated SQL.
+    for (i, r) in residuals.remaining() {
+        if let Some(cr) = var_ref.get(&r.var) {
+            q.predicates
+                .push(Pred::ColConst(*cr, r.op.to_rel(), r.value.clone()));
+            residuals.mark_used(i);
+            est *= 0.33; // textbook range selectivity
+        }
+    }
+    for v in &out_vars {
+        q.projection.push(var_ref[v]);
+    }
+    let label = format!("relational: {q}");
+    let rel_store = stores.rel.clone();
+    let ov = out_vars.clone();
+    let runner = move || {
+        let rows = rel_store.query(&q).unwrap_or_default();
+        batch_of(&ov, rows)
+    };
+    Ok(Unit {
+        label,
+        out_vars,
+        inputs: Vec::new(),
+        kind: UnitKind::Run(Arc::new(runner)),
+        est_rows: (est * join_sel).max(0.0),
+        // Keyed tables answer constant predicates through indexes.
+        est_scanned: if has_const { 0.0 } else { est_scanned },
+        system: SystemId::Relational,
+    })
+}
+
+/// Build a key-value unit from one atom over a namespace-placed fragment.
+/// A constant key delegates a point `get`; a variable key becomes a
+/// BindJoin source.
+pub fn kv_unit(
+    atom: &Atom,
+    rel: &FragmentRelation,
+    stats: &FragmentStats,
+    stores: &Stores,
+) -> Result<Unit> {
+    let namespace = match &rel.place {
+        WhereSpec::Namespace { namespace, .. } => namespace.clone(),
+        other => {
+            return Err(Error::Untranslatable(format!(
+                "kv atom placed at {other:?}"
+            )))
+        }
+    };
+    let kv = stores.kv.clone();
+    let value_terms: Vec<Term> = atom.args[1..].to_vec();
+    match &atom.args[0] {
+        Term::Const(key) => {
+            let out_vars = atom_vars(&[Atom::new(atom.pred, value_terms.clone())]);
+            let label = format!("key-value: GET {namespace}[{key}]");
+            let key = key.clone();
+            let ov = out_vars.clone();
+            let vt = value_terms.clone();
+            let runner = move || {
+                let rows = match kv.get(&namespace, &key) {
+                    Some(values) => unpack_kv_rows(&values)
+                        .into_iter()
+                        .filter_map(|cells| bind_row(&vt, &cells, &HashMap::new(), &ov))
+                        .collect(),
+                    None => Vec::new(),
+                };
+                batch_of(&ov, rows)
+            };
+            Ok(Unit {
+                label,
+                out_vars,
+                inputs: Vec::new(),
+                kind: UnitKind::Run(Arc::new(runner)),
+                est_rows: 1.0,
+                est_scanned: 0.0,
+                system: SystemId::KeyValue,
+            })
+        }
+        Term::Var(key_var) => {
+            // Output vars: value-position vars other than the key var.
+            let out_vars: Vec<Var> = atom_vars(&[Atom::new(atom.pred, value_terms.clone())])
+                .into_iter()
+                .filter(|v| v != key_var)
+                .collect();
+            let label = format!("key-value: GET {namespace}[?]");
+            struct KvSource {
+                kv: Arc<estocada_kvstore::KvStore>,
+                namespace: String,
+                key_var: Var,
+                value_terms: Vec<Term>,
+                out_vars: Vec<Var>,
+                label: String,
+            }
+            impl BindSource for KvSource {
+                fn out_columns(&self) -> Vec<String> {
+                    self.out_vars.iter().map(|v| var_col(*v)).collect()
+                }
+                fn fetch(&self, key: &[Value]) -> Vec<Tuple> {
+                    let Some(values) = self.kv.get(&self.namespace, &key[0]) else {
+                        return Vec::new();
+                    };
+                    let mut pre = HashMap::new();
+                    pre.insert(self.key_var, key[0].clone());
+                    unpack_kv_rows(&values)
+                        .into_iter()
+                        .filter_map(|cells| {
+                            bind_row(&self.value_terms, &cells, &pre, &self.out_vars)
+                        })
+                        .collect()
+                }
+                fn label(&self) -> String {
+                    self.label.clone()
+                }
+            }
+            let src = KvSource {
+                kv,
+                namespace,
+                key_var: *key_var,
+                value_terms,
+                out_vars: out_vars.clone(),
+                label: label.clone(),
+            };
+            let _ = stats;
+            Ok(Unit {
+                label,
+                out_vars,
+                inputs: vec![*key_var],
+                kind: UnitKind::Bind(Arc::new(src)),
+                est_rows: 1.0,
+                est_scanned: 0.0,
+                system: SystemId::KeyValue,
+            })
+        }
+    }
+}
+
+/// Build a full-text unit from one `Contains(term, key)` atom.
+pub fn text_unit(
+    atom: &Atom,
+    rel: &FragmentRelation,
+    stats: &FragmentStats,
+    stores: &Stores,
+) -> Result<Unit> {
+    let index = match &rel.place {
+        WhereSpec::TextIndex { index } => index.clone(),
+        other => {
+            return Err(Error::Untranslatable(format!(
+                "text atom placed at {other:?}"
+            )))
+        }
+    };
+    let text = stores.text.clone();
+    let key_term = atom.args[1].clone();
+    let avg_postings = (stats.rows.max(1) as f64 / stats.distinct.first().copied().unwrap_or(1).max(1) as f64)
+        .max(1.0);
+    match &atom.args[0] {
+        Term::Const(term) => {
+            let term_s = term.as_str().map(str::to_string).ok_or_else(|| {
+                Error::Untranslatable("text search term must be a string".into())
+            })?;
+            let out_vars = match &key_term {
+                Term::Var(v) => vec![*v],
+                Term::Const(_) => vec![],
+            };
+            let label = format!("text: SEARCH {index} \"{term_s}\"");
+            let ov = out_vars.clone();
+            let kt = key_term.clone();
+            let runner = move || {
+                let keys = text.term_lookup(&index, &term_s);
+                let rows: Vec<Tuple> = keys
+                    .into_iter()
+                    .filter_map(|k| bind_row(std::slice::from_ref(&kt), &[k], &HashMap::new(), &ov))
+                    .collect();
+                batch_of(&ov, rows)
+            };
+            Ok(Unit {
+                label,
+                out_vars,
+                inputs: Vec::new(),
+                kind: UnitKind::Run(Arc::new(runner)),
+                est_rows: avg_postings,
+                est_scanned: 0.0,
+                system: SystemId::Text,
+            })
+        }
+        Term::Var(term_var) => {
+            let out_vars = match &key_term {
+                Term::Var(v) if v != term_var => vec![*v],
+                _ => vec![],
+            };
+            let label = format!("text: SEARCH {index} [bound term]");
+            struct TextSource {
+                text: Arc<estocada_textstore::TextStore>,
+                index: String,
+                key_term: Term,
+                out_vars: Vec<Var>,
+                label: String,
+            }
+            impl BindSource for TextSource {
+                fn out_columns(&self) -> Vec<String> {
+                    self.out_vars.iter().map(|v| var_col(*v)).collect()
+                }
+                fn fetch(&self, key: &[Value]) -> Vec<Tuple> {
+                    let Some(term) = key[0].as_str() else {
+                        return Vec::new();
+                    };
+                    self.text
+                        .term_lookup(&self.index, term)
+                        .into_iter()
+                        .filter_map(|k| {
+                            bind_row(
+                            std::slice::from_ref(&self.key_term),
+                            &[k],
+                            &HashMap::new(),
+                            &self.out_vars,
+                        )
+                        })
+                        .collect()
+                }
+                fn label(&self) -> String {
+                    self.label.clone()
+                }
+            }
+            let src = TextSource {
+                text,
+                index,
+                key_term,
+                out_vars: out_vars.clone(),
+                label: label.clone(),
+            };
+            Ok(Unit {
+                label,
+                out_vars,
+                inputs: vec![*term_var],
+                kind: UnitKind::Bind(Arc::new(src)),
+                est_rows: avg_postings,
+                est_scanned: 0.0,
+                system: SystemId::Text,
+            })
+        }
+    }
+}
+
+/// Build a document-store unit from one atom over a row-document fragment.
+pub fn doc_rows_unit(
+    atom: &Atom,
+    rel: &FragmentRelation,
+    stats: &FragmentStats,
+    stores: &Stores,
+) -> Result<Unit> {
+    let (collection, columns) = match &rel.place {
+        WhereSpec::Collection {
+            collection,
+            columns,
+        } => (collection.clone(), columns.clone()),
+        other => {
+            return Err(Error::Untranslatable(format!(
+                "doc atom placed at {other:?}"
+            )))
+        }
+    };
+    let mut filter = estocada_docstore::Filter::all();
+    let mut est = stats.rows.max(1) as f64;
+    let mut has_const = false;
+    for (pos, term) in atom.args.iter().enumerate() {
+        if let Term::Const(c) = term {
+            filter = filter.eq(&columns[pos], c.clone());
+            est *= eq_selectivity(stats, pos);
+            has_const = true;
+        }
+    }
+    let out_vars = atom_vars(std::slice::from_ref(atom));
+    let label = format!("document: FIND {collection} {:?}", filter.clauses);
+    let doc = stores.doc.clone();
+    let ov = out_vars.clone();
+    let terms = atom.args.clone();
+    let runner = move || {
+        let paths: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+        let docs = doc.find(&collection, &filter, Some(&paths));
+        let rows: Vec<Tuple> = docs
+            .into_iter()
+            .filter_map(|d| {
+                let values: Vec<Value> = columns
+                    .iter()
+                    .map(|c| d.get(c).cloned().unwrap_or(Value::Null))
+                    .collect();
+                bind_row(&terms, &values, &HashMap::new(), &ov)
+            })
+            .collect();
+        batch_of(&ov, rows)
+    };
+    Ok(Unit {
+        label,
+        out_vars,
+        inputs: Vec::new(),
+        kind: UnitKind::Run(Arc::new(runner)),
+        est_rows: est,
+        est_scanned: if has_const { 0.0 } else { stats.rows as f64 },
+        system: SystemId::Document,
+    })
+}
+
+/// Build a parallel-store unit from one or two atoms over par-dataset
+/// fragments (two atoms sharing a variable delegate a native parallel
+/// join — the "largest delegable subquery" on Spark).
+pub fn par_unit(
+    atoms: &[(Atom, FragmentRelation, FragmentStats)],
+    residuals: &mut ResidualTracker,
+    stores: &Stores,
+) -> Result<Unit> {
+    match atoms {
+        [one] => par_scan_unit(one, residuals, stores),
+        [l, r] => par_join_unit(l, r, stores),
+        _ => Err(Error::Untranslatable(
+            "parallel units support at most two atoms".into(),
+        )),
+    }
+}
+
+fn par_place(rel: &FragmentRelation) -> Result<(String, Vec<String>, Vec<usize>)> {
+    match &rel.place {
+        WhereSpec::ParDataset {
+            dataset,
+            columns,
+            indexed,
+        } => Ok((dataset.clone(), columns.clone(), indexed.clone())),
+        other => Err(Error::Untranslatable(format!(
+            "par atom placed at {other:?}"
+        ))),
+    }
+}
+
+fn par_scan_unit(
+    (atom, rel, stats): &(Atom, FragmentRelation, FragmentStats),
+    residuals: &mut ResidualTracker,
+    stores: &Stores,
+) -> Result<Unit> {
+    use estocada_parstore::{ColPred, ParOp};
+    let (dataset, _columns, indexed) = par_place(rel)?;
+    let mut preds = Vec::new();
+    let mut est = stats.rows.max(1) as f64;
+    let mut const_cols = Vec::new();
+    for (pos, term) in atom.args.iter().enumerate() {
+        if let Term::Const(c) = term {
+            preds.push(ColPred {
+                col: pos,
+                op: ParOp::Eq,
+                value: c.clone(),
+            });
+            const_cols.push(pos);
+            est *= eq_selectivity(stats, pos);
+        }
+    }
+    // Push applicable residual comparisons into the delegated scan.
+    for (i, r) in residuals.remaining() {
+        let Some(op) = r.op.to_par() else { continue };
+        if let Some(pos) = atom
+            .args
+            .iter()
+            .position(|t| t.as_var() == Some(r.var))
+        {
+            preds.push(ColPred {
+                col: pos,
+                op,
+                value: r.value.clone(),
+            });
+            residuals.mark_used(i);
+            est *= 0.33;
+        }
+    }
+    // Use the key index when every indexed column is bound by a constant.
+    let use_index = !indexed.is_empty() && indexed.iter().all(|c| const_cols.contains(c));
+    let out_vars = atom_vars(std::slice::from_ref(atom));
+    let label = if use_index {
+        format!("parallel: LOOKUP {dataset} by key index")
+    } else {
+        format!("parallel: SCAN {dataset} ({} preds)", preds.len())
+    };
+    let par = stores.par.clone();
+    let ov = out_vars.clone();
+    let terms = atom.args.clone();
+    let key: Vec<Value> = indexed
+        .iter()
+        .filter_map(|c| terms.get(*c).and_then(|t| t.as_const().cloned()))
+        .collect();
+    // Identity scans (distinct variables everywhere) stream rows through
+    // without per-row rebinding; constants are already enforced by `preds`.
+    let plain = is_plain_var_pattern(
+        &terms
+            .iter()
+            .filter(|t| t.is_var())
+            .cloned()
+            .collect::<Vec<_>>(),
+    );
+    let var_positions: Vec<usize> = terms
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.is_var())
+        .map(|(i, _)| i)
+        .collect();
+    let all_vars = var_positions.len() == terms.len();
+    let runner = move || {
+        let rows_raw = if use_index {
+            par.lookup(&dataset, &key, &preds)
+        } else {
+            par.scan(&dataset, &preds, None)
+        };
+        let rows: Vec<Tuple> = if plain && all_vars {
+            rows_raw
+        } else if plain {
+            rows_raw
+                .into_iter()
+                .map(|r| var_positions.iter().map(|i| r[*i].clone()).collect())
+                .collect()
+        } else {
+            rows_raw
+                .into_iter()
+                .filter_map(|r| bind_row(&terms, &r, &HashMap::new(), &ov))
+                .collect()
+        };
+        batch_of(&ov, rows)
+    };
+    Ok(Unit {
+        label,
+        out_vars,
+        inputs: Vec::new(),
+        kind: UnitKind::Run(Arc::new(runner)),
+        est_rows: est,
+        est_scanned: if use_index { 0.0 } else { stats.rows as f64 },
+        system: SystemId::Parallel,
+    })
+}
+
+fn par_join_unit(
+    (latom, lrel, lstats): &(Atom, FragmentRelation, FragmentStats),
+    (ratom, rrel, rstats): &(Atom, FragmentRelation, FragmentStats),
+    stores: &Stores,
+) -> Result<Unit> {
+    let (lds, lcols, _) = par_place(lrel)?;
+    let (rds, rcols, _) = par_place(rrel)?;
+    // Join keys: shared variables.
+    let lvars: Vec<Option<Var>> = latom.args.iter().map(Term::as_var).collect();
+    let rvars: Vec<Option<Var>> = ratom.args.iter().map(Term::as_var).collect();
+    let mut lkeys = Vec::new();
+    let mut rkeys = Vec::new();
+    for (li, lv) in lvars.iter().enumerate() {
+        if let Some(lv) = lv {
+            if let Some(ri) = rvars.iter().position(|rv| rv.as_ref() == Some(lv)) {
+                lkeys.push(lcols[li].clone());
+                rkeys.push(rcols[ri].clone());
+            }
+        }
+    }
+    if lkeys.is_empty() {
+        return Err(Error::Untranslatable(
+            "parallel join unit requires a shared variable".into(),
+        ));
+    }
+    let mut combined_terms = latom.args.clone();
+    combined_terms.extend(ratom.args.iter().cloned());
+    let out_vars = atom_vars(&[latom.clone(), ratom.clone()]);
+    let label = format!("parallel: JOIN {lds} ⋈ {rds} on {lkeys:?}");
+    let par = stores.par.clone();
+    let ov = out_vars.clone();
+    // Joined rows need rebinding only when constants/repeated variables
+    // appear beyond the join keys themselves; the join already enforced
+    // key equality, so project the first occurrence of each variable.
+    let var_first_pos: Vec<usize> = {
+        let mut seen = std::collections::HashSet::new();
+        combined_terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                Term::Var(v) => seen.insert(*v),
+                Term::Const(_) => false,
+            })
+            .map(|(i, _)| i)
+            .collect()
+    };
+    // Rebind when constants appear, or when a variable repeats *within*
+    // one atom (the parallel join only enforces cross-atom key equality).
+    let within_repeat = |atom: &Atom| {
+        let mut seen = std::collections::HashSet::new();
+        atom.args
+            .iter()
+            .filter_map(Term::as_var)
+            .any(|v| !seen.insert(v))
+    };
+    let needs_bind = combined_terms.iter().any(|t| t.as_const().is_some())
+        || within_repeat(latom)
+        || within_repeat(ratom);
+    let runner = move || {
+        let lk: Vec<&str> = lkeys.iter().map(|s| s.as_str()).collect();
+        let rk: Vec<&str> = rkeys.iter().map(|s| s.as_str()).collect();
+        let rows_raw = par.join(&lds, &rds, &lk, &rk);
+        let rows: Vec<Tuple> = if needs_bind {
+            rows_raw
+                .into_iter()
+                .filter_map(|r| bind_row(&combined_terms, &r, &HashMap::new(), &ov))
+                .collect()
+        } else {
+            rows_raw
+                .into_iter()
+                .map(|r| var_first_pos.iter().map(|i| r[*i].clone()).collect())
+                .collect()
+        };
+        batch_of(&ov, rows)
+    };
+    let est = (lstats.rows.max(1) as f64 * rstats.rows.max(1) as f64)
+        / lstats
+            .distinct
+            .first()
+            .copied()
+            .unwrap_or(1)
+            .max(1)
+            .max(rstats.distinct.first().copied().unwrap_or(1).max(1)) as f64;
+    Ok(Unit {
+        label,
+        out_vars,
+        inputs: Vec::new(),
+        kind: UnitKind::Run(Arc::new(runner)),
+        est_rows: est,
+        est_scanned: (lstats.rows + rstats.rows) as f64,
+        system: SystemId::Parallel,
+    })
+}
+
+/// Build a native-document tree unit from a connected group of
+/// document-encoding atoms: "it can be inferred that the atoms … refer to a
+/// single document, by following the connections among nodes and knowledge
+/// of the JSON data model".
+pub fn doc_tree_unit(
+    atoms: &[(Atom, FragmentRelation, FragmentStats)],
+    stores: &Stores,
+) -> Result<Unit> {
+    let mut collection = None;
+    let mut root_vars: Vec<Var> = Vec::new();
+    let mut edges: Vec<(Var, Var, bool)> = Vec::new(); // (parent, child, is_desc)
+    let mut tags: HashMap<Var, String> = HashMap::new();
+    let mut val_eq: HashMap<Var, Value> = HashMap::new();
+    let mut val_bind: Vec<(Var, Var)> = Vec::new(); // (node var, value var)
+    let mut doc_count = 0f64;
+
+    for (atom, rel, stats) in atoms {
+        let role = match &rel.place {
+            WhereSpec::NativeDocs { collection: c, role } => {
+                match &collection {
+                    None => collection = Some(c.clone()),
+                    Some(existing) if existing == c => {}
+                    Some(_) => {
+                        return Err(Error::Untranslatable(
+                            "tree unit spans two collections".into(),
+                        ))
+                    }
+                }
+                *role
+            }
+            other => {
+                return Err(Error::Untranslatable(format!(
+                    "doc atom placed at {other:?}"
+                )))
+            }
+        };
+        doc_count = doc_count.max(stats.rows as f64);
+        let var_at = |i: usize| -> Result<Var> {
+            atom.args[i].as_var().ok_or_else(|| {
+                Error::Untranslatable(format!("node position of {} must be a variable", atom.pred))
+            })
+        };
+        match role {
+            DocRole::Root => root_vars.push(var_at(1)?),
+            DocRole::Doc => { /* names are not stored natively; ignore */ }
+            DocRole::Child => edges.push((var_at(0)?, var_at(1)?, false)),
+            DocRole::Desc => edges.push((var_at(0)?, var_at(1)?, true)),
+            DocRole::Node => {
+                let tag = atom.args[1]
+                    .as_const()
+                    .and_then(|c| c.as_str())
+                    .ok_or_else(|| {
+                        Error::Untranslatable("node tag must be a string constant".into())
+                    })?;
+                tags.insert(var_at(0)?, tag.to_string());
+            }
+            DocRole::Val => match &atom.args[1] {
+                Term::Const(c) => {
+                    val_eq.insert(var_at(0)?, c.clone());
+                }
+                Term::Var(v) => val_bind.push((var_at(0)?, *v)),
+            },
+        }
+    }
+    let collection =
+        collection.ok_or_else(|| Error::Untranslatable("empty document unit".into()))?;
+    if root_vars.is_empty() {
+        return Err(Error::Untranslatable(
+            "document pattern has no Root atom".into(),
+        ));
+    }
+    // Build the pattern tree below the root variable(s).
+    let mut by_parent: HashMap<Var, Vec<(Var, bool)>> = HashMap::new();
+    let mut child_count: HashMap<Var, usize> = HashMap::new();
+    for (p, c, d) in &edges {
+        by_parent.entry(*p).or_default().push((*c, *d));
+        *child_count.entry(*c).or_insert(0) += 1;
+        if child_count[c] > 1 {
+            return Err(Error::Untranslatable(
+                "document pattern is not tree-shaped".into(),
+            ));
+        }
+    }
+    fn build(
+        node: Var,
+        desc: bool,
+        by_parent: &HashMap<Var, Vec<(Var, bool)>>,
+        tags: &HashMap<Var, String>,
+        val_eq: &HashMap<Var, Value>,
+        val_bind: &[(Var, Var)],
+        out_vars: &mut Vec<Var>,
+    ) -> Result<QueryNode> {
+        let tag = tags
+            .get(&node)
+            .ok_or_else(|| Error::Untranslatable(format!("node {node} has no tag atom")))?;
+        let mut qn = if desc {
+            QueryNode::descendant(tag)
+        } else {
+            QueryNode::child(tag)
+        };
+        if let Some(c) = val_eq.get(&node) {
+            qn = qn.eq(c.clone());
+        }
+        for (n, v) in val_bind {
+            if *n == node {
+                qn = qn.bind(&var_col(*v));
+                out_vars.push(*v);
+            }
+        }
+        for (child, d) in by_parent.get(&node).cloned().unwrap_or_default() {
+            qn = qn.with(build(child, d, by_parent, tags, val_eq, val_bind, out_vars)?);
+        }
+        Ok(qn)
+    }
+    let mut out_vars = Vec::new();
+    let mut q = DocQuery::new(&collection);
+    for root in &root_vars {
+        for (child, d) in by_parent.get(root).cloned().unwrap_or_default() {
+            q = q.with(build(
+                child,
+                d,
+                &by_parent,
+                &tags,
+                &val_eq,
+                &val_bind,
+                &mut out_vars,
+            )?);
+        }
+    }
+    // Column order must follow the store's pre-order convention.
+    let columns = q.columns();
+    let ordered_vars: Vec<Var> = columns
+        .iter()
+        .map(|c| {
+            out_vars
+                .iter()
+                .copied()
+                .find(|v| var_col(*v) == *c)
+                .expect("bound column lost")
+        })
+        .collect();
+    let label = format!("document: TREE-QUERY {collection} ({} steps)", q.roots.len());
+    let doc = stores.doc.clone();
+    let ov = ordered_vars.clone();
+    let runner = move || {
+        let (_cols, rows) = doc.query(&q);
+        batch_of(&ov, rows)
+    };
+    // A top-level equality makes the store's path index applicable.
+    let indexed = !val_eq.is_empty();
+    Ok(Unit {
+        label,
+        out_vars: ordered_vars,
+        inputs: Vec::new(),
+        kind: UnitKind::Run(Arc::new(runner)),
+        est_rows: doc_count.max(1.0),
+        est_scanned: if indexed { 0.0 } else { doc_count },
+        system: SystemId::Document,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_row_checks_constants_and_repeats() {
+        let terms = vec![Term::constant(1i64), Term::var(0), Term::var(0)];
+        let ok = bind_row(
+            &terms,
+            &[Value::Int(1), Value::Int(5), Value::Int(5)],
+            &HashMap::new(),
+            &[Var(0)],
+        );
+        assert_eq!(ok, Some(vec![Value::Int(5)]));
+        // Repeated var mismatch.
+        assert!(bind_row(
+            &terms,
+            &[Value::Int(1), Value::Int(5), Value::Int(6)],
+            &HashMap::new(),
+            &[Var(0)],
+        )
+        .is_none());
+        // Constant mismatch.
+        assert!(bind_row(
+            &terms,
+            &[Value::Int(2), Value::Int(5), Value::Int(5)],
+            &HashMap::new(),
+            &[Var(0)],
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn bind_row_respects_pre_bound_vars() {
+        let terms = vec![Term::var(0), Term::var(1)];
+        let mut pre = HashMap::new();
+        pre.insert(Var(0), Value::Int(9));
+        assert!(bind_row(&terms, &[Value::Int(8), Value::Int(1)], &pre, &[Var(1)]).is_none());
+        assert_eq!(
+            bind_row(&terms, &[Value::Int(9), Value::Int(1)], &pre, &[Var(1)]),
+            Some(vec![Value::Int(1)])
+        );
+    }
+
+    #[test]
+    fn atom_vars_first_occurrence_order() {
+        let a1 = Atom::new("R", vec![Term::var(3), Term::var(1)]);
+        let a2 = Atom::new("S", vec![Term::var(1), Term::var(2)]);
+        assert_eq!(atom_vars(&[a1, a2]), vec![Var(3), Var(1), Var(2)]);
+    }
+}

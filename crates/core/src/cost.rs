@@ -1,0 +1,107 @@
+//! The mediator's cost model: "textbook formulas" over gathered fragment
+//! statistics, with per-system request/tuple cost constants mirroring the
+//! latency calibration.
+
+use crate::system::{Latencies, SystemId};
+
+/// Cost constants of one system (abstract cost units ≈ microseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// Fixed cost per delegated request.
+    pub per_request: f64,
+    /// Cost per returned tuple.
+    pub per_tuple: f64,
+    /// Cost per tuple scanned inside the store.
+    pub per_scan: f64,
+}
+
+/// The full cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Relational store costs.
+    pub relational: CostParams,
+    /// Key-value store costs.
+    pub key_value: CostParams,
+    /// Document store costs.
+    pub document: CostParams,
+    /// Text store costs.
+    pub text: CostParams,
+    /// Parallel store costs.
+    pub parallel: CostParams,
+    /// Mediator runtime cost per tuple flowing through an operator.
+    pub runtime_per_tuple: f64,
+}
+
+impl CostModel {
+    /// Derive cost constants from a latency calibration (ns → µs units).
+    pub fn from_latencies(l: &Latencies) -> CostModel {
+        let conv = |m: estocada_simkit::LatencyModel| CostParams {
+            per_request: m.per_request_ns as f64 / 1_000.0 + 1.0,
+            per_tuple: m.per_tuple_ns as f64 / 1_000.0 + 0.1,
+            per_scan: m.per_scan_ns as f64 / 1_000.0 + 0.01,
+        };
+        CostModel {
+            relational: conv(l.relational),
+            key_value: conv(l.key_value),
+            document: conv(l.document),
+            text: conv(l.text),
+            parallel: conv(l.parallel),
+            runtime_per_tuple: 0.05,
+        }
+    }
+
+    /// Parameters of one system.
+    pub fn of(&self, id: SystemId) -> CostParams {
+        match id {
+            SystemId::Relational => self.relational,
+            SystemId::KeyValue => self.key_value,
+            SystemId::Document => self.document,
+            SystemId::Text => self.text,
+            SystemId::Parallel => self.parallel,
+        }
+    }
+
+    /// Cost of one delegated request returning `rows` tuples after
+    /// scanning `scanned` tuples inside the store.
+    pub fn request_cost(&self, id: SystemId, rows: f64, scanned: f64) -> f64 {
+        let p = self.of(id);
+        p.per_request + p.per_tuple * rows.max(0.0) + p.per_scan * scanned.max(0.0)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::from_latencies(&Latencies::datacenter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_requests_are_cheapest() {
+        let m = CostModel::default();
+        assert!(
+            m.request_cost(SystemId::KeyValue, 1.0, 0.0)
+                < m.request_cost(SystemId::Document, 1.0, 0.0)
+        );
+        assert!(
+            m.request_cost(SystemId::Document, 1.0, 0.0)
+                < m.request_cost(SystemId::Parallel, 1.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn cost_grows_with_rows_and_scans() {
+        let m = CostModel::default();
+        assert!(
+            m.request_cost(SystemId::Relational, 1000.0, 0.0)
+                > m.request_cost(SystemId::Relational, 10.0, 0.0)
+        );
+        assert!(
+            m.request_cost(SystemId::Parallel, 10.0, 100_000.0)
+                > m.request_cost(SystemId::Parallel, 10.0, 0.0)
+        );
+    }
+}

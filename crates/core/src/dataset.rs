@@ -1,0 +1,226 @@
+//! Application datasets: the logical data the application works with, in
+//! its native data model. ESTOCADA stores datasets *only* as fragments; the
+//! registered content here is the staging source for fragment
+//! materialization (and the ground truth oracle in tests).
+
+use estocada_pivot::encoding::document::DocRelations;
+use estocada_pivot::encoding::relational::TableEncoding;
+use estocada_pivot::{Fact, IdGen, Schema, Symbol, Value};
+use estocada_textstore::tokenize;
+
+/// One relational table of a dataset: declaration + rows + optional text
+/// columns (tokenized into a `{table}_Terms(term, key)` source relation, the
+/// pivot view of full-text search over the table).
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// Table encoding (name, columns, key).
+    pub encoding: TableEncoding,
+    /// Row data.
+    pub rows: Vec<Vec<Value>>,
+    /// Columns whose text participates in full-text search.
+    pub text_columns: Vec<String>,
+}
+
+/// One document of a document dataset.
+#[derive(Debug, Clone)]
+pub struct DocData {
+    /// Document id (application-level key).
+    pub id: Value,
+    /// Document name.
+    pub name: String,
+    /// Document body (object/array tree).
+    pub body: Value,
+}
+
+/// Dataset content in its native model.
+#[derive(Debug, Clone)]
+pub enum DatasetContent {
+    /// Relational dataset: a set of tables.
+    Relational(Vec<TableData>),
+    /// Document dataset: one collection of documents.
+    Documents(Vec<DocData>),
+}
+
+/// A named application dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name; document datasets use it as the encoding prefix.
+    pub name: String,
+    /// Content.
+    pub content: DatasetContent,
+}
+
+impl Dataset {
+    /// Relational dataset constructor.
+    pub fn relational(name: &str, tables: Vec<TableData>) -> Dataset {
+        Dataset {
+            name: name.to_string(),
+            content: DatasetContent::Relational(tables),
+        }
+    }
+
+    /// Document dataset constructor.
+    pub fn documents(name: &str, docs: Vec<DocData>) -> Dataset {
+        Dataset {
+            name: name.to_string(),
+            content: DatasetContent::Documents(docs),
+        }
+    }
+
+    /// The document-encoding relation names (document datasets only).
+    pub fn doc_relations(&self) -> Option<DocRelations> {
+        match &self.content {
+            DatasetContent::Documents(_) => Some(DocRelations::for_collection(&self.name)),
+            DatasetContent::Relational(_) => None,
+        }
+    }
+
+    /// The `{table}_Terms` relation name for a text-searchable table.
+    pub fn terms_relation(table: &str) -> Symbol {
+        Symbol::intern(&format!("{table}_Terms"))
+    }
+
+    /// Declare this dataset's pivot relations and model constraints into
+    /// `schema`.
+    pub fn declare(&self, schema: &mut Schema) {
+        match &self.content {
+            DatasetContent::Relational(tables) => {
+                for t in tables {
+                    t.encoding.declare(schema);
+                    if !t.text_columns.is_empty() {
+                        // Terms(term, key): derived source relation for
+                        // full-text predicates over this table.
+                        schema.add_relation(estocada_pivot::RelationDecl::new(
+                            Self::terms_relation(&t.encoding.relation.as_str()),
+                            &["term", "key"],
+                        ));
+                    }
+                }
+            }
+            DatasetContent::Documents(_) => {
+                self.doc_relations()
+                    .expect("document dataset")
+                    .declare(schema);
+            }
+        }
+    }
+
+    /// Encode the full content as pivot ground facts (used by fragment
+    /// materialization). Node ids are drawn from `ids`.
+    pub fn pivot_facts(&self, ids: &mut IdGen) -> Vec<Fact> {
+        let mut out = Vec::new();
+        match &self.content {
+            DatasetContent::Relational(tables) => {
+                for t in tables {
+                    let key_col = t
+                        .encoding
+                        .key
+                        .as_ref()
+                        .and_then(|k| k.first())
+                        .and_then(|k| t.encoding.columns.iter().position(|c| c == k));
+                    for row in &t.rows {
+                        out.push(t.encoding.encode_row(row.clone()));
+                    }
+                    if !t.text_columns.is_empty() {
+                        let rel = Self::terms_relation(&t.encoding.relation.as_str());
+                        let text_cols: Vec<usize> = t
+                            .text_columns
+                            .iter()
+                            .filter_map(|c| t.encoding.columns.iter().position(|x| x == c))
+                            .collect();
+                        for row in &t.rows {
+                            let key = key_col
+                                .map(|k| row[k].clone())
+                                .unwrap_or(Value::Null);
+                            for tc in &text_cols {
+                                if let Some(text) = row[*tc].as_str() {
+                                    for term in tokenize(text) {
+                                        out.push(Fact::new(
+                                            rel,
+                                            vec![Value::str(&term), key.clone()],
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            DatasetContent::Documents(docs) => {
+                let rels = self.doc_relations().expect("document dataset");
+                for d in docs {
+                    rels.encode_document(d.id.clone(), &d.name, &d.body, ids, &mut out);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_dataset() -> Dataset {
+        Dataset::relational(
+            "sales",
+            vec![TableData {
+                encoding: TableEncoding::new(
+                    "Products",
+                    &["pid", "title", "price"],
+                    Some(&["pid"]),
+                ),
+                rows: vec![
+                    vec![Value::Int(1), Value::str("Wireless Mouse"), Value::Int(20)],
+                    vec![Value::Int(2), Value::str("USB Keyboard"), Value::Int(30)],
+                ],
+                text_columns: vec!["title".to_string()],
+            }],
+        )
+    }
+
+    #[test]
+    fn relational_declaration_includes_terms_relation() {
+        let d = rel_dataset();
+        let mut s = Schema::new();
+        d.declare(&mut s);
+        assert!(s.relation(Symbol::intern("Products")).is_some());
+        assert!(s.relation(Symbol::intern("Products_Terms")).is_some());
+    }
+
+    #[test]
+    fn relational_facts_include_tokenized_terms() {
+        let d = rel_dataset();
+        let mut ids = IdGen::new();
+        let facts = d.pivot_facts(&mut ids);
+        let terms: Vec<&Fact> = facts
+            .iter()
+            .filter(|f| f.pred == Symbol::intern("Products_Terms"))
+            .collect();
+        assert!(terms
+            .iter()
+            .any(|f| f.args[0] == Value::str("mouse") && f.args[1] == Value::Int(1)));
+        assert!(terms
+            .iter()
+            .any(|f| f.args[0] == Value::str("usb") && f.args[1] == Value::Int(2)));
+    }
+
+    #[test]
+    fn document_dataset_encodes_trees() {
+        let d = Dataset::documents(
+            "Carts",
+            vec![DocData {
+                id: Value::Id(1),
+                name: "cart1".into(),
+                body: Value::object([("user", Value::Int(7))]),
+            }],
+        );
+        let mut s = Schema::new();
+        d.declare(&mut s);
+        let rels = d.doc_relations().unwrap();
+        assert!(s.relation(rels.child).is_some());
+        let mut ids = IdGen::new();
+        let facts = d.pivot_facts(&mut ids);
+        assert!(facts.iter().any(|f| f.pred == rels.val));
+    }
+}

@@ -1,0 +1,71 @@
+//! Mediator-level errors.
+
+use estocada_chase::{ChaseError, RewriteError};
+use estocada_engine::EngineError;
+use std::fmt;
+
+/// Any failure surfaced by the ESTOCADA mediator.
+#[derive(Debug)]
+pub enum Error {
+    /// Query text failed to parse.
+    Parse(String),
+    /// A name (dataset, table, fragment, column) was not found.
+    UnknownName(String),
+    /// Rewriting failed.
+    Rewrite(RewriteError),
+    /// No feasible rewriting covers the query with the current fragments.
+    NoRewriting {
+        /// The query name.
+        query: String,
+    },
+    /// A rewriting exists but could not be translated to executable form
+    /// (e.g. non-tree document pattern, unbound node-id join).
+    Untranslatable(String),
+    /// Runtime execution failed.
+    Engine(EngineError),
+    /// A chase run failed outside rewriting (e.g. materialization checks).
+    Chase(ChaseError),
+    /// Invalid fragment specification.
+    BadFragment(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::UnknownName(n) => write!(f, "unknown name: {n}"),
+            Error::Rewrite(e) => write!(f, "{e}"),
+            Error::NoRewriting { query } => write!(
+                f,
+                "no feasible view-based rewriting answers query {query} over the current fragments"
+            ),
+            Error::Untranslatable(m) => write!(f, "rewriting not executable: {m}"),
+            Error::Engine(e) => write!(f, "execution error: {e}"),
+            Error::Chase(e) => write!(f, "chase error: {e}"),
+            Error::BadFragment(m) => write!(f, "invalid fragment: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<RewriteError> for Error {
+    fn from(e: RewriteError) -> Self {
+        Error::Rewrite(e)
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<ChaseError> for Error {
+    fn from(e: ChaseError) -> Self {
+        Error::Chase(e)
+    }
+}
+
+/// Mediator result alias.
+pub type Result<T> = std::result::Result<T, Error>;

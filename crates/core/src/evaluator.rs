@@ -1,0 +1,340 @@
+//! The ESTOCADA mediator facade: datasets in, fragments materialized,
+//! queries answered through constraint-based rewriting.
+
+use crate::catalog::{Catalog, FragmentMeta, FragmentSpec};
+use crate::connector::Residual;
+use crate::cost::CostModel;
+use crate::dataset::{Dataset, DatasetContent};
+use crate::error::{Error, Result};
+use crate::frontends::{doc_query, parse_sql, SqlCatalog, SqlTable};
+use crate::materialize::{drop_fragment, fact_base, materialize};
+use crate::report::{Alternative, QueryResult, Report};
+use crate::system::{Latencies, Stores};
+use crate::translate::{translate, Translation};
+use estocada_chase::{pacb_rewrite, Instance, RewriteConfig, RewriteProblem};
+use estocada_engine::execute;
+use estocada_pivot::encoding::document::TreePattern;
+use estocada_pivot::{Cq, IdGen, Schema};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The mediator.
+pub struct Estocada {
+    /// The underlying store instances.
+    pub stores: Stores,
+    latencies: Latencies,
+    cost: CostModel,
+    datasets: HashMap<String, Dataset>,
+    schema: Schema,
+    base: Option<Instance>,
+    catalog: Catalog,
+    rewrite_cfg: RewriteConfig,
+    frag_seq: usize,
+}
+
+impl Estocada {
+    /// A mediator over fresh stores with the given latency calibration.
+    ///
+    /// With all-zero latencies the cost model still uses the datacenter
+    /// calibration: the optimizer's beliefs about relative store costs
+    /// should not degenerate just because latency simulation is off.
+    pub fn new(latencies: Latencies) -> Estocada {
+        let cost = if latencies.is_zero() {
+            CostModel::default()
+        } else {
+            CostModel::from_latencies(&latencies)
+        };
+        Estocada {
+            stores: Stores::new(latencies),
+            latencies,
+            cost,
+            datasets: HashMap::new(),
+            schema: Schema::new(),
+            base: None,
+            catalog: Catalog::new(),
+            rewrite_cfg: RewriteConfig::default(),
+            frag_seq: 0,
+        }
+    }
+
+    /// A mediator with zero simulated latency (tests).
+    pub fn in_memory() -> Estocada {
+        Estocada::new(Latencies::zero())
+    }
+
+    /// The latency calibration in effect.
+    pub fn latencies(&self) -> Latencies {
+        self.latencies
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Register an application dataset (declares its pivot schema and
+    /// stages its content for fragment materialization).
+    pub fn register_dataset(&mut self, ds: Dataset) {
+        ds.declare(&mut self.schema);
+        self.datasets.insert(ds.name.clone(), ds);
+        self.base = None; // staging facts changed
+    }
+
+    /// The registered datasets.
+    pub fn datasets(&self) -> &HashMap<String, Dataset> {
+        &self.datasets
+    }
+
+    /// The merged pivot schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The fragment catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn ensure_base(&mut self) -> &Instance {
+        if self.base.is_none() {
+            let mut ids = IdGen::starting_at(1_000_000);
+            let mut facts = Vec::new();
+            for ds in self.datasets.values() {
+                facts.extend(ds.pivot_facts(&mut ids));
+            }
+            self.base = Some(fact_base(&facts));
+        }
+        self.base.as_ref().unwrap()
+    }
+
+    /// Materialize a fragment; returns its id.
+    pub fn add_fragment(&mut self, spec: FragmentSpec) -> Result<String> {
+        self.frag_seq += 1;
+        let id = format!("F{}", self.frag_seq);
+        self.ensure_base();
+        let base = self.base.as_ref().unwrap();
+        let meta = materialize(&id, spec, base, &self.datasets, &self.stores)?;
+        self.catalog.add(meta);
+        Ok(id)
+    }
+
+    /// Drop a fragment and its physical artifacts.
+    pub fn drop_fragment(&mut self, id: &str) -> Result<FragmentMeta> {
+        let meta = self
+            .catalog
+            .remove(id)
+            .ok_or_else(|| Error::UnknownName(format!("fragment {id}")))?;
+        drop_fragment(&meta, &self.stores);
+        Ok(meta)
+    }
+
+    /// All registered fragments.
+    pub fn fragments(&self) -> &[FragmentMeta] {
+        self.catalog.fragments()
+    }
+
+    /// The SQL frontend's table catalog (relational datasets).
+    pub fn sql_catalog(&self) -> SqlCatalog {
+        let mut out = SqlCatalog::new();
+        for ds in self.datasets.values() {
+            if let DatasetContent::Relational(tables) = &ds.content {
+                for t in tables {
+                    out.insert(
+                        t.encoding.relation.as_str().to_string(),
+                        SqlTable {
+                            columns: t.encoding.columns.clone(),
+                            key_column: t.encoding.key.as_ref().and_then(|k| k.first().cloned()),
+                            has_text: !t.text_columns.is_empty(),
+                        },
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Run a mini-SQL query end to end.
+    pub fn query_sql(&mut self, sql: &str) -> Result<QueryResult> {
+        let parsed = parse_sql(sql, &self.sql_catalog())?;
+        self.query_cq(parsed.cq, parsed.head_names, parsed.residuals)
+    }
+
+    /// Run a document tree-pattern query end to end.
+    pub fn query_doc(&mut self, pattern: &TreePattern, select: &[&str]) -> Result<QueryResult> {
+        let parsed = doc_query(pattern, select)?;
+        self.query_cq(parsed.cq, parsed.head_names, Vec::new())
+    }
+
+    /// The core pipeline: pivot query → PACB rewriting → translation →
+    /// cost-based choice → execution → report.
+    pub fn query_cq(
+        &mut self,
+        cq: Cq,
+        head_names: Vec<String>,
+        residuals: Vec<Residual>,
+    ) -> Result<QueryResult> {
+        // 1. Rewriting under constraints.
+        let t0 = Instant::now();
+        let problem = RewriteProblem {
+            query: cq.clone(),
+            views: self.catalog.view_defs(),
+            source_constraints: self.schema.constraints.clone(),
+            target_constraints: Vec::new(),
+            access: self.catalog.access_map(),
+        };
+        let outcome = pacb_rewrite(&problem, &self.rewrite_cfg)?;
+        let rewrite_time = t0.elapsed();
+        if outcome.rewritings.is_empty() {
+            return Err(Error::NoRewriting {
+                query: format!("{cq}"),
+            });
+        }
+
+        // 2. Translate every rewriting; keep the cheapest executable one.
+        let t1 = Instant::now();
+        let mut alternatives: Vec<Alternative> = Vec::new();
+        let mut best: Option<(usize, Translation)> = None;
+        for rw in &outcome.rewritings {
+            match translate(
+                rw,
+                &head_names,
+                &residuals,
+                &self.catalog,
+                &self.stores,
+                &self.cost,
+            ) {
+                Ok(tr) => {
+                    let idx = alternatives.len();
+                    alternatives.push(Alternative {
+                        rewriting: format!("{rw}"),
+                        est_cost: Some(tr.est_cost),
+                        note: None,
+                    });
+                    let better = best
+                        .as_ref()
+                        .map(|(_, b)| tr.est_cost < b.est_cost)
+                        .unwrap_or(true);
+                    if better {
+                        best = Some((idx, tr));
+                    }
+                }
+                Err(e) => alternatives.push(Alternative {
+                    rewriting: format!("{rw}"),
+                    est_cost: None,
+                    note: Some(format!("{e}")),
+                }),
+            }
+        }
+        let translate_time = t1.elapsed();
+        let (chosen, translation) = best.ok_or_else(|| {
+            Error::Untranslatable(format!(
+                "none of the {} rewritings is executable",
+                outcome.rewritings.len()
+            ))
+        })?;
+
+        // 3. Execute, splitting metrics per store.
+        let before: Vec<_> = self.stores.metrics();
+        let (batch, exec) = execute(&translation.plan)?;
+        let after = self.stores.metrics();
+        let per_store = after
+            .iter()
+            .zip(&before)
+            .map(|((sys, a), (_, b))| (*sys, a.since(b)))
+            .collect();
+
+        for rel in &translation.used_relations {
+            self.catalog.record_use(*rel);
+        }
+
+        Ok(QueryResult {
+            columns: batch.columns.clone(),
+            rows: batch.rows,
+            report: Report {
+                pivot_query: format!("{cq}"),
+                universal_plan: format!("{}", outcome.universal_plan),
+                alternatives,
+                chosen,
+                plan: translation.plan.explain(),
+                delegated: translation.unit_labels,
+                per_store,
+                exec,
+                rewrite_time,
+                translate_time,
+                complete_search: outcome.complete,
+            },
+        })
+    }
+
+    /// Explain a SQL query without executing it: rewritings and costs.
+    pub fn explain_sql(&mut self, sql: &str) -> Result<Report> {
+        let parsed = parse_sql(sql, &self.sql_catalog())?;
+        let cq = parsed.cq;
+        let t0 = Instant::now();
+        let problem = RewriteProblem {
+            query: cq.clone(),
+            views: self.catalog.view_defs(),
+            source_constraints: self.schema.constraints.clone(),
+            target_constraints: Vec::new(),
+            access: self.catalog.access_map(),
+        };
+        let outcome = pacb_rewrite(&problem, &self.rewrite_cfg)?;
+        let rewrite_time = t0.elapsed();
+        let mut alternatives = Vec::new();
+        let mut chosen = 0usize;
+        let mut best_cost = f64::INFINITY;
+        let mut plan_text = String::from("(not executable)");
+        let mut delegated = Vec::new();
+        let t1 = Instant::now();
+        for rw in &outcome.rewritings {
+            match translate(
+                rw,
+                &parsed.head_names,
+                &parsed.residuals,
+                &self.catalog,
+                &self.stores,
+                &self.cost,
+            ) {
+                Ok(tr) => {
+                    if tr.est_cost < best_cost {
+                        best_cost = tr.est_cost;
+                        chosen = alternatives.len();
+                        plan_text = tr.plan.explain();
+                        delegated = tr.unit_labels.clone();
+                    }
+                    alternatives.push(Alternative {
+                        rewriting: format!("{rw}"),
+                        est_cost: Some(tr.est_cost),
+                        note: None,
+                    });
+                }
+                Err(e) => alternatives.push(Alternative {
+                    rewriting: format!("{rw}"),
+                    est_cost: None,
+                    note: Some(format!("{e}")),
+                }),
+            }
+        }
+        Ok(Report {
+            pivot_query: format!("{cq}"),
+            universal_plan: format!("{}", outcome.universal_plan),
+            alternatives,
+            chosen,
+            plan: plan_text,
+            delegated,
+            per_store: Vec::new(),
+            exec: Default::default(),
+            rewrite_time,
+            translate_time: t1.elapsed(),
+            complete_search: outcome.complete,
+        })
+    }
+
+    /// Ground-truth evaluation of a pivot CQ directly over the staged
+    /// dataset facts — the oracle used by tests and the advisor (not a
+    /// production query path).
+    pub fn oracle_eval(&mut self, cq: &Cq) -> Vec<Vec<estocada_pivot::Value>> {
+        self.ensure_base();
+        crate::materialize::evaluate_view(self.base.as_ref().unwrap(), cq)
+    }
+}

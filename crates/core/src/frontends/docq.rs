@@ -1,0 +1,82 @@
+//! Document frontend: tree-pattern queries over document datasets,
+//! translated into the pivot encoding (`Root`/`Child`/`Desc`/`Node`/`Val`
+//! atoms).
+
+use crate::error::{Error, Result};
+use estocada_pivot::encoding::document::TreePattern;
+use estocada_pivot::{Cq, Symbol, Term, Var};
+
+/// A parsed document query (same shape the SQL frontend produces).
+#[derive(Debug, Clone)]
+pub struct ParsedDocQuery {
+    /// The conjunctive core over the dataset's encoding relations.
+    pub cq: Cq,
+    /// Output column names (the selected binding names).
+    pub head_names: Vec<String>,
+}
+
+/// Translate a tree pattern with a selection of binding names into a pivot
+/// query. The pattern's collection must be the *dataset name* (the encoding
+/// prefix).
+pub fn doc_query(pattern: &TreePattern, select: &[&str]) -> Result<ParsedDocQuery> {
+    let mut next_var = 0u32;
+    let (atoms, bindings) = pattern.to_atoms(&mut next_var);
+    let mut head = Vec::new();
+    let mut head_names = Vec::new();
+    for s in select {
+        let term = bindings
+            .iter()
+            .find(|(name, _)| name == s)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| Error::UnknownName(format!("binding {s}")))?;
+        head.push(term);
+        head_names.push(s.to_string());
+    }
+    let mut cq = Cq::new(Symbol::intern("DQ"), head, atoms);
+    // Name bound variables after their bindings for readable EXPLAIN output.
+    let max_var = cq.var_space();
+    let mut names = vec![String::new(); max_var as usize];
+    for (name, t) in &bindings {
+        if let Term::Var(Var(i)) = t {
+            names[*i as usize] = name.clone();
+        }
+    }
+    for (i, n) in names.iter_mut().enumerate() {
+        if n.is_empty() {
+            *n = format!("n{i}");
+        }
+    }
+    cq.var_names = names;
+    Ok(ParsedDocQuery { cq, head_names })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estocada_pivot::encoding::document::{DocRelations, PatternStep};
+
+    #[test]
+    fn pattern_with_selection_translates() {
+        let p = TreePattern::new("Carts").with_step(
+            PatternStep::child("user")
+                .eq(7i64)
+                .with_child(PatternStep::descendant("sku").bind("s")),
+        );
+        let q = doc_query(&p, &["s"]).unwrap();
+        assert_eq!(q.head_names, vec!["s"]);
+        assert!(q.cq.is_safe());
+        let rels = DocRelations::for_collection("Carts");
+        assert!(q.cq.body.iter().any(|a| a.pred == rels.root));
+        assert!(q.cq.body.iter().any(|a| a.pred == rels.desc));
+    }
+
+    #[test]
+    fn unknown_binding_rejected() {
+        let p = TreePattern::new("Carts")
+            .with_step(PatternStep::child("user").bind("u"));
+        assert!(matches!(
+            doc_query(&p, &["ghost"]),
+            Err(Error::UnknownName(_))
+        ));
+    }
+}

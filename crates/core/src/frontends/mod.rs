@@ -1,0 +1,8 @@
+//! Native-language query frontends: each application dataset is queried in
+//! the language of its own data model and translated into the pivot model.
+
+pub mod docq;
+pub mod sql;
+
+pub use docq::{doc_query, ParsedDocQuery};
+pub use sql::{parse_sql, ParsedQuery, SqlCatalog, SqlTable};

@@ -1,0 +1,719 @@
+//! Mini-SQL frontend: conjunctive SELECT-FROM-WHERE blocks (plus
+//! `CONTAINS` full-text predicates), translated into the pivot model.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query    := SELECT sel (',' sel)* FROM tbl (',' tbl)* [WHERE cond (AND cond)*]
+//! sel      := alias '.' column
+//! tbl      := table alias
+//! cond     := ref op (const | ref)
+//!           | CONTAINS '(' alias '.' column ',' string ')'
+//! op       := '=' | '<>' | '<' | '<=' | '>' | '>='
+//! const    := integer | float | string
+//! ```
+//!
+//! Equality conditions fold into the conjunctive query (variable
+//! unification / constants in atoms); other comparisons become residual
+//! predicates carried alongside the rewriting.
+
+use crate::connector::{ResOp, Residual};
+use crate::error::{Error, Result};
+use estocada_pivot::{Atom, Cq, Symbol, Term, Value, Var};
+use std::collections::HashMap;
+
+/// Schema information the SQL frontend needs per table.
+#[derive(Debug, Clone)]
+pub struct SqlTable {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Key column (needed by `CONTAINS`, which joins through the key).
+    pub key_column: Option<String>,
+    /// Whether the table declared text columns (enables `CONTAINS`).
+    pub has_text: bool,
+}
+
+/// Table catalog for parsing.
+pub type SqlCatalog = HashMap<String, SqlTable>;
+
+/// A parsed query: pivot CQ + column names + residual comparisons.
+#[derive(Debug, Clone)]
+pub struct ParsedQuery {
+    /// The conjunctive core.
+    pub cq: Cq,
+    /// Output column names (`alias.column`).
+    pub head_names: Vec<String>,
+    /// Residual comparisons.
+    pub residuals: Vec<Residual>,
+}
+
+// ---------- Lexer ----------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Op(String),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Op("=".into()));
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Op("<=".into()));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(Tok::Op("<>".into()));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op("<".into()));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Op(">=".into()));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(">".into()));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(Error::Parse("unterminated string literal".into()));
+                }
+                i += 1;
+                out.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit() || (chars[i] == '.' && !is_float))
+                {
+                    // A '.' is part of the number only when followed by a digit
+                    // (so `t.c` never lexes as a float).
+                    if chars[i] == '.' {
+                        if chars.get(i + 1).map(|c| c.is_ascii_digit()) == Some(true) {
+                            is_float = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    out.push(Tok::Float(text.parse().map_err(|_| {
+                        Error::Parse(format!("bad float literal {text}"))
+                    })?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| {
+                        Error::Parse(format!("bad integer literal {text}"))
+                    })?));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(Error::Parse(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+// ---------- Parser ----------
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ColRefAst {
+    alias: String,
+    column: String,
+}
+
+#[derive(Debug, Clone)]
+enum CondAst {
+    Cmp(ColRefAst, String, RhsAst),
+    Contains(ColRefAst, String),
+}
+
+#[derive(Debug, Clone)]
+enum RhsAst {
+    Const(Value),
+    Col(ColRefAst),
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::Parse("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next()? {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(Error::Parse(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn colref(&mut self) -> Result<ColRefAst> {
+        let alias = self.ident()?;
+        match self.next()? {
+            Tok::Dot => {}
+            other => return Err(Error::Parse(format!("expected '.', found {other:?}"))),
+        }
+        let column = self.ident()?;
+        Ok(ColRefAst { alias, column })
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<()> {
+        let n = self.next()?;
+        if n == t {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {t:?}, found {n:?}")))
+        }
+    }
+}
+
+/// Parse `sql` against `catalog` into a pivot query.
+pub fn parse_sql(sql: &str, catalog: &SqlCatalog) -> Result<ParsedQuery> {
+    let mut p = Parser {
+        toks: lex(sql)?,
+        pos: 0,
+    };
+    p.keyword("SELECT")?;
+    let mut selects = vec![p.colref()?];
+    while p.peek() == Some(&Tok::Comma) {
+        p.next()?;
+        selects.push(p.colref()?);
+    }
+    p.keyword("FROM")?;
+    let mut tables: Vec<(String, String)> = Vec::new(); // (table, alias)
+    loop {
+        let table = p.ident()?;
+        let alias = p.ident()?;
+        tables.push((table, alias));
+        if p.peek() == Some(&Tok::Comma) {
+            p.next()?;
+        } else {
+            break;
+        }
+    }
+    let mut conds: Vec<CondAst> = Vec::new();
+    if p.at_keyword("WHERE") {
+        p.keyword("WHERE")?;
+        loop {
+            if p.at_keyword("CONTAINS") {
+                p.keyword("CONTAINS")?;
+                p.expect(Tok::LParen)?;
+                let c = p.colref()?;
+                p.expect(Tok::Comma)?;
+                let term = match p.next()? {
+                    Tok::Str(s) => s,
+                    other => {
+                        return Err(Error::Parse(format!(
+                            "CONTAINS needs a string term, found {other:?}"
+                        )))
+                    }
+                };
+                p.expect(Tok::RParen)?;
+                conds.push(CondAst::Contains(c, term));
+            } else {
+                let l = p.colref()?;
+                let op = match p.next()? {
+                    Tok::Op(o) => o,
+                    other => return Err(Error::Parse(format!("expected operator, found {other:?}"))),
+                };
+                let rhs = match p.peek() {
+                    Some(Tok::Int(_)) | Some(Tok::Float(_)) | Some(Tok::Str(_)) => {
+                        match p.next()? {
+                            Tok::Int(i) => RhsAst::Const(Value::Int(i)),
+                            Tok::Float(f) => RhsAst::Const(Value::Double(f)),
+                            Tok::Str(s) => RhsAst::Const(Value::str(s)),
+                            _ => unreachable!(),
+                        }
+                    }
+                    _ => RhsAst::Col(p.colref()?),
+                };
+                conds.push(CondAst::Cmp(l, op, rhs));
+            }
+            if p.at_keyword("AND") {
+                p.keyword("AND")?;
+            } else {
+                break;
+            }
+        }
+    }
+    if p.peek().is_some() {
+        return Err(Error::Parse(format!(
+            "trailing tokens after query: {:?}",
+            p.peek()
+        )));
+    }
+    build_cq(selects, tables, conds, catalog)
+}
+
+/// Union-find over (alias, column) cells plus constant binding.
+struct Cells {
+    parent: Vec<usize>,
+    constant: Vec<Option<Value>>,
+    index: HashMap<(String, String), usize>,
+}
+
+impl Cells {
+    fn new() -> Cells {
+        Cells {
+            parent: Vec::new(),
+            constant: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    fn cell(&mut self, alias: &str, col: &str) -> usize {
+        let key = (alias.to_string(), col.to_string());
+        if let Some(i) = self.index.get(&key) {
+            return *i;
+        }
+        let i = self.parent.len();
+        self.parent.push(i);
+        self.constant.push(None);
+        self.index.insert(key, i);
+        i
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> Result<()> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return Ok(());
+        }
+        let merged = match (&self.constant[ra], &self.constant[rb]) {
+            (Some(x), Some(y)) if x != y => {
+                return Err(Error::Parse(
+                    "contradictory equality constants in WHERE clause".into(),
+                ))
+            }
+            (Some(x), _) => Some(x.clone()),
+            (_, y) => y.clone(),
+        };
+        self.parent[rb] = ra;
+        self.constant[ra] = merged;
+        Ok(())
+    }
+
+    fn bind_const(&mut self, i: usize, v: Value) -> Result<()> {
+        let r = self.find(i);
+        match &self.constant[r] {
+            Some(existing) if *existing != v => Err(Error::Parse(
+                "contradictory equality constants in WHERE clause".into(),
+            )),
+            _ => {
+                self.constant[r] = Some(v);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn build_cq(
+    selects: Vec<ColRefAst>,
+    tables: Vec<(String, String)>,
+    conds: Vec<CondAst>,
+    catalog: &SqlCatalog,
+) -> Result<ParsedQuery> {
+    let alias_table: HashMap<String, String> = tables
+        .iter()
+        .map(|(t, a)| (a.clone(), t.clone()))
+        .collect();
+    let resolve = |c: &ColRefAst| -> Result<(String, String)> {
+        let table = alias_table
+            .get(&c.alias)
+            .ok_or_else(|| Error::UnknownName(format!("alias {}", c.alias)))?;
+        let info = catalog
+            .get(table)
+            .ok_or_else(|| Error::UnknownName(format!("table {table}")))?;
+        if !info.columns.contains(&c.column) {
+            return Err(Error::UnknownName(format!(
+                "column {}.{}",
+                table, c.column
+            )));
+        }
+        Ok((table.clone(), c.column.clone()))
+    };
+
+    let mut cells = Cells::new();
+    // Materialize every column cell of every alias.
+    for (table, alias) in &tables {
+        let info = catalog
+            .get(table)
+            .ok_or_else(|| Error::UnknownName(format!("table {table}")))?;
+        for col in &info.columns {
+            cells.cell(alias, col);
+        }
+    }
+
+    // First pass: fold equalities.
+    let mut residual_asts = Vec::new();
+    let mut contains_asts = Vec::new();
+    for cond in conds {
+        match cond {
+            CondAst::Cmp(l, op, rhs) if op == "=" => {
+                resolve(&l)?;
+                let li = cells.cell(&l.alias, &l.column);
+                match rhs {
+                    RhsAst::Const(v) => cells.bind_const(li, v)?,
+                    RhsAst::Col(r) => {
+                        resolve(&r)?;
+                        let ri = cells.cell(&r.alias, &r.column);
+                        cells.union(li, ri)?;
+                    }
+                }
+            }
+            CondAst::Cmp(l, op, rhs) => {
+                resolve(&l)?;
+                match rhs {
+                    RhsAst::Const(v) => residual_asts.push((l, op, v)),
+                    RhsAst::Col(_) => {
+                        return Err(Error::Parse(
+                            "non-equality column-column comparisons are not supported".into(),
+                        ))
+                    }
+                }
+            }
+            CondAst::Contains(c, term) => {
+                resolve(&c)?;
+                contains_asts.push((c, term));
+            }
+        }
+    }
+
+    // Assign variables per cell class without a constant.
+    let mut class_var: HashMap<usize, Var> = HashMap::new();
+    let mut var_names: Vec<String> = Vec::new();
+    let mut term_of = |cells: &mut Cells, alias: &str, col: &str| -> Term {
+        let i = cells.cell(alias, col);
+        let r = cells.find(i);
+        if let Some(c) = &cells.constant[r] {
+            return Term::Const(c.clone());
+        }
+        let next_id = class_var.len() as u32;
+        let v = *class_var.entry(r).or_insert_with(|| {
+            var_names.push(format!("{alias}_{col}"));
+            Var(next_id)
+        });
+        Term::Var(v)
+    };
+
+    // Body atoms.
+    let mut body = Vec::new();
+    for (table, alias) in &tables {
+        let info = &catalog[table];
+        let args: Vec<Term> = info
+            .columns
+            .iter()
+            .map(|col| term_of(&mut cells, alias, col))
+            .collect();
+        body.push(Atom::new(table.as_str(), args));
+    }
+    // CONTAINS atoms join through the table key.
+    for (c, term) in contains_asts {
+        let table = &alias_table[&c.alias];
+        let info = &catalog[table];
+        if !info.has_text {
+            return Err(Error::Parse(format!(
+                "table {table} has no text columns for CONTAINS"
+            )));
+        }
+        let key_col = info.key_column.as_ref().ok_or_else(|| {
+            Error::Parse(format!("table {table} needs a key for CONTAINS"))
+        })?;
+        let key_term = term_of(&mut cells, &c.alias, key_col);
+        // Terms are stored lowercase by the tokenizer.
+        let normalized = term.to_lowercase();
+        body.push(Atom::new(
+            crate::dataset::Dataset::terms_relation(table),
+            vec![Term::Const(Value::str(normalized)), key_term],
+        ));
+    }
+
+    // Head and residuals.
+    let mut head = Vec::new();
+    let mut head_names = Vec::new();
+    for s in &selects {
+        resolve(s)?;
+        head.push(term_of(&mut cells, &s.alias, &s.column));
+        head_names.push(format!("{}.{}", s.alias, s.column));
+    }
+    let mut residuals = Vec::new();
+    for (l, op, v) in residual_asts {
+        let t = term_of(&mut cells, &l.alias, &l.column);
+        let var = match t {
+            Term::Var(var) => var,
+            Term::Const(c) => {
+                // The column was pinned by an equality; evaluate statically.
+                let holds = match op.as_str() {
+                    "<" => c < v,
+                    "<=" => c <= v,
+                    ">" => c > v,
+                    ">=" => c >= v,
+                    "<>" => c != v,
+                    _ => unreachable!(),
+                };
+                if holds {
+                    continue;
+                }
+                return Err(Error::Parse(
+                    "WHERE clause is statically unsatisfiable".into(),
+                ));
+            }
+        };
+        let op = match op.as_str() {
+            "<" => ResOp::Lt,
+            "<=" => ResOp::Le,
+            ">" => ResOp::Gt,
+            ">=" => ResOp::Ge,
+            "<>" => ResOp::Ne,
+            other => return Err(Error::Parse(format!("unknown operator {other}"))),
+        };
+        residuals.push(Residual { var, op, value: v });
+    }
+
+    let mut cq = Cq::new(Symbol::intern("Q"), head, body);
+    cq.var_names = var_names;
+    Ok(ParsedQuery {
+        cq,
+        head_names,
+        residuals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> SqlCatalog {
+        let mut c = SqlCatalog::new();
+        c.insert(
+            "Users".into(),
+            SqlTable {
+                columns: vec!["uid".into(), "name".into(), "tier".into()],
+                key_column: Some("uid".into()),
+                has_text: false,
+            },
+        );
+        c.insert(
+            "Orders".into(),
+            SqlTable {
+                columns: vec!["oid".into(), "uid".into(), "total".into()],
+                key_column: Some("oid".into()),
+                has_text: false,
+            },
+        );
+        c.insert(
+            "Products".into(),
+            SqlTable {
+                columns: vec!["pid".into(), "title".into()],
+                key_column: Some("pid".into()),
+                has_text: true,
+            },
+        );
+        c
+    }
+
+    #[test]
+    fn single_table_with_constant() {
+        let p = parse_sql(
+            "SELECT u.name FROM Users u WHERE u.uid = 7",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(p.cq.body.len(), 1);
+        assert_eq!(p.cq.body[0].args[0], Term::Const(Value::Int(7)));
+        assert_eq!(p.head_names, vec!["u.name"]);
+        assert!(p.residuals.is_empty());
+        assert!(p.cq.is_safe());
+    }
+
+    #[test]
+    fn join_unifies_variables() {
+        let p = parse_sql(
+            "SELECT u.name, o.total FROM Users u, Orders o WHERE u.uid = o.uid",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(p.cq.body.len(), 2);
+        // Users.uid (pos 0) and Orders.uid (pos 1) share one variable.
+        assert_eq!(p.cq.body[0].args[0], p.cq.body[1].args[1]);
+    }
+
+    #[test]
+    fn range_predicate_becomes_residual() {
+        let p = parse_sql(
+            "SELECT o.oid FROM Orders o WHERE o.total > 100",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(p.residuals.len(), 1);
+        assert_eq!(p.residuals[0].op, ResOp::Gt);
+        assert_eq!(p.residuals[0].value, Value::Int(100));
+    }
+
+    #[test]
+    fn contains_adds_terms_atom() {
+        let p = parse_sql(
+            "SELECT p.pid FROM Products p WHERE CONTAINS(p.title, 'Mouse')",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(p.cq.body.len(), 2);
+        let terms_atom = &p.cq.body[1];
+        assert_eq!(
+            terms_atom.args[0],
+            Term::Const(Value::str("mouse")) // normalized
+        );
+        // Joined through the key variable.
+        assert_eq!(terms_atom.args[1], p.cq.body[0].args[0]);
+    }
+
+    #[test]
+    fn string_and_float_literals() {
+        let p = parse_sql(
+            "SELECT u.uid FROM Users u WHERE u.tier = 'gold' AND u.uid >= 1.5",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(p.cq.body[0].args[2], Term::Const(Value::str("gold")));
+        assert_eq!(p.residuals[0].value, Value::Double(1.5));
+    }
+
+    #[test]
+    fn contradictory_equalities_rejected() {
+        let r = parse_sql(
+            "SELECT u.uid FROM Users u WHERE u.uid = 1 AND u.uid = 2",
+            &catalog(),
+        );
+        assert!(matches!(r, Err(Error::Parse(_))));
+    }
+
+    #[test]
+    fn unknown_table_and_column_rejected() {
+        assert!(matches!(
+            parse_sql("SELECT x.a FROM Ghost x", &catalog()),
+            Err(Error::UnknownName(_))
+        ));
+        assert!(matches!(
+            parse_sql("SELECT u.ghost FROM Users u", &catalog()),
+            Err(Error::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn static_residual_on_pinned_constant() {
+        // uid pinned to 7 and 7 > 5 holds: residual disappears.
+        let p = parse_sql(
+            "SELECT u.name FROM Users u WHERE u.uid = 7 AND u.uid > 5",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(p.residuals.is_empty());
+        // 7 > 9 fails statically.
+        assert!(parse_sql(
+            "SELECT u.name FROM Users u WHERE u.uid = 7 AND u.uid > 9",
+            &catalog(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn self_join_with_two_aliases() {
+        let p = parse_sql(
+            "SELECT a.uid, b.uid FROM Users a, Users b WHERE a.tier = b.tier",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(p.cq.body.len(), 2);
+        assert_eq!(p.cq.body[0].args[2], p.cq.body[1].args[2]);
+        assert_ne!(p.cq.body[0].args[0], p.cq.body[1].args[0]);
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_sql("SELECT u.uid FROM Users u garbage", &catalog()).is_err());
+    }
+}

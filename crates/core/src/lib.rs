@@ -1,0 +1,40 @@
+//! # estocada
+//!
+//! A reproduction of **ESTOCADA** (Bugiotti et al., ICDE 2016): a flexible
+//! hybrid-store mediator that stores one application dataset as a set of
+//! possibly overlapping fragments across heterogeneous DMSs — relational,
+//! key-value, document, full-text, parallel nested-relational — while the
+//! application keeps querying in the native language of each dataset.
+//!
+//! Internally every fragment is a materialized view described in a
+//! relational pivot model with constraints; query answering is view-based
+//! rewriting with the provenance-aware Chase & Backchase (`estocada-chase`),
+//! translated back into native subqueries per store plus a residual plan
+//! executed by the nested-relational runtime (`estocada-engine`).
+//!
+//! Entry point: [`Estocada`].
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod catalog;
+pub mod connector;
+pub mod cost;
+pub mod dataset;
+pub mod error;
+pub mod evaluator;
+pub mod frontends;
+pub mod materialize;
+pub mod report;
+pub mod system;
+pub mod translate;
+
+pub use advisor::{recommend, recommend_under_budget, Action, Recommendation, WorkloadQuery};
+pub use catalog::{Catalog, FragmentMeta, FragmentSpec};
+pub use connector::{ResOp, Residual};
+pub use cost::CostModel;
+pub use dataset::{Dataset, DatasetContent, DocData, TableData};
+pub use error::{Error, Result};
+pub use evaluator::Estocada;
+pub use report::{QueryResult, Report};
+pub use system::{Latencies, Stores, SystemId};

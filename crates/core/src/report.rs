@@ -1,0 +1,97 @@
+//! Execution reports: what the demo shows after running a query — the
+//! chosen rewriting, the executable plan, and performance statistics split
+//! across the underlying DMSs and the ESTOCADA runtime.
+
+use crate::system::SystemId;
+use estocada_engine::ExecStats;
+use estocada_simkit::MetricsSnapshot;
+use std::fmt;
+use std::time::Duration;
+
+/// A considered rewriting alternative with its estimated cost.
+#[derive(Debug, Clone)]
+pub struct Alternative {
+    /// The rewriting as text.
+    pub rewriting: String,
+    /// Estimated cost (abstract units); `None` when untranslatable.
+    pub est_cost: Option<f64>,
+    /// Why translation failed, when it did.
+    pub note: Option<String>,
+}
+
+/// Full report of one query execution.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The query in pivot form.
+    pub pivot_query: String,
+    /// The universal plan computed by the chase.
+    pub universal_plan: String,
+    /// All rewritings considered.
+    pub alternatives: Vec<Alternative>,
+    /// Index of the chosen alternative.
+    pub chosen: usize,
+    /// EXPLAIN text of the executed plan.
+    pub plan: String,
+    /// Labels of delegated units.
+    pub delegated: Vec<String>,
+    /// Per-store metrics deltas for this query.
+    pub per_store: Vec<(SystemId, MetricsSnapshot)>,
+    /// Engine counters.
+    pub exec: ExecStats,
+    /// Time spent in PACB rewriting.
+    pub rewrite_time: Duration,
+    /// Time spent translating and costing.
+    pub translate_time: Duration,
+    /// Whether the rewriting search was provably complete.
+    pub complete_search: bool,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pivot query:    {}", self.pivot_query)?;
+        writeln!(f, "universal plan: {}", self.universal_plan)?;
+        writeln!(f, "rewritings considered: {}", self.alternatives.len())?;
+        for (i, a) in self.alternatives.iter().enumerate() {
+            let marker = if i == self.chosen { "→" } else { " " };
+            match (&a.est_cost, &a.note) {
+                (Some(c), _) => writeln!(f, " {marker} [cost {c:10.1}] {}", a.rewriting)?,
+                (None, Some(n)) => writeln!(f, " {marker} [skipped: {n}] {}", a.rewriting)?,
+                (None, None) => writeln!(f, " {marker} [skipped] {}", a.rewriting)?,
+            }
+        }
+        writeln!(f, "plan:")?;
+        for line in self.plan.lines() {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(
+            f,
+            "times: rewrite {:?}, translate {:?}, execute {:?} (runtime {:?} / stores {:?})",
+            self.rewrite_time,
+            self.translate_time,
+            self.exec.total_time,
+            self.exec.runtime_time(),
+            self.exec.delegated_time,
+        )?;
+        for (sys, m) in &self.per_store {
+            if m.requests > 0 {
+                writeln!(
+                    f,
+                    "  {sys}: {} requests, {} tuples out, {} scanned, busy {:?}",
+                    m.requests, m.tuples_out, m.tuples_scanned, m.busy
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The rows of a query result plus its report.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<estocada_pivot::Value>>,
+    /// Execution report.
+    pub report: Report,
+}

@@ -1,0 +1,194 @@
+//! The underlying DMS instances the mediator drives.
+
+use estocada_docstore::DocStore;
+use estocada_kvstore::KvStore;
+use estocada_parstore::ParStore;
+use estocada_relstore::RelStore;
+use estocada_simkit::{LatencyModel, MetricsSnapshot};
+use estocada_textstore::TextStore;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies a kind of underlying store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SystemId {
+    /// Relational store (Postgres stand-in).
+    Relational,
+    /// Key-value store (Redis/Voldemort stand-in).
+    KeyValue,
+    /// Document store (MongoDB stand-in).
+    Document,
+    /// Full-text store (SOLR stand-in).
+    Text,
+    /// Parallel nested-relational store (Spark stand-in).
+    Parallel,
+}
+
+impl fmt::Display for SystemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SystemId::Relational => "relational",
+            SystemId::KeyValue => "key-value",
+            SystemId::Document => "document",
+            SystemId::Text => "text",
+            SystemId::Parallel => "parallel",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Per-system latency configuration for a deployment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Latencies {
+    /// Relational store latency.
+    pub relational: LatencyModel,
+    /// Key-value store latency.
+    pub key_value: LatencyModel,
+    /// Document store latency.
+    pub document: LatencyModel,
+    /// Text store latency.
+    pub text: LatencyModel,
+    /// Parallel store latency.
+    pub parallel: LatencyModel,
+}
+
+impl Latencies {
+    /// All-zero latencies (unit tests).
+    pub fn zero() -> Latencies {
+        Latencies::default()
+    }
+
+    /// `true` when every model is zero (no simulated latency).
+    pub fn is_zero(&self) -> bool {
+        [
+            self.relational,
+            self.key_value,
+            self.document,
+            self.text,
+            self.parallel,
+        ]
+        .iter()
+        .all(|m| *m == LatencyModel::ZERO)
+    }
+
+    /// A calibration mimicking typical same-datacenter deployments of the
+    /// real systems (documented in EXPERIMENTS.md): the key-value store has
+    /// the cheapest per-request cost; the document store pays more per
+    /// request and per returned document; the relational store pays a
+    /// query-parse/plan overhead per request; the parallel store pays a
+    /// job-dispatch overhead per request but little per tuple.
+    pub fn datacenter() -> Latencies {
+        Latencies {
+            relational: LatencyModel {
+                per_request_ns: 120_000,
+                per_tuple_ns: 250,
+                per_byte_ns: 1,
+                per_scan_ns: 150,
+            },
+            key_value: LatencyModel {
+                per_request_ns: 25_000,
+                per_tuple_ns: 100,
+                per_byte_ns: 1,
+                per_scan_ns: 0,
+            },
+            document: LatencyModel {
+                per_request_ns: 90_000,
+                per_tuple_ns: 600,
+                per_byte_ns: 2,
+                per_scan_ns: 400,
+            },
+            text: LatencyModel {
+                per_request_ns: 80_000,
+                per_tuple_ns: 200,
+                per_byte_ns: 1,
+                per_scan_ns: 50,
+            },
+            parallel: LatencyModel {
+                per_request_ns: 900_000,
+                per_tuple_ns: 60,
+                per_byte_ns: 1,
+                per_scan_ns: 40,
+            },
+        }
+    }
+
+    /// The model of one system.
+    pub fn of(&self, id: SystemId) -> LatencyModel {
+        match id {
+            SystemId::Relational => self.relational,
+            SystemId::KeyValue => self.key_value,
+            SystemId::Document => self.document,
+            SystemId::Text => self.text,
+            SystemId::Parallel => self.parallel,
+        }
+    }
+}
+
+/// The set of store instances of one deployment.
+#[derive(Clone)]
+pub struct Stores {
+    /// Relational store.
+    pub rel: Arc<RelStore>,
+    /// Key-value store.
+    pub kv: Arc<KvStore>,
+    /// Document store.
+    pub doc: Arc<DocStore>,
+    /// Full-text store.
+    pub text: Arc<TextStore>,
+    /// Parallel store.
+    pub par: Arc<ParStore>,
+}
+
+impl Stores {
+    /// Instantiate all five stores with the given latencies.
+    pub fn new(latencies: Latencies) -> Stores {
+        Stores {
+            rel: Arc::new(RelStore::with_latency(latencies.relational)),
+            kv: Arc::new(KvStore::with_latency(latencies.key_value)),
+            doc: Arc::new(DocStore::with_latency(latencies.document)),
+            text: Arc::new(TextStore::with_latency(latencies.text)),
+            par: Arc::new(ParStore::with_latency(latencies.parallel)),
+        }
+    }
+
+    /// Snapshot every store's metrics.
+    pub fn metrics(&self) -> Vec<(SystemId, MetricsSnapshot)> {
+        vec![
+            (SystemId::Relational, self.rel.metrics.snapshot()),
+            (SystemId::KeyValue, self.kv.metrics.snapshot()),
+            (SystemId::Document, self.doc.metrics.snapshot()),
+            (SystemId::Text, self.text.metrics.snapshot()),
+            (SystemId::Parallel, self.par.metrics.snapshot()),
+        ]
+    }
+
+    /// Reset every store's metrics.
+    pub fn reset_metrics(&self) {
+        self.rel.metrics.reset();
+        self.kv.metrics.reset();
+        self.doc.metrics.reset();
+        self.text.metrics.reset();
+        self.par.metrics.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datacenter_calibration_orders_request_costs() {
+        let l = Latencies::datacenter();
+        assert!(l.key_value.per_request_ns < l.document.per_request_ns);
+        assert!(l.document.per_request_ns < l.parallel.per_request_ns);
+        assert_eq!(l.of(SystemId::KeyValue), l.key_value);
+    }
+
+    #[test]
+    fn stores_construct_and_snapshot() {
+        let s = Stores::new(Latencies::zero());
+        let m = s.metrics();
+        assert_eq!(m.len(), 5);
+        assert!(m.iter().all(|(_, snap)| snap.requests == 0));
+    }
+}

@@ -1,0 +1,362 @@
+//! End-to-end pipeline tests: datasets → fragments → native queries →
+//! PACB rewriting → translation → execution, checked against the
+//! ground-truth oracle.
+
+use estocada::{Dataset, DocData, Estocada, FragmentSpec, TableData};
+use estocada_pivot::encoding::document::{PatternStep, TreePattern};
+use estocada_pivot::encoding::relational::TableEncoding;
+use estocada_pivot::{CqBuilder, Value};
+
+fn marketplace() -> Estocada {
+    let mut est = Estocada::in_memory();
+    est.register_dataset(Dataset::relational(
+        "sales",
+        vec![
+            TableData {
+                encoding: TableEncoding::new("Users", &["uid", "name", "tier"], Some(&["uid"])),
+                rows: (0..50)
+                    .map(|i| {
+                        vec![
+                            Value::Int(i),
+                            Value::str(format!("user{i}")),
+                            Value::str(if i % 5 == 0 { "gold" } else { "free" }),
+                        ]
+                    })
+                    .collect(),
+                text_columns: vec![],
+            },
+            TableData {
+                encoding: TableEncoding::new(
+                    "Orders",
+                    &["oid", "uid", "sku", "total"],
+                    Some(&["oid"]),
+                ),
+                rows: (0..200)
+                    .map(|i| {
+                        vec![
+                            Value::Int(i),
+                            Value::Int(i % 50),
+                            Value::str(format!("sku{}", i % 20)),
+                            Value::Int((i * 7) % 100),
+                        ]
+                    })
+                    .collect(),
+                text_columns: vec![],
+            },
+            TableData {
+                encoding: TableEncoding::new("Products", &["pid", "title"], Some(&["pid"])),
+                rows: vec![
+                    vec![Value::Int(1), Value::str("Wireless Mouse Pro")],
+                    vec![Value::Int(2), Value::str("Mechanical Keyboard")],
+                    vec![Value::Int(3), Value::str("Wireless Keyboard Combo")],
+                ],
+                text_columns: vec!["title".into()],
+            },
+        ],
+    ));
+    est.register_dataset(Dataset::documents(
+        "Carts",
+        (0..30)
+            .map(|i| DocData {
+                id: Value::Id(i),
+                name: format!("cart{i}"),
+                body: Value::object_owned([
+                    ("user".to_string(), Value::Int(i as i64 % 50)),
+                    (
+                        "items".to_string(),
+                        Value::array((0..(i % 4)).map(|j| {
+                            Value::object([("sku", Value::str(format!("sku{j}")))])
+                        })),
+                    ),
+                ]),
+            })
+            .collect(),
+    ));
+    est
+}
+
+#[test]
+fn sql_point_query_over_native_tables() {
+    let mut est = marketplace();
+    est.add_fragment(FragmentSpec::NativeTables {
+        dataset: "sales".into(),
+        only: None,
+    })
+    .unwrap();
+    let r = est
+        .query_sql("SELECT u.name FROM Users u WHERE u.uid = 7")
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::str("user7")]]);
+    assert_eq!(r.columns, vec!["u.name"]);
+    // The whole query was delegated to the relational store.
+    assert_eq!(r.report.delegated.len(), 1);
+    assert!(r.report.delegated[0].starts_with("relational:"));
+}
+
+#[test]
+fn sql_join_delegated_as_one_block() {
+    let mut est = marketplace();
+    est.add_fragment(FragmentSpec::NativeTables {
+        dataset: "sales".into(),
+        only: None,
+    })
+    .unwrap();
+    let r = est
+        .query_sql(
+            "SELECT u.name, o.total FROM Users u, Orders o \
+             WHERE u.uid = o.uid AND u.tier = 'gold' AND o.total > 50",
+        )
+        .unwrap();
+    // Oracle: DISTINCT (name, total) of orders of gold users with
+    // total > 50 (the pivot model has set semantics).
+    let expected: std::collections::HashSet<(i64, i64)> = (0..200i64)
+        .filter(|i| (i % 50) % 5 == 0 && (i * 7) % 100 > 50)
+        .map(|i| (i % 50, (i * 7) % 100))
+        .collect();
+    assert_eq!(r.rows.len(), expected.len());
+    assert_eq!(r.report.delegated.len(), 1, "largest delegable subquery");
+}
+
+#[test]
+fn kv_fragment_wins_for_point_lookups() {
+    let mut est = marketplace();
+    est.add_fragment(FragmentSpec::NativeTables {
+        dataset: "sales".into(),
+        only: None,
+    })
+    .unwrap();
+    est.add_fragment(FragmentSpec::KeyValue {
+        view: CqBuilder::new("UserKV")
+            .head_vars(["uid", "name", "tier"])
+            .atom("Users", |a| a.v("uid").v("name").v("tier"))
+            .build(),
+    })
+    .unwrap();
+    let r = est
+        .query_sql("SELECT u.name FROM Users u WHERE u.uid = 7")
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::str("user7")]]);
+    // Both rewritings considered; the KV one must win on cost.
+    assert!(r.report.alternatives.len() >= 2);
+    assert!(
+        r.report.delegated[0].starts_with("key-value:"),
+        "expected the key-value fragment to win, got {:?}",
+        r.report.delegated
+    );
+    // And the KV store actually served it.
+    let kv = r
+        .report
+        .per_store
+        .iter()
+        .find(|(s, _)| *s == estocada::SystemId::KeyValue)
+        .unwrap();
+    assert_eq!(kv.1.requests, 1);
+}
+
+#[test]
+fn doc_pattern_query_over_native_documents() {
+    let mut est = marketplace();
+    est.add_fragment(FragmentSpec::NativeDoc {
+        dataset: "Carts".into(),
+    })
+    .unwrap();
+    let pattern = TreePattern::new("Carts").with_step(
+        PatternStep::child("user")
+            .eq(Value::Int(7))
+            // sku values live under items/$item/sku; descendant reaches them.
+    );
+    let pattern = {
+        let mut p = pattern;
+        p.steps.push(PatternStep::descendant("sku").bind("s"));
+        p
+    };
+    let r = est.query_doc(&pattern, &["s"]).unwrap();
+    // Cart 7 has 7 % 4 = 3 items: sku0, sku1, sku2.
+    let mut skus: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| row[0].as_str().unwrap().to_string())
+        .collect();
+    skus.sort();
+    assert_eq!(skus, vec!["sku0", "sku1", "sku2"]);
+    assert!(r.report.delegated[0].starts_with("document: TREE-QUERY"));
+}
+
+#[test]
+fn cross_model_join_runs_in_mediator_runtime() {
+    let mut est = marketplace();
+    est.add_fragment(FragmentSpec::NativeTables {
+        dataset: "sales".into(),
+        only: None,
+    })
+    .unwrap();
+    est.add_fragment(FragmentSpec::NativeDoc {
+        dataset: "Carts".into(),
+    })
+    .unwrap();
+    // Pivot query joining relational Users with document Carts on user id.
+    let q = {
+        let mut next = 0u32;
+        let pattern = TreePattern::new("Carts")
+            .with_step(PatternStep::child("user").bind("u"))
+            .with_step(PatternStep::descendant("sku").bind("s"));
+        let (mut atoms, bindings) = pattern.to_atoms(&mut next);
+        let u_var = bindings[0].1.clone();
+        let s_var = bindings[1].1.clone();
+        // Users(u, name, 'gold')
+        let name_var = estocada_pivot::Term::var(next);
+        atoms.push(estocada_pivot::Atom::new(
+            "Users",
+            vec![
+                u_var,
+                name_var.clone(),
+                estocada_pivot::Term::constant("gold"),
+            ],
+        ));
+        estocada_pivot::Cq::new("CrossQ", vec![name_var, s_var], atoms)
+    };
+    let r = est
+        .query_cq(q, vec!["name".into(), "sku".into()], vec![])
+        .unwrap();
+    // Oracle: carts of gold users (uid % 5 == 0, uid < 30) with i % 4 > 0 items.
+    let expected: usize = (0..30u64)
+        .filter(|i| (i % 50) % 5 == 0)
+        .map(|i| (i % 4) as usize)
+        .sum();
+    assert_eq!(r.rows.len(), expected);
+    // Two systems participated.
+    assert!(r.report.delegated.len() >= 2);
+}
+
+#[test]
+fn full_text_contains_query() {
+    let mut est = marketplace();
+    est.add_fragment(FragmentSpec::NativeTables {
+        dataset: "sales".into(),
+        only: None,
+    })
+    .unwrap();
+    est.add_fragment(FragmentSpec::TextIndex {
+        table: "Products".into(),
+    })
+    .unwrap();
+    let r = est
+        .query_sql("SELECT p.title FROM Products p WHERE CONTAINS(p.title, 'wireless')")
+        .unwrap();
+    let mut titles: Vec<String> = r
+        .rows
+        .iter()
+        .map(|row| row[0].as_str().unwrap().to_string())
+        .collect();
+    titles.sort();
+    assert_eq!(
+        titles,
+        vec!["Wireless Keyboard Combo", "Wireless Mouse Pro"]
+    );
+    assert!(r
+        .report
+        .delegated
+        .iter()
+        .any(|l| l.starts_with("text: SEARCH")));
+}
+
+#[test]
+fn no_rewriting_without_fragments() {
+    let mut est = marketplace();
+    let r = est.query_sql("SELECT u.name FROM Users u WHERE u.uid = 7");
+    assert!(matches!(r, Err(estocada::Error::NoRewriting { .. })));
+}
+
+#[test]
+fn kv_only_catalog_cannot_answer_scans() {
+    let mut est = marketplace();
+    est.add_fragment(FragmentSpec::KeyValue {
+        view: CqBuilder::new("UserKV2")
+            .head_vars(["uid", "name", "tier"])
+            .atom("Users", |a| a.v("uid").v("name").v("tier"))
+            .build(),
+    })
+    .unwrap();
+    // Point lookup: fine.
+    assert!(est
+        .query_sql("SELECT u.name FROM Users u WHERE u.uid = 3")
+        .is_ok());
+    // Full scan: infeasible under the access pattern.
+    let r = est.query_sql("SELECT u.name FROM Users u");
+    assert!(r.is_err());
+}
+
+#[test]
+fn drop_fragment_changes_plans() {
+    let mut est = marketplace();
+    est.add_fragment(FragmentSpec::NativeTables {
+        dataset: "sales".into(),
+        only: None,
+    })
+    .unwrap();
+    let kv_id = est
+        .add_fragment(FragmentSpec::KeyValue {
+            view: CqBuilder::new("UserKV3")
+                .head_vars(["uid", "name", "tier"])
+                .atom("Users", |a| a.v("uid").v("name").v("tier"))
+                .build(),
+        })
+        .unwrap();
+    let r1 = est
+        .query_sql("SELECT u.name FROM Users u WHERE u.uid = 7")
+        .unwrap();
+    assert!(r1.report.delegated[0].starts_with("key-value:"));
+    est.drop_fragment(&kv_id).unwrap();
+    let r2 = est
+        .query_sql("SELECT u.name FROM Users u WHERE u.uid = 7")
+        .unwrap();
+    assert!(r2.report.delegated[0].starts_with("relational:"));
+    assert_eq!(r1.rows, r2.rows);
+}
+
+#[test]
+fn materialized_join_fragment_answers_join_query() {
+    let mut est = marketplace();
+    // Only the materialized join fragment is available: the rewriting must
+    // go through it (single indexed parallel lookup).
+    est.add_fragment(FragmentSpec::ParRows {
+        view: CqBuilder::new("UserOrders")
+            .head_vars(["uid", "name", "sku", "total"])
+            .atom("Users", |a| a.v("uid").v("name").v("tier"))
+            .atom("Orders", |a| a.v("oid").v("uid").v("sku").v("total"))
+            .build(),
+        index_on: vec!["uid".into()],
+        partitions: 2,
+    })
+    .unwrap();
+    let r = est
+        .query_sql(
+            "SELECT u.name, o.total FROM Users u, Orders o WHERE u.uid = o.uid AND u.uid = 7",
+        )
+        .unwrap();
+    // Distinct (name, total) pairs for user 7: orders 7,57,107,157 give
+    // totals 49,99,49,99 → two distinct pairs under set semantics.
+    assert_eq!(r.rows.len(), 2);
+    assert!(
+        r.report.delegated[0].starts_with("parallel: LOOKUP"),
+        "got {:?}",
+        r.report.delegated
+    );
+}
+
+#[test]
+fn explain_reports_alternatives_without_executing() {
+    let mut est = marketplace();
+    est.add_fragment(FragmentSpec::NativeTables {
+        dataset: "sales".into(),
+        only: None,
+    })
+    .unwrap();
+    let before = est.stores.rel.metrics.snapshot().requests;
+    let report = est
+        .explain_sql("SELECT u.name FROM Users u WHERE u.uid = 7")
+        .unwrap();
+    assert!(!report.alternatives.is_empty());
+    assert!(report.plan.contains("Delegated"));
+    assert_eq!(est.stores.rel.metrics.snapshot().requests, before);
+}

@@ -1,0 +1,142 @@
+//! Find-style filters: conjunctions of per-path conditions.
+
+use crate::path::eval_path;
+use estocada_pivot::Value;
+
+/// A condition on one path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// Some value reached by the path equals the constant.
+    Eq(Value),
+    /// Some value compares `<` the constant.
+    Lt(Value),
+    /// Some value compares `<=` the constant.
+    Le(Value),
+    /// Some value compares `>` the constant.
+    Gt(Value),
+    /// Some value compares `>=` the constant.
+    Ge(Value),
+    /// The path reaches at least one value.
+    Exists,
+}
+
+impl Cond {
+    fn matches(&self, v: &Value) -> bool {
+        match self {
+            Cond::Eq(c) => v == c,
+            Cond::Lt(c) => v < c,
+            Cond::Le(c) => v <= c,
+            Cond::Gt(c) => v > c,
+            Cond::Ge(c) => v >= c,
+            Cond::Exists => true,
+        }
+    }
+}
+
+/// A conjunctive filter: every clause must match (each clause is satisfied
+/// when *some* value reached by its path matches — array semantics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Filter {
+    /// `(path, condition)` clauses.
+    pub clauses: Vec<(String, Cond)>,
+}
+
+impl Filter {
+    /// The empty filter (matches everything).
+    pub fn all() -> Filter {
+        Filter::default()
+    }
+
+    /// Add an equality clause (builder style).
+    pub fn eq(mut self, path: &str, v: impl Into<Value>) -> Self {
+        self.clauses.push((path.to_string(), Cond::Eq(v.into())));
+        self
+    }
+
+    /// Add a comparison clause (builder style).
+    pub fn cond(mut self, path: &str, c: Cond) -> Self {
+        self.clauses.push((path.to_string(), c));
+        self
+    }
+
+    /// Does `doc` satisfy the filter?
+    pub fn matches(&self, doc: &Value) -> bool {
+        self.clauses
+            .iter()
+            .all(|(path, cond)| eval_path(doc, path).iter().any(|v| cond.matches(v)))
+    }
+
+    /// The path of the first equality clause, if any — the index
+    /// opportunity.
+    pub fn first_eq(&self) -> Option<(&str, &Value)> {
+        self.clauses.iter().find_map(|(p, c)| match c {
+            Cond::Eq(v) => Some((p.as_str(), v)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Value {
+        Value::object([
+            ("user", Value::Int(7)),
+            ("total", Value::Double(99.5)),
+            (
+                "items",
+                Value::array([
+                    Value::object([("sku", Value::str("a"))]),
+                    Value::object([("sku", Value::str("b"))]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn equality_on_scalar() {
+        assert!(Filter::all().eq("user", 7i64).matches(&doc()));
+        assert!(!Filter::all().eq("user", 8i64).matches(&doc()));
+    }
+
+    #[test]
+    fn array_membership_semantics() {
+        assert!(Filter::all().eq("items.sku", "b").matches(&doc()));
+        assert!(!Filter::all().eq("items.sku", "z").matches(&doc()));
+    }
+
+    #[test]
+    fn range_conditions() {
+        assert!(Filter::all()
+            .cond("total", Cond::Gt(Value::Double(50.0)))
+            .matches(&doc()));
+        assert!(!Filter::all()
+            .cond("total", Cond::Lt(Value::Double(50.0)))
+            .matches(&doc()));
+    }
+
+    #[test]
+    fn exists_condition() {
+        assert!(Filter::all().cond("user", Cond::Exists).matches(&doc()));
+        assert!(!Filter::all().cond("ghost", Cond::Exists).matches(&doc()));
+    }
+
+    #[test]
+    fn conjunction_requires_all_clauses() {
+        let f = Filter::all().eq("user", 7i64).eq("items.sku", "a");
+        assert!(f.matches(&doc()));
+        let f2 = Filter::all().eq("user", 7i64).eq("items.sku", "z");
+        assert!(!f2.matches(&doc()));
+    }
+
+    #[test]
+    fn first_eq_finds_index_opportunity() {
+        let f = Filter::all()
+            .cond("total", Cond::Gt(Value::Int(1)))
+            .eq("user", 7i64);
+        let (p, v) = f.first_eq().unwrap();
+        assert_eq!(p, "user");
+        assert_eq!(v, &Value::Int(7));
+    }
+}

@@ -1,0 +1,81 @@
+//! Dotted path expressions over documents.
+
+use estocada_pivot::Value;
+
+/// Evaluate a dotted path (`"user.address.city"`) on a document. Arrays are
+/// traversed implicitly: if a segment hits an array, the path descends into
+/// every element (MongoDB semantics) and all reached values are returned.
+pub fn eval_path<'a>(doc: &'a Value, path: &str) -> Vec<&'a Value> {
+    let mut current = vec![doc];
+    for seg in path.split('.') {
+        let mut next = Vec::new();
+        for v in current {
+            match v {
+                Value::Object(m) => {
+                    if let Some(x) = m.get(seg) {
+                        next.push(x);
+                    }
+                }
+                Value::Array(items) => {
+                    for item in items.iter() {
+                        if let Some(x) = item.get(seg) {
+                            next.push(x);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+/// First value reached by the path, if any.
+pub fn eval_path_first<'a>(doc: &'a Value, path: &str) -> Option<&'a Value> {
+    eval_path(doc, path).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Value {
+        Value::object([
+            ("user", Value::object([("id", Value::Int(7))])),
+            (
+                "items",
+                Value::array([
+                    Value::object([("sku", Value::str("a"))]),
+                    Value::object([("sku", Value::str("b"))]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn nested_object_path() {
+        assert_eq!(eval_path_first(&doc(), "user.id"), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn array_paths_fan_out() {
+        let d = doc();
+        let vs = eval_path(&d, "items.sku");
+        assert_eq!(vs, vec![&Value::str("a"), &Value::str("b")]);
+    }
+
+    #[test]
+    fn missing_path_is_empty() {
+        assert!(eval_path(&doc(), "user.missing.deep").is_empty());
+        assert!(eval_path(&doc(), "nope").is_empty());
+    }
+
+    #[test]
+    fn scalar_mid_path_stops() {
+        assert!(eval_path(&doc(), "user.id.deeper").is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Tree-pattern queries with value bindings — the document store's richer
+//! native query form, the target of ESTOCADA's rewriting translation for
+//! document fragments (connected `Node`/`Child`/`Desc`/`Val` pivot atoms
+//! collapse into one such query).
+
+use estocada_pivot::Value;
+
+/// Axis from the parent pattern node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QAxis {
+    /// Direct field / array element.
+    Child,
+    /// Any depth below.
+    Descendant,
+}
+
+/// One node of a tree-pattern query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryNode {
+    /// Field name to match (`"$item"` matches array elements).
+    pub tag: String,
+    /// Axis from the parent.
+    pub axis: QAxis,
+    /// Require the node's scalar value to equal this constant.
+    pub eq: Option<Value>,
+    /// Bind the node's *value* (scalar or subtree) to this output column.
+    pub bind: Option<String>,
+    /// Child pattern nodes (all must match — conjunctive semantics).
+    pub children: Vec<QueryNode>,
+}
+
+impl QueryNode {
+    /// Child-axis node.
+    pub fn child(tag: &str) -> QueryNode {
+        QueryNode {
+            tag: tag.to_string(),
+            axis: QAxis::Child,
+            eq: None,
+            bind: None,
+            children: Vec::new(),
+        }
+    }
+
+    /// Descendant-axis node.
+    pub fn descendant(tag: &str) -> QueryNode {
+        QueryNode {
+            axis: QAxis::Descendant,
+            ..QueryNode::child(tag)
+        }
+    }
+
+    /// Require equality with `v` (builder style).
+    pub fn eq(mut self, v: impl Into<Value>) -> Self {
+        self.eq = Some(v.into());
+        self
+    }
+
+    /// Bind the node's value to output column `name` (builder style).
+    pub fn bind(mut self, name: &str) -> Self {
+        self.bind = Some(name.to_string());
+        self
+    }
+
+    /// Add a child pattern (builder style).
+    pub fn with(mut self, c: QueryNode) -> Self {
+        self.children.push(c);
+        self
+    }
+}
+
+/// A tree-pattern query over one collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocQuery {
+    /// Collection name.
+    pub collection: String,
+    /// Top-level pattern nodes (matched against the document root).
+    pub roots: Vec<QueryNode>,
+}
+
+impl DocQuery {
+    /// New query on `collection`.
+    pub fn new(collection: &str) -> DocQuery {
+        DocQuery {
+            collection: collection.to_string(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// Add a top-level pattern node (builder style).
+    pub fn with(mut self, n: QueryNode) -> Self {
+        self.roots.push(n);
+        self
+    }
+
+    /// Output column names, in pattern pre-order.
+    pub fn columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(n: &QueryNode, out: &mut Vec<String>) {
+            if let Some(b) = &n.bind {
+                out.push(b.clone());
+            }
+            for c in &n.children {
+                walk(c, out);
+            }
+        }
+        for r in &self.roots {
+            walk(r, &mut out);
+        }
+        out
+    }
+
+    /// Match the pattern against one document; each result row carries the
+    /// bound values in [`DocQuery::columns`] order.
+    pub fn match_document(&self, doc: &Value) -> Vec<Vec<Value>> {
+        let mut rows = vec![Vec::new()];
+        for r in &self.roots {
+            rows = conjoin(rows, &match_node(doc, r));
+            if rows.is_empty() {
+                break;
+            }
+        }
+        rows
+    }
+}
+
+/// All binding rows produced by matching `node` somewhere below `value`.
+fn match_node(value: &Value, node: &QueryNode) -> Vec<Vec<Value>> {
+    let mut out = Vec::new();
+    let candidates = match node.axis {
+        QAxis::Child => direct_children(value, &node.tag),
+        QAxis::Descendant => {
+            let mut c = Vec::new();
+            collect_descendants(value, &node.tag, &mut c);
+            c
+        }
+    };
+    for cand in candidates {
+        if let Some(eq) = &node.eq {
+            if cand != eq {
+                continue;
+            }
+        }
+        let mut rows = vec![Vec::new()];
+        if node.bind.is_some() {
+            rows = vec![vec![cand.clone()]];
+        }
+        for child in &node.children {
+            rows = conjoin(rows, &match_node(cand, child));
+            if rows.is_empty() {
+                break;
+            }
+        }
+        out.extend(rows);
+    }
+    out
+}
+
+/// Values reachable from `v` by one `tag` step (array elements via `$item`).
+fn direct_children<'a>(v: &'a Value, tag: &str) -> Vec<&'a Value> {
+    match v {
+        Value::Object(m) => {
+            if tag == crate::ITEM_TAG {
+                Vec::new()
+            } else {
+                m.get(tag).into_iter().collect()
+            }
+        }
+        Value::Array(items) => {
+            if tag == crate::ITEM_TAG {
+                items.iter().collect()
+            } else {
+                Vec::new()
+            }
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// All values below `v` (any depth ≥ 1) reachable as a `tag`-tagged node.
+fn collect_descendants<'a>(v: &'a Value, tag: &str, out: &mut Vec<&'a Value>) {
+    match v {
+        Value::Object(m) => {
+            for (k, child) in m.iter() {
+                if &**k == tag {
+                    out.push(child);
+                }
+                collect_descendants(child, tag, out);
+            }
+        }
+        Value::Array(items) => {
+            for item in items.iter() {
+                if tag == crate::ITEM_TAG {
+                    out.push(item);
+                }
+                collect_descendants(item, tag, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Cartesian conjunction of binding rows.
+fn conjoin(left: Vec<Vec<Value>>, right: &[Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut out = Vec::with_capacity(left.len() * right.len());
+    for l in &left {
+        for r in right {
+            let mut row = l.clone();
+            row.extend(r.iter().cloned());
+            out.push(row);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cart() -> Value {
+        Value::object([
+            ("user", Value::Int(7)),
+            (
+                "items",
+                Value::array([
+                    Value::object([("sku", Value::str("a")), ("qty", Value::Int(2))]),
+                    Value::object([("sku", Value::str("b")), ("qty", Value::Int(1))]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn bind_scalar_child() {
+        let q = DocQuery::new("carts").with(QueryNode::child("user").bind("u"));
+        let rows = q.match_document(&cart());
+        assert_eq!(rows, vec![vec![Value::Int(7)]]);
+        assert_eq!(q.columns(), vec!["u"]);
+    }
+
+    #[test]
+    fn descendant_axis_reaches_array_elements() {
+        let q = DocQuery::new("carts").with(QueryNode::descendant("sku").bind("s"));
+        let mut rows = q.match_document(&cart());
+        rows.sort();
+        assert_eq!(rows, vec![vec![Value::str("a")], vec![Value::str("b")]]);
+    }
+
+    #[test]
+    fn equality_filters_matches() {
+        let q = DocQuery::new("carts").with(QueryNode::child("user").eq(7i64));
+        assert_eq!(q.match_document(&cart()).len(), 1);
+        let q2 = DocQuery::new("carts").with(QueryNode::child("user").eq(8i64));
+        assert!(q2.match_document(&cart()).is_empty());
+    }
+
+    #[test]
+    fn sibling_bindings_combine() {
+        // For each item: (sku, qty) pairs from the same element.
+        let q = DocQuery::new("carts").with(
+            QueryNode::child("items").with(
+                QueryNode::child("$item")
+                    .with(QueryNode::child("sku").bind("s"))
+                    .with(QueryNode::child("qty").bind("q")),
+            ),
+        );
+        let mut rows = q.match_document(&cart());
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::str("a"), Value::Int(2)],
+                vec![Value::str("b"), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn conjunctive_root_patterns() {
+        let q = DocQuery::new("carts")
+            .with(QueryNode::child("user").bind("u"))
+            .with(QueryNode::descendant("sku").eq("a"));
+        let rows = q.match_document(&cart());
+        assert_eq!(rows, vec![vec![Value::Int(7)]]);
+    }
+
+    #[test]
+    fn binding_subtree_values() {
+        let q = DocQuery::new("carts").with(QueryNode::child("items").bind("all"));
+        let rows = q.match_document(&cart());
+        assert_eq!(rows.len(), 1);
+        assert!(matches!(rows[0][0], Value::Array(_)));
+    }
+}

@@ -1,0 +1,696 @@
+//! Materialized bottom-up execution of [`Plan`] trees.
+
+use crate::plan::{AggFun, AggSpec, Plan, Template};
+use crate::tuple::{RowBatch, Tuple};
+use estocada_pivot::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Column index out of range for the operator's input.
+    BadColumn {
+        /// The offending index.
+        index: usize,
+        /// The operator name.
+        operator: &'static str,
+    },
+    /// Union inputs disagree on arity.
+    UnionArity,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::BadColumn { index, operator } => {
+                write!(f, "column {index} out of range in {operator}")
+            }
+            EngineError::UnionArity => write!(f, "union inputs have different arities"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Runtime counters of one plan execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Operator nodes executed.
+    pub operators: u64,
+    /// Total rows produced across operators.
+    pub rows: u64,
+    /// BindJoin probes issued.
+    pub bind_probes: u64,
+    /// Time spent inside delegated sub-queries.
+    pub delegated_time: Duration,
+    /// Total execution time.
+    pub total_time: Duration,
+}
+
+impl ExecStats {
+    /// Time spent in the mediator runtime itself (total minus delegated) —
+    /// the split the demo shows.
+    pub fn runtime_time(&self) -> Duration {
+        self.total_time.saturating_sub(self.delegated_time)
+    }
+}
+
+/// Execute a plan, returning the result batch and runtime counters.
+pub fn execute(plan: &Plan) -> Result<(RowBatch, ExecStats), EngineError> {
+    let mut stats = ExecStats::default();
+    let start = Instant::now();
+    let batch = run(plan, &mut stats)?;
+    stats.total_time = start.elapsed();
+    Ok((batch, stats))
+}
+
+fn run(plan: &Plan, stats: &mut ExecStats) -> Result<RowBatch, EngineError> {
+    stats.operators += 1;
+    let out = match plan {
+        Plan::Values(b) => b.clone(),
+        Plan::Delegated { runner, .. } => {
+            let t = Instant::now();
+            let b = runner();
+            stats.delegated_time += t.elapsed();
+            b
+        }
+        Plan::Filter { input, pred } => {
+            let mut b = run(input, stats)?;
+            b.rows.retain(|r| pred.eval_bool(r));
+            b
+        }
+        Plan::Project { input, exprs } => {
+            let b = run(input, stats)?;
+            let columns: Vec<String> = exprs.iter().map(|(n, _)| n.clone()).collect();
+            let rows: Vec<Tuple> = b
+                .rows
+                .iter()
+                .map(|r| exprs.iter().map(|(_, e)| e.eval(r)).collect())
+                .collect();
+            RowBatch { columns, rows }
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+        } => {
+            let l = run(left, stats)?;
+            let r = run(right, stats)?;
+            check_cols(left_keys, l.columns.len(), "HashJoin")?;
+            check_cols(right_keys, r.columns.len(), "HashJoin")?;
+            let mut table: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::new();
+            for row in &l.rows {
+                let key: Vec<&Value> = left_keys.iter().map(|c| &row[*c]).collect();
+                table.entry(key).or_default().push(row);
+            }
+            let mut columns = l.columns.clone();
+            columns.extend(r.columns.iter().cloned());
+            let mut rows = Vec::new();
+            for rrow in &r.rows {
+                let key: Vec<&Value> = right_keys.iter().map(|c| &rrow[*c]).collect();
+                if let Some(matches) = table.get(&key) {
+                    for lrow in matches {
+                        let mut joined: Tuple = (*lrow).clone();
+                        joined.extend(rrow.iter().cloned());
+                        rows.push(joined);
+                    }
+                }
+            }
+            RowBatch { columns, rows }
+        }
+        Plan::NlJoin { left, right, pred } => {
+            let l = run(left, stats)?;
+            let r = run(right, stats)?;
+            let mut columns = l.columns.clone();
+            columns.extend(r.columns.iter().cloned());
+            let mut rows = Vec::new();
+            for lrow in &l.rows {
+                for rrow in &r.rows {
+                    let mut joined = lrow.clone();
+                    joined.extend(rrow.iter().cloned());
+                    if pred.as_ref().map(|p| p.eval_bool(&joined)).unwrap_or(true) {
+                        rows.push(joined);
+                    }
+                }
+            }
+            RowBatch { columns, rows }
+        }
+        Plan::BindJoin {
+            left,
+            key_cols,
+            source,
+        } => {
+            let l = run(left, stats)?;
+            check_cols(key_cols, l.columns.len(), "BindJoin")?;
+            let mut columns = l.columns.clone();
+            columns.extend(source.out_columns());
+            // Probe once per distinct key (dependent-join memoization).
+            let mut cache: HashMap<Vec<Value>, Arc<Vec<Tuple>>> = HashMap::new();
+            let mut rows = Vec::new();
+            for lrow in &l.rows {
+                let key: Vec<Value> = key_cols.iter().map(|c| lrow[*c].clone()).collect();
+                let fetched = match cache.get(&key) {
+                    Some(f) => f.clone(),
+                    None => {
+                        stats.bind_probes += 1;
+                        let t = Instant::now();
+                        let f = Arc::new(source.fetch(&key));
+                        stats.delegated_time += t.elapsed();
+                        cache.insert(key.clone(), f.clone());
+                        f
+                    }
+                };
+                for frow in fetched.iter() {
+                    let mut joined = lrow.clone();
+                    joined.extend(frow.iter().cloned());
+                    rows.push(joined);
+                }
+            }
+            RowBatch { columns, rows }
+        }
+        Plan::Union { inputs } => {
+            let mut batches = Vec::new();
+            for i in inputs {
+                batches.push(run(i, stats)?);
+            }
+            let Some(first) = batches.first() else {
+                return Ok(RowBatch::default());
+            };
+            let arity = first.columns.len();
+            if batches.iter().any(|b| b.columns.len() != arity) {
+                return Err(EngineError::UnionArity);
+            }
+            let columns = first.columns.clone();
+            let rows = batches.into_iter().flat_map(|b| b.rows).collect();
+            RowBatch { columns, rows }
+        }
+        Plan::Distinct { input } => {
+            let b = run(input, stats)?;
+            let mut seen = std::collections::HashSet::new();
+            let rows: Vec<Tuple> = b
+                .rows
+                .into_iter()
+                .filter(|r| seen.insert(r.clone()))
+                .collect();
+            RowBatch {
+                columns: b.columns,
+                rows,
+            }
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let b = run(input, stats)?;
+            check_cols(group_by, b.columns.len(), "Aggregate")?;
+            for a in aggs {
+                check_cols(&[a.col], b.columns.len(), "Aggregate")?;
+            }
+            aggregate(&b, group_by, aggs)
+        }
+        Plan::Sort { input, keys } => {
+            let mut b = run(input, stats)?;
+            check_cols(
+                &keys.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+                b.columns.len(),
+                "Sort",
+            )?;
+            b.rows.sort_by(|a, x| {
+                for (c, asc) in keys {
+                    let ord = a[*c].cmp(&x[*c]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            b
+        }
+        Plan::Limit { input, n } => {
+            let mut b = run(input, stats)?;
+            b.rows.truncate(*n);
+            b
+        }
+        Plan::Nest {
+            input,
+            group_by,
+            nested_as,
+        } => {
+            let b = run(input, stats)?;
+            check_cols(group_by, b.columns.len(), "Nest")?;
+            let rest: Vec<usize> = (0..b.columns.len())
+                .filter(|c| !group_by.contains(c))
+                .collect();
+            let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            for row in &b.rows {
+                let key: Vec<Value> = group_by.iter().map(|c| row[*c].clone()).collect();
+                let elem = Value::object_owned(
+                    rest.iter()
+                        .map(|c| (b.columns[*c].clone(), row[*c].clone())),
+                );
+                match groups.get_mut(&key) {
+                    Some(items) => items.push(elem),
+                    None => {
+                        order.push(key.clone());
+                        groups.insert(key, vec![elem]);
+                    }
+                }
+            }
+            let mut columns: Vec<String> =
+                group_by.iter().map(|c| b.columns[*c].clone()).collect();
+            columns.push(nested_as.clone());
+            let rows: Vec<Tuple> = order
+                .into_iter()
+                .map(|key| {
+                    let items = groups.remove(&key).unwrap_or_default();
+                    let mut row = key;
+                    row.push(Value::array(items));
+                    row
+                })
+                .collect();
+            RowBatch { columns, rows }
+        }
+        Plan::Unnest { input, col, elem_as } => {
+            let b = run(input, stats)?;
+            check_cols(&[*col], b.columns.len(), "Unnest")?;
+            let mut columns = b.columns.clone();
+            columns.push(elem_as.clone());
+            let mut rows = Vec::new();
+            for row in &b.rows {
+                if let Value::Array(items) = &row[*col] {
+                    for item in items.iter() {
+                        let mut r = row.clone();
+                        r.push(item.clone());
+                        rows.push(r);
+                    }
+                }
+            }
+            RowBatch { columns, rows }
+        }
+        Plan::Construct {
+            input,
+            template,
+            as_col,
+        } => {
+            let b = run(input, stats)?;
+            let rows: Vec<Tuple> = b
+                .rows
+                .iter()
+                .map(|r| vec![build_template(template, r)])
+                .collect();
+            RowBatch {
+                columns: vec![as_col.clone()],
+                rows,
+            }
+        }
+    };
+    stats.rows += out.len() as u64;
+    Ok(out)
+}
+
+fn check_cols(cols: &[usize], arity: usize, operator: &'static str) -> Result<(), EngineError> {
+    for c in cols {
+        if *c >= arity {
+            return Err(EngineError::BadColumn {
+                index: *c,
+                operator,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn aggregate(b: &RowBatch, group_by: &[usize], aggs: &[AggSpec]) -> RowBatch {
+    struct Acc {
+        count: i64,
+        sum: f64,
+        min: Option<Value>,
+        max: Option<Value>,
+    }
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in &b.rows {
+        let key: Vec<Value> = group_by.iter().map(|c| row[*c].clone()).collect();
+        let accs = match groups.get_mut(&key) {
+            Some(a) => a,
+            None => {
+                order.push(key.clone());
+                groups.entry(key).or_insert_with(|| {
+                    aggs.iter()
+                        .map(|_| Acc {
+                            count: 0,
+                            sum: 0.0,
+                            min: None,
+                            max: None,
+                        })
+                        .collect()
+                })
+            }
+        };
+        for (a, spec) in accs.iter_mut().zip(aggs) {
+            let v = &row[spec.col];
+            a.count += 1;
+            a.sum += v.as_double().unwrap_or(0.0);
+            if a.min.as_ref().map(|m| v < m).unwrap_or(true) {
+                a.min = Some(v.clone());
+            }
+            if a.max.as_ref().map(|m| v > m).unwrap_or(true) {
+                a.max = Some(v.clone());
+            }
+        }
+    }
+    // A global aggregate over zero rows still yields one row (SQL COUNT=0).
+    if group_by.is_empty() && order.is_empty() {
+        order.push(Vec::new());
+        groups.insert(
+            Vec::new(),
+            aggs.iter()
+                .map(|_| Acc {
+                    count: 0,
+                    sum: 0.0,
+                    min: None,
+                    max: None,
+                })
+                .collect(),
+        );
+    }
+    let mut columns: Vec<String> = group_by.iter().map(|c| b.columns[*c].clone()).collect();
+    columns.extend(aggs.iter().map(|a| a.name.clone()));
+    let rows: Vec<Tuple> = order
+        .into_iter()
+        .map(|key| {
+            let accs = groups.remove(&key).unwrap();
+            let mut row = key;
+            for (a, spec) in accs.into_iter().zip(aggs) {
+                row.push(match spec.fun {
+                    AggFun::Count => Value::Int(a.count),
+                    AggFun::Sum => Value::Double(a.sum),
+                    AggFun::Avg => {
+                        if a.count == 0 {
+                            Value::Null
+                        } else {
+                            Value::Double(a.sum / a.count as f64)
+                        }
+                    }
+                    AggFun::Min => a.min.unwrap_or(Value::Null),
+                    AggFun::Max => a.max.unwrap_or(Value::Null),
+                });
+            }
+            row
+        })
+        .collect();
+    RowBatch { columns, rows }
+}
+
+fn build_template(t: &Template, row: &[Value]) -> Value {
+    match t {
+        Template::Expr(e) => e.eval(row),
+        Template::Object(fields) => Value::object_owned(
+            fields
+                .iter()
+                .map(|(k, v)| (k.clone(), build_template(v, row))),
+        ),
+        Template::Array(items) => {
+            Value::array(items.iter().map(|i| build_template(i, row)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Expr};
+
+    fn batch(cols: &[&str], rows: Vec<Vec<Value>>) -> RowBatch {
+        RowBatch::new(cols.iter().map(|s| s.to_string()).collect(), rows)
+    }
+
+    fn ints(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|v| Value::Int(*v)).collect()
+    }
+
+    #[test]
+    fn filter_project_pipeline() {
+        let p = Plan::Project {
+            input: Box::new(Plan::Filter {
+                input: Box::new(Plan::Values(batch(
+                    &["a", "b"],
+                    vec![ints(&[1, 10]), ints(&[2, 20]), ints(&[3, 30])],
+                ))),
+                pred: Expr::col(0).cmp(CmpOp::Ge, Expr::lit(2i64)),
+            }),
+            exprs: vec![("b".into(), Expr::col(1))],
+        };
+        let (out, stats) = execute(&p).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(20)], vec![Value::Int(30)]]);
+        assert_eq!(stats.operators, 3);
+    }
+
+    #[test]
+    fn hash_join_inner() {
+        let p = Plan::HashJoin {
+            left: Box::new(Plan::Values(batch(
+                &["uid", "name"],
+                vec![
+                    vec![Value::Int(1), Value::str("ann")],
+                    vec![Value::Int(2), Value::str("bob")],
+                ],
+            ))),
+            right: Box::new(Plan::Values(batch(
+                &["uid2", "total"],
+                vec![ints(&[1, 100]), ints(&[1, 5]), ints(&[3, 9])],
+            ))),
+            left_keys: vec![0],
+            right_keys: vec![0],
+        };
+        let (out, _) = execute(&p).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.columns, vec!["uid", "name", "uid2", "total"]);
+    }
+
+    #[test]
+    fn hash_join_equals_nl_join() {
+        let l = batch(&["a"], (0..20).map(|i| ints(&[i % 5])).collect());
+        let r = batch(&["b"], (0..10).map(|i| ints(&[i % 5])).collect());
+        let hj = Plan::HashJoin {
+            left: Box::new(Plan::Values(l.clone())),
+            right: Box::new(Plan::Values(r.clone())),
+            left_keys: vec![0],
+            right_keys: vec![0],
+        };
+        let nl = Plan::NlJoin {
+            left: Box::new(Plan::Values(l)),
+            right: Box::new(Plan::Values(r)),
+            pred: Some(Expr::col(0).cmp(CmpOp::Eq, Expr::col(1))),
+        };
+        let (mut a, _) = execute(&hj).unwrap();
+        let (mut b, _) = execute(&nl).unwrap();
+        a.rows.sort();
+        b.rows.sort();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    struct MapSource(HashMap<Vec<Value>, Vec<Tuple>>);
+    impl crate::plan::BindSource for MapSource {
+        fn out_columns(&self) -> Vec<String> {
+            vec!["v".into()]
+        }
+        fn fetch(&self, key: &[Value]) -> Vec<Tuple> {
+            self.0.get(key).cloned().unwrap_or_default()
+        }
+    }
+
+    #[test]
+    fn bindjoin_probes_distinct_keys_once() {
+        let mut m = HashMap::new();
+        m.insert(vec![Value::Int(1)], vec![vec![Value::str("one")]]);
+        m.insert(vec![Value::Int(2)], vec![vec![Value::str("two")]]);
+        let p = Plan::BindJoin {
+            left: Box::new(Plan::Values(batch(
+                &["k"],
+                vec![ints(&[1]), ints(&[2]), ints(&[1]), ints(&[3])],
+            ))),
+            key_cols: vec![0],
+            source: Arc::new(MapSource(m)),
+        };
+        let (out, stats) = execute(&p).unwrap();
+        assert_eq!(out.len(), 3); // key 3 misses, key 1 matches twice
+        assert_eq!(stats.bind_probes, 3); // distinct keys 1, 2, 3
+        assert_eq!(out.columns, vec!["k", "v"]);
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let p = Plan::Aggregate {
+            input: Box::new(Plan::Values(batch(
+                &["g", "x"],
+                vec![ints(&[1, 10]), ints(&[1, 20]), ints(&[2, 5])],
+            ))),
+            group_by: vec![0],
+            aggs: vec![
+                AggSpec {
+                    fun: AggFun::Sum,
+                    col: 1,
+                    name: "sum_x".into(),
+                },
+                AggSpec {
+                    fun: AggFun::Count,
+                    col: 1,
+                    name: "n".into(),
+                },
+            ],
+        };
+        let (out, _) = execute(&p).unwrap();
+        assert_eq!(out.columns, vec!["g", "sum_x", "n"]);
+        assert_eq!(out.len(), 2);
+        let g1 = out.rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(g1[1], Value::Double(30.0));
+        assert_eq!(g1[2], Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let p = Plan::Aggregate {
+            input: Box::new(Plan::Values(batch(&["x"], vec![]))),
+            group_by: vec![],
+            aggs: vec![AggSpec {
+                fun: AggFun::Count,
+                col: 0,
+                name: "n".into(),
+            }],
+        };
+        let (out, _) = execute(&p).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let p = Plan::Limit {
+            input: Box::new(Plan::Sort {
+                input: Box::new(Plan::Values(batch(
+                    &["x"],
+                    vec![ints(&[3]), ints(&[1]), ints(&[2])],
+                ))),
+                keys: vec![(0, false)],
+            }),
+            n: 2,
+        };
+        let (out, _) = execute(&p).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(3)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let p = Plan::Distinct {
+            input: Box::new(Plan::Values(batch(
+                &["x"],
+                vec![ints(&[1]), ints(&[1]), ints(&[2])],
+            ))),
+        };
+        let (out, _) = execute(&p).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn union_checks_arity() {
+        let p = Plan::Union {
+            inputs: vec![
+                Plan::Values(batch(&["a"], vec![ints(&[1])])),
+                Plan::Values(batch(&["a", "b"], vec![ints(&[1, 2])])),
+            ],
+        };
+        assert_eq!(execute(&p).unwrap_err(), EngineError::UnionArity);
+    }
+
+    #[test]
+    fn nest_then_unnest_round_trips() {
+        let input = batch(
+            &["u", "sku"],
+            vec![
+                vec![Value::Int(1), Value::str("a")],
+                vec![Value::Int(1), Value::str("b")],
+                vec![Value::Int(2), Value::str("c")],
+            ],
+        );
+        let nested = Plan::Nest {
+            input: Box::new(Plan::Values(input)),
+            group_by: vec![0],
+            nested_as: "items".into(),
+        };
+        let (out, _) = execute(&nested).unwrap();
+        assert_eq!(out.columns, vec!["u", "items"]);
+        assert_eq!(out.len(), 2);
+        // Unnest back.
+        let unnested = Plan::Project {
+            input: Box::new(Plan::Unnest {
+                input: Box::new(Plan::Values(out)),
+                col: 1,
+                elem_as: "e".into(),
+            }),
+            exprs: vec![
+                ("u".into(), Expr::col(0)),
+                (
+                    "sku".into(),
+                    Expr::GetPath(Box::new(Expr::col(2)), "sku".into()),
+                ),
+            ],
+        };
+        let (back, _) = execute(&unnested).unwrap();
+        assert_eq!(back.len(), 3);
+        assert!(back.rows.contains(&vec![Value::Int(1), Value::str("b")]));
+    }
+
+    #[test]
+    fn construct_builds_documents() {
+        let p = Plan::Construct {
+            input: Box::new(Plan::Values(batch(
+                &["u", "total"],
+                vec![ints(&[1, 50])],
+            ))),
+            template: Template::Object(vec![
+                ("user".into(), Template::Expr(Expr::col(0))),
+                (
+                    "stats".into(),
+                    Template::Object(vec![("total".into(), Template::Expr(Expr::col(1)))]),
+                ),
+            ]),
+            as_col: "doc".into(),
+        };
+        let (out, _) = execute(&p).unwrap();
+        assert_eq!(out.rows[0][0].get_path("stats.total"), Some(&Value::Int(50)));
+    }
+
+    #[test]
+    fn bad_column_reported_with_operator() {
+        let p = Plan::HashJoin {
+            left: Box::new(Plan::Values(batch(&["a"], vec![]))),
+            right: Box::new(Plan::Values(batch(&["b"], vec![]))),
+            left_keys: vec![5],
+            right_keys: vec![0],
+        };
+        assert!(matches!(
+            execute(&p),
+            Err(EngineError::BadColumn { index: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn delegated_time_is_tracked() {
+        let p = Plan::Delegated {
+            label: "fake".into(),
+            runner: Arc::new(|| {
+                std::thread::sleep(Duration::from_millis(5));
+                RowBatch::empty(vec!["x".into()])
+            }),
+        };
+        let (_, stats) = execute(&p).unwrap();
+        assert!(stats.delegated_time >= Duration::from_millis(5));
+        assert!(stats.runtime_time() < stats.total_time);
+    }
+}

@@ -1,0 +1,219 @@
+//! Scalar expressions evaluated per row.
+
+use estocada_pivot::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate on two values (total value order).
+    pub fn eval(&self, l: &Value, r: &Value) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+}
+
+/// Arithmetic operators (numeric; integers widen to doubles when mixed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (by zero yields `Null`).
+    Div,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by position.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    /// Comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Arithmetic.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// Dotted-path extraction from a nested value.
+    GetPath(Box<Expr>, String),
+    /// String prefix of length `n` (the Big Data Benchmark's `SUBSTR`).
+    Prefix(Box<Expr>, usize),
+    /// `true` when the operand is `Null`.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Column helper.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Literal helper.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self op other` helper.
+    pub fn cmp(self, op: CmpOp, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), op, Box::new(other))
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &[Value]) -> Value {
+        match self {
+            Expr::Col(i) => row.get(*i).cloned().unwrap_or(Value::Null),
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(l, op, r) => Value::Bool(op.eval(&l.eval(row), &r.eval(row))),
+            Expr::And(l, r) => Value::Bool(l.eval_bool(row) && r.eval_bool(row)),
+            Expr::Or(l, r) => Value::Bool(l.eval_bool(row) || r.eval_bool(row)),
+            Expr::Not(e) => Value::Bool(!e.eval_bool(row)),
+            Expr::Arith(l, op, r) => arith(&l.eval(row), *op, &r.eval(row)),
+            Expr::GetPath(e, path) => e
+                .eval(row)
+                .get_path(path)
+                .cloned()
+                .unwrap_or(Value::Null),
+            Expr::Prefix(e, n) => match e.eval(row) {
+                Value::Str(s) => {
+                    let cut: String = s.chars().take(*n).collect();
+                    Value::str(cut)
+                }
+                _ => Value::Null,
+            },
+            Expr::IsNull(e) => Value::Bool(e.eval(row).is_null()),
+        }
+    }
+
+    /// Evaluate as a boolean (non-`Bool` values are `false`).
+    pub fn eval_bool(&self, row: &[Value]) -> bool {
+        matches!(self.eval(row), Value::Bool(true))
+    }
+}
+
+fn arith(l: &Value, op: ArithOp, r: &Value) -> Value {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => match op {
+            ArithOp::Add => Value::Int(a + b),
+            ArithOp::Sub => Value::Int(a - b),
+            ArithOp::Mul => Value::Int(a * b),
+            ArithOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+        },
+        _ => match (l.as_double(), r.as_double()) {
+            (Some(a), Some(b)) => match op {
+                ArithOp::Add => Value::Double(a + b),
+                ArithOp::Sub => Value::Double(a - b),
+                ArithOp::Mul => Value::Double(a * b),
+                ArithOp::Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Double(a / b)
+                    }
+                }
+            },
+            _ => Value::Null,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_and_logic() {
+        let row = vec![Value::Int(5), Value::str("x")];
+        let e = Expr::col(0)
+            .cmp(CmpOp::Gt, Expr::lit(3i64))
+            .and(Expr::col(1).cmp(CmpOp::Eq, Expr::lit("x")));
+        assert!(e.eval_bool(&row));
+        let e2 = Expr::Not(Box::new(e));
+        assert!(!e2.eval_bool(&row));
+    }
+
+    #[test]
+    fn arithmetic_int_and_mixed() {
+        let row = vec![Value::Int(6), Value::Double(1.5)];
+        let sum = Expr::Arith(Box::new(Expr::col(0)), ArithOp::Add, Box::new(Expr::col(1)));
+        assert_eq!(sum.eval(&row), Value::Double(7.5));
+        let div = Expr::Arith(
+            Box::new(Expr::col(0)),
+            ArithOp::Div,
+            Box::new(Expr::lit(0i64)),
+        );
+        assert_eq!(div.eval(&row), Value::Null);
+        let prod = Expr::Arith(
+            Box::new(Expr::lit(3i64)),
+            ArithOp::Mul,
+            Box::new(Expr::lit(4i64)),
+        );
+        assert_eq!(prod.eval(&row), Value::Int(12));
+    }
+
+    #[test]
+    fn path_extraction_on_nested_values() {
+        let row = vec![Value::object([(
+            "user",
+            Value::object([("id", Value::Int(9))]),
+        )])];
+        let e = Expr::GetPath(Box::new(Expr::col(0)), "user.id".into());
+        assert_eq!(e.eval(&row), Value::Int(9));
+        let missing = Expr::GetPath(Box::new(Expr::col(0)), "nope".into());
+        assert_eq!(missing.eval(&row), Value::Null);
+    }
+
+    #[test]
+    fn prefix_mirrors_substr() {
+        let row = vec![Value::str("192.168.0.1")];
+        let e = Expr::Prefix(Box::new(Expr::col(0)), 7);
+        assert_eq!(e.eval(&row), Value::str("192.168"));
+        let not_str = Expr::Prefix(Box::new(Expr::lit(5i64)), 2);
+        assert_eq!(not_str.eval(&row), Value::Null);
+    }
+
+    #[test]
+    fn out_of_range_column_is_null() {
+        assert_eq!(Expr::col(3).eval(&[Value::Int(1)]), Value::Null);
+        assert!(Expr::IsNull(Box::new(Expr::col(3))).eval_bool(&[Value::Int(1)]));
+    }
+}

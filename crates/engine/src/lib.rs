@@ -1,0 +1,26 @@
+//! # estocada-engine
+//!
+//! ESTOCADA's lightweight runtime execution engine, "based on a nested
+//! relational model, whose atomic types include constants, node IDs, and
+//! document types; it provides in particular implementations of the
+//! BindJoin operator needed to access data sources with access
+//! restrictions".
+//!
+//! Plans mix *delegated* leaf nodes (native subqueries pushed into the
+//! underlying DMSs) with runtime operators: filter, project, hash /
+//! nested-loop / **bind** joins, union, distinct, aggregation, sort, limit,
+//! nest/unnest and nested-value construction. Execution is materialized,
+//! with per-run counters splitting time between the stores and the mediator
+//! runtime.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod expr;
+pub mod plan;
+pub mod tuple;
+
+pub use exec::{execute, EngineError, ExecStats};
+pub use expr::{ArithOp, CmpOp, Expr};
+pub use plan::{AggFun, AggSpec, BindSource, Plan, Template};
+pub use tuple::{RowBatch, Tuple};

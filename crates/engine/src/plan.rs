@@ -1,0 +1,304 @@
+//! Physical plans of the ESTOCADA runtime.
+//!
+//! The mediator's "last-step" operations — whatever could not be delegated
+//! to an underlying DMS — run here: cross-fragment joins, residual filters,
+//! construction of nested results, and the **BindJoin** needed to access
+//! data sources with access restrictions (key-value and full-text
+//! fragments).
+
+use crate::expr::Expr;
+use crate::tuple::{RowBatch, Tuple};
+use estocada_pivot::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A source reachable only with bound inputs (key-value lookup, term
+/// search). BindJoin probes it once per distinct key.
+pub trait BindSource: Send + Sync {
+    /// Columns produced per fetched tuple.
+    fn out_columns(&self) -> Vec<String>;
+    /// Fetch the tuples matching `key`.
+    fn fetch(&self, key: &[Value]) -> Vec<Tuple>;
+    /// Display label (for EXPLAIN output).
+    fn label(&self) -> String {
+        "bind-source".to_string()
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFun {
+    /// Row count.
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Numeric average.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// One aggregate of an [`Plan::Aggregate`] node.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// Function.
+    pub fun: AggFun,
+    /// Input column.
+    pub col: usize,
+    /// Output column name.
+    pub name: String,
+}
+
+/// Template for constructing nested result values.
+#[derive(Debug, Clone)]
+pub enum Template {
+    /// A scalar expression over the input row.
+    Expr(Expr),
+    /// An object with templated fields.
+    Object(Vec<(String, Template)>),
+    /// An array with templated elements.
+    Array(Vec<Template>),
+}
+
+/// A physical plan node. Execution is materialized, bottom-up.
+pub enum Plan {
+    /// Constant input rows.
+    Values(RowBatch),
+    /// A subquery delegated to an underlying DMS; the closure runs the
+    /// native query through the store connector when the node executes.
+    Delegated {
+        /// Display label (store + native query).
+        label: String,
+        /// Runs the native query.
+        runner: Arc<dyn Fn() -> RowBatch + Send + Sync>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Predicate.
+        pred: Expr,
+    },
+    /// Projection / computed columns.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(output name, expression)` pairs.
+        exprs: Vec<(String, Expr)>,
+    },
+    /// Inner hash join on positional keys.
+    HashJoin {
+        /// Build side.
+        left: Box<Plan>,
+        /// Probe side.
+        right: Box<Plan>,
+        /// Key columns on the left.
+        left_keys: Vec<usize>,
+        /// Key columns on the right.
+        right_keys: Vec<usize>,
+    },
+    /// Nested-loop join with an optional predicate over `left ++ right`.
+    NlJoin {
+        /// Outer side.
+        left: Box<Plan>,
+        /// Inner side.
+        right: Box<Plan>,
+        /// Join predicate (cross product when `None`).
+        pred: Option<Expr>,
+    },
+    /// Dependent join into an access-restricted source: for each distinct
+    /// key of the left input, probe the source; output `left ++ fetched`.
+    BindJoin {
+        /// Left (driving) input.
+        left: Box<Plan>,
+        /// Key columns of the left input fed to the source.
+        key_cols: Vec<usize>,
+        /// The bound source.
+        source: Arc<dyn BindSource>,
+    },
+    /// Bag union (columns taken from the first input).
+    Union {
+        /// Inputs (same arity).
+        inputs: Vec<Plan>,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Group-by aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping columns.
+        group_by: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+    },
+    /// Sort by columns (`(column, ascending)`).
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Sort keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Keep the first `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Row budget.
+        n: usize,
+    },
+    /// Group rows and pack the non-grouped columns into an array of
+    /// objects — the nested-result constructor of the nested relational
+    /// model.
+    Nest {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping columns (become scalar output columns).
+        group_by: Vec<usize>,
+        /// Name of the nested array column.
+        nested_as: String,
+    },
+    /// Explode an array column: one output row per element, element
+    /// appended as a new column.
+    Unnest {
+        /// Input plan.
+        input: Box<Plan>,
+        /// The array column.
+        col: usize,
+        /// Name of the element column.
+        elem_as: String,
+    },
+    /// Build one nested value per row from a template (JSON/XML result
+    /// construction). Output is a single column.
+    Construct {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Value template.
+        template: Template,
+        /// Output column name.
+        as_col: String,
+    },
+}
+
+impl Plan {
+    /// Pretty-print the plan tree with indentation.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Values(b) => {
+                let _ = writeln!(out, "{pad}Values [{} rows]", b.len());
+            }
+            Plan::Delegated { label, .. } => {
+                let _ = writeln!(out, "{pad}Delegated [{label}]");
+            }
+            Plan::Filter { input, .. } => {
+                let _ = writeln!(out, "{pad}Filter");
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Project { input, exprs } => {
+                let names: Vec<&str> = exprs.iter().map(|(n, _)| n.as_str()).collect();
+                let _ = writeln!(out, "{pad}Project [{}]", names.join(", "));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+            } => {
+                let _ = writeln!(out, "{pad}HashJoin [{left_keys:?} = {right_keys:?}]");
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::NlJoin { left, right, .. } => {
+                let _ = writeln!(out, "{pad}NestedLoopJoin");
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::BindJoin {
+                left,
+                key_cols,
+                source,
+            } => {
+                let _ = writeln!(out, "{pad}BindJoin [keys {key_cols:?} → {}]", source.label());
+                left.explain_into(depth + 1, out);
+            }
+            Plan::Union { inputs } => {
+                let _ = writeln!(out, "{pad}Union [{}]", inputs.len());
+                for i in inputs {
+                    i.explain_into(depth + 1, out);
+                }
+            }
+            Plan::Distinct { input } => {
+                let _ = writeln!(out, "{pad}Distinct");
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let fs: Vec<String> = aggs.iter().map(|a| format!("{:?}", a.fun)).collect();
+                let _ = writeln!(out, "{pad}Aggregate [by {group_by:?}; {}]", fs.join(", "));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Sort { input, keys } => {
+                let _ = writeln!(out, "{pad}Sort {keys:?}");
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Limit { input, n } => {
+                let _ = writeln!(out, "{pad}Limit {n}");
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Nest {
+                input,
+                group_by,
+                nested_as,
+            } => {
+                let _ = writeln!(out, "{pad}Nest [by {group_by:?} as {nested_as}]");
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Unnest { input, col, elem_as } => {
+                let _ = writeln!(out, "{pad}Unnest [col {col} as {elem_as}]");
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Construct { input, as_col, .. } => {
+                let _ = writeln!(out, "{pad}Construct [{as_col}]");
+                input.explain_into(depth + 1, out);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_renders_tree() {
+        let p = Plan::Filter {
+            input: Box::new(Plan::Values(RowBatch::empty(vec!["a".into()]))),
+            pred: Expr::lit(true),
+        };
+        let s = p.explain();
+        assert!(s.contains("Filter"));
+        assert!(s.contains("  Values"));
+    }
+}

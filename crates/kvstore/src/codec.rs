@@ -1,0 +1,243 @@
+//! Compact binary codec for value tuples.
+//!
+//! Key-value stores hold opaque byte payloads; the mediator serializes the
+//! value columns of a fragment record into one buffer on `put` and decodes
+//! on `get`. The format is a tag byte per value followed by a fixed or
+//! length-prefixed body — small and allocation-light, mirroring how real
+//! deployments pack records into Redis/Voldemort values.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use estocada_pivot::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Decoding failure (corrupt or truncated buffer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_DOUBLE: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_ID: u8 = 6;
+const TAG_ARRAY: u8 = 7;
+const TAG_OBJECT: u8 = 8;
+
+/// Encode a tuple of values into one buffer.
+pub fn encode_tuple(values: &[Value]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 * values.len());
+    buf.put_u32_le(values.len() as u32);
+    for v in values {
+        encode_value(v, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Decode a tuple previously written by [`encode_tuple`].
+pub fn decode_tuple(mut buf: &[u8]) -> Result<Vec<Value>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError {
+            reason: "missing tuple header",
+        });
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(decode_value(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(DecodeError {
+            reason: "trailing bytes",
+        });
+    }
+    Ok(out)
+}
+
+fn encode_value(v: &Value, buf: &mut BytesMut) {
+    match v {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Bool(false) => buf.put_u8(TAG_FALSE),
+        Value::Bool(true) => buf.put_u8(TAG_TRUE),
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Double(d) => {
+            buf.put_u8(TAG_DOUBLE);
+            buf.put_f64_le(*d);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Id(i) => {
+            buf.put_u8(TAG_ID);
+            buf.put_u64_le(*i);
+        }
+        Value::Array(items) => {
+            buf.put_u8(TAG_ARRAY);
+            buf.put_u32_le(items.len() as u32);
+            for item in items.iter() {
+                encode_value(item, buf);
+            }
+        }
+        Value::Object(fields) => {
+            buf.put_u8(TAG_OBJECT);
+            buf.put_u32_le(fields.len() as u32);
+            for (k, fv) in fields.iter() {
+                buf.put_u32_le(k.len() as u32);
+                buf.put_slice(k.as_bytes());
+                encode_value(fv, buf);
+            }
+        }
+    }
+}
+
+fn decode_value(buf: &mut &[u8]) -> Result<Value, DecodeError> {
+    if !buf.has_remaining() {
+        return Err(DecodeError {
+            reason: "missing tag",
+        });
+    }
+    let tag = buf.get_u8();
+    let need = |buf: &&[u8], n: usize| -> Result<(), DecodeError> {
+        if buf.remaining() < n {
+            Err(DecodeError {
+                reason: "truncated body",
+            })
+        } else {
+            Ok(())
+        }
+    };
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_INT => {
+            need(buf, 8)?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        TAG_DOUBLE => {
+            need(buf, 8)?;
+            Ok(Value::Double(buf.get_f64_le()))
+        }
+        TAG_ID => {
+            need(buf, 8)?;
+            Ok(Value::Id(buf.get_u64_le()))
+        }
+        TAG_STR => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n)?;
+            let s = std::str::from_utf8(&buf[..n]).map_err(|_| DecodeError {
+                reason: "invalid utf-8",
+            })?;
+            let v = Value::str(s);
+            buf.advance(n);
+            Ok(v)
+        }
+        TAG_ARRAY => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(decode_value(buf)?);
+            }
+            Ok(Value::Array(Arc::new(items)))
+        }
+        TAG_OBJECT => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            let mut fields = BTreeMap::new();
+            for _ in 0..n {
+                need(buf, 4)?;
+                let klen = buf.get_u32_le() as usize;
+                need(buf, klen)?;
+                let k: Arc<str> = std::str::from_utf8(&buf[..klen])
+                    .map_err(|_| DecodeError {
+                        reason: "invalid utf-8 key",
+                    })?
+                    .into();
+                buf.advance(klen);
+                let v = decode_value(buf)?;
+                fields.insert(k, v);
+            }
+            Ok(Value::Object(Arc::new(fields)))
+        }
+        _ => Err(DecodeError {
+            reason: "unknown tag",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: Vec<Value>) {
+        let buf = encode_tuple(&values);
+        let back = decode_tuple(&buf).unwrap();
+        assert_eq!(values, back);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Double(2.75),
+            Value::str("héllo"),
+            Value::Id(7),
+        ]);
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        round_trip(vec![Value::object([
+            ("items", Value::array([Value::Int(1), Value::str("x")])),
+            ("user", Value::object([("id", Value::Int(3))])),
+        ])]);
+    }
+
+    #[test]
+    fn empty_tuple_round_trips() {
+        round_trip(vec![]);
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let buf = encode_tuple(&[Value::Int(1)]);
+        assert!(decode_tuple(&buf[..buf.len() - 1]).is_err());
+        assert!(decode_tuple(&buf[..2]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut v = encode_tuple(&[Value::Int(1)]).to_vec();
+        v.push(0);
+        assert!(decode_tuple(&v).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut v = encode_tuple(&[Value::Int(1)]).to_vec();
+        v[4] = 99; // clobber the tag
+        assert!(decode_tuple(&v).is_err());
+    }
+}

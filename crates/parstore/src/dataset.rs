@@ -1,0 +1,149 @@
+//! Partitioned datasets of (possibly nested) rows.
+
+use estocada_pivot::Value;
+use std::collections::HashMap;
+
+/// A key index over one or more columns: key values → (partition, row).
+#[derive(Debug, Clone)]
+pub struct KeyIndex {
+    /// Indexed column positions.
+    pub columns: Vec<usize>,
+    /// Key tuple → row locations.
+    pub map: HashMap<Vec<Value>, Vec<(u32, u32)>>,
+}
+
+/// A partitioned dataset. Rows may contain nested values (arrays of
+/// objects) — this is the nested-relational model of the parallel store.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row partitions.
+    pub partitions: Vec<Vec<Vec<Value>>>,
+    /// Optional key index.
+    pub key_index: Option<KeyIndex>,
+}
+
+impl Dataset {
+    /// Build a dataset from rows, hash-partitioned round-robin into
+    /// `num_partitions` parts.
+    pub fn from_rows(
+        columns: &[&str],
+        rows: impl IntoIterator<Item = Vec<Value>>,
+        num_partitions: usize,
+    ) -> Dataset {
+        let n = num_partitions.max(1);
+        let mut partitions: Vec<Vec<Vec<Value>>> = vec![Vec::new(); n];
+        for (i, row) in rows.into_iter().enumerate() {
+            assert_eq!(row.len(), columns.len(), "row arity mismatch");
+            partitions[i % n].push(row);
+        }
+        Dataset {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            partitions,
+            key_index: None,
+        }
+    }
+
+    /// Total row count.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column position by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Build (or rebuild) the key index over `columns`.
+    pub fn build_key_index(&mut self, columns: Vec<usize>) {
+        let mut map: HashMap<Vec<Value>, Vec<(u32, u32)>> = HashMap::new();
+        for (pi, part) in self.partitions.iter().enumerate() {
+            for (ri, row) in part.iter().enumerate() {
+                let key: Vec<Value> = columns.iter().map(|c| row[*c].clone()).collect();
+                map.entry(key).or_default().push((pi as u32, ri as u32));
+            }
+        }
+        self.key_index = Some(KeyIndex { columns, map });
+    }
+
+    /// Rows matching `key` through the key index (panics if the index does
+    /// not exist or the key arity mismatches).
+    pub fn index_lookup(&self, key: &[Value]) -> Vec<&Vec<Value>> {
+        let idx = self
+            .key_index
+            .as_ref()
+            .expect("dataset has no key index");
+        assert_eq!(key.len(), idx.columns.len(), "key arity mismatch");
+        idx.map
+            .get(key)
+            .map(|locs| {
+                locs.iter()
+                    .map(|(p, r)| &self.partitions[*p as usize][*r as usize])
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Iterate all rows (sequential; the parallel paths live in
+    /// [`crate::ops`]).
+    pub fn iter_rows(&self) -> impl Iterator<Item = &Vec<Value>> {
+        self.partitions.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(n: i64) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 3)])
+            .collect()
+    }
+
+    #[test]
+    fn partitioning_distributes_rows() {
+        let d = Dataset::from_rows(&["id", "grp"], rows(10), 4);
+        assert_eq!(d.partitions.len(), 4);
+        assert_eq!(d.len(), 10);
+        // Round-robin keeps partition sizes balanced within one row.
+        let sizes: Vec<usize> = d.partitions.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn key_index_lookup() {
+        let mut d = Dataset::from_rows(&["id", "grp"], rows(9), 3);
+        d.build_key_index(vec![1]);
+        let hits = d.index_lookup(&[Value::Int(2)]);
+        assert_eq!(hits.len(), 3); // ids 2,5,8
+        assert!(d.index_lookup(&[Value::Int(9)]).is_empty());
+    }
+
+    #[test]
+    fn composite_key_index() {
+        let mut d = Dataset::from_rows(&["id", "grp"], rows(9), 2);
+        d.build_key_index(vec![0, 1]);
+        assert_eq!(d.index_lookup(&[Value::Int(4), Value::Int(1)]).len(), 1);
+        assert!(d.index_lookup(&[Value::Int(4), Value::Int(2)]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no key index")]
+    fn lookup_without_index_panics() {
+        let d = Dataset::from_rows(&["id"], vec![vec![Value::Int(1)]], 1);
+        d.index_lookup(&[Value::Int(1)]);
+    }
+
+    #[test]
+    fn zero_partitions_clamped_to_one() {
+        let d = Dataset::from_rows(&["id"], vec![vec![Value::Int(1)]], 0);
+        assert_eq!(d.partitions.len(), 1);
+    }
+}

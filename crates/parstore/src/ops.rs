@@ -1,0 +1,276 @@
+//! Parallel dataset operations: scan/filter, broadcast hash join, and
+//! partial aggregation — the delegable operations of the parallel store
+//! ("if the DMS has a distributed architecture, the delegated subquery will
+//! be evaluated in parallel fashion").
+//!
+//! Worker threads are scoped (std) and fan results in over a crossbeam
+//! channel, one message per partition.
+
+use crate::dataset::Dataset;
+use crossbeam::channel;
+use estocada_pivot::Value;
+use std::collections::HashMap;
+
+/// Parallel filter + projection over all partitions.
+///
+/// `pred` runs on every row; `projection` (if given) restricts the output
+/// columns. Returns the surviving rows (partition order preserved).
+pub fn par_filter(
+    ds: &Dataset,
+    pred: &(dyn Fn(&[Value]) -> bool + Sync),
+    projection: Option<&[usize]>,
+) -> Vec<Vec<Value>> {
+    let (tx, rx) = channel::unbounded::<(usize, Vec<Vec<Value>>)>();
+    std::thread::scope(|s| {
+        for (pi, part) in ds.partitions.iter().enumerate() {
+            let tx = tx.clone();
+            s.spawn(move || {
+                let mut out = Vec::new();
+                for row in part {
+                    if pred(row) {
+                        out.push(project(row, projection));
+                    }
+                }
+                tx.send((pi, out)).expect("result channel closed");
+            });
+        }
+        drop(tx);
+    });
+    let mut parts: Vec<(usize, Vec<Vec<Value>>)> = rx.iter().collect();
+    parts.sort_by_key(|(pi, _)| *pi);
+    parts.into_iter().flat_map(|(_, rows)| rows).collect()
+}
+
+/// Broadcast hash join: build a hash table of `right` (assumed the smaller
+/// side) on `right_keys`, probe `left` partitions in parallel. Output rows
+/// are `left ++ right`.
+pub fn par_join(
+    left: &Dataset,
+    right: &Dataset,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Vec<Vec<Value>> {
+    assert_eq!(left_keys.len(), right_keys.len(), "join key arity");
+    let mut table: HashMap<Vec<Value>, Vec<&Vec<Value>>> = HashMap::new();
+    for row in right.iter_rows() {
+        let key: Vec<Value> = right_keys.iter().map(|c| row[*c].clone()).collect();
+        table.entry(key).or_default().push(row);
+    }
+    let table = &table;
+    let (tx, rx) = channel::unbounded::<(usize, Vec<Vec<Value>>)>();
+    std::thread::scope(|s| {
+        for (pi, part) in left.partitions.iter().enumerate() {
+            let tx = tx.clone();
+            s.spawn(move || {
+                let mut out = Vec::new();
+                for lrow in part {
+                    let key: Vec<Value> = left_keys.iter().map(|c| lrow[*c].clone()).collect();
+                    if let Some(matches) = table.get(&key) {
+                        for rrow in matches {
+                            let mut joined = lrow.clone();
+                            joined.extend(rrow.iter().cloned());
+                            out.push(joined);
+                        }
+                    }
+                }
+                tx.send((pi, out)).expect("result channel closed");
+            });
+        }
+        drop(tx);
+    });
+    let mut parts: Vec<(usize, Vec<Vec<Value>>)> = rx.iter().collect();
+    parts.sort_by_key(|(pi, _)| *pi);
+    parts.into_iter().flat_map(|(_, rows)| rows).collect()
+}
+
+/// Aggregate functions supported by the parallel store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFun {
+    /// Row count.
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Parallel group-by aggregation: per-partition partial aggregates, merged
+/// on the coordinator (the classic map-side combine).
+pub fn par_aggregate(
+    ds: &Dataset,
+    group_by: &[usize],
+    agg: AggFun,
+    agg_col: usize,
+) -> Vec<Vec<Value>> {
+    type Partial = HashMap<Vec<Value>, (f64, i64, Option<Value>)>; // (sum, count, min-or-max)
+    let (tx, rx) = channel::unbounded::<Partial>();
+    std::thread::scope(|s| {
+        for part in &ds.partitions {
+            let tx = tx.clone();
+            s.spawn(move || {
+                let mut acc: Partial = HashMap::new();
+                for row in part {
+                    let key: Vec<Value> = group_by.iter().map(|c| row[*c].clone()).collect();
+                    let v = &row[agg_col];
+                    let e = acc.entry(key).or_insert((0.0, 0, None));
+                    e.0 += v.as_double().unwrap_or(0.0);
+                    e.1 += 1;
+                    let replace = match (&e.2, agg) {
+                        (None, _) => true,
+                        (Some(cur), AggFun::Min) => v < cur,
+                        (Some(cur), AggFun::Max) => v > cur,
+                        _ => false,
+                    };
+                    if replace {
+                        e.2 = Some(v.clone());
+                    }
+                }
+                tx.send(acc).expect("result channel closed");
+            });
+        }
+        drop(tx);
+    });
+    let mut merged: HashMap<Vec<Value>, (f64, i64, Option<Value>)> = HashMap::new();
+    for partial in rx.iter() {
+        for (k, (sum, count, mm)) in partial {
+            let e = merged.entry(k).or_insert((0.0, 0, None));
+            e.0 += sum;
+            e.1 += count;
+            let replace = match (&e.2, &mm, agg) {
+                (_, None, _) => false,
+                (None, Some(_), _) => true,
+                (Some(cur), Some(new), AggFun::Min) => new < cur,
+                (Some(cur), Some(new), AggFun::Max) => new > cur,
+                _ => false,
+            };
+            if replace {
+                e.2 = mm;
+            }
+        }
+    }
+    let mut out: Vec<Vec<Value>> = merged
+        .into_iter()
+        .map(|(mut key, (sum, count, mm))| {
+            let v = match agg {
+                AggFun::Count => Value::Int(count),
+                AggFun::Sum => Value::Double(sum),
+                AggFun::Min | AggFun::Max => mm.unwrap_or(Value::Null),
+            };
+            key.push(v);
+            key
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn project(row: &[Value], projection: Option<&[usize]>) -> Vec<Value> {
+    match projection {
+        None => row.to_vec(),
+        Some(cols) => cols.iter().map(|c| row[*c].clone()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::from_rows(
+            &["id", "grp", "amount"],
+            (0..100).map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 4),
+                    Value::Double((i as f64) * 0.5),
+                ]
+            }),
+            8,
+        )
+    }
+
+    #[test]
+    fn par_filter_matches_sequential() {
+        let d = dataset();
+        let par = par_filter(&d, &|r| r[1] == Value::Int(2), None);
+        let seq: Vec<_> = d
+            .iter_rows()
+            .filter(|r| r[1] == Value::Int(2))
+            .cloned()
+            .collect();
+        assert_eq!(par.len(), seq.len());
+        let mut p = par.clone();
+        let mut s = seq;
+        p.sort();
+        s.sort();
+        assert_eq!(p, s);
+    }
+
+    #[test]
+    fn par_filter_projection() {
+        let d = dataset();
+        let out = par_filter(&d, &|r| r[0] == Value::Int(5), Some(&[2]));
+        assert_eq!(out, vec![vec![Value::Double(2.5)]]);
+    }
+
+    #[test]
+    fn par_join_matches_nested_loop() {
+        let left = dataset();
+        let right = Dataset::from_rows(
+            &["grp", "label"],
+            (0..4).map(|g| vec![Value::Int(g), Value::str(format!("g{g}"))]),
+            2,
+        );
+        let joined = par_join(&left, &right, &[1], &[0]);
+        assert_eq!(joined.len(), 100); // every row has exactly one group
+        for row in &joined {
+            assert_eq!(row.len(), 5);
+            assert_eq!(row[1], row[3]); // join keys equal
+        }
+    }
+
+    #[test]
+    fn par_join_with_no_matches() {
+        let left = dataset();
+        let right = Dataset::from_rows(&["grp"], vec![vec![Value::Int(99)]], 1);
+        assert!(par_join(&left, &right, &[1], &[0]).is_empty());
+    }
+
+    #[test]
+    fn aggregate_count_and_sum() {
+        let d = dataset();
+        let counts = par_aggregate(&d, &[1], AggFun::Count, 0);
+        assert_eq!(counts.len(), 4);
+        for row in &counts {
+            assert_eq!(row[1], Value::Int(25));
+        }
+        let sums = par_aggregate(&d, &[1], AggFun::Sum, 2);
+        let total: f64 = sums.iter().map(|r| r[1].as_double().unwrap()).sum();
+        let expected: f64 = (0..100).map(|i| i as f64 * 0.5).sum();
+        assert!((total - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_min_max() {
+        let d = dataset();
+        let mins = par_aggregate(&d, &[1], AggFun::Min, 0);
+        // group g's min id is g itself.
+        for row in &mins {
+            assert_eq!(row[0], row[1]);
+        }
+        let maxs = par_aggregate(&d, &[1], AggFun::Max, 0);
+        for row in &maxs {
+            let g = row[0].as_int().unwrap();
+            assert_eq!(row[1], Value::Int(96 + g));
+        }
+    }
+
+    #[test]
+    fn global_aggregate_empty_group_by() {
+        let d = dataset();
+        let out = par_aggregate(&d, &[], AggFun::Count, 0);
+        assert_eq!(out, vec![vec![Value::Int(100)]]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Relational atoms: a predicate applied to terms.
+
+use crate::symbol::Symbol;
+use crate::term::{Term, Var};
+use crate::value::Value;
+use std::fmt;
+
+/// A relational atom `P(t1, ..., tn)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// Predicate (relation) name.
+    pub pred: Symbol,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom from a predicate name and terms.
+    pub fn new(pred: impl Into<Symbol>, args: Vec<Term>) -> Atom {
+        Atom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Iterate over the variables occurring in the atom (with repeats).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(Term::as_var)
+    }
+
+    /// Apply a variable substitution, leaving unmapped variables intact.
+    pub fn substitute(&self, map: &dyn Fn(Var) -> Option<Term>) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => map(*v).unwrap_or_else(|| t.clone()),
+                    Term::Const(_) => t.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Replace every variable through `f` (total renaming).
+    pub fn rename(&self, f: &dyn Fn(Var) -> Var) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => Term::Var(f(*v)),
+                    Term::Const(c) => Term::Const(c.clone()),
+                })
+                .collect(),
+        }
+    }
+
+    /// The constants occurring in the atom.
+    pub fn constants(&self) -> impl Iterator<Item = &Value> {
+        self.args.iter().filter_map(Term::as_const)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_replaces_only_mapped_vars() {
+        let a = Atom::new("R", vec![Term::var(0), Term::var(1), Term::constant(5i64)]);
+        let s = a.substitute(&|v| {
+            if v == Var(0) {
+                Some(Term::constant("x"))
+            } else {
+                None
+            }
+        });
+        assert_eq!(s.args[0], Term::constant("x"));
+        assert_eq!(s.args[1], Term::var(1));
+        assert_eq!(s.args[2], Term::constant(5i64));
+    }
+
+    #[test]
+    fn vars_iterates_variables_only() {
+        let a = Atom::new("R", vec![Term::var(2), Term::constant(1i64), Term::var(2)]);
+        let vs: Vec<_> = a.vars().collect();
+        assert_eq!(vs, vec![Var(2), Var(2)]);
+    }
+}

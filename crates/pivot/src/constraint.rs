@@ -1,0 +1,266 @@
+//! Integrity constraints: tuple-generating and equality-generating
+//! dependencies, and the compilation of view definitions into constraint
+//! pairs — the machinery the paper calls "capturing the various data models
+//! and describing the fragments each DMS stores".
+
+use crate::atom::Atom;
+use crate::cq::Cq;
+use crate::symbol::Symbol;
+use crate::term::{Term, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Tuple-generating dependency
+/// `∀x̄ (premise(x̄) → ∃ȳ conclusion(x̄', ȳ))`.
+///
+/// Variables appearing only in the conclusion are implicitly
+/// existentially quantified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tgd {
+    /// Constraint name (for diagnostics / provenance display).
+    pub name: Symbol,
+    /// Premise (left-hand side) atoms.
+    pub premise: Vec<Atom>,
+    /// Conclusion (right-hand side) atoms.
+    pub conclusion: Vec<Atom>,
+}
+
+impl Tgd {
+    /// Construct a named TGD.
+    pub fn new(name: impl Into<Symbol>, premise: Vec<Atom>, conclusion: Vec<Atom>) -> Tgd {
+        Tgd {
+            name: name.into(),
+            premise,
+            conclusion,
+        }
+    }
+
+    /// Universally quantified variables (those in the premise).
+    pub fn frontier(&self) -> BTreeSet<Var> {
+        self.premise.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// Existential variables (conclusion-only).
+    pub fn existentials(&self) -> BTreeSet<Var> {
+        let frontier = self.frontier();
+        self.conclusion
+            .iter()
+            .flat_map(|a| a.vars())
+            .filter(|v| !frontier.contains(v))
+            .collect()
+    }
+
+    /// `true` when the conclusion has no existential variables (a *full*
+    /// TGD; full TGDs never threaten chase termination).
+    pub fn is_full(&self) -> bool {
+        self.existentials().is_empty()
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.name)?;
+        for (i, a) in self.premise.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " → ")?;
+        for (i, a) in self.conclusion.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Equality-generating dependency `∀x̄ (premise(x̄) → t1 = t2)`.
+///
+/// Captures keys and functional dependencies ("every node has just one
+/// parent and one tag").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Egd {
+    /// Constraint name.
+    pub name: Symbol,
+    /// Premise atoms.
+    pub premise: Vec<Atom>,
+    /// The two terms forced equal.
+    pub equal: (Term, Term),
+}
+
+impl Egd {
+    /// Construct a named EGD.
+    pub fn new(name: impl Into<Symbol>, premise: Vec<Atom>, equal: (Term, Term)) -> Egd {
+        Egd {
+            name: name.into(),
+            premise,
+            equal,
+        }
+    }
+}
+
+impl fmt::Display for Egd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.name)?;
+        for (i, a) in self.premise.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " → {} = {}", self.equal.0, self.equal.1)
+    }
+}
+
+/// A constraint: TGD or EGD.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Constraint {
+    /// Tuple-generating dependency.
+    Tgd(Tgd),
+    /// Equality-generating dependency.
+    Egd(Egd),
+}
+
+impl Constraint {
+    /// The constraint's diagnostic name.
+    pub fn name(&self) -> Symbol {
+        match self {
+            Constraint::Tgd(t) => t.name,
+            Constraint::Egd(e) => e.name,
+        }
+    }
+
+    /// Premise atoms of either kind of constraint.
+    pub fn premise(&self) -> &[Atom] {
+        match self {
+            Constraint::Tgd(t) => &t.premise,
+            Constraint::Egd(e) => &e.premise,
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Tgd(t) => write!(f, "{t}"),
+            Constraint::Egd(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<Tgd> for Constraint {
+    fn from(t: Tgd) -> Self {
+        Constraint::Tgd(t)
+    }
+}
+
+impl From<Egd> for Constraint {
+    fn from(e: Egd) -> Self {
+        Constraint::Egd(e)
+    }
+}
+
+/// A materialized-view definition: a named conjunctive query whose result is
+/// stored as a fragment. Views are the unit of the local-as-view mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDef {
+    /// The view query; `view.name` is the fragment relation name and
+    /// `view.head` its columns.
+    pub view: Cq,
+}
+
+impl ViewDef {
+    /// Wrap a query as a view definition. The query must be safe.
+    pub fn new(view: Cq) -> ViewDef {
+        assert!(view.is_safe(), "view definition must be a safe CQ");
+        ViewDef { view }
+    }
+
+    /// Fragment relation name.
+    pub fn name(&self) -> Symbol {
+        self.view.name
+    }
+
+    /// The head atom `V(x̄)` of the view over its own variable namespace.
+    pub fn head_atom(&self) -> Atom {
+        Atom::new(self.view.name, self.view.head.clone())
+    }
+
+    /// Forward inclusion `body(V) → V(x̄)`: holding the view's definition,
+    /// its extent contains each result tuple. Drives the chase phase that
+    /// builds the universal plan.
+    pub fn forward_tgd(&self) -> Tgd {
+        Tgd::new(
+            format!("{}_io", self.view.name).as_str(),
+            self.view.body.clone(),
+            vec![self.head_atom()],
+        )
+    }
+
+    /// Backward inclusion `V(x̄) → ∃ȳ body(V)`: every stored view tuple is
+    /// witnessed by source data. Drives the backchase.
+    pub fn backward_tgd(&self) -> Tgd {
+        Tgd::new(
+            format!("{}_oi", self.view.name).as_str(),
+            vec![self.head_atom()],
+            self.view.body.clone(),
+        )
+    }
+
+    /// Both directions, as generic constraints.
+    pub fn constraints(&self) -> [Constraint; 2] {
+        [self.forward_tgd().into(), self.backward_tgd().into()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CqBuilder;
+
+    fn view() -> ViewDef {
+        ViewDef::new(
+            CqBuilder::new("V")
+                .head_vars(["x", "z"])
+                .atom("R", |a| a.v("x").v("y"))
+                .atom("S", |a| a.v("y").v("z"))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn forward_tgd_is_full() {
+        let f = view().forward_tgd();
+        assert!(f.is_full());
+        assert_eq!(f.conclusion[0].pred, Symbol::intern("V"));
+    }
+
+    #[test]
+    fn backward_tgd_has_existential_join_var() {
+        let b = view().backward_tgd();
+        assert_eq!(b.existentials().len(), 1); // `y` is not in the view head
+        assert!(!b.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "safe CQ")]
+    fn unsafe_view_rejected() {
+        ViewDef::new(
+            CqBuilder::new("V")
+                .head_vars(["x", "w"])
+                .atom("R", |a| a.v("x").v("y"))
+                .build(),
+        );
+    }
+
+    #[test]
+    fn display_formats_implication() {
+        let t = view().forward_tgd();
+        let s = format!("{t}");
+        assert!(s.contains("→"));
+        assert!(s.contains("V_io"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Key-value data model encoded as binding-restricted relations.
+//!
+//! A key-value namespace `N` storing records `key → (v1, ..., vk)` is the
+//! relation `N_KV(key, v1, ..., vk)` with access pattern `i o...o`: the key
+//! *must* be supplied to access the values — the paper's "original encoding
+//! of access pattern restrictions". Feasible rewritings reach such relations
+//! through BindJoin.
+
+use crate::binding::AccessPattern;
+use crate::fact::Fact;
+use crate::schema::{RelationDecl, Schema};
+use crate::symbol::Symbol;
+use crate::value::Value;
+
+/// Pivot description of one key-value namespace.
+#[derive(Debug, Clone)]
+pub struct KvEncoding {
+    /// Pivot relation name (`{namespace}_KV`).
+    pub relation: Symbol,
+    /// Namespace name in the store.
+    pub namespace: String,
+    /// Names of the value columns (the key column is always first, named
+    /// `key`).
+    pub value_columns: Vec<String>,
+}
+
+impl KvEncoding {
+    /// Describe namespace `namespace` with the given value columns.
+    pub fn new(namespace: &str, value_columns: &[&str]) -> KvEncoding {
+        KvEncoding {
+            relation: Symbol::intern(&format!("{namespace}_KV")),
+            namespace: namespace.to_string(),
+            value_columns: value_columns.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Relation arity (key + values).
+    pub fn arity(&self) -> usize {
+        1 + self.value_columns.len()
+    }
+
+    /// The `i o...o` access pattern.
+    pub fn access_pattern(&self) -> AccessPattern {
+        let mut s = String::from("i");
+        s.extend(std::iter::repeat_n('o', self.value_columns.len()));
+        AccessPattern::parse(&s)
+    }
+
+    /// Declare the relation (with its key and access pattern) into `schema`.
+    pub fn declare(&self, schema: &mut Schema) {
+        let mut cols: Vec<&str> = vec!["key"];
+        cols.extend(self.value_columns.iter().map(|s| s.as_str()));
+        schema.add_relation(
+            RelationDecl::new(self.relation, &cols)
+                .with_access(self.access_pattern())
+                .with_key(&["key"]),
+        );
+    }
+
+    /// Encode one record as a fact.
+    pub fn encode_record(&self, key: Value, values: Vec<Value>) -> Fact {
+        assert_eq!(
+            values.len(),
+            self.value_columns.len(),
+            "value arity mismatch for namespace {}",
+            self.namespace
+        );
+        let mut args = Vec::with_capacity(self.arity());
+        args.push(key);
+        args.extend(values);
+        Fact::new(self.relation, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_pattern_requires_key() {
+        let e = KvEncoding::new("prefs", &["theme", "lang"]);
+        assert_eq!(format!("{}", e.access_pattern()), "ioo");
+    }
+
+    #[test]
+    fn declare_adds_key_and_pattern() {
+        let e = KvEncoding::new("carts", &["payload"]);
+        let mut s = Schema::new();
+        e.declare(&mut s);
+        let d = s.relation(e.relation).unwrap();
+        assert_eq!(d.arity(), 2);
+        assert_eq!(d.keys.len(), 1);
+        assert!(s.access_map().get(e.relation).is_some());
+        // key EGDs: one non-key column
+        assert_eq!(s.constraints.len(), 1);
+    }
+
+    #[test]
+    fn encode_record_builds_fact() {
+        let e = KvEncoding::new("prefs", &["theme"]);
+        let f = e.encode_record(Value::Int(7), vec![Value::str("dark")]);
+        assert_eq!(f.args.len(), 2);
+        assert_eq!(f.pred, Symbol::intern("prefs_KV"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn encode_record_checks_arity() {
+        let e = KvEncoding::new("prefs", &["theme"]);
+        let _ = e.encode_record(Value::Int(7), vec![]);
+    }
+}

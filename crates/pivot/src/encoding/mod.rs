@@ -1,0 +1,21 @@
+//! Encodings of application/storage data models into the pivot model.
+//!
+//! "To correctly account for the characteristics of each application data
+//! model and storage data model, we describe their specific features in the
+//! same pivot model, by means of powerful constraints." Each submodule
+//! covers one data model:
+//!
+//! - [`relational`] — identity encoding, keys as EGDs;
+//! - [`document`] — JSON trees as `Node`/`Child`/`Desc`/`Val` relations with
+//!   functional-dependency and transitivity constraints;
+//! - [`keyvalue`] — namespaces as relations with `i o…o` binding patterns;
+//! - [`nested`] — nested relations as a keyed top relation plus flattened
+//!   element relations;
+//! - [`text`] — full-text indexes as term→document relations with `io`
+//!   binding patterns.
+
+pub mod document;
+pub mod keyvalue;
+pub mod nested;
+pub mod relational;
+pub mod text;

@@ -1,0 +1,66 @@
+//! Full-text indexes encoded as binding-restricted relations.
+//!
+//! A text index `T` over documents keyed by `docKey` is the relation
+//! `T_Text(term, docKey)` with access pattern `io`: the search term must be
+//! supplied (full-text engines answer term → postings, not arbitrary scans
+//! of the token space).
+
+use crate::binding::AccessPattern;
+use crate::fact::Fact;
+use crate::schema::{RelationDecl, Schema};
+use crate::symbol::Symbol;
+use crate::value::Value;
+
+/// Pivot description of one full-text index.
+#[derive(Debug, Clone)]
+pub struct TextEncoding {
+    /// Pivot relation name (`{index}_Text`).
+    pub relation: Symbol,
+    /// Index name in the text store.
+    pub index: String,
+}
+
+impl TextEncoding {
+    /// Describe text index `index`.
+    pub fn new(index: &str) -> TextEncoding {
+        TextEncoding {
+            relation: Symbol::intern(&format!("{index}_Text")),
+            index: index.to_string(),
+        }
+    }
+
+    /// Declare the relation into `schema` with its `io` pattern.
+    pub fn declare(&self, schema: &mut Schema) {
+        schema.add_relation(
+            RelationDecl::new(self.relation, &["term", "docKey"])
+                .with_access(AccessPattern::parse("io")),
+        );
+    }
+
+    /// Encode "document `doc_key` contains `term`" as a fact.
+    pub fn encode_posting(&self, term: &str, doc_key: Value) -> Fact {
+        Fact::new(self.relation, vec![Value::str(term), doc_key])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_relation_requires_term() {
+        let t = TextEncoding::new("catalog");
+        let mut s = Schema::new();
+        t.declare(&mut s);
+        let p = s.access_map();
+        assert_eq!(format!("{}", p.get(t.relation).unwrap()), "io");
+    }
+
+    #[test]
+    fn posting_encodes_term_first() {
+        let t = TextEncoding::new("catalog");
+        let f = t.encode_posting("laptop", Value::Id(3));
+        assert_eq!(f.args[0], Value::str("laptop"));
+        assert_eq!(f.args[1], Value::Id(3));
+    }
+}

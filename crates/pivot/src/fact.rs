@@ -1,0 +1,92 @@
+//! Ground facts: fully constant tuples over pivot relations.
+//!
+//! Facts are the interchange format between native store contents and the
+//! pivot level (encoding documents as `Node`/`Child`/... facts, key-value
+//! pairs as binding-restricted relation facts, and so on).
+
+use crate::symbol::Symbol;
+use crate::value::Value;
+use std::fmt;
+
+/// A ground tuple `P(v1, ..., vn)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    /// Relation name.
+    pub pred: Symbol,
+    /// Constant arguments.
+    pub args: Vec<Value>,
+}
+
+impl Fact {
+    /// Construct a fact.
+    pub fn new(pred: impl Into<Symbol>, args: Vec<Value>) -> Fact {
+        Fact {
+            pred: pred.into(),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, v) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Monotonically increasing id generator for node / tuple identifiers
+/// allocated while encoding data into the pivot model.
+#[derive(Debug, Default)]
+pub struct IdGen {
+    next: u64,
+}
+
+impl IdGen {
+    /// Start at zero.
+    pub fn new() -> IdGen {
+        IdGen::default()
+    }
+
+    /// Start at a given offset (to keep id spaces disjoint).
+    pub fn starting_at(next: u64) -> IdGen {
+        IdGen { next }
+    }
+
+    /// Allocate a fresh id.
+    pub fn fresh(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Allocate a fresh id wrapped as a `Value`.
+    pub fn fresh_id(&mut self) -> Value {
+        Value::Id(self.fresh())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_gen_is_monotonic() {
+        let mut g = IdGen::new();
+        assert_eq!(g.fresh(), 0);
+        assert_eq!(g.fresh(), 1);
+        let mut g2 = IdGen::starting_at(100);
+        assert_eq!(g2.fresh_id(), Value::Id(100));
+    }
+
+    #[test]
+    fn fact_displays_like_an_atom() {
+        let f = Fact::new("Child", vec![Value::Id(1), Value::Id(2)]);
+        assert_eq!(format!("{f}"), "Child(#1, #2)");
+    }
+}

@@ -1,0 +1,101 @@
+//! Terms: the arguments of atoms — variables or constants.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A query variable, identified by a small integer within the owning
+/// query/constraint's namespace. Human-readable names live in the owning
+/// [`crate::cq::Cq`]'s name table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Index into per-query variable tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// Either a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// Query variable.
+    Var(Var),
+    /// Constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Variable constructor.
+    pub fn var(id: u32) -> Term {
+        Term::Var(Var(id))
+    }
+
+    /// Constant constructor.
+    pub fn constant(v: impl Into<Value>) -> Term {
+        Term::Const(v.into())
+    }
+
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this term is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(v) => Some(v),
+        }
+    }
+
+    /// `true` if the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        let t = Term::var(3);
+        assert_eq!(t.as_var(), Some(Var(3)));
+        assert!(t.as_const().is_none());
+        let c = Term::constant(42i64);
+        assert_eq!(c.as_const(), Some(&Value::Int(42)));
+        assert!(!c.is_var());
+    }
+}

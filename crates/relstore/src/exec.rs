@@ -1,0 +1,431 @@
+//! Execution of conjunctive select-project-join queries.
+//!
+//! Strategy: per-table constant predicates first (index-assisted when an
+//! index exists), then greedy hash-join ordering (smallest relation first,
+//! always joining through an available equality predicate when one exists),
+//! residual predicates as filters, projection last.
+
+use crate::query::{CmpOp, ColRef, Pred, SqlQuery};
+use crate::table::Table;
+use estocada_pivot::Value;
+use std::collections::HashMap;
+
+/// Error raised on malformed queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// FROM references an unknown table.
+    UnknownTable(String),
+    /// A column reference is out of range.
+    BadColumn,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            QueryError::BadColumn => write!(f, "column reference out of range"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Execution counters of one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecCounters {
+    /// Rows scanned from base tables.
+    pub scanned: u64,
+    /// Rows produced.
+    pub produced: u64,
+    /// Whether any index was used.
+    pub used_index: bool,
+}
+
+/// Run `query` against the `tables` map. Returns projected rows.
+pub fn execute(
+    query: &SqlQuery,
+    tables: &HashMap<String, Table>,
+    counters: &mut ExecCounters,
+) -> Result<Vec<Vec<Value>>, QueryError> {
+    // Resolve tables.
+    let base: Vec<&Table> = query
+        .tables
+        .iter()
+        .map(|n| {
+            tables
+                .get(n)
+                .ok_or_else(|| QueryError::UnknownTable(n.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    // Validate column references.
+    let check = |c: &ColRef| -> Result<(), QueryError> {
+        if c.table >= base.len() || c.column >= base[c.table].columns.len() {
+            return Err(QueryError::BadColumn);
+        }
+        Ok(())
+    };
+    for p in &query.predicates {
+        match p {
+            Pred::ColConst(c, _, _) => check(c)?,
+            Pred::ColCol(l, _, r) => {
+                check(l)?;
+                check(r)?;
+            }
+        }
+    }
+    for c in &query.projection {
+        check(c)?;
+    }
+
+    // Phase 1: per-table candidate rows after constant predicates.
+    let mut candidates: Vec<Vec<usize>> = Vec::with_capacity(base.len());
+    for (ti, t) in base.iter().enumerate() {
+        let consts: Vec<(&ColRef, &CmpOp, &Value)> = query
+            .predicates
+            .iter()
+            .filter_map(|p| match p {
+                Pred::ColConst(c, op, v) if c.table == ti => Some((c, op, v)),
+                _ => None,
+            })
+            .collect();
+        let rows = select_rows(t, &consts, counters);
+        candidates.push(rows);
+    }
+
+    // Phase 2: greedy join.
+    // State: joined table set + rows of combined bindings (per-table row id).
+    let n = base.len();
+    let mut joined: Vec<usize> = Vec::new();
+    let mut result: Vec<Vec<usize>> = Vec::new(); // each entry: row id per joined table position
+    let mut remaining: Vec<usize> = (0..n).collect();
+    remaining.sort_by_key(|&i| candidates[i].len());
+
+    while !remaining.is_empty() {
+        // Prefer a table with an equality predicate into the joined set.
+        let pick_pos = remaining
+            .iter()
+            .position(|&ti| {
+                !joined.is_empty()
+                    && query.predicates.iter().any(|p| match p {
+                        Pred::ColCol(l, CmpOp::Eq, r) => {
+                            (l.table == ti && joined.contains(&r.table))
+                                || (r.table == ti && joined.contains(&l.table))
+                        }
+                        _ => false,
+                    })
+            })
+            .unwrap_or(0);
+        let ti = remaining.remove(pick_pos);
+
+        if joined.is_empty() {
+            result = candidates[ti].iter().map(|&r| vec![r]).collect();
+            joined.push(ti);
+            continue;
+        }
+
+        // Equality keys between ti and the joined set.
+        let keys: Vec<(ColRef, ColRef)> = query
+            .predicates
+            .iter()
+            .filter_map(|p| match p {
+                Pred::ColCol(l, CmpOp::Eq, r) => {
+                    if l.table == ti && joined.contains(&r.table) {
+                        Some((*l, *r))
+                    } else if r.table == ti && joined.contains(&l.table) {
+                        Some((*r, *l))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+
+        let mut next = Vec::new();
+        if keys.is_empty() {
+            // Cross product.
+            for combo in &result {
+                for &r in &candidates[ti] {
+                    let mut c = combo.clone();
+                    c.push(r);
+                    next.push(c);
+                }
+            }
+        } else {
+            // Hash join on the first key; extra keys verified after probe.
+            let (new_col, old_col) = keys[0];
+            let old_pos = joined.iter().position(|&t| t == old_col.table).unwrap();
+            let mut hash: HashMap<&Value, Vec<usize>> = HashMap::new();
+            for (ci, combo) in result.iter().enumerate() {
+                let v = &base[old_col.table].rows[combo[old_pos]][old_col.column];
+                hash.entry(v).or_default().push(ci);
+            }
+            for &r in &candidates[ti] {
+                let probe = &base[ti].rows[r][new_col.column];
+                if let Some(matches) = hash.get(probe) {
+                    for &ci in matches {
+                        let combo = &result[ci];
+                        // Verify remaining equality keys.
+                        let ok = keys.iter().skip(1).all(|(nc, oc)| {
+                            let op = joined.iter().position(|&t| t == oc.table).unwrap();
+                            base[ti].rows[r][nc.column]
+                                == base[oc.table].rows[combo[op]][oc.column]
+                        });
+                        if ok {
+                            let mut c = combo.clone();
+                            c.push(r);
+                            next.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        result = next;
+        joined.push(ti);
+    }
+
+    // Phase 3: residual predicates (non-equality cross-table comparisons).
+    let pos_of = |t: usize| joined.iter().position(|&x| x == t).unwrap();
+    result.retain(|combo| {
+        query.predicates.iter().all(|p| match p {
+            Pred::ColCol(l, op, r) => {
+                if *op == CmpOp::Eq && l.table != r.table {
+                    // already enforced by the hash join when it connected the
+                    // two tables; re-check is cheap and covers same-table
+                    // equality predicates too.
+                }
+                let lv = &base[l.table].rows[combo[pos_of(l.table)]][l.column];
+                let rv = &base[r.table].rows[combo[pos_of(r.table)]][r.column];
+                op.eval(lv, rv)
+            }
+            Pred::ColConst(..) => true, // applied in phase 1
+        })
+    });
+
+    // Phase 4: projection.
+    let out: Vec<Vec<Value>> = result
+        .iter()
+        .map(|combo| {
+            query
+                .projection
+                .iter()
+                .map(|c| base[c.table].rows[combo[pos_of(c.table)]][c.column].clone())
+                .collect()
+        })
+        .collect();
+    counters.produced += out.len() as u64;
+    Ok(out)
+}
+
+/// Rows of `t` matching the conjunction of constant predicates, using the
+/// best available index.
+fn select_rows(
+    t: &Table,
+    consts: &[(&ColRef, &CmpOp, &Value)],
+    counters: &mut ExecCounters,
+) -> Vec<usize> {
+    // Try an index for one equality or range predicate.
+    let mut seed: Option<Vec<usize>> = None;
+    for (c, op, v) in consts {
+        if let Some(idx) = t.indexes.get(&c.column) {
+            match op {
+                CmpOp::Eq => {
+                    seed = Some(idx.lookup(v).to_vec());
+                    counters.used_index = true;
+                    break;
+                }
+                CmpOp::Gt | CmpOp::Ge => {
+                    if let Some(rows) = idx.range(Some(v), None) {
+                        seed = Some(rows);
+                        counters.used_index = true;
+                        break;
+                    }
+                }
+                CmpOp::Lt | CmpOp::Le => {
+                    if let Some(rows) = idx.range(None, Some(v)) {
+                        seed = Some(rows);
+                        counters.used_index = true;
+                        break;
+                    }
+                }
+                CmpOp::Ne => {}
+            }
+        }
+    }
+    let candidate_rows: Vec<usize> = match seed {
+        Some(rows) => rows,
+        None => {
+            counters.scanned += t.len() as u64;
+            (0..t.len()).collect()
+        }
+    };
+    candidate_rows
+        .into_iter()
+        .filter(|&r| {
+            consts
+                .iter()
+                .all(|(c, op, v)| op.eval(&t.rows[r][c.column], v))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::IndexKind;
+
+    fn setup() -> HashMap<String, Table> {
+        let mut users = Table::new(&["uid", "name", "tier"]);
+        users.insert(vec![Value::Int(1), Value::str("ann"), Value::str("gold")]);
+        users.insert(vec![Value::Int(2), Value::str("bob"), Value::str("free")]);
+        users.insert(vec![Value::Int(3), Value::str("cara"), Value::str("gold")]);
+        let mut orders = Table::new(&["oid", "uid", "total"]);
+        orders.insert(vec![Value::Int(10), Value::Int(1), Value::Int(100)]);
+        orders.insert(vec![Value::Int(11), Value::Int(1), Value::Int(5)]);
+        orders.insert(vec![Value::Int(12), Value::Int(3), Value::Int(42)]);
+        let mut m = HashMap::new();
+        m.insert("users".to_string(), users);
+        m.insert("orders".to_string(), orders);
+        m
+    }
+
+    fn col(table: usize, column: usize) -> ColRef {
+        ColRef { table, column }
+    }
+
+    #[test]
+    fn filter_scan_without_index() {
+        let tables = setup();
+        let mut q = SqlQuery::new();
+        q.add_table("users");
+        let q = q
+            .filter(Pred::ColConst(col(0, 2), CmpOp::Eq, Value::str("gold")))
+            .select(col(0, 1));
+        let mut c = ExecCounters::default();
+        let rows = execute(&q, &tables, &mut c).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(!c.used_index);
+        assert_eq!(c.scanned, 3);
+    }
+
+    #[test]
+    fn index_assisted_equality() {
+        let mut tables = setup();
+        tables.get_mut("users").unwrap().create_index(2, IndexKind::Hash);
+        let mut q = SqlQuery::new();
+        q.add_table("users");
+        let q = q
+            .filter(Pred::ColConst(col(0, 2), CmpOp::Eq, Value::str("gold")))
+            .select(col(0, 0));
+        let mut c = ExecCounters::default();
+        let rows = execute(&q, &tables, &mut c).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(c.used_index);
+        assert_eq!(c.scanned, 0);
+    }
+
+    #[test]
+    fn hash_join_two_tables() {
+        let tables = setup();
+        let mut q = SqlQuery::new();
+        q.add_table("users");
+        q.add_table("orders");
+        let q = q
+            .filter(Pred::ColCol(col(0, 0), CmpOp::Eq, col(1, 1)))
+            .select(col(0, 1))
+            .select(col(1, 2));
+        let mut c = ExecCounters::default();
+        let mut rows = execute(&q, &tables, &mut c).unwrap();
+        rows.sort();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![Value::str("ann"), Value::Int(5)]);
+        assert_eq!(rows[2], vec![Value::str("cara"), Value::Int(42)]);
+    }
+
+    #[test]
+    fn join_with_residual_range_predicate() {
+        let tables = setup();
+        let mut q = SqlQuery::new();
+        q.add_table("users");
+        q.add_table("orders");
+        let q = q
+            .filter(Pred::ColCol(col(0, 0), CmpOp::Eq, col(1, 1)))
+            .filter(Pred::ColConst(col(1, 2), CmpOp::Gt, Value::Int(50)))
+            .select(col(0, 1));
+        let mut c = ExecCounters::default();
+        let rows = execute(&q, &tables, &mut c).unwrap();
+        assert_eq!(rows, vec![vec![Value::str("ann")]]);
+    }
+
+    #[test]
+    fn range_via_btree_index() {
+        let mut tables = setup();
+        tables
+            .get_mut("orders")
+            .unwrap()
+            .create_index(2, IndexKind::BTree);
+        let mut q = SqlQuery::new();
+        q.add_table("orders");
+        let q = q
+            .filter(Pred::ColConst(col(0, 2), CmpOp::Ge, Value::Int(42)))
+            .select(col(0, 0));
+        let mut c = ExecCounters::default();
+        let mut rows = execute(&q, &tables, &mut c).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![vec![Value::Int(10)], vec![Value::Int(12)]]);
+        assert!(c.used_index);
+    }
+
+    #[test]
+    fn cross_product_when_no_join_predicate() {
+        let tables = setup();
+        let mut q = SqlQuery::new();
+        q.add_table("users");
+        q.add_table("orders");
+        let q = q.select(col(0, 0)).select(col(1, 0));
+        let mut c = ExecCounters::default();
+        let rows = execute(&q, &tables, &mut c).unwrap();
+        assert_eq!(rows.len(), 9);
+    }
+
+    #[test]
+    fn self_join() {
+        let tables = setup();
+        let mut q = SqlQuery::new();
+        q.add_table("users");
+        q.add_table("users");
+        // u1.tier = u2.tier AND u1.uid <> u2.uid
+        let q = q
+            .filter(Pred::ColCol(col(0, 2), CmpOp::Eq, col(1, 2)))
+            .filter(Pred::ColCol(col(0, 0), CmpOp::Ne, col(1, 0)))
+            .select(col(0, 0))
+            .select(col(1, 0));
+        let mut c = ExecCounters::default();
+        let rows = execute(&q, &tables, &mut c).unwrap();
+        // gold pair (1,3) both directions
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let tables = setup();
+        let mut q = SqlQuery::new();
+        q.add_table("nope");
+        let mut c = ExecCounters::default();
+        assert!(matches!(
+            execute(&q, &tables, &mut c),
+            Err(QueryError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn bad_column_errors() {
+        let tables = setup();
+        let mut q = SqlQuery::new();
+        q.add_table("users");
+        let q = q.select(col(0, 99));
+        let mut c = ExecCounters::default();
+        assert_eq!(execute(&q, &tables, &mut c), Err(QueryError::BadColumn));
+    }
+}

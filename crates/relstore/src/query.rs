@@ -1,0 +1,190 @@
+//! The relational store's native query IR: conjunctive
+//! select-project-join blocks (the fragment of SQL the mediator delegates).
+
+use estocada_pivot::Value;
+use std::fmt;
+
+/// Reference to a column of a table in the query's FROM list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColRef {
+    /// Index into [`SqlQuery::tables`].
+    pub table: usize,
+    /// Column position within that table.
+    pub column: usize,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison on two values.
+    pub fn eval(&self, l: &Value, r: &Value) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A WHERE-clause predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `col op constant`.
+    ColConst(ColRef, CmpOp, Value),
+    /// `col1 op col2` (equality predicates drive hash joins).
+    ColCol(ColRef, CmpOp, ColRef),
+}
+
+/// A conjunctive select-project-join query.
+#[derive(Debug, Clone, Default)]
+pub struct SqlQuery {
+    /// FROM list: table names (repeats allowed — self-joins).
+    pub tables: Vec<String>,
+    /// Conjunctive WHERE clause.
+    pub predicates: Vec<Pred>,
+    /// SELECT list.
+    pub projection: Vec<ColRef>,
+}
+
+impl SqlQuery {
+    /// Start building a query.
+    pub fn new() -> SqlQuery {
+        SqlQuery::default()
+    }
+
+    /// Add a table to the FROM list, returning its index.
+    pub fn add_table(&mut self, name: &str) -> usize {
+        self.tables.push(name.to_string());
+        self.tables.len() - 1
+    }
+
+    /// Add a predicate (builder style).
+    pub fn filter(mut self, p: Pred) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Add a projection column (builder style).
+    pub fn select(mut self, c: ColRef) -> Self {
+        self.projection.push(c);
+        self
+    }
+}
+
+impl fmt::Display for SqlQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.projection.is_empty() {
+            write!(f, "*")?;
+        }
+        for (i, c) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "t{}.c{}", c.table, c.column)?;
+        }
+        write!(f, " FROM ")?;
+        for (i, t) in self.tables.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t} t{i}")?;
+        }
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                match p {
+                    Pred::ColConst(c, op, v) => write!(f, "t{}.c{} {op} {v}", c.table, c.column)?,
+                    Pred::ColCol(l, op, r) => write!(
+                        f,
+                        "t{}.c{} {op} t{}.c{}",
+                        l.table, l.column, r.table, r.column
+                    )?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_ops_follow_value_order() {
+        assert!(CmpOp::Lt.eval(&Value::Int(1), &Value::Int(2)));
+        assert!(CmpOp::Ge.eval(&Value::str("b"), &Value::str("a")));
+        assert!(CmpOp::Ne.eval(&Value::Int(1), &Value::str("1")));
+    }
+
+    #[test]
+    fn display_renders_sql_like_text() {
+        let mut q = SqlQuery::new();
+        let t0 = q.add_table("users");
+        let t1 = q.add_table("orders");
+        let q = q
+            .filter(Pred::ColCol(
+                ColRef {
+                    table: t0,
+                    column: 0,
+                },
+                CmpOp::Eq,
+                ColRef {
+                    table: t1,
+                    column: 1,
+                },
+            ))
+            .filter(Pred::ColConst(
+                ColRef {
+                    table: t1,
+                    column: 2,
+                },
+                CmpOp::Gt,
+                Value::Int(10),
+            ))
+            .select(ColRef {
+                table: t0,
+                column: 1,
+            });
+        let s = format!("{q}");
+        assert!(s.contains("FROM users t0, orders t1"));
+        assert!(s.contains("t0.c0 = t1.c1"));
+        assert!(s.contains("t1.c2 > 10"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Per-table statistics: the raw material of the mediator's cost model
+//! ("ESTOCADA estimates the cardinality of its result, based on statistics
+//! it gathers and stores on the data of each fragment").
+
+use crate::table::Table;
+use estocada_pivot::Value;
+use std::collections::HashSet;
+
+/// Statistics of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Distinct value count.
+    pub distinct: u64,
+    /// Minimum value (None for empty tables).
+    pub min: Option<Value>,
+    /// Maximum value.
+    pub max: Option<Value>,
+}
+
+/// Statistics of one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: u64,
+    /// Per-column stats, in column order.
+    pub columns: Vec<ColumnStats>,
+    /// Mean row size in bytes (approximate).
+    pub avg_row_bytes: u64,
+}
+
+/// Scan `table` and compute full statistics.
+pub fn analyze(table: &Table) -> TableStats {
+    let rows = table.rows.len() as u64;
+    let ncols = table.columns.len();
+    let mut distinct: Vec<HashSet<&Value>> = vec![HashSet::new(); ncols];
+    let mut min: Vec<Option<&Value>> = vec![None; ncols];
+    let mut max: Vec<Option<&Value>> = vec![None; ncols];
+    let mut bytes = 0usize;
+    for row in &table.rows {
+        for (i, v) in row.iter().enumerate() {
+            distinct[i].insert(v);
+            if min[i].map(|m| v < m).unwrap_or(true) {
+                min[i] = Some(v);
+            }
+            if max[i].map(|m| v > m).unwrap_or(true) {
+                max[i] = Some(v);
+            }
+            bytes += v.approx_size();
+        }
+    }
+    TableStats {
+        rows,
+        columns: (0..ncols)
+            .map(|i| ColumnStats {
+                distinct: distinct[i].len() as u64,
+                min: min[i].cloned(),
+                max: max[i].cloned(),
+            })
+            .collect(),
+        avg_row_bytes: (bytes as u64).checked_div(rows).unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_counts_distincts_and_bounds() {
+        let mut t = Table::new(&["a", "b"]);
+        t.insert(vec![Value::Int(1), Value::str("x")]);
+        t.insert(vec![Value::Int(2), Value::str("x")]);
+        t.insert(vec![Value::Int(2), Value::str("y")]);
+        let s = analyze(&t);
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.columns[0].distinct, 2);
+        assert_eq!(s.columns[1].distinct, 2);
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(2)));
+        assert!(s.avg_row_bytes > 0);
+    }
+
+    #[test]
+    fn analyze_empty_table() {
+        let t = Table::new(&["a"]);
+        let s = analyze(&t);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.columns[0].distinct, 0);
+        assert_eq!(s.columns[0].min, None);
+        assert_eq!(s.avg_row_bytes, 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Tables, rows and secondary indexes.
+
+use estocada_pivot::Value;
+use std::collections::{BTreeMap, HashMap};
+
+/// A secondary index over one column.
+#[derive(Debug, Clone)]
+pub enum Index {
+    /// Hash index: equality lookups.
+    Hash(HashMap<Value, Vec<usize>>),
+    /// B-tree index: equality and range lookups.
+    BTree(BTreeMap<Value, Vec<usize>>),
+}
+
+impl Index {
+    /// Row ids with `value` in the indexed column.
+    pub fn lookup(&self, value: &Value) -> &[usize] {
+        static EMPTY: Vec<usize> = Vec::new();
+        match self {
+            Index::Hash(m) => m.get(value).unwrap_or(&EMPTY),
+            Index::BTree(m) => m.get(value).unwrap_or(&EMPTY),
+        }
+    }
+
+    /// Row ids in `[low, high]` (inclusive bounds, either open); only
+    /// supported by B-tree indexes.
+    pub fn range(&self, low: Option<&Value>, high: Option<&Value>) -> Option<Vec<usize>> {
+        match self {
+            Index::Hash(_) => None,
+            Index::BTree(m) => {
+                use std::ops::Bound;
+                let lo = low.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+                let hi = high.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+                Some(
+                    m.range((lo, hi))
+                        .flat_map(|(_, rows)| rows.iter().copied())
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    fn insert(&mut self, value: Value, row: usize) {
+        match self {
+            Index::Hash(m) => m.entry(value).or_default().push(row),
+            Index::BTree(m) => m.entry(value).or_default().push(row),
+        }
+    }
+}
+
+/// Kind of index to create.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash (equality only).
+    Hash,
+    /// B-tree (equality + ranges).
+    BTree,
+}
+
+/// An in-memory row-store table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row data, in column order.
+    pub rows: Vec<Vec<Value>>,
+    /// Secondary indexes by column position.
+    pub indexes: HashMap<usize, Index>,
+}
+
+impl Table {
+    /// Create an empty table with the given columns.
+    pub fn new(columns: &[&str]) -> Table {
+        Table {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// Position of a column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Append a row (arity-checked); indexes are maintained.
+    pub fn insert(&mut self, row: Vec<Value>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        let id = self.rows.len();
+        for (col, idx) in self.indexes.iter_mut() {
+            idx.insert(row[*col].clone(), id);
+        }
+        self.rows.push(row);
+    }
+
+    /// Build an index over `column` (replacing any existing one).
+    pub fn create_index(&mut self, column: usize, kind: IndexKind) {
+        let mut idx = match kind {
+            IndexKind::Hash => Index::Hash(HashMap::new()),
+            IndexKind::BTree => Index::BTree(BTreeMap::new()),
+        };
+        for (i, row) in self.rows.iter().enumerate() {
+            idx.insert(row[column].clone(), i);
+        }
+        self.indexes.insert(column, idx);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new(&["id", "name", "age"]);
+        t.insert(vec![Value::Int(1), Value::str("ann"), Value::Int(30)]);
+        t.insert(vec![Value::Int(2), Value::str("bob"), Value::Int(25)]);
+        t.insert(vec![Value::Int(3), Value::str("carol"), Value::Int(30)]);
+        t
+    }
+
+    #[test]
+    fn hash_index_lookup() {
+        let mut t = table();
+        t.create_index(2, IndexKind::Hash);
+        let idx = &t.indexes[&2];
+        assert_eq!(idx.lookup(&Value::Int(30)), &[0, 2]);
+        assert!(idx.lookup(&Value::Int(99)).is_empty());
+        assert!(idx.range(None, None).is_none());
+    }
+
+    #[test]
+    fn btree_index_range() {
+        let mut t = table();
+        t.create_index(2, IndexKind::BTree);
+        let idx = &t.indexes[&2];
+        let mut rows = idx
+            .range(Some(&Value::Int(26)), Some(&Value::Int(31)))
+            .unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![0, 2]);
+        assert_eq!(idx.range(None, Some(&Value::Int(25))).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn insert_maintains_existing_indexes() {
+        let mut t = table();
+        t.create_index(0, IndexKind::Hash);
+        t.insert(vec![Value::Int(4), Value::str("dan"), Value::Int(40)]);
+        assert_eq!(t.indexes[&0].lookup(&Value::Int(4)), &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked_on_insert() {
+        let mut t = table();
+        t.insert(vec![Value::Int(9)]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Tokenization: lowercase alphanumeric terms, a fixed stopword list.
+
+/// Stopwords excluded from indexing and queries.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is",
+    "it", "its", "of", "on", "or", "that", "the", "to", "was", "were", "will", "with",
+];
+
+/// Split `text` into lowercase alphanumeric terms, dropping stopwords.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            if !STOPWORDS.contains(&cur.as_str()) {
+                out.push(std::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+        }
+    }
+    if !cur.is_empty() && !STOPWORDS.contains(&cur.as_str()) {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Wireless Mouse, 2.4GHz!"),
+            vec!["wireless", "mouse", "2", "4ghz"]
+        );
+    }
+
+    #[test]
+    fn drops_stopwords() {
+        assert_eq!(tokenize("the best of the best"), vec!["best", "best"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!...").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Écran HDÉ"), vec!["écran", "hdé"]);
+    }
+}

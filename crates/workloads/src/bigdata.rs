@@ -1,0 +1,184 @@
+//! The AMPLab Big Data Benchmark datasets and queries (the demo's public
+//! dataset): `Rankings(pageURL, pageRank, avgDuration)` and
+//! `UserVisits(sourceIP, destURL, visitDate, adRevenue, ...)`, with the
+//! benchmark's three query shapes.
+
+use estocada::{Dataset, TableData};
+use estocada_pivot::encoding::relational::TableEncoding;
+use estocada_pivot::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BigDataConfig {
+    /// Number of ranked pages.
+    pub pages: usize,
+    /// Number of user visits.
+    pub visits: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BigDataConfig {
+    fn default() -> Self {
+        BigDataConfig {
+            pages: 2_000,
+            visits: 20_000,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate the `bigdata` relational dataset.
+pub fn generate(config: BigDataConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Rankings(url, pageRank, avgDuration) — pageRank roughly Zipf-ish.
+    let rankings: Vec<Vec<Value>> = (0..config.pages)
+        .map(|i| {
+            let rank = (10_000.0 / (1.0 + (i as f64).sqrt())) as i64 + rng.random_range(0..50);
+            vec![
+                Value::str(format!("url{i}")),
+                Value::Int(rank),
+                Value::Int(rng.random_range(1..120)),
+            ]
+        })
+        .collect();
+
+    // UserVisits(sourceIP, destURL, visitDate, adRevenue, countryCode, duration)
+    let visits: Vec<Vec<Value>> = (0..config.visits)
+        .map(|i| {
+            let page = rng.random_range(0..config.pages);
+            let ip = format!(
+                "{}.{}.{}.{}",
+                rng.random_range(1..224),
+                rng.random_range(0..256),
+                rng.random_range(0..256),
+                rng.random_range(1..255)
+            );
+            vec![
+                Value::Int(i as i64),
+                Value::str(ip),
+                Value::str(format!("url{page}")),
+                Value::Int(rng.random_range(19_800_000..20_260_000)), // yyyymmdd-ish
+                Value::Double(rng.random::<f64>() * 5.0),
+                Value::str(["FR", "DE", "US", "JP", "BR"][rng.random_range(0..5)]),
+                Value::Int(rng.random_range(1..600)),
+            ]
+        })
+        .collect();
+
+    Dataset::relational(
+        "bigdata",
+        vec![
+            TableData {
+                encoding: TableEncoding::new(
+                    "Rankings",
+                    &["pageURL", "pageRank", "avgDuration"],
+                    Some(&["pageURL"]),
+                ),
+                rows: rankings,
+                text_columns: vec![],
+            },
+            TableData {
+                encoding: TableEncoding::new(
+                    "UserVisits",
+                    &[
+                        "vid",
+                        "sourceIP",
+                        "destURL",
+                        "visitDate",
+                        "adRevenue",
+                        "countryCode",
+                        "duration",
+                    ],
+                    Some(&["vid"]),
+                ),
+                rows: visits,
+                text_columns: vec![],
+            },
+        ],
+    )
+}
+
+/// Q1 (scan): `SELECT pageURL, pageRank FROM Rankings WHERE pageRank > X`.
+pub fn q1_sql(threshold: i64) -> String {
+    format!("SELECT r.pageURL, r.pageRank FROM Rankings r WHERE r.pageRank > {threshold}")
+}
+
+/// The conjunctive core of Q2 (aggregation): fetch `(sourceIP, adRevenue)`
+/// pairs; the `SUBSTR`/`SUM` aggregation runs in the mediator runtime (see
+/// the benchmark harness).
+pub fn q2_fetch_sql() -> String {
+    "SELECT v.vid, v.sourceIP, v.adRevenue FROM UserVisits v".to_string()
+}
+
+/// Q3 (join): rankings joined with visits in a date range, fetching the
+/// per-visit revenue and rank.
+pub fn q3_sql(date_lo: i64, date_hi: i64) -> String {
+    format!(
+        "SELECT v.vid, v.sourceIP, v.adRevenue, r.pageRank FROM Rankings r, UserVisits v \
+         WHERE r.pageURL = v.destURL AND v.visitDate >= {date_lo} AND v.visitDate <= {date_hi}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estocada::DatasetContent;
+
+    #[test]
+    fn generation_shapes() {
+        let d = generate(BigDataConfig {
+            pages: 100,
+            visits: 500,
+            seed: 1,
+        });
+        let DatasetContent::Relational(tables) = &d.content else {
+            panic!()
+        };
+        assert_eq!(tables[0].rows.len(), 100);
+        assert_eq!(tables[1].rows.len(), 500);
+        // Visits reference generated pages.
+        for row in &tables[1].rows {
+            let url = row[2].as_str().unwrap();
+            let n: usize = url.strip_prefix("url").unwrap().parse().unwrap();
+            assert!(n < 100);
+        }
+    }
+
+    #[test]
+    fn page_rank_is_skewed_descending() {
+        let d = generate(BigDataConfig {
+            pages: 100,
+            visits: 10,
+            seed: 2,
+        });
+        let DatasetContent::Relational(tables) = &d.content else {
+            panic!()
+        };
+        let first = tables[0].rows[0][1].as_int().unwrap();
+        let last = tables[0].rows[99][1].as_int().unwrap();
+        assert!(first > last);
+    }
+
+    #[test]
+    fn query_texts_parse_against_schema() {
+        let d = generate(BigDataConfig {
+            pages: 10,
+            visits: 10,
+            seed: 3,
+        });
+        let mut est = estocada::Estocada::in_memory();
+        est.register_dataset(d);
+        est.add_fragment(estocada::FragmentSpec::NativeTables {
+            dataset: "bigdata".into(),
+            only: None,
+        })
+        .unwrap();
+        assert!(est.query_sql(&q1_sql(1000)).is_ok());
+        assert!(est.query_sql(&q2_fetch_sql()).is_ok());
+        assert!(est.query_sql(&q3_sql(19_900_000, 20_000_000)).is_ok());
+    }
+}

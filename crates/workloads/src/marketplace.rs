@@ -1,0 +1,349 @@
+//! The marketplace scenario of the paper's Section II: product catalog as
+//! documents with text, users / orders / shipping as relations, shopping
+//! carts as documents, and web logs of user browsing.
+
+use crate::zipf::Zipf;
+use estocada::{Dataset, DocData, TableData};
+use estocada_pivot::encoding::relational::TableEncoding;
+use estocada_pivot::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MarketplaceConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of products.
+    pub products: usize,
+    /// Number of orders.
+    pub orders: usize,
+    /// Number of web-log entries.
+    pub log_entries: usize,
+    /// Zipf skew of user activity.
+    pub skew: f64,
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for MarketplaceConfig {
+    fn default() -> Self {
+        MarketplaceConfig {
+            users: 1_000,
+            products: 500,
+            orders: 5_000,
+            log_entries: 20_000,
+            skew: 0.9,
+            seed: 42,
+        }
+    }
+}
+
+/// Product categories used by titles and the personalized-search query.
+pub const CATEGORIES: &[&str] = &[
+    "laptop", "phone", "keyboard", "mouse", "monitor", "cable", "speaker", "camera",
+];
+
+const ADJECTIVES: &[&str] = &[
+    "wireless", "ergonomic", "compact", "gaming", "premium", "budget", "portable", "silent",
+];
+
+/// The generated datasets.
+#[derive(Debug)]
+pub struct Marketplace {
+    /// Relational dataset `sales`: Users, Prefs, Orders, Shipping, WebLog,
+    /// Products(+text).
+    pub sales: Dataset,
+    /// Document dataset `Carts`: one cart per user (object with items).
+    pub carts: Dataset,
+    /// The configuration used.
+    pub config: MarketplaceConfig,
+}
+
+/// Generate the marketplace datasets.
+pub fn generate(config: MarketplaceConfig) -> Marketplace {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let user_zipf = Zipf::new(config.users, config.skew);
+
+    // Users(uid, name, tier)
+    let users_rows: Vec<Vec<Value>> = (0..config.users)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::str(format!("user{i}")),
+                Value::str(if rng.random_bool(0.2) { "gold" } else { "free" }),
+            ]
+        })
+        .collect();
+
+    // Prefs(uid, theme, language, newsletter)
+    let prefs_rows: Vec<Vec<Value>> = (0..config.users)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::str(if rng.random_bool(0.5) { "dark" } else { "light" }),
+                Value::str(["en", "fr", "de", "es"][rng.random_range(0..4)]),
+                Value::Bool(rng.random_bool(0.3)),
+            ]
+        })
+        .collect();
+
+    // Products(pid, title, category, price)
+    let products_rows: Vec<Vec<Value>> = (0..config.products)
+        .map(|i| {
+            let cat = CATEGORIES[rng.random_range(0..CATEGORIES.len())];
+            let adj1 = ADJECTIVES[rng.random_range(0..ADJECTIVES.len())];
+            let adj2 = ADJECTIVES[rng.random_range(0..ADJECTIVES.len())];
+            vec![
+                Value::Int(i as i64),
+                Value::str(format!("{adj1} {adj2} {cat} model {i}")),
+                Value::str(cat),
+                Value::Double((rng.random_range(500..50_000) as f64) / 100.0),
+            ]
+        })
+        .collect();
+
+    // Orders(oid, uid, pid, category, amount)
+    let orders_rows: Vec<Vec<Value>> = (0..config.orders)
+        .map(|i| {
+            let uid = user_zipf.sample(&mut rng) as i64;
+            let pid = rng.random_range(0..config.products) as i64;
+            let category = products_rows[pid as usize][2].clone();
+            vec![
+                Value::Int(i as i64),
+                Value::Int(uid),
+                Value::Int(pid),
+                category,
+                Value::Double((rng.random_range(100..100_000) as f64) / 100.0),
+            ]
+        })
+        .collect();
+
+    // Shipping(oid, status, country)
+    let shipping_rows: Vec<Vec<Value>> = (0..config.orders)
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::str(["pending", "shipped", "delivered"][rng.random_range(0..3)]),
+                Value::str(["FR", "DE", "US", "JP"][rng.random_range(0..4)]),
+            ]
+        })
+        .collect();
+
+    // WebLog(lid, uid, pid, category, dwell_ms) — browsing history.
+    let log_rows: Vec<Vec<Value>> = (0..config.log_entries)
+        .map(|i| {
+            let uid = user_zipf.sample(&mut rng) as i64;
+            let pid = rng.random_range(0..config.products) as i64;
+            let category = products_rows[pid as usize][2].clone();
+            vec![
+                Value::Int(i as i64),
+                Value::Int(uid),
+                Value::Int(pid),
+                category,
+                Value::Int(rng.random_range(100..120_000)),
+            ]
+        })
+        .collect();
+
+    let sales = Dataset::relational(
+        "sales",
+        vec![
+            TableData {
+                encoding: TableEncoding::new("Users", &["uid", "name", "tier"], Some(&["uid"])),
+                rows: users_rows,
+                text_columns: vec![],
+            },
+            TableData {
+                encoding: TableEncoding::new(
+                    "Prefs",
+                    &["uid", "theme", "language", "newsletter"],
+                    Some(&["uid"]),
+                ),
+                rows: prefs_rows,
+                text_columns: vec![],
+            },
+            TableData {
+                encoding: TableEncoding::new(
+                    "Products",
+                    &["pid", "title", "category", "price"],
+                    Some(&["pid"]),
+                ),
+                rows: products_rows,
+                text_columns: vec!["title".into()],
+            },
+            TableData {
+                encoding: TableEncoding::new(
+                    "Orders",
+                    &["oid", "uid", "pid", "category", "amount"],
+                    Some(&["oid"]),
+                ),
+                rows: orders_rows,
+                text_columns: vec![],
+            },
+            TableData {
+                encoding: TableEncoding::new(
+                    "Shipping",
+                    &["oid", "status", "country"],
+                    Some(&["oid"]),
+                ),
+                rows: shipping_rows,
+                text_columns: vec![],
+            },
+            TableData {
+                encoding: TableEncoding::new(
+                    "WebLog",
+                    &["lid", "uid", "pid", "category", "dwell_ms"],
+                    Some(&["lid"]),
+                ),
+                rows: log_rows,
+                text_columns: vec![],
+            },
+        ],
+    );
+
+    // Carts: one document per user with up to 5 items.
+    let carts_docs: Vec<DocData> = (0..config.users)
+        .map(|i| {
+            let n_items = rng.random_range(0..5usize);
+            DocData {
+                id: Value::Id(i as u64),
+                name: format!("cart{i}"),
+                body: Value::object_owned([
+                    ("user".to_string(), Value::Int(i as i64)),
+                    (
+                        "items".to_string(),
+                        Value::array((0..n_items).map(|_| {
+                            let pid = rng.random_range(0..config.products) as i64;
+                            Value::object_owned([
+                                ("pid".to_string(), Value::Int(pid)),
+                                ("qty".to_string(), Value::Int(rng.random_range(1..4))),
+                            ])
+                        })),
+                    ),
+                ]),
+            }
+        })
+        .collect();
+    let carts = Dataset::documents("Carts", carts_docs);
+
+    Marketplace {
+        sales,
+        carts,
+        config,
+    }
+}
+
+/// The scenario's workload W1: a Zipf-sampled mix of key-based preference
+/// and cart lookups (the predominant queries) plus occasional order scans.
+/// Returns SQL texts and document patterns as `(kind, payload)` pairs.
+#[derive(Debug, Clone)]
+pub enum W1Query {
+    /// `SELECT p.theme, p.language FROM Prefs p WHERE p.uid = ?`
+    PrefLookup(i64),
+    /// Tree pattern: cart items of one user.
+    CartLookup(i64),
+    /// `SELECT o.oid, o.amount FROM Orders o WHERE o.uid = ?`
+    UserOrders(i64),
+}
+
+/// Sample `n` workload-W1 queries.
+pub fn w1_workload(config: &MarketplaceConfig, n: usize, seed: u64) -> Vec<W1Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let zipf = Zipf::new(config.users, config.skew);
+    (0..n)
+        .map(|_| {
+            let uid = zipf.sample(&mut rng) as i64;
+            // The key-based searches (preferences, carts) are the
+            // predominant point queries; order scans model the rest of the
+            // application that the migration does not touch.
+            match rng.random_range(0..12) {
+                0..=2 => W1Query::PrefLookup(uid),
+                3..=5 => W1Query::CartLookup(uid),
+                _ => W1Query::UserOrders(uid),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estocada::DatasetContent;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(MarketplaceConfig {
+            users: 50,
+            products: 20,
+            orders: 100,
+            log_entries: 200,
+            ..MarketplaceConfig::default()
+        });
+        let b = generate(MarketplaceConfig {
+            users: 50,
+            products: 20,
+            orders: 100,
+            log_entries: 200,
+            ..MarketplaceConfig::default()
+        });
+        match (&a.sales.content, &b.sales.content) {
+            (DatasetContent::Relational(ta), DatasetContent::Relational(tb)) => {
+                assert_eq!(ta[0].rows, tb[0].rows);
+                assert_eq!(ta[3].rows, tb[3].rows);
+            }
+            _ => panic!("expected relational"),
+        }
+    }
+
+    #[test]
+    fn orders_reference_valid_users_and_products() {
+        let m = generate(MarketplaceConfig {
+            users: 30,
+            products: 10,
+            orders: 50,
+            log_entries: 10,
+            ..MarketplaceConfig::default()
+        });
+        let DatasetContent::Relational(tables) = &m.sales.content else {
+            panic!()
+        };
+        let orders = &tables[3];
+        for row in &orders.rows {
+            let uid = row[1].as_int().unwrap();
+            let pid = row[2].as_int().unwrap();
+            assert!((0..30).contains(&uid));
+            assert!((0..10).contains(&pid));
+        }
+    }
+
+    #[test]
+    fn w1_mix_has_all_kinds() {
+        let cfg = MarketplaceConfig {
+            users: 100,
+            ..MarketplaceConfig::default()
+        };
+        let w = w1_workload(&cfg, 200, 7);
+        assert!(w.iter().any(|q| matches!(q, W1Query::PrefLookup(_))));
+        assert!(w.iter().any(|q| matches!(q, W1Query::CartLookup(_))));
+        assert!(w.iter().any(|q| matches!(q, W1Query::UserOrders(_))));
+    }
+
+    #[test]
+    fn cart_documents_reference_their_user() {
+        let m = generate(MarketplaceConfig {
+            users: 10,
+            products: 5,
+            orders: 10,
+            log_entries: 5,
+            ..MarketplaceConfig::default()
+        });
+        let DatasetContent::Documents(docs) = &m.carts.content else {
+            panic!()
+        };
+        assert_eq!(docs.len(), 10);
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(d.body.get("user"), Some(&Value::Int(i as i64)));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! The storage advisor in action (demo step 4): a shifted workload hits the
+//! baseline deployment; the advisor recommends fragments, they are
+//! materialized, and the plans change.
+//!
+//! Run with: `cargo run --release --example advisor`
+
+use estocada::advisor::{apply, recommend, Action, WorkloadQuery};
+use estocada::frontends::parse_sql;
+use estocada::Latencies;
+use estocada_workloads::marketplace::{generate, MarketplaceConfig};
+use estocada_workloads::scenarios::{deploy_baseline, personalized_sql, pref_sql};
+
+fn main() -> estocada::Result<()> {
+    let cfg = MarketplaceConfig {
+        users: 300,
+        products: 120,
+        orders: 2_000,
+        log_entries: 5_000,
+        skew: 0.9,
+        seed: 42,
+    };
+    let m = generate(cfg);
+    let mut est = deploy_baseline(&m, Latencies::datacenter());
+
+    // The recently heavy-hitting queries, with observed frequencies.
+    let workload_sql = vec![
+        (pref_sql(3), 50.0),
+        (pref_sql(11), 30.0),
+        (personalized_sql(3, "laptop"), 20.0),
+    ];
+    let catalog = est.sql_catalog();
+    let workload: Vec<WorkloadQuery> = workload_sql
+        .iter()
+        .enumerate()
+        .map(|(i, (sql, w))| {
+            let p = parse_sql(sql, &catalog).expect("parse");
+            WorkloadQuery {
+                name: format!("q{i}"),
+                cq: p.cq,
+                head_names: p.head_names,
+                residuals: p.residuals,
+                weight: *w,
+            }
+        })
+        .collect();
+
+    println!("== plans before advice ==");
+    for (sql, _) in &workload_sql {
+        let r = est.query_sql(sql)?;
+        println!(
+            "  {:?} in {:?}",
+            r.report.delegated, r.report.exec.total_time
+        );
+    }
+
+    let recs = recommend(&mut est, &workload)?;
+    println!("\n== recommendations ==");
+    for r in &recs {
+        let kind = match &r.action {
+            Action::Add(spec) => format!("ADD {} on {}", spec.kind(), spec.system()),
+            Action::Drop(id) => format!("DROP {id}"),
+        };
+        println!("  [{:>10.1}] {kind}: {}", r.benefit, r.reason);
+    }
+
+    apply(&mut est, recs, false)?;
+
+    println!("\n== plans after advice ==");
+    for (sql, _) in &workload_sql {
+        let r = est.query_sql(sql)?;
+        println!(
+            "  {:?} in {:?}",
+            r.report.delegated, r.report.exec.total_time
+        );
+    }
+    Ok(())
+}

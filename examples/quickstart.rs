@@ -1,0 +1,72 @@
+//! Quickstart: the smallest end-to-end ESTOCADA session.
+//!
+//! One relational dataset is stored in two fragments — the native tables
+//! (Postgres-like) and a key-value projection (Redis-like). The same SQL
+//! point query is then answered through whichever fragment the cost model
+//! prefers, and the full rewriting pipeline (pivot query, universal plan,
+//! alternatives, executable plan, per-store statistics) is printed.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use estocada::{Dataset, Estocada, FragmentSpec, Latencies, TableData};
+use estocada_pivot::encoding::relational::TableEncoding;
+use estocada_pivot::{CqBuilder, Value};
+
+fn main() -> estocada::Result<()> {
+    // 1. A mediator over five simulated stores with a realistic latency
+    //    calibration (see EXPERIMENTS.md for the constants).
+    let mut est = Estocada::new(Latencies::datacenter());
+
+    // 2. Register an application dataset in its native (relational) model.
+    est.register_dataset(Dataset::relational(
+        "shop",
+        vec![TableData {
+            encoding: TableEncoding::new("Users", &["uid", "name", "tier"], Some(&["uid"])),
+            rows: (0..1000)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::str(format!("user{i}")),
+                        Value::str(if i % 4 == 0 { "gold" } else { "free" }),
+                    ]
+                })
+                .collect(),
+            text_columns: vec![],
+        }],
+    ));
+
+    // 3. Two overlapping fragments: the table "as such", and a key-value
+    //    projection keyed by uid.
+    est.add_fragment(FragmentSpec::NativeTables {
+        dataset: "shop".into(),
+        only: None,
+    })?;
+    est.add_fragment(FragmentSpec::KeyValue {
+        view: CqBuilder::new("UserKV")
+            .head_vars(["uid", "name", "tier"])
+            .atom("Users", |a| a.v("uid").v("name").v("tier"))
+            .build(),
+    })?;
+
+    println!("=== storage descriptors ===");
+    for f in est.fragments() {
+        println!("{f}");
+    }
+
+    // 4. A point query: ESTOCADA rewrites it over both fragments and picks
+    //    the key-value plan (cheapest per-request cost).
+    let result = est.query_sql("SELECT u.name, u.tier FROM Users u WHERE u.uid = 42")?;
+    println!("=== query result ===");
+    println!("{:?} -> {:?}", result.columns, result.rows);
+    println!();
+    println!("=== execution report ===");
+    println!("{}", result.report);
+
+    // 5. A scan query: the key-value fragment is infeasible (its key must
+    //    be bound), so the relational fragment serves it.
+    let scan = est.query_sql("SELECT u.uid FROM Users u WHERE u.tier = 'gold'")?;
+    println!("=== scan query ===");
+    println!("gold users: {}", scan.rows.len());
+    println!("chosen unit: {}", scan.report.delegated[0]);
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Root integration package for the ESTOCADA reproduction; see crates/.

@@ -1,0 +1,138 @@
+//! Fuzz-style tests of the SQL frontend: generated well-formed queries
+//! parse to the expected pivot shape; arbitrary garbage never panics.
+
+use estocada::frontends::{parse_sql, SqlCatalog, SqlTable};
+use proptest::prelude::*;
+
+fn catalog() -> SqlCatalog {
+    let mut c = SqlCatalog::new();
+    c.insert(
+        "T0".into(),
+        SqlTable {
+            columns: vec!["a".into(), "b".into(), "c".into()],
+            key_column: Some("a".into()),
+            has_text: false,
+        },
+    );
+    c.insert(
+        "T1".into(),
+        SqlTable {
+            columns: vec!["x".into(), "y".into()],
+            key_column: Some("x".into()),
+            has_text: true,
+        },
+    );
+    c
+}
+
+#[derive(Debug, Clone)]
+struct GenQuery {
+    tables: Vec<usize>,           // indices into TABLES
+    selects: Vec<(usize, usize)>, // (alias idx, column idx)
+    eqs: Vec<(usize, usize, i64)>,
+    ranges: Vec<(usize, usize, i64)>,
+}
+
+const TABLES: [(&str, &[&str]); 2] = [("T0", &["a", "b", "c"]), ("T1", &["x", "y"])];
+
+fn arb_query() -> impl Strategy<Value = GenQuery> {
+    (
+        proptest::collection::vec(0..2usize, 1..3),
+        proptest::collection::vec((0..4usize, 0..8usize), 1..3),
+        proptest::collection::vec((0..4usize, 0..8usize, -5i64..5), 0..3),
+        proptest::collection::vec((0..4usize, 0..8usize, -5i64..5), 0..2),
+    )
+        .prop_map(|(tables, selects, eqs, ranges)| GenQuery {
+            tables,
+            selects,
+            eqs,
+            ranges,
+        })
+}
+
+fn render(q: &GenQuery) -> String {
+    let n = q.tables.len();
+    let col = |(ai, ci): (usize, usize)| {
+        let alias = ai % n;
+        let t = q.tables[alias];
+        let cols = TABLES[t].1;
+        format!("t{alias}.{}", cols[ci % cols.len()])
+    };
+    let selects: Vec<String> = q.selects.iter().map(|s| col(*s)).collect();
+    let froms: Vec<String> = q
+        .tables
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{} t{i}", TABLES[*t].0))
+        .collect();
+    let mut conds: Vec<String> = q
+        .eqs
+        .iter()
+        .map(|(a, c, v)| format!("{} = {v}", col((*a, *c))))
+        .collect();
+    conds.extend(
+        q.ranges
+            .iter()
+            .map(|(a, c, v)| format!("{} > {v}", col((*a, *c)))),
+    );
+    let mut sql = format!("SELECT {} FROM {}", selects.join(", "), froms.join(", "));
+    if !conds.is_empty() {
+        sql.push_str(" WHERE ");
+        sql.push_str(&conds.join(" AND "));
+    }
+    sql
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every generated well-formed query parses; the CQ has one atom per
+    /// FROM entry, is safe, and carries one residual per range condition
+    /// on a non-pinned column.
+    #[test]
+    fn wellformed_queries_parse(q in arb_query()) {
+        let sql = render(&q);
+        match parse_sql(&sql, &catalog()) {
+            Ok(p) => {
+                prop_assert_eq!(p.cq.body.len(), q.tables.len(), "{}", sql);
+                prop_assert!(p.cq.is_safe(), "{}", sql);
+                prop_assert_eq!(p.head_names.len(), q.selects.len());
+                prop_assert!(p.residuals.len() <= q.ranges.len());
+            }
+            // Contradictory equalities / statically false ranges are the
+            // only legitimate rejections of generated queries.
+            Err(estocada::Error::Parse(msg)) => {
+                prop_assert!(
+                    msg.contains("contradictory") || msg.contains("unsatisfiable"),
+                    "unexpected parse error for {}: {}",
+                    sql,
+                    msg
+                );
+            }
+            Err(e) => prop_assert!(false, "unexpected error for {sql}: {e}"),
+        }
+    }
+
+    /// Arbitrary garbage never panics — it errors.
+    #[test]
+    fn garbage_never_panics(s in "[ -~]{0,80}") {
+        let _ = parse_sql(&s, &catalog());
+    }
+
+    /// Token-soup built from SQL vocabulary never panics either.
+    #[test]
+    fn token_soup_never_panics(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("AND"),
+                Just("t0"), Just("T0"), Just("."), Just(","), Just("a"),
+                Just("="), Just("<"), Just(">"), Just("<>"), Just("'x'"),
+                Just("1"), Just("1.5"), Just("("), Just(")"), Just("CONTAINS"),
+            ],
+            0..20,
+        )
+    ) {
+        let s = toks.join(" ");
+        let _ = parse_sql(&s, &catalog());
+    }
+}
