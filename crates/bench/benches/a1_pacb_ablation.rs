@@ -44,7 +44,10 @@ fn chain_problem(k: usize) -> RewriteProblem {
 }
 
 fn canon(rws: &[Cq]) -> Vec<String> {
-    let mut v: Vec<String> = rws.iter().map(|r| format!("{}", r.canonicalize())).collect();
+    let mut v: Vec<String> = rws
+        .iter()
+        .map(|r| format!("{}", r.canonicalize()))
+        .collect();
     v.sort();
     v
 }

@@ -81,7 +81,10 @@ fn time_once<F: FnOnce()>(f: F) -> Duration {
 
 fn bench(c: &mut Criterion) {
     println!("== E3 summary (single-shot timings) ==");
-    println!("{:<18} {:>12} {:>12} {:>9}", "problem", "PACB", "naive C&B", "speedup");
+    println!(
+        "{:<18} {:>12} {:>12} {:>9}",
+        "problem", "PACB", "naive C&B", "speedup"
+    );
     for k in [2usize, 4, 6, 8] {
         for (name, problem) in [
             (format!("chain k={k}"), chain_problem(k)),

@@ -139,7 +139,11 @@ fn bench(c: &mut Criterion) {
     let queries: Vec<(&str, String, bool)> = vec![
         ("Q1 scan (pageRank > 2000)", q1_sql(2_000), false),
         ("Q2 aggregation", q2_fetch_sql(), true),
-        ("Q3 join (date range)", q3_sql(19_900_000, 20_100_000), false),
+        (
+            "Q3 join (date range)",
+            q3_sql(19_900_000, 20_100_000),
+            false,
+        ),
     ];
 
     println!("== E4 summary: vanilla (one store) vs ESTOCADA hybrid ==");

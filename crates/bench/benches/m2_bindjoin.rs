@@ -36,9 +36,15 @@ impl BindSource for KvBind {
         vec!["name".into(), "score".into()]
     }
     fn fetch(&self, key: &[Value]) -> Vec<Tuple> {
+        self.0.get("profiles", &key[0]).into_iter().collect()
+    }
+    fn fetch_batch(&self, keys: &[Vec<Value>]) -> Vec<Vec<Tuple>> {
+        // Pipelined MGET: one simulated round-trip for the whole batch.
+        let flat: Vec<Value> = keys.iter().map(|k| k[0].clone()).collect();
         self.0
-            .get("profiles", &key[0])
+            .mget("profiles", &flat)
             .into_iter()
+            .map(|hit| hit.into_iter().collect())
             .collect()
     }
     fn label(&self) -> String {
@@ -89,10 +95,7 @@ fn ship_all_plan(kv: Arc<KvStore>, probes: i64) -> Plan {
         label: "kv full scan".into(),
         runner: Arc::new(move || {
             latency.charge(rows, bytes, rows);
-            RowBatch::new(
-                vec!["k".into(), "name".into(), "score".into()],
-                all.clone(),
-            )
+            RowBatch::new(vec!["k".into(), "name".into(), "score".into()], all.clone())
         }),
     };
     Plan::HashJoin {

@@ -3,9 +3,40 @@
 //! This is the workhorse of the chase (trigger finding), of containment
 //! checks (query images in chased canonical databases) and of the backchase
 //! (finding images of the original query with their provenance).
+//!
+//! # Search architecture
+//!
+//! The matcher compiles the atom list once per call:
+//!
+//! - every distinct variable gets a **compact id** `0..n_vars`, so the
+//!   partial assignment is a dense scratch array (`Vec<Option<Elem>>`)
+//!   instead of a `HashMap<Var, Elem>` — binding and unbinding are O(1)
+//!   array writes recorded on an undo trail;
+//! - atom constants are pre-lifted to `Elem`s, so candidate unification
+//!   never re-wraps a `Value` per comparison.
+//!
+//! The backtracking search then picks, at every depth, the most selective
+//! unmatched atom using **count-only** index probes
+//! ([`crate::instance::Instance::count_with`] /
+//! [`crate::instance::Instance::pred_count`] — no candidate list is
+//! materialized for losing atoms), and enumerates the winner's candidates
+//! directly off a borrowed index posting list — fetched exactly once per
+//! step, never copied. All scratch state (bindings, trail, atom order, fact
+//! ids) lives in one reusable buffer set; the only per-result allocation is
+//! the returned [`Hom`] itself.
+//!
+//! # Semi-naive (delta) search
+//!
+//! [`find_homs_delta`] enumerates only the homomorphisms that touch at
+//! least one fact from a [`DeltaIndex`] (facts changed since the previous
+//! chase round). It runs one *anchored* search per atom position `a`:
+//! atom `a` must match a delta fact, atoms before `a` must match old facts,
+//! atoms after `a` may match anything — the classic semi-naive
+//! stratification, which partitions the delta triggers so none is reported
+//! twice.
 
-use crate::instance::{Elem, Instance};
-use estocada_pivot::{Atom, Term, Var};
+use crate::instance::{DeltaIndex, Elem, Instance};
+use estocada_pivot::{Atom, Symbol, Term, Var};
 use std::collections::HashMap;
 
 /// A homomorphism: a variable assignment plus the ids of the facts each atom
@@ -42,35 +73,300 @@ impl Default for HomConfig {
     }
 }
 
+/// A compiled atom argument: either a pre-lifted constant or a compact
+/// variable id.
+#[derive(Debug, Clone)]
+enum Slot {
+    Const(Elem),
+    Var(usize),
+}
+
+/// Epoch restriction of one atom during an anchored delta search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stratum {
+    /// Any alive fact.
+    Any,
+    /// Only facts with `epoch < threshold` (strictly before the delta).
+    Old,
+    /// Only facts with `epoch >= threshold` (the delta anchor).
+    New,
+}
+
+struct CompiledAtom {
+    pred: Symbol,
+    slots: Vec<Slot>,
+}
+
+/// Immutable search context: the compiled query against one instance.
+/// Separated from [`Scratch`] so candidate posting lists (which borrow the
+/// context) stay live while the scratch state mutates.
+struct Ctx<'a> {
+    instance: &'a Instance,
+    atoms: Vec<CompiledAtom>,
+    /// Compact id → variable.
+    vars: Vec<Var>,
+    /// Per-atom epoch stratum (delta search; all `Any` for a full search).
+    strata: Vec<Stratum>,
+    threshold: u64,
+    delta: Option<&'a DeltaIndex>,
+    limit: usize,
+}
+
+/// Reusable mutable search state — the steady-state search allocates
+/// nothing beyond the emitted results.
+struct Scratch {
+    /// Dense partial assignment, indexed by compact variable id.
+    bind: Vec<Option<Elem>>,
+    /// Undo trail of compact ids bound at deeper levels.
+    trail: Vec<usize>,
+    /// Matched fact per original atom index (u32::MAX = unmatched).
+    fact_ids: Vec<u32>,
+    /// Atom indices; `order[..depth]` are matched, the rest pending.
+    order: Vec<usize>,
+    results: Vec<Hom>,
+}
+
+fn compile<'a>(
+    instance: &'a Instance,
+    atoms: &[Atom],
+    fixed: &HashMap<Var, Elem>,
+    limit: usize,
+) -> (Ctx<'a>, Scratch) {
+    let mut var_ids: HashMap<Var, usize> = HashMap::new();
+    let mut vars: Vec<Var> = Vec::new();
+    let intern = |v: Var, vars: &mut Vec<Var>, var_ids: &mut HashMap<Var, usize>| {
+        *var_ids.entry(v).or_insert_with(|| {
+            vars.push(v);
+            vars.len() - 1
+        })
+    };
+    // Fixed variables first so their scratch cells can be seeded.
+    for v in fixed.keys() {
+        intern(*v, &mut vars, &mut var_ids);
+    }
+    let compiled: Vec<CompiledAtom> = atoms
+        .iter()
+        .map(|a| CompiledAtom {
+            pred: a.pred,
+            slots: a
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(v) => Slot::Const(Elem::Const(v.clone())),
+                    Term::Var(v) => Slot::Var(intern(*v, &mut vars, &mut var_ids)),
+                })
+                .collect(),
+        })
+        .collect();
+    let mut bind: Vec<Option<Elem>> = vec![None; vars.len()];
+    for (v, e) in fixed {
+        bind[var_ids[v]] = Some(instance.resolve(e));
+    }
+    let ctx = Ctx {
+        instance,
+        strata: vec![Stratum::Any; compiled.len()],
+        atoms: compiled,
+        vars,
+        threshold: 0,
+        delta: None,
+        limit,
+    };
+    let scratch = Scratch {
+        bind,
+        trail: Vec::new(),
+        fact_ids: vec![u32::MAX; atoms.len()],
+        order: (0..atoms.len()).collect(),
+        results: Vec::new(),
+    };
+    (ctx, scratch)
+}
+
+/// Estimated candidate count for pending atom `ai` under the current
+/// bindings, plus the most selective bound position. Count-only probes —
+/// nothing is materialized for atoms that lose the selection.
+fn estimate(ctx: &Ctx<'_>, bind: &[Option<Elem>], ai: usize) -> (usize, Option<u32>) {
+    let atom = &ctx.atoms[ai];
+    let mut best = usize::MAX;
+    let mut best_pos = None;
+    for (i, slot) in atom.slots.iter().enumerate() {
+        let elem = match slot {
+            Slot::Const(e) => Some(e),
+            Slot::Var(v) => bind[*v].as_ref(),
+        };
+        if let Some(e) = elem {
+            let n = ctx.instance.count_with(atom.pred, i as u32, e);
+            if n < best {
+                best = n;
+                best_pos = Some(i as u32);
+            }
+        }
+    }
+    if best_pos.is_none() {
+        best = match ctx.strata[ai] {
+            // An unbound delta anchor can only match delta facts.
+            Stratum::New => ctx.delta.map(|d| d.facts_of(atom.pred).len()).unwrap_or(0),
+            _ => ctx.instance.pred_count(atom.pred),
+        };
+    }
+    (best, best_pos)
+}
+
+/// The candidate posting list for atom `ai` (borrowing the instance or the
+/// delta index — never copied).
+fn candidates<'a>(
+    ctx: &'a Ctx<'_>,
+    bind: &[Option<Elem>],
+    ai: usize,
+    pos: Option<u32>,
+) -> &'a [u32] {
+    let atom = &ctx.atoms[ai];
+    match pos {
+        Some(p) => {
+            let elem = match &atom.slots[p as usize] {
+                Slot::Const(e) => e,
+                Slot::Var(v) => bind[*v].as_ref().expect("selected position must be bound"),
+            };
+            ctx.instance.probe(atom.pred, p, elem)
+        }
+        None => match ctx.strata[ai] {
+            Stratum::New => ctx.delta.map(|d| d.facts_of(atom.pred)).unwrap_or(&[]),
+            _ => ctx.instance.pred_facts(atom.pred),
+        },
+    }
+}
+
+/// Recursive backtracking over the pending atoms `order[depth..]`.
+fn search(ctx: &Ctx<'_>, s: &mut Scratch, depth: usize) {
+    if s.results.len() >= ctx.limit {
+        return;
+    }
+    if depth == ctx.atoms.len() {
+        emit(ctx, s);
+        return;
+    }
+    // Select the most selective pending atom and swap it to `depth`.
+    let mut best = usize::MAX;
+    let mut best_pos: Option<u32> = None;
+    let mut best_slot = depth;
+    for slot in depth..s.order.len() {
+        let (n, pos) = estimate(ctx, &s.bind, s.order[slot]);
+        if n < best {
+            best = n;
+            best_pos = pos;
+            best_slot = slot;
+            if n == 0 {
+                break;
+            }
+        }
+    }
+    if best == 0 {
+        return;
+    }
+    s.order.swap(depth, best_slot);
+    let ai = s.order[depth];
+
+    // Fetch the winner's candidate list exactly once. The slice borrows the
+    // context (instance/delta), not the scratch state, so the loop below is
+    // free to mutate bindings.
+    let cands: &[u32] = candidates(ctx, &s.bind, ai, best_pos);
+
+    let trail_mark = s.trail.len();
+    for &fid in cands {
+        if try_match(ctx, s, ai, fid) {
+            s.fact_ids[ai] = fid;
+            search(ctx, s, depth + 1);
+            s.fact_ids[ai] = u32::MAX;
+        }
+        // Undo bindings made by this candidate.
+        while s.trail.len() > trail_mark {
+            let v = s.trail.pop().unwrap();
+            s.bind[v] = None;
+        }
+        if s.results.len() >= ctx.limit {
+            break;
+        }
+    }
+    s.order.swap(depth, best_slot);
+}
+
+/// Unify atom `ai` against fact `fid`; new bindings go on the trail.
+fn try_match(ctx: &Ctx<'_>, s: &mut Scratch, ai: usize, fid: u32) -> bool {
+    // Delta lists are snapshots taken before same-round EGD merges; a
+    // listed fact may since have died.
+    if !ctx.instance.is_alive(fid) {
+        return false;
+    }
+    match ctx.strata[ai] {
+        Stratum::Any => {}
+        Stratum::Old => {
+            if ctx.instance.fact_epoch(fid) >= ctx.threshold {
+                return false;
+            }
+        }
+        Stratum::New => {
+            if ctx.instance.fact_epoch(fid) < ctx.threshold {
+                return false;
+            }
+        }
+    }
+    let fact = ctx.instance.fact(fid);
+    let atom = &ctx.atoms[ai];
+    if fact.args.len() != atom.slots.len() {
+        return false;
+    }
+    let mark = s.trail.len();
+    for (slot, e) in atom.slots.iter().zip(fact.args.iter()) {
+        let ok = match slot {
+            Slot::Const(c) => c == e,
+            Slot::Var(v) => match &s.bind[*v] {
+                Some(bound) => bound == e,
+                None => {
+                    s.bind[*v] = Some(e.clone());
+                    s.trail.push(*v);
+                    true
+                }
+            },
+        };
+        if !ok {
+            while s.trail.len() > mark {
+                let v = s.trail.pop().unwrap();
+                s.bind[v] = None;
+            }
+            return false;
+        }
+    }
+    true
+}
+
+/// Record the current full assignment as a result.
+fn emit(ctx: &Ctx<'_>, s: &mut Scratch) {
+    let map: HashMap<Var, Elem> = ctx
+        .vars
+        .iter()
+        .zip(s.bind.iter())
+        .filter_map(|(v, b)| b.as_ref().map(|e| (*v, e.clone())))
+        .collect();
+    s.results.push(Hom {
+        map,
+        fact_ids: s.fact_ids.clone(),
+    });
+}
+
 /// Find homomorphisms from `atoms` into `instance`, extending the partial
 /// assignment `fixed`. Returns at most `cfg.limit` results.
 ///
 /// The search backtracks over atoms, at each step choosing the most
 /// selective remaining atom (fewest candidate facts under the current
-/// partial assignment, using the instance's positional indexes).
+/// partial assignment, estimated by count-only index probes).
 pub fn find_homs(
     instance: &Instance,
     atoms: &[Atom],
     fixed: &HashMap<Var, Elem>,
     cfg: HomConfig,
 ) -> Vec<Hom> {
-    let mut results = Vec::new();
-    let mut map: HashMap<Var, Elem> = fixed
-        .iter()
-        .map(|(v, e)| (*v, instance.resolve(e)))
-        .collect();
-    let mut fact_ids = vec![u32::MAX; atoms.len()];
-    let mut remaining: Vec<usize> = (0..atoms.len()).collect();
-    search(
-        instance,
-        atoms,
-        &mut map,
-        &mut fact_ids,
-        &mut remaining,
-        &mut results,
-        cfg.limit,
-    );
-    results
+    let (ctx, mut scratch) = compile(instance, atoms, fixed, cfg.limit);
+    search(&ctx, &mut scratch, 0);
+    scratch.results
 }
 
 /// Find one homomorphism, if any (cheaper early exit).
@@ -84,102 +380,62 @@ pub fn find_one_hom(
         .next()
 }
 
-/// Candidate fact ids for `atom` under `map`: uses the most selective bound
-/// position, falling back to the whole predicate list.
-fn candidates(instance: &Instance, atom: &Atom, map: &HashMap<Var, Elem>) -> Vec<u32> {
-    let mut best: Option<Vec<u32>> = None;
-    for (i, t) in atom.args.iter().enumerate() {
-        let elem = match t {
-            Term::Const(v) => Some(Elem::Const(v.clone())),
-            Term::Var(v) => map.get(v).cloned(),
-        };
-        if let Some(e) = elem {
-            let hits = instance.facts_with(atom.pred, i as u32, &e);
-            if best.as_ref().map(|b| hits.len() < b.len()).unwrap_or(true) {
-                best = Some(hits);
-            }
-        }
-    }
-    best.unwrap_or_else(|| instance.facts_of(atom.pred).collect())
-}
-
-fn search(
+/// Find the homomorphisms that use at least one fact from `delta` (facts
+/// changed at-or-after `delta.threshold`) — the semi-naive trigger search.
+///
+/// Runs one anchored pass per atom: pass `a` restricts atom `a` to delta
+/// facts and atoms before `a` to pre-delta facts, so every delta
+/// homomorphism is enumerated exactly once (at its first delta atom).
+/// With an empty atom list there is no delta fact to anchor on, so the
+/// result is empty — the fixpoint semantics of a premise-less constraint
+/// are covered by the full search of the first chase round.
+pub fn find_homs_delta(
     instance: &Instance,
     atoms: &[Atom],
-    map: &mut HashMap<Var, Elem>,
-    fact_ids: &mut Vec<u32>,
-    remaining: &mut Vec<usize>,
-    results: &mut Vec<Hom>,
-    limit: usize,
-) {
-    if results.len() >= limit {
-        return;
-    }
-    if remaining.is_empty() {
-        results.push(Hom {
-            map: map.clone(),
-            fact_ids: fact_ids.clone(),
-        });
-        return;
-    }
-    // Most selective remaining atom first.
-    let (pos, _) = remaining
-        .iter()
-        .enumerate()
-        .map(|(i, &ai)| (i, candidates(instance, &atoms[ai], map).len()))
-        .min_by_key(|(_, n)| *n)
-        .unwrap();
-    let atom_idx = remaining.remove(pos);
-    let atom = &atoms[atom_idx];
-    for fid in candidates(instance, atom, map) {
-        let fact = instance.fact(fid);
-        if fact.args.len() != atom.args.len() {
+    fixed: &HashMap<Var, Elem>,
+    cfg: HomConfig,
+    delta: &DeltaIndex,
+) -> Vec<Hom> {
+    let (mut ctx, mut scratch) = compile(instance, atoms, fixed, cfg.limit);
+    ctx.delta = Some(delta);
+    ctx.threshold = delta.threshold;
+    for anchor in 0..atoms.len() {
+        if delta.facts_of(atoms[anchor].pred).is_empty() {
             continue;
         }
-        // Try to unify atom args against the fact, recording new bindings.
-        let mut new_bindings: Vec<Var> = Vec::new();
-        let mut ok = true;
-        for (t, e) in atom.args.iter().zip(fact.args.iter()) {
-            match t {
-                Term::Const(v) => {
-                    if Elem::Const(v.clone()) != *e {
-                        ok = false;
-                        break;
-                    }
-                }
-                Term::Var(v) => match map.get(v) {
-                    Some(bound) => {
-                        if bound != e {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    None => {
-                        map.insert(*v, e.clone());
-                        new_bindings.push(*v);
-                    }
-                },
-            }
+        for i in 0..atoms.len() {
+            ctx.strata[i] = match i.cmp(&anchor) {
+                std::cmp::Ordering::Less => Stratum::Old,
+                std::cmp::Ordering::Equal => Stratum::New,
+                std::cmp::Ordering::Greater => Stratum::Any,
+            };
         }
-        if ok {
-            fact_ids[atom_idx] = fid;
-            search(instance, atoms, map, fact_ids, remaining, results, limit);
-            fact_ids[atom_idx] = u32::MAX;
-        }
-        for v in new_bindings {
-            map.remove(&v);
-        }
-        if results.len() >= limit {
+        search(&ctx, &mut scratch, 0);
+        if scratch.results.len() >= cfg.limit {
             break;
         }
     }
-    remaining.insert(pos, atom_idx);
+    scratch.results
+}
+
+/// Trigger enumeration shared by both chase loops: full search when `delta`
+/// is `None` (first round), delta-restricted search otherwise.
+pub fn find_trigger_homs(
+    instance: &Instance,
+    atoms: &[Atom],
+    cfg: HomConfig,
+    delta: Option<&DeltaIndex>,
+) -> Vec<Hom> {
+    match delta {
+        None => find_homs(instance, atoms, &HashMap::new(), cfg),
+        Some(d) => find_homs_delta(instance, atoms, &HashMap::new(), cfg, d),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use estocada_pivot::{Symbol, Value};
+    use estocada_pivot::Value;
 
     fn setup() -> Instance {
         // R(1,2), R(2,3), S(3)
@@ -267,5 +523,70 @@ mod tests {
         let homs = find_homs(&i, &[], &HashMap::new(), HomConfig::default());
         assert_eq!(homs.len(), 1);
         assert!(homs[0].map.is_empty());
+    }
+
+    #[test]
+    fn fixed_vars_absent_from_atoms_survive_into_results() {
+        let i = setup();
+        let atoms = vec![atom("S", vec![Term::var(0)])];
+        let mut fixed = HashMap::new();
+        fixed.insert(Var(9), Elem::Const(Value::Int(42)));
+        let homs = find_homs(&i, &atoms, &fixed, HomConfig::default());
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].map[&Var(9)], Elem::Const(Value::Int(42)));
+        assert_eq!(homs[0].map[&Var(0)], Elem::Const(Value::Int(3)));
+    }
+
+    #[test]
+    fn delta_search_finds_only_new_triggers() {
+        let mut i = setup(); // facts at epoch 0
+        let thr = i.advance_epoch();
+        i.insert(
+            Symbol::intern("R"),
+            vec![Elem::Const(Value::Int(3)), Elem::Const(Value::Int(4))],
+        );
+        let atoms = vec![
+            atom("R", vec![Term::var(0), Term::var(1)]),
+            atom("R", vec![Term::var(1), Term::var(2)]),
+        ];
+        let delta = i.delta_index(thr);
+        let dhoms = find_homs_delta(&i, &atoms, &HashMap::new(), HomConfig::default(), &delta);
+        // Full search: (1,2,3), (2,3,4). Only the latter touches R(3,4).
+        assert_eq!(dhoms.len(), 1);
+        assert_eq!(dhoms[0].map[&Var(2)], Elem::Const(Value::Int(4)));
+    }
+
+    #[test]
+    fn delta_search_covers_full_search_at_threshold_zero() {
+        let i = setup();
+        let atoms = vec![
+            atom("R", vec![Term::var(0), Term::var(1)]),
+            atom("R", vec![Term::var(1), Term::var(2)]),
+            atom("S", vec![Term::var(2)]),
+        ];
+        let full = find_homs(&i, &atoms, &HashMap::new(), HomConfig::default());
+        let delta = i.delta_index(0);
+        let dhoms = find_homs_delta(&i, &atoms, &HashMap::new(), HomConfig::default(), &delta);
+        assert_eq!(full.len(), dhoms.len());
+    }
+
+    #[test]
+    fn delta_search_reports_each_hom_once() {
+        // Both atoms can match delta facts — the anchored strata must not
+        // double-report the homomorphism that uses two delta facts.
+        let mut i = Instance::new();
+        let c = |v: i64| Elem::Const(Value::Int(v));
+        i.insert(Symbol::intern("R"), vec![c(1), c(2)]); // old
+        let thr = i.advance_epoch();
+        i.insert(Symbol::intern("R"), vec![c(2), c(2)]); // new, self-loop
+        let atoms = vec![
+            atom("R", vec![Term::var(0), Term::var(1)]),
+            atom("R", vec![Term::var(1), Term::var(2)]),
+        ];
+        let delta = i.delta_index(thr);
+        let dhoms = find_homs_delta(&i, &atoms, &HashMap::new(), HomConfig::default(), &delta);
+        // New triggers: (1,2)+(2,2) anchored at atom 1, and (2,2)+(2,2)
+        // anchored at atom 0 — exactly 2, no duplicates.
+        assert_eq!(dhoms.len(), 2);
     }
 }

@@ -4,10 +4,37 @@
 //! labelled nulls. EGD steps merge elements through a union-find; the
 //! instance is kept *normalized* (every stored argument is a representative)
 //! so that homomorphism matching is plain equality.
+//!
+//! # Index layout and the hot-path contract
+//!
+//! Homomorphism search ([`crate::hom`]) is the hottest path of the whole
+//! rewriting stack, so the index layout is built around *borrowing* probes:
+//!
+//! - `by_pred` maps a predicate to its fact-id posting list, and `by_pos`
+//!   maps `(predicate, position)` to a per-element posting map. Probing
+//!   ([`Instance::probe`]) therefore takes the element key **by reference**
+//!   (no `Elem` clone per lookup) and returns a borrowed `&[u32]` slice (no
+//!   `Vec` allocation per probe). [`Instance::count_with`] exposes the
+//!   count-only variant used for join-order selection.
+//! - Both index families are rebuilt by [`Instance::merge`]'s normalization
+//!   pass and contain **only alive facts** — the former linear "skip dead
+//!   facts" filter on every probe is gone; a `debug_assert` guards the
+//!   invariant instead. The alive count is maintained incrementally so
+//!   [`Instance::len`] is O(1).
+//!
+//! # Epochs (semi-naive delta support)
+//!
+//! Every fact records the [`Instance::epoch`] at which it last *changed*:
+//! creation, argument rewriting during normalization, absorption of a
+//! duplicate's provenance, or provenance growth on re-derivation. The chase
+//! advances the epoch once per round and asks for
+//! [`Instance::delta_index`]`(threshold)` — the per-predicate lists of facts
+//! touched at-or-after `threshold` — which the semi-naive trigger search in
+//! [`crate::hom::find_homs_delta`] uses to only enumerate homomorphisms
+//! involving at least one recently-changed fact.
 
 use crate::prov::Dnf;
 use estocada_pivot::{Symbol, Value};
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -81,16 +108,46 @@ impl fmt::Display for Inconsistent {
 
 impl std::error::Error for Inconsistent {}
 
+/// Per-predicate posting lists of facts touched at-or-after an epoch
+/// threshold; built once per chase round by [`Instance::delta_index`].
+#[derive(Debug, Clone, Default)]
+pub struct DeltaIndex {
+    /// The epoch threshold the lists were computed for.
+    pub threshold: u64,
+    /// Alive facts with `fact_epoch >= threshold`, grouped by predicate.
+    pub by_pred: HashMap<Symbol, Vec<u32>>,
+}
+
+impl DeltaIndex {
+    /// Delta facts of one predicate (empty when none changed).
+    pub fn facts_of(&self, pred: Symbol) -> &[u32] {
+        self.by_pred.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+static EMPTY_IDS: [u32; 0] = [];
+
 /// An instance with labelled nulls, per-predicate and per-position indexes,
-/// and EGD merging.
+/// EGD merging, and change epochs for semi-naive evaluation.
 #[derive(Debug, Clone, Default)]
 pub struct Instance {
     facts: Vec<StoredFact>,
+    /// Epoch at which the same-index fact last changed (parallel to `facts`).
+    fact_epoch: Vec<u64>,
     nulls: Vec<NullState>,
+    /// Count of alive facts (kept in sync with `facts[..].alive`).
+    alive: usize,
+    /// Current change epoch; advanced once per chase round.
+    epoch: u64,
+    /// predicate → alive fact ids.
     by_pred: HashMap<Symbol, Vec<u32>>,
-    /// (pred, position, element) → fact ids. Rebuilt on normalization.
-    by_pos: HashMap<(Symbol, u32, Elem), Vec<u32>>,
-    dedup: HashMap<(Symbol, Vec<Elem>), u32>,
+    /// (pred, position) → element → alive fact ids. The two-level layout
+    /// lets probes borrow the element key instead of cloning it into a
+    /// composite key.
+    by_pos: HashMap<(Symbol, u32), HashMap<Elem, Vec<u32>>>,
+    /// predicate → argument vector → fact id (fast duplicate detection;
+    /// lookup borrows the candidate arguments as a slice).
+    dedup: HashMap<Symbol, HashMap<Vec<Elem>, u32>>,
 }
 
 impl Instance {
@@ -137,6 +194,40 @@ impl Instance {
         }
     }
 
+    // -- epochs -------------------------------------------------------------
+
+    /// The current change epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance to a fresh epoch (one chase round) and return it. Facts
+    /// inserted or touched from now on are stamped with the new epoch.
+    pub fn advance_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Epoch at which `id` last changed.
+    pub fn fact_epoch(&self, id: u32) -> u64 {
+        self.fact_epoch[id as usize]
+    }
+
+    /// Build the per-predicate lists of alive facts touched at-or-after
+    /// `threshold`. One linear pass per chase round — the price that buys
+    /// delta-restricted trigger search for every constraint in the round.
+    pub fn delta_index(&self, threshold: u64) -> DeltaIndex {
+        let mut by_pred: HashMap<Symbol, Vec<u32>> = HashMap::new();
+        for (i, f) in self.facts.iter().enumerate() {
+            if f.alive && self.fact_epoch[i] >= threshold {
+                by_pred.entry(f.pred).or_default().push(i as u32);
+            }
+        }
+        DeltaIndex { threshold, by_pred }
+    }
+
+    // -- insertion ----------------------------------------------------------
+
     /// Insert a fact with provenance `⊤`. Returns the fact id and whether
     /// the fact is new.
     pub fn insert(&mut self, pred: Symbol, args: Vec<Elem>) -> (u32, bool) {
@@ -149,32 +240,47 @@ impl Instance {
     /// growth.
     pub fn insert_with_prov(&mut self, pred: Symbol, args: Vec<Elem>, prov: Dnf) -> (u32, bool) {
         let args: Vec<Elem> = args.iter().map(|e| self.resolve(e)).collect();
-        match self.dedup.entry((pred, args.clone())) {
-            Entry::Occupied(o) => {
-                let id = *o.get();
-                let changed = self.facts[id as usize].prov.or_assign(&prov);
-                (id, changed)
+        // Duplicate lookup borrows `args` as a slice — no key clone unless
+        // the fact is genuinely new.
+        if let Some(&id) = self.dedup.get(&pred).and_then(|m| m.get(args.as_slice())) {
+            let changed = self.facts[id as usize].prov.or_assign(&prov);
+            if changed {
+                // Provenance growth must re-trigger constraints whose
+                // premise matched this fact (the provenance chase reaches
+                // its fixpoint through exactly these re-firings).
+                self.fact_epoch[id as usize] = self.epoch;
             }
-            Entry::Vacant(v) => {
-                let id = self.facts.len() as u32;
-                v.insert(id);
-                for (i, a) in args.iter().enumerate() {
-                    self.by_pos
-                        .entry((pred, i as u32, a.clone()))
-                        .or_default()
-                        .push(id);
+            return (id, changed);
+        }
+        let id = self.facts.len() as u32;
+        self.index_fact(pred, &args, id);
+        self.dedup.entry(pred).or_default().insert(args.clone(), id);
+        self.facts.push(StoredFact {
+            pred,
+            args,
+            alive: true,
+            prov,
+        });
+        self.fact_epoch.push(self.epoch);
+        self.alive += 1;
+        (id, true)
+    }
+
+    /// Add `id` to the predicate and positional indexes.
+    fn index_fact(&mut self, pred: Symbol, args: &[Elem], id: u32) {
+        for (i, a) in args.iter().enumerate() {
+            let bucket = self.by_pos.entry((pred, i as u32)).or_default();
+            match bucket.get_mut(a) {
+                Some(ids) => ids.push(id),
+                None => {
+                    bucket.insert(a.clone(), vec![id]);
                 }
-                self.by_pred.entry(pred).or_default().push(id);
-                self.facts.push(StoredFact {
-                    pred,
-                    args,
-                    alive: true,
-                    prov,
-                });
-                (id, true)
             }
         }
+        self.by_pred.entry(pred).or_default().push(id);
     }
+
+    // -- lookups ------------------------------------------------------------
 
     /// All alive fact ids.
     pub fn fact_ids(&self) -> impl Iterator<Item = u32> + '_ {
@@ -186,44 +292,77 @@ impl Instance {
         &self.facts[id as usize]
     }
 
+    /// Whether the fact is still alive (not merged away).
+    pub fn is_alive(&self, id: u32) -> bool {
+        self.facts[id as usize].alive
+    }
+
     /// Mutable provenance access.
     pub fn fact_prov_mut(&mut self, id: u32) -> &mut Dnf {
         &mut self.facts[id as usize].prov
     }
 
-    /// Alive fact count.
+    /// Alive fact count (O(1)).
     pub fn len(&self) -> usize {
-        self.facts.iter().filter(|f| f.alive).count()
+        self.alive
     }
 
     /// `true` when no alive facts exist.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.alive == 0
     }
 
-    /// Fact ids of a predicate (alive only).
-    pub fn facts_of(&self, pred: Symbol) -> impl Iterator<Item = u32> + '_ {
-        self.by_pred
+    /// Alive facts of a predicate, as a borrowed posting list. The indexes
+    /// contain only alive facts (normalization rebuilds them), so no
+    /// filtering pass is needed.
+    pub fn pred_facts(&self, pred: Symbol) -> &[u32] {
+        let ids = self
+            .by_pred
             .get(&pred)
-            .into_iter()
-            .flatten()
-            .copied()
-            .filter(move |id| self.facts[*id as usize].alive)
+            .map(Vec::as_slice)
+            .unwrap_or(&EMPTY_IDS);
+        debug_assert!(ids.iter().all(|id| self.facts[*id as usize].alive));
+        ids
+    }
+
+    /// Number of alive facts of a predicate (O(1)).
+    pub fn pred_count(&self, pred: Symbol) -> usize {
+        self.by_pred.get(&pred).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Fact ids of a predicate (alive only) — iterator form kept for
+    /// existing call sites; new code should prefer [`Instance::pred_facts`].
+    pub fn facts_of(&self, pred: Symbol) -> impl Iterator<Item = u32> + '_ {
+        self.pred_facts(pred).iter().copied()
+    }
+
+    /// Alive facts of `pred` whose `position` equals `elem`, as a borrowed
+    /// posting list. `elem` must be a representative. No allocation, no key
+    /// clone.
+    pub fn probe(&self, pred: Symbol, position: u32, elem: &Elem) -> &[u32] {
+        let ids = self
+            .by_pos
+            .get(&(pred, position))
+            .and_then(|bucket| bucket.get(elem))
+            .map(Vec::as_slice)
+            .unwrap_or(&EMPTY_IDS);
+        debug_assert!(ids.iter().all(|id| self.facts[*id as usize].alive));
+        ids
+    }
+
+    /// Number of alive facts of `pred` whose `position` equals `elem`
+    /// (count-only probe for selectivity estimation; O(1)).
+    pub fn count_with(&self, pred: Symbol, position: u32, elem: &Elem) -> usize {
+        self.probe(pred, position, elem).len()
     }
 
     /// Fact ids of `pred` whose `position` equals `elem` (alive only).
-    /// `elem` must be a representative.
+    /// Allocating compatibility wrapper over [`Instance::probe`].
     pub fn facts_with(&self, pred: Symbol, position: u32, elem: &Elem) -> Vec<u32> {
-        self.by_pos
-            .get(&(pred, position, elem.clone()))
-            .map(|v| {
-                v.iter()
-                    .copied()
-                    .filter(|id| self.facts[*id as usize].alive)
-                    .collect()
-            })
-            .unwrap_or_default()
+        self.probe(pred, position, elem).to_vec()
     }
+
+    // -- EGD merging --------------------------------------------------------
 
     /// Merge two elements (EGD step). Returns `Ok(true)` if the instance
     /// changed; `Err` when two distinct constants clash.
@@ -261,11 +400,14 @@ impl Instance {
 
     /// Re-canonicalize every fact after a merge: rewrite arguments to
     /// representatives, de-duplicate facts that became equal (joining their
-    /// provenance), and rebuild indexes.
+    /// provenance), and rebuild indexes. Facts whose arguments changed — and
+    /// facts that absorbed a duplicate's provenance — are stamped with the
+    /// current epoch so the semi-naive search revisits them.
     fn normalize(&mut self) {
         self.dedup.clear();
         self.by_pos.clear();
         self.by_pred.clear();
+        self.alive = 0;
         let n = self.facts.len();
         for id in 0..n {
             if !self.facts[id].alive {
@@ -277,25 +419,23 @@ impl Instance {
                 .iter()
                 .map(|e| self.resolve(e))
                 .collect();
-            match self.dedup.entry((pred, args.clone())) {
-                Entry::Occupied(o) => {
-                    let keep = *o.get() as usize;
-                    let prov = self.facts[id].prov.clone();
-                    self.facts[keep].prov.or_assign(&prov);
-                    self.facts[id].alive = false;
+            if let Some(&keep) = self.dedup.get(&pred).and_then(|m| m.get(args.as_slice())) {
+                // Collapsed into an earlier fact: join provenance there.
+                let prov = std::mem::replace(&mut self.facts[id].prov, Dnf::fals());
+                let grew = self.facts[keep as usize].prov.or_assign(&prov);
+                self.facts[id].alive = false;
+                if grew {
+                    self.fact_epoch[keep as usize] = self.epoch;
                 }
-                Entry::Vacant(v) => {
-                    v.insert(id as u32);
-                    for (i, a) in args.iter().enumerate() {
-                        self.by_pos
-                            .entry((pred, i as u32, a.clone()))
-                            .or_default()
-                            .push(id as u32);
-                    }
-                    self.by_pred.entry(pred).or_default().push(id as u32);
-                    self.facts[id].args = args;
-                }
+                continue;
             }
+            if self.facts[id].args != args {
+                self.facts[id].args = args.clone();
+                self.fact_epoch[id] = self.epoch;
+            }
+            self.index_fact(pred, &args, id as u32);
+            self.dedup.entry(pred).or_default().insert(args, id as u32);
+            self.alive += 1;
         }
     }
 }
@@ -393,6 +533,9 @@ mod tests {
         let hits = i.facts_with(sym("R"), 1, &Elem::Const(Value::Int(2)));
         assert_eq!(hits.len(), 1);
         assert_eq!(i.facts_with(sym("R"), 0, &n).len(), 2);
+        assert_eq!(i.count_with(sym("R"), 0, &n), 2);
+        assert_eq!(i.probe(sym("R"), 0, &n).len(), 2);
+        assert_eq!(i.pred_count(sym("R")), 2);
     }
 
     #[test]
@@ -407,5 +550,57 @@ mod tests {
         i.merge(&c, &Elem::Const(Value::Int(5))).unwrap();
         assert_eq!(i.resolve(&a), Elem::Const(Value::Int(5)));
         assert_eq!(i.resolve(&b), Elem::Const(Value::Int(5)));
+    }
+
+    #[test]
+    fn indexes_contain_only_alive_facts_after_merge() {
+        let mut i = Instance::new();
+        let a = i.fresh_null();
+        let b = i.fresh_null();
+        i.insert(sym("R"), vec![a.clone(), Elem::Const(Value::Int(1))]);
+        i.insert(sym("R"), vec![b.clone(), Elem::Const(Value::Int(1))]);
+        i.merge(&a, &b).unwrap();
+        // Two facts collapsed into one; the indexes must reflect that
+        // without any dead-entry filtering.
+        assert_eq!(i.pred_facts(sym("R")).len(), 1);
+        assert_eq!(i.probe(sym("R"), 1, &Elem::Const(Value::Int(1))).len(), 1);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn epochs_track_insertions_and_rewrites() {
+        let mut i = Instance::new();
+        let n = i.fresh_null();
+        i.insert(sym("R"), vec![n.clone()]); // epoch 0
+        let e1 = i.advance_epoch();
+        let (id2, _) = i.insert(sym("S"), vec![Elem::Const(Value::Int(3))]);
+        assert_eq!(i.fact_epoch(0), 0);
+        assert_eq!(i.fact_epoch(id2), e1);
+        // Delta at threshold e1 sees only the new fact.
+        let d = i.delta_index(e1);
+        assert_eq!(d.facts_of(sym("S")), &[id2]);
+        assert!(d.facts_of(sym("R")).is_empty());
+        // A merge rewriting fact 0's argument bumps its epoch.
+        let e2 = i.advance_epoch();
+        i.merge(&n, &Elem::Const(Value::Int(7))).unwrap();
+        assert_eq!(i.fact_epoch(0), e2);
+        assert_eq!(i.delta_index(e2).facts_of(sym("R")), &[0]);
+    }
+
+    #[test]
+    fn provenance_growth_bumps_epoch() {
+        let mut i = Instance::new();
+        i.insert_with_prov(sym("R"), vec![Elem::Const(Value::Int(1))], Dnf::var(0));
+        let e = i.advance_epoch();
+        let (id, changed) =
+            i.insert_with_prov(sym("R"), vec![Elem::Const(Value::Int(1))], Dnf::var(1));
+        assert!(changed);
+        assert_eq!(i.fact_epoch(id), e);
+        // Re-inserting identical provenance changes nothing.
+        i.advance_epoch();
+        let (_, changed) =
+            i.insert_with_prov(sym("R"), vec![Elem::Const(Value::Int(1))], Dnf::var(1));
+        assert!(!changed);
+        assert_eq!(i.fact_epoch(id), e);
     }
 }

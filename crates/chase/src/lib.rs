@@ -7,6 +7,12 @@
 //! the **provenance-aware Chase & Backchase (PACB)** of Ileana et al.
 //! (SIGMOD 2014), which the paper relies on, and the classical exhaustive
 //! backchase used as the performance baseline.
+//!
+//! Performance notes: homomorphism search runs on dense compact-id scratch
+//! bindings over borrowing positional indexes (see [`hom`] and
+//! [`instance`]), and both chase loops evaluate semi-naively — after the
+//! first round only triggers touching the previous round's delta facts are
+//! searched (see [`chase`] and [`instance::Instance::delta_index`]).
 
 #![warn(missing_docs)]
 
@@ -22,8 +28,8 @@ pub mod wa;
 
 pub use chase::{chase, ChaseConfig, ChaseError, ChaseStats};
 pub use containment::{canonical_instance, contained_in, equivalent, minimize};
-pub use hom::{find_homs, find_one_hom, Hom, HomConfig};
-pub use instance::{Elem, Inconsistent, Instance, StoredFact};
+pub use hom::{find_homs, find_homs_delta, find_one_hom, Hom, HomConfig};
+pub use instance::{DeltaIndex, Elem, Inconsistent, Instance, StoredFact};
 pub use naive::{naive_rewrite, NaiveConfig};
 pub use pacb::{
     pacb_rewrite, RewriteConfig, RewriteError, RewriteOutcome, RewriteProblem, RewriteStats,

@@ -10,8 +10,8 @@
 //! orders-of-magnitude claim against it.
 
 use crate::pacb::{
-    accept_candidate, build_candidate, universal_plan, RewriteConfig, RewriteError,
-    RewriteOutcome, RewriteProblem, RewriteStats,
+    accept_candidate, build_candidate, universal_plan, RewriteConfig, RewriteError, RewriteOutcome,
+    RewriteProblem, RewriteStats,
 };
 use estocada_pivot::Cq;
 use std::collections::BTreeSet;

@@ -14,9 +14,18 @@
 //!   every subset). This is a *conservative* treatment: it can only lose
 //!   candidate rewritings, never fabricate them, and PACB verifies every
 //!   candidate before reporting it (see `pacb` module docs).
+//!
+//! Like the standard chase, the loop is **semi-naive**: after the first
+//! round only triggers touching the previous round's delta are searched
+//! ([`crate::hom::find_homs_delta`]). Because provenance *growth* also
+//! bumps a fact's change epoch (see
+//! [`crate::instance::Instance::insert_with_prov`]), re-derivations whose
+//! only effect is a wider provenance formula still re-trigger downstream
+//! constraints — the provenance fixpoint is reached exactly as in the naive
+//! loop.
 
 use crate::chase::{ChaseError, ChaseStats};
-use crate::hom::{find_homs, HomConfig};
+use crate::hom::{find_trigger_homs, HomConfig};
 use crate::instance::{Elem, Instance};
 use crate::prov::Dnf;
 use estocada_pivot::{Constraint, Term, Var};
@@ -66,6 +75,8 @@ pub fn prov_chase(
     let mut stats = ProvChaseStats::default();
     // Skolem memo: (constraint index, frontier images) → existential images.
     let mut skolems: HashMap<(usize, Vec<Elem>), Vec<Elem>> = HashMap::new();
+    // Epoch threshold of the previous round's delta; `None` = first round.
+    let mut threshold: Option<u64> = None;
 
     loop {
         if stats.chase.rounds >= cfg.max_rounds {
@@ -75,12 +86,14 @@ pub fn prov_chase(
             });
         }
         stats.chase.rounds += 1;
+        let round_epoch = instance.advance_epoch();
+        let delta = threshold.map(|t| instance.delta_index(t));
         let mut changed = false;
 
         for (cidx, c) in constraints.iter().enumerate() {
             match c {
                 Constraint::Tgd(tgd) => {
-                    let homs = find_homs(instance, &tgd.premise, &HashMap::new(), cfg.hom);
+                    let homs = find_trigger_homs(instance, &tgd.premise, cfg.hom, delta.as_ref());
                     // Frontier variables that actually occur in the conclusion,
                     // in a deterministic order — the Skolem key.
                     let frontier: Vec<Var> = {
@@ -151,7 +164,7 @@ pub fn prov_chase(
                     }
                 }
                 Constraint::Egd(egd) => {
-                    let homs = find_homs(instance, &egd.premise, &HashMap::new(), cfg.hom);
+                    let homs = find_trigger_homs(instance, &egd.premise, cfg.hom, delta.as_ref());
                     for h in homs {
                         // Conservative: only fire with certain (⊤) trigger
                         // provenance.
@@ -191,6 +204,7 @@ pub fn prov_chase(
         if !changed {
             return Ok(stats);
         }
+        threshold = Some(round_epoch);
     }
 }
 
@@ -330,7 +344,12 @@ mod tests {
         let n2 = i.fresh_null();
         i.insert_with_prov(sym("R"), vec![c(1), n1.clone()], Dnf::var(0));
         i.insert_with_prov(sym("R"), vec![c(1), n2.clone()], Dnf::var(1));
-        prov_chase(&mut i, std::slice::from_ref(&e), &ProvChaseConfig::default()).unwrap();
+        prov_chase(
+            &mut i,
+            std::slice::from_ref(&e),
+            &ProvChaseConfig::default(),
+        )
+        .unwrap();
         assert_ne!(i.resolve(&n1), i.resolve(&n2));
         // Certain provenance: merge happens.
         let mut j = Instance::new();

@@ -310,10 +310,7 @@ mod tests {
         assert_eq!(lifted, 1);
         assert_eq!(view.head.len(), 2); // key var + n
         assert!(view.is_safe());
-        assert!(view
-            .body
-            .iter()
-            .all(|a| a.args.iter().all(|t| t.is_var())));
+        assert!(view.body.iter().all(|a| a.args.iter().all(|t| t.is_var())));
     }
 
     #[test]

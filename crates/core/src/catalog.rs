@@ -275,7 +275,10 @@ impl Catalog {
     }
 
     /// Resolve a fragment relation name.
-    pub fn relation(&self, name: Symbol) -> Option<(&FragmentMeta, &FragmentRelation, &FragmentStats)> {
+    pub fn relation(
+        &self,
+        name: Symbol,
+    ) -> Option<(&FragmentMeta, &FragmentRelation, &FragmentStats)> {
         self.by_relation.get(&name).map(|(fi, ri)| {
             let f = &self.fragments[*fi];
             (f, &f.relations[*ri], &f.stats[*ri])

@@ -371,6 +371,19 @@ pub fn kv_unit(
                 out_vars: Vec<Var>,
                 label: String,
             }
+            impl KvSource {
+                /// Decode one stored payload into bound output tuples.
+                fn decode(&self, key: &Value, values: &[Value]) -> Vec<Tuple> {
+                    let mut pre = HashMap::new();
+                    pre.insert(self.key_var, key.clone());
+                    unpack_kv_rows(values)
+                        .into_iter()
+                        .filter_map(|cells| {
+                            bind_row(&self.value_terms, &cells, &pre, &self.out_vars)
+                        })
+                        .collect()
+                }
+            }
             impl BindSource for KvSource {
                 fn out_columns(&self) -> Vec<String> {
                     self.out_vars.iter().map(|v| var_col(*v)).collect()
@@ -379,12 +392,19 @@ pub fn kv_unit(
                     let Some(values) = self.kv.get(&self.namespace, &key[0]) else {
                         return Vec::new();
                     };
-                    let mut pre = HashMap::new();
-                    pre.insert(self.key_var, key[0].clone());
-                    unpack_kv_rows(&values)
+                    self.decode(&key[0], &values)
+                }
+                fn fetch_batch(&self, keys: &[Vec<Value>]) -> Vec<Vec<Tuple>> {
+                    // Pipelined MGET: the whole probe batch costs one
+                    // simulated round-trip instead of one per distinct key.
+                    let flat: Vec<Value> = keys.iter().map(|k| k[0].clone()).collect();
+                    self.kv
+                        .mget(&self.namespace, &flat)
                         .into_iter()
-                        .filter_map(|cells| {
-                            bind_row(&self.value_terms, &cells, &pre, &self.out_vars)
+                        .zip(keys)
+                        .map(|(hit, key)| match hit {
+                            Some(values) => self.decode(&key[0], &values),
+                            None => Vec::new(),
                         })
                         .collect()
                 }
@@ -431,13 +451,15 @@ pub fn text_unit(
     };
     let text = stores.text.clone();
     let key_term = atom.args[1].clone();
-    let avg_postings = (stats.rows.max(1) as f64 / stats.distinct.first().copied().unwrap_or(1).max(1) as f64)
+    let avg_postings = (stats.rows.max(1) as f64
+        / stats.distinct.first().copied().unwrap_or(1).max(1) as f64)
         .max(1.0);
     match &atom.args[0] {
         Term::Const(term) => {
-            let term_s = term.as_str().map(str::to_string).ok_or_else(|| {
-                Error::Untranslatable("text search term must be a string".into())
-            })?;
+            let term_s = term
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| Error::Untranslatable("text search term must be a string".into()))?;
             let out_vars = match &key_term {
                 Term::Var(v) => vec![*v],
                 Term::Const(_) => vec![],
@@ -489,11 +511,11 @@ pub fn text_unit(
                         .into_iter()
                         .filter_map(|k| {
                             bind_row(
-                            std::slice::from_ref(&self.key_term),
-                            &[k],
-                            &HashMap::new(),
-                            &self.out_vars,
-                        )
+                                std::slice::from_ref(&self.key_term),
+                                &[k],
+                                &HashMap::new(),
+                                &self.out_vars,
+                            )
                         })
                         .collect()
                 }
@@ -634,11 +656,7 @@ fn par_scan_unit(
     // Push applicable residual comparisons into the delegated scan.
     for (i, r) in residuals.remaining() {
         let Some(op) = r.op.to_par() else { continue };
-        if let Some(pos) = atom
-            .args
-            .iter()
-            .position(|t| t.as_var() == Some(r.var))
-        {
+        if let Some(pos) = atom.args.iter().position(|t| t.as_var() == Some(r.var)) {
             preds.push(ColPred {
                 col: pos,
                 op,
@@ -823,7 +841,10 @@ pub fn doc_tree_unit(
 
     for (atom, rel, stats) in atoms {
         let role = match &rel.place {
-            WhereSpec::NativeDocs { collection: c, role } => {
+            WhereSpec::NativeDocs {
+                collection: c,
+                role,
+            } => {
                 match &collection {
                     None => collection = Some(c.clone()),
                     Some(existing) if existing == c => {}
@@ -915,7 +936,9 @@ pub fn doc_tree_unit(
             }
         }
         for (child, d) in by_parent.get(&node).cloned().unwrap_or_default() {
-            qn = qn.with(build(child, d, by_parent, tags, val_eq, val_bind, out_vars)?);
+            qn = qn.with(build(
+                child, d, by_parent, tags, val_eq, val_bind, out_vars,
+            )?);
         }
         Ok(qn)
     }
@@ -946,7 +969,10 @@ pub fn doc_tree_unit(
                 .expect("bound column lost")
         })
         .collect();
-    let label = format!("document: TREE-QUERY {collection} ({} steps)", q.roots.len());
+    let label = format!(
+        "document: TREE-QUERY {collection} ({} steps)",
+        q.roots.len()
+    );
     let doc = stores.doc.clone();
     let ov = ordered_vars.clone();
     let runner = move || {

@@ -129,9 +129,7 @@ impl Dataset {
                             .filter_map(|c| t.encoding.columns.iter().position(|x| x == c))
                             .collect();
                         for row in &t.rows {
-                            let key = key_col
-                                .map(|k| row[k].clone())
-                                .unwrap_or(Value::Null);
+                            let key = key_col.map(|k| row[k].clone()).unwrap_or(Value::Null);
                             for tc in &text_cols {
                                 if let Some(text) = row[*tc].as_str() {
                                     for term in tokenize(text) {

@@ -72,8 +72,7 @@ mod tests {
 
     #[test]
     fn unknown_binding_rejected() {
-        let p = TreePattern::new("Carts")
-            .with_step(PatternStep::child("user").bind("u"));
+        let p = TreePattern::new("Carts").with_step(PatternStep::child("user").bind("u"));
         assert!(matches!(
             doc_query(&p, &["ghost"]),
             Err(Error::UnknownName(_))

@@ -220,7 +220,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Tok::Ident(s) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -291,7 +293,9 @@ pub fn parse_sql(sql: &str, catalog: &SqlCatalog) -> Result<ParsedQuery> {
                 let l = p.colref()?;
                 let op = match p.next()? {
                     Tok::Op(o) => o,
-                    other => return Err(Error::Parse(format!("expected operator, found {other:?}"))),
+                    other => {
+                        return Err(Error::Parse(format!("expected operator, found {other:?}")))
+                    }
                 };
                 let rhs = match p.peek() {
                     Some(Tok::Int(_)) | Some(Tok::Float(_)) | Some(Tok::Str(_)) => {
@@ -397,10 +401,8 @@ fn build_cq(
     conds: Vec<CondAst>,
     catalog: &SqlCatalog,
 ) -> Result<ParsedQuery> {
-    let alias_table: HashMap<String, String> = tables
-        .iter()
-        .map(|(t, a)| (a.clone(), t.clone()))
-        .collect();
+    let alias_table: HashMap<String, String> =
+        tables.iter().map(|(t, a)| (a.clone(), t.clone())).collect();
     let resolve = |c: &ColRefAst| -> Result<(String, String)> {
         let table = alias_table
             .get(&c.alias)
@@ -409,10 +411,7 @@ fn build_cq(
             .get(table)
             .ok_or_else(|| Error::UnknownName(format!("table {table}")))?;
         if !info.columns.contains(&c.column) {
-            return Err(Error::UnknownName(format!(
-                "column {}.{}",
-                table, c.column
-            )));
+            return Err(Error::UnknownName(format!("column {}.{}", table, c.column)));
         }
         Ok((table.clone(), c.column.clone()))
     };
@@ -500,9 +499,10 @@ fn build_cq(
                 "table {table} has no text columns for CONTAINS"
             )));
         }
-        let key_col = info.key_column.as_ref().ok_or_else(|| {
-            Error::Parse(format!("table {table} needs a key for CONTAINS"))
-        })?;
+        let key_col = info
+            .key_column
+            .as_ref()
+            .ok_or_else(|| Error::Parse(format!("table {table} needs a key for CONTAINS")))?;
         let key_term = term_of(&mut cells, &c.alias, key_col);
         // Terms are stored lowercase by the tokenizer.
         let normalized = term.to_lowercase();
@@ -598,11 +598,7 @@ mod tests {
 
     #[test]
     fn single_table_with_constant() {
-        let p = parse_sql(
-            "SELECT u.name FROM Users u WHERE u.uid = 7",
-            &catalog(),
-        )
-        .unwrap();
+        let p = parse_sql("SELECT u.name FROM Users u WHERE u.uid = 7", &catalog()).unwrap();
         assert_eq!(p.cq.body.len(), 1);
         assert_eq!(p.cq.body[0].args[0], Term::Const(Value::Int(7)));
         assert_eq!(p.head_names, vec!["u.name"]);
@@ -624,11 +620,7 @@ mod tests {
 
     #[test]
     fn range_predicate_becomes_residual() {
-        let p = parse_sql(
-            "SELECT o.oid FROM Orders o WHERE o.total > 100",
-            &catalog(),
-        )
-        .unwrap();
+        let p = parse_sql("SELECT o.oid FROM Orders o WHERE o.total > 100", &catalog()).unwrap();
         assert_eq!(p.residuals.len(), 1);
         assert_eq!(p.residuals[0].op, ResOp::Gt);
         assert_eq!(p.residuals[0].value, Value::Int(100));

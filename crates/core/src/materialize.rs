@@ -3,7 +3,9 @@
 //! store, restructuring the data across models as needed — the error-prone
 //! manual migration of the motivating scenario, automated.
 
-use crate::catalog::{DocRole, FragmentMeta, FragmentRelation, FragmentSpec, FragmentStats, WhereSpec};
+use crate::catalog::{
+    DocRole, FragmentMeta, FragmentRelation, FragmentSpec, FragmentStats, WhereSpec,
+};
 use crate::dataset::{Dataset, DatasetContent};
 use crate::error::{Error, Result};
 use crate::system::Stores;
@@ -130,7 +132,9 @@ pub fn materialize(
         FragmentSpec::KeyValue { view } => {
             check_view(view)?;
             if view.head.is_empty() {
-                return Err(Error::BadFragment("key-value view needs a key column".into()));
+                return Err(Error::BadFragment(
+                    "key-value view needs a key column".into(),
+                ));
             }
             let rows = evaluate_view(base, view);
             let columns = head_columns(view);
@@ -170,11 +174,8 @@ pub fn materialize(
             let collection = view.name.as_str().to_string();
             stores.doc.insert_many(
                 &collection,
-                rows.iter().map(|r| {
-                    Value::object_owned(
-                        columns.iter().cloned().zip(r.iter().cloned()),
-                    )
-                }),
+                rows.iter()
+                    .map(|r| Value::object_owned(columns.iter().cloned().zip(r.iter().cloned()))),
             );
             for ix in index_on {
                 if !columns.contains(ix) {
@@ -357,10 +358,7 @@ pub fn materialize(
                 .collect();
             let mut postings = 0u64;
             for row in &t.rows {
-                let text: Vec<&str> = text_cols
-                    .iter()
-                    .filter_map(|c| row[*c].as_str())
-                    .collect();
+                let text: Vec<&str> = text_cols.iter().filter_map(|c| row[*c].as_str()).collect();
                 stores
                     .text
                     .index_document(table, row[key_col].clone(), &text.join(" "));
@@ -516,8 +514,14 @@ mod tests {
             .head_vars(["uid", "name", "tier"])
             .atom("Users", |a| a.v("uid").v("name").v("tier"))
             .build();
-        let meta = materialize("f2", FragmentSpec::KeyValue { view: v }, &base, &datasets, &stores)
-            .unwrap();
+        let meta = materialize(
+            "f2",
+            FragmentSpec::KeyValue { view: v },
+            &base,
+            &datasets,
+            &stores,
+        )
+        .unwrap();
         // Rows are packed as a list of value tuples under the key.
         assert_eq!(
             stores.kv.get("UserByIdKV", &Value::Int(3)),
@@ -540,7 +544,14 @@ mod tests {
             .head_vars(["tier", "uid"])
             .atom("Users", |a| a.v("uid").v("n").v("tier"))
             .build();
-        materialize("f8", FragmentSpec::KeyValue { view: v }, &base, &datasets, &stores).unwrap();
+        materialize(
+            "f8",
+            FragmentSpec::KeyValue { view: v },
+            &base,
+            &datasets,
+            &stores,
+        )
+        .unwrap();
         let gold = stores.kv.get("ByTierKV", &Value::str("gold")).unwrap();
         match &gold[0] {
             Value::Array(rows) => assert_eq!(rows.len(), 10),

@@ -31,11 +31,7 @@ pub struct Translation {
     pub used_relations: Vec<Symbol>,
 }
 
-type AtomInfo = (
-    estocada_pivot::Atom,
-    FragmentRelation,
-    FragmentStats,
-);
+type AtomInfo = (estocada_pivot::Atom, FragmentRelation, FragmentStats);
 
 /// Translate `rewriting` (over fragment relations) into a plan computing
 /// `head_names` columns, applying `residuals`.
@@ -134,10 +130,8 @@ pub fn translate(
                 let mut dup_filters = Vec::new();
                 for (i, v) in unit.out_vars.iter().enumerate() {
                     if vars.contains(v) {
-                        dup_filters.push((
-                            vars.iter().position(|x| x == v).unwrap(),
-                            vars.len() + i,
-                        ));
+                        dup_filters
+                            .push((vars.iter().position(|x| x == v).unwrap(), vars.len() + i));
                     } else {
                         new_vars.push(*v);
                     }
@@ -226,9 +220,9 @@ fn build_units(
             WhereSpec::Table { .. } => rel_atoms.push(info),
             WhereSpec::ParDataset { .. } => par_atoms.push(info),
             WhereSpec::NativeDocs { .. } => doc_native.push(info),
-            WhereSpec::Collection { .. } | WhereSpec::Namespace { .. } | WhereSpec::TextIndex { .. } => {
-                singles.push(info)
-            }
+            WhereSpec::Collection { .. }
+            | WhereSpec::Namespace { .. }
+            | WhereSpec::TextIndex { .. } => singles.push(info),
         }
     }
     let mut units = Vec::new();
@@ -455,7 +449,9 @@ fn dedup_columns(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::catalog::{Catalog, DocRole, FragmentMeta, FragmentRelation, FragmentSpec, FragmentStats};
+    use crate::catalog::{
+        Catalog, DocRole, FragmentMeta, FragmentRelation, FragmentSpec, FragmentStats,
+    };
     use crate::system::{Latencies, Stores};
     use estocada_pivot::{AccessPattern, Atom, CqBuilder, Value, ViewDef};
 

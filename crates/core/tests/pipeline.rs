@@ -64,9 +64,10 @@ fn marketplace() -> Estocada {
                     ("user".to_string(), Value::Int(i as i64 % 50)),
                     (
                         "items".to_string(),
-                        Value::array((0..(i % 4)).map(|j| {
-                            Value::object([("sku", Value::str(format!("sku{j}")))])
-                        })),
+                        Value::array(
+                            (0..(i % 4))
+                                .map(|j| Value::object([("sku", Value::str(format!("sku{j}")))])),
+                        ),
                     ),
                 ]),
             })
@@ -161,9 +162,7 @@ fn doc_pattern_query_over_native_documents() {
     })
     .unwrap();
     let pattern = TreePattern::new("Carts").with_step(
-        PatternStep::child("user")
-            .eq(Value::Int(7))
-            // sku values live under items/$item/sku; descendant reaches them.
+        PatternStep::child("user").eq(Value::Int(7)), // sku values live under items/$item/sku; descendant reaches them.
     );
     let pattern = {
         let mut p = pattern;

@@ -29,10 +29,10 @@ fn parse_errors_are_reported_not_panicked() {
     for bad in [
         "",
         "SELECT",
-        "SELECT x FROM T t",                 // unqualified column
-        "SELECT t.k FROM T",                 // missing alias
-        "SELECT t.k FROM T t WHERE t.k =",   // dangling operator
-        "SELECT t.k FROM T t WHERE t.k ~ 1", // unknown operator
+        "SELECT x FROM T t",                            // unqualified column
+        "SELECT t.k FROM T",                            // missing alias
+        "SELECT t.k FROM T t WHERE t.k =",              // dangling operator
+        "SELECT t.k FROM T t WHERE t.k ~ 1",            // unknown operator
         "SELECT t.k FROM T t WHERE CONTAINS(t.v, 'x')", // no text columns
     ] {
         let r = est.query_sql(bad);
@@ -104,8 +104,7 @@ fn doc_pattern_against_relational_dataset_has_no_rewriting() {
     .unwrap();
     // Pattern over a non-existent document collection: the pivot atoms
     // reference unknown relations, so no view can cover them.
-    let pattern =
-        TreePattern::new("Ghost").with_step(PatternStep::child("user").bind("u"));
+    let pattern = TreePattern::new("Ghost").with_step(PatternStep::child("user").bind("u"));
     let r = est.query_doc(&pattern, &["u"]);
     assert!(matches!(r, Err(Error::NoRewriting { .. })), "got {r:?}");
 }
@@ -153,8 +152,7 @@ fn deep_document_nesting_is_encoded_and_queried() {
         dataset: "Deep".into(),
     })
     .unwrap();
-    let pattern = TreePattern::new("Deep")
-        .with_step(PatternStep::descendant("leaf").bind("x"));
+    let pattern = TreePattern::new("Deep").with_step(PatternStep::descendant("leaf").bind("x"));
     let r = est.query_doc(&pattern, &["x"]).unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(42)]]);
 }
@@ -230,8 +228,7 @@ fn advisor_budget_limits_recommendations() {
     })
     .unwrap();
     let catalog = est.sql_catalog();
-    let p = estocada::frontends::parse_sql("SELECT t.v FROM T t WHERE t.k = 1", &catalog)
-        .unwrap();
+    let p = estocada::frontends::parse_sql("SELECT t.v FROM T t WHERE t.k = 1", &catalog).unwrap();
     let workload = vec![WorkloadQuery {
         name: "w".into(),
         cq: p.cq,
@@ -241,9 +238,7 @@ fn advisor_budget_limits_recommendations() {
     }];
     // Generous budget: the candidate fits.
     let recs = recommend_under_budget(&mut est, &workload, 1_000_000).unwrap();
-    assert!(recs
-        .iter()
-        .any(|r| matches!(r.action, Action::Add(_))));
+    assert!(recs.iter().any(|r| matches!(r.action, Action::Add(_))));
     // Zero budget: only drop suggestions can remain.
     let recs = recommend_under_budget(&mut est, &workload, 0).unwrap();
     assert!(recs.iter().all(|r| matches!(r.action, Action::Drop(_))));

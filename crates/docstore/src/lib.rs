@@ -109,7 +109,12 @@ impl DocStore {
     /// Find documents matching `filter`; `projection` (if given) restricts
     /// each result to the first value of the listed paths, packed as an
     /// object.
-    pub fn find(&self, collection: &str, filter: &Filter, projection: Option<&[&str]>) -> Vec<Value> {
+    pub fn find(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        projection: Option<&[&str]>,
+    ) -> Vec<Value> {
         let guard = self.collections.read();
         let mut timer = RequestTimer::start(&self.metrics, self.latency);
         let Some(coll) = guard.get(collection) else {
@@ -136,7 +141,9 @@ impl DocStore {
                     Some(paths) => Value::object_owned(paths.iter().map(|p| {
                         (
                             p.to_string(),
-                            path::eval_path_first(doc, p).cloned().unwrap_or(Value::Null),
+                            path::eval_path_first(doc, p)
+                                .cloned()
+                                .unwrap_or(Value::Null),
                         )
                     })),
                 });
@@ -249,7 +256,10 @@ mod tests {
                     ("user".to_string(), Value::Int(i)),
                     (
                         "items".to_string(),
-                        Value::array([Value::object([("sku", Value::str(if i % 2 == 0 { "even" } else { "odd" }))])]),
+                        Value::array([Value::object([(
+                            "sku",
+                            Value::str(if i % 2 == 0 { "even" } else { "odd" }),
+                        )])]),
                     ),
                 ])
             }),
@@ -304,10 +314,7 @@ mod tests {
     fn index_updates_on_insert() {
         let s = store();
         s.create_index("carts", "user");
-        s.insert(
-            "carts",
-            Value::object([("user", Value::Int(999))]),
-        );
+        s.insert("carts", Value::object([("user", Value::Int(999))]));
         let out = s.find("carts", &Filter::all().eq("user", 999i64), None);
         assert_eq!(out.len(), 1);
     }
@@ -322,9 +329,8 @@ mod tests {
 
     #[test]
     fn index_opportunity_detection() {
-        let q = DocQuery::new("c").with(
-            QueryNode::child("user").with(QueryNode::child("id").eq(5i64)),
-        );
+        let q =
+            DocQuery::new("c").with(QueryNode::child("user").with(QueryNode::child("id").eq(5i64)));
         assert_eq!(
             index_opportunity(&q),
             Some(("user.id".to_string(), Value::Int(5)))

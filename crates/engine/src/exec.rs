@@ -4,7 +4,6 @@ use crate::plan::{AggFun, AggSpec, Plan, Template};
 use crate::tuple::{RowBatch, Tuple};
 use estocada_pivot::Value;
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Execution failure.
@@ -147,23 +146,40 @@ fn run(plan: &Plan, stats: &mut ExecStats) -> Result<RowBatch, EngineError> {
             check_cols(key_cols, l.columns.len(), "BindJoin")?;
             let mut columns = l.columns.clone();
             columns.extend(source.out_columns());
-            // Probe once per distinct key (dependent-join memoization).
-            let mut cache: HashMap<Vec<Value>, Arc<Vec<Tuple>>> = HashMap::new();
-            let mut rows = Vec::new();
+            // Deduplicate keys (first-seen order), ship them in one batched
+            // probe, then join. Sources with a pipelined lookup pay the
+            // round-trip cost once per batch instead of once per key.
+            let mut key_index: HashMap<Vec<Value>, usize> = HashMap::new();
+            let mut distinct: Vec<Vec<Value>> = Vec::new();
+            let mut row_key: Vec<usize> = Vec::with_capacity(l.rows.len());
             for lrow in &l.rows {
                 let key: Vec<Value> = key_cols.iter().map(|c| lrow[*c].clone()).collect();
-                let fetched = match cache.get(&key) {
-                    Some(f) => f.clone(),
+                let idx = match key_index.get(&key) {
+                    Some(i) => *i,
                     None => {
-                        stats.bind_probes += 1;
-                        let t = Instant::now();
-                        let f = Arc::new(source.fetch(&key));
-                        stats.delegated_time += t.elapsed();
-                        cache.insert(key.clone(), f.clone());
-                        f
+                        let i = distinct.len();
+                        key_index.insert(key.clone(), i);
+                        distinct.push(key);
+                        i
                     }
                 };
-                for frow in fetched.iter() {
+                row_key.push(idx);
+            }
+            stats.bind_probes += distinct.len() as u64;
+            let fetched = if distinct.is_empty() {
+                // No keys → no round-trip (an MGET-style source would still
+                // charge its per-request cost for an empty batch).
+                Vec::new()
+            } else {
+                let t = Instant::now();
+                let f = source.fetch_batch(&distinct);
+                stats.delegated_time += t.elapsed();
+                f
+            };
+            debug_assert_eq!(fetched.len(), distinct.len());
+            let mut rows = Vec::new();
+            for (lrow, ki) in l.rows.iter().zip(&row_key) {
+                for frow in &fetched[*ki] {
                     let mut joined = lrow.clone();
                     joined.extend(frow.iter().cloned());
                     rows.push(joined);
@@ -262,8 +278,7 @@ fn run(plan: &Plan, stats: &mut ExecStats) -> Result<RowBatch, EngineError> {
                     }
                 }
             }
-            let mut columns: Vec<String> =
-                group_by.iter().map(|c| b.columns[*c].clone()).collect();
+            let mut columns: Vec<String> = group_by.iter().map(|c| b.columns[*c].clone()).collect();
             columns.push(nested_as.clone());
             let rows: Vec<Tuple> = order
                 .into_iter()
@@ -276,7 +291,11 @@ fn run(plan: &Plan, stats: &mut ExecStats) -> Result<RowBatch, EngineError> {
                 .collect();
             RowBatch { columns, rows }
         }
-        Plan::Unnest { input, col, elem_as } => {
+        Plan::Unnest {
+            input,
+            col,
+            elem_as,
+        } => {
             let b = run(input, stats)?;
             check_cols(&[*col], b.columns.len(), "Unnest")?;
             let mut columns = b.columns.clone();
@@ -416,9 +435,7 @@ fn build_template(t: &Template, row: &[Value]) -> Value {
                 .iter()
                 .map(|(k, v)| (k.clone(), build_template(v, row))),
         ),
-        Template::Array(items) => {
-            Value::array(items.iter().map(|i| build_template(i, row)))
-        }
+        Template::Array(items) => Value::array(items.iter().map(|i| build_template(i, row))),
     }
 }
 
@@ -426,6 +443,7 @@ fn build_template(t: &Template, row: &[Value]) -> Value {
 mod tests {
     use super::*;
     use crate::expr::{CmpOp, Expr};
+    use std::sync::Arc;
 
     fn batch(cols: &[&str], rows: Vec<Vec<Value>>) -> RowBatch {
         RowBatch::new(cols.iter().map(|s| s.to_string()).collect(), rows)
@@ -504,6 +522,30 @@ mod tests {
         fn fetch(&self, key: &[Value]) -> Vec<Tuple> {
             self.0.get(key).cloned().unwrap_or_default()
         }
+    }
+
+    #[test]
+    fn bindjoin_with_empty_input_issues_no_probe() {
+        struct ExplodingSource;
+        impl crate::plan::BindSource for ExplodingSource {
+            fn out_columns(&self) -> Vec<String> {
+                vec!["v".into()]
+            }
+            fn fetch(&self, _key: &[Value]) -> Vec<Tuple> {
+                panic!("fetch must not run for an empty batch");
+            }
+            fn fetch_batch(&self, _keys: &[Vec<Value>]) -> Vec<Vec<Tuple>> {
+                panic!("an empty BindJoin batch must not reach the source");
+            }
+        }
+        let p = Plan::BindJoin {
+            left: Box::new(Plan::Values(batch(&["k"], vec![]))),
+            key_cols: vec![0],
+            source: Arc::new(ExplodingSource),
+        };
+        let (out, stats) = execute(&p).unwrap();
+        assert_eq!(out.len(), 0);
+        assert_eq!(stats.bind_probes, 0);
     }
 
     #[test]
@@ -649,10 +691,7 @@ mod tests {
     #[test]
     fn construct_builds_documents() {
         let p = Plan::Construct {
-            input: Box::new(Plan::Values(batch(
-                &["u", "total"],
-                vec![ints(&[1, 50])],
-            ))),
+            input: Box::new(Plan::Values(batch(&["u", "total"], vec![ints(&[1, 50])]))),
             template: Template::Object(vec![
                 ("user".into(), Template::Expr(Expr::col(0))),
                 (
@@ -663,7 +702,10 @@ mod tests {
             as_col: "doc".into(),
         };
         let (out, _) = execute(&p).unwrap();
-        assert_eq!(out.rows[0][0].get_path("stats.total"), Some(&Value::Int(50)));
+        assert_eq!(
+            out.rows[0][0].get_path("stats.total"),
+            Some(&Value::Int(50))
+        );
     }
 
     #[test]

@@ -102,11 +102,7 @@ impl Expr {
             Expr::Or(l, r) => Value::Bool(l.eval_bool(row) || r.eval_bool(row)),
             Expr::Not(e) => Value::Bool(!e.eval_bool(row)),
             Expr::Arith(l, op, r) => arith(&l.eval(row), *op, &r.eval(row)),
-            Expr::GetPath(e, path) => e
-                .eval(row)
-                .get_path(path)
-                .cloned()
-                .unwrap_or(Value::Null),
+            Expr::GetPath(e, path) => e.eval(row).get_path(path).cloned().unwrap_or(Value::Null),
             Expr::Prefix(e, n) => match e.eval(row) {
                 Value::Str(s) => {
                     let cut: String = s.chars().take(*n).collect();

@@ -13,12 +13,20 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A source reachable only with bound inputs (key-value lookup, term
-/// search). BindJoin probes it once per distinct key.
+/// search). BindJoin probes it once per distinct key, and — when the source
+/// supports it — ships all distinct keys of a batch in one round-trip.
 pub trait BindSource: Send + Sync {
     /// Columns produced per fetched tuple.
     fn out_columns(&self) -> Vec<String>;
     /// Fetch the tuples matching `key`.
     fn fetch(&self, key: &[Value]) -> Vec<Tuple>;
+    /// Fetch many keys at once, one result list per key in order. The
+    /// default loops over [`BindSource::fetch`] (one simulated round-trip
+    /// per key); sources with a pipelined lookup (Redis `MGET`-style)
+    /// override this to pay the request cost once per batch.
+    fn fetch_batch(&self, keys: &[Vec<Value>]) -> Vec<Vec<Tuple>> {
+        keys.iter().map(|k| self.fetch(k)).collect()
+    }
     /// Display label (for EXPLAIN output).
     fn label(&self) -> String {
         "bind-source".to_string()
@@ -231,7 +239,11 @@ impl Plan {
                 key_cols,
                 source,
             } => {
-                let _ = writeln!(out, "{pad}BindJoin [keys {key_cols:?} → {}]", source.label());
+                let _ = writeln!(
+                    out,
+                    "{pad}BindJoin [keys {key_cols:?} → {}]",
+                    source.label()
+                );
                 left.explain_into(depth + 1, out);
             }
             Plan::Union { inputs } => {
@@ -269,7 +281,11 @@ impl Plan {
                 let _ = writeln!(out, "{pad}Nest [by {group_by:?} as {nested_as}]");
                 input.explain_into(depth + 1, out);
             }
-            Plan::Unnest { input, col, elem_as } => {
+            Plan::Unnest {
+                input,
+                col,
+                elem_as,
+            } => {
                 let _ = writeln!(out, "{pad}Unnest [col {col} as {elem_as}]");
                 input.explain_into(depth + 1, out);
             }

@@ -75,10 +75,7 @@ impl Dataset {
     /// Rows matching `key` through the key index (panics if the index does
     /// not exist or the key arity mismatches).
     pub fn index_lookup(&self, key: &[Value]) -> Vec<&Vec<Value>> {
-        let idx = self
-            .key_index
-            .as_ref()
-            .expect("dataset has no key index");
+        let idx = self.key_index.as_ref().expect("dataset has no key index");
         assert_eq!(key.len(), idx.columns.len(), "key arity mismatch");
         idx.map
             .get(key)

@@ -100,9 +100,7 @@ impl ParStore {
         num_partitions: usize,
     ) {
         let ds = Dataset::from_rows(columns, rows, num_partitions);
-        self.datasets
-            .write()
-            .insert(name.to_string(), Arc::new(ds));
+        self.datasets.write().insert(name.to_string(), Arc::new(ds));
     }
 
     /// Build a key index over the named columns.

@@ -358,7 +358,7 @@ mod tests {
         assert_eq!(child_count, 4);
         let vals: Vec<_> = out.iter().filter(|f| f.pred == rels.val).collect();
         assert_eq!(vals.len(), 3); // 7, "a", "b"
-        // single root fact
+                                   // single root fact
         assert_eq!(out.iter().filter(|f| f.pred == rels.root).count(), 1);
     }
 
@@ -387,8 +387,9 @@ mod tests {
         assert_eq!(bindings[0].0, "s");
         let rels = DocRelations::for_collection("Carts");
         assert!(atoms.iter().any(|a| a.pred == rels.desc));
-        assert!(atoms.iter().any(|a| a.pred == rels.val
-            && a.args[1] == Term::Const(Value::Int(7))));
+        assert!(atoms
+            .iter()
+            .any(|a| a.pred == rels.val && a.args[1] == Term::Const(Value::Int(7))));
     }
 
     #[test]

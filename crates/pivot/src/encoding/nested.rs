@@ -38,11 +38,7 @@ pub struct NestedEncoding {
 
 impl NestedEncoding {
     /// Describe nested relation `name`.
-    pub fn new(
-        name: &str,
-        scalar_columns: &[&str],
-        nested: &[(&str, &[&str])],
-    ) -> NestedEncoding {
+    pub fn new(name: &str, scalar_columns: &[&str], nested: &[(&str, &[&str])]) -> NestedEncoding {
         NestedEncoding {
             relation: Symbol::intern(name),
             scalar_columns: scalar_columns.iter().map(|s| s.to_string()).collect(),

@@ -1,8 +1,8 @@
 //! Relation declarations and schemas for the pivot model.
 
+use crate::atom::Atom;
 use crate::binding::{AccessMap, AccessPattern};
 use crate::constraint::{Constraint, Egd};
-use crate::atom::Atom;
 use crate::symbol::Symbol;
 use crate::term::Term;
 use std::collections::HashMap;
@@ -77,10 +77,7 @@ impl RelationDecl {
         for (k, key) in self.keys.iter().enumerate() {
             // Premise: R(x0..xn-1) ∧ R(y0..yn-1) with xi = yi on key columns.
             let n = self.arity();
-            let a1 = Atom::new(
-                self.name,
-                (0..n as u32).map(Term::var).collect::<Vec<_>>(),
-            );
+            let a1 = Atom::new(self.name, (0..n as u32).map(Term::var).collect::<Vec<_>>());
             let a2 = Atom::new(
                 self.name,
                 (0..n)

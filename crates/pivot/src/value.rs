@@ -52,10 +52,7 @@ impl Value {
     /// Convenience constructor for objects from `(key, value)` pairs.
     pub fn object(fields: impl IntoIterator<Item = (&'static str, Value)>) -> Self {
         Value::Object(Arc::new(
-            fields
-                .into_iter()
-                .map(|(k, v)| (Arc::from(k), v))
-                .collect(),
+            fields.into_iter().map(|(k, v)| (Arc::from(k), v)).collect(),
         ))
     }
 

@@ -169,8 +169,7 @@ pub fn execute(
                         // Verify remaining equality keys.
                         let ok = keys.iter().skip(1).all(|(nc, oc)| {
                             let op = joined.iter().position(|&t| t == oc.table).unwrap();
-                            base[ti].rows[r][nc.column]
-                                == base[oc.table].rows[combo[op]][oc.column]
+                            base[ti].rows[r][nc.column] == base[oc.table].rows[combo[op]][oc.column]
                         });
                         if ok {
                             let mut c = combo.clone();
@@ -312,7 +311,10 @@ mod tests {
     #[test]
     fn index_assisted_equality() {
         let mut tables = setup();
-        tables.get_mut("users").unwrap().create_index(2, IndexKind::Hash);
+        tables
+            .get_mut("users")
+            .unwrap()
+            .create_index(2, IndexKind::Hash);
         let mut q = SqlQuery::new();
         q.add_table("users");
         let q = q

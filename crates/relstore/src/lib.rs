@@ -142,11 +142,17 @@ mod tests {
         q.add_table("users");
         let q = q
             .filter(Pred::ColConst(
-                ColRef { table: 0, column: 0 },
+                ColRef {
+                    table: 0,
+                    column: 0,
+                },
                 CmpOp::Eq,
                 Value::Int(2),
             ))
-            .select(ColRef { table: 0, column: 1 });
+            .select(ColRef {
+                table: 0,
+                column: 1,
+            });
         let rows = s.query(&q).unwrap();
         assert_eq!(rows, vec![vec![Value::str("bob")]]);
         let m = s.metrics.snapshot();
@@ -179,11 +185,17 @@ mod tests {
         q.add_table("users");
         let q = q
             .filter(Pred::ColConst(
-                ColRef { table: 0, column: 0 },
+                ColRef {
+                    table: 0,
+                    column: 0,
+                },
                 CmpOp::Eq,
                 Value::Int(1),
             ))
-            .select(ColRef { table: 0, column: 1 });
+            .select(ColRef {
+                table: 0,
+                column: 1,
+            });
         assert_eq!(s.query(&q).unwrap().len(), 1);
     }
 }

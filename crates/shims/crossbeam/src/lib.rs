@@ -1,0 +1,33 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel::unbounded` fan-in pattern is used by this workspace
+//! (scoped worker threads sending one message per partition), which
+//! `std::sync::mpsc` covers directly.
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// Create an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fan_in_from_threads() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || tx.send(i).unwrap());
+            }
+            drop(tx);
+        });
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

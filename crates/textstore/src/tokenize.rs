@@ -2,8 +2,8 @@
 
 /// Stopwords excluded from indexing and queries.
 const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is",
-    "it", "its", "of", "on", "or", "that", "the", "to", "was", "were", "will", "with",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is", "it",
+    "its", "of", "on", "or", "that", "the", "to", "was", "were", "will", "with",
 ];
 
 /// Split `text` into lowercase alphanumeric terms, dropping stopwords.

@@ -9,8 +9,8 @@
 #![warn(missing_docs)]
 
 pub mod bigdata;
-pub mod scenarios;
 pub mod marketplace;
+pub mod scenarios;
 pub mod zipf;
 
 pub use bigdata::{generate as generate_bigdata, BigDataConfig};

@@ -45,7 +45,14 @@ pub const CATEGORIES: &[&str] = &[
 ];
 
 const ADJECTIVES: &[&str] = &[
-    "wireless", "ergonomic", "compact", "gaming", "premium", "budget", "portable", "silent",
+    "wireless",
+    "ergonomic",
+    "compact",
+    "gaming",
+    "premium",
+    "budget",
+    "portable",
+    "silent",
 ];
 
 /// The generated datasets.
@@ -81,7 +88,11 @@ pub fn generate(config: MarketplaceConfig) -> Marketplace {
         .map(|i| {
             vec![
                 Value::Int(i as i64),
-                Value::str(if rng.random_bool(0.5) { "dark" } else { "light" }),
+                Value::str(if rng.random_bool(0.5) {
+                    "dark"
+                } else {
+                    "light"
+                }),
                 Value::str(["en", "fr", "de", "es"][rng.random_range(0..4)]),
                 Value::Bool(rng.random_bool(0.3)),
             ]

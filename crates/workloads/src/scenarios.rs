@@ -24,11 +24,13 @@ use std::time::Duration;
 pub fn cart_pattern(uid: i64) -> TreePattern {
     TreePattern::new("Carts")
         .with_step(PatternStep::child("user").eq(uid))
-        .with_step(PatternStep::child("items").with_child(
-            PatternStep::child("$item")
-                .with_child(PatternStep::child("pid").bind("pid"))
-                .with_child(PatternStep::child("qty").bind("qty")),
-        ))
+        .with_step(
+            PatternStep::child("items").with_child(
+                PatternStep::child("$item")
+                    .with_child(PatternStep::child("pid").bind("pid"))
+                    .with_child(PatternStep::child("qty").bind("qty")),
+            ),
+        )
 }
 
 /// The cart view (same pattern, key variable instead of the constant):
@@ -36,11 +38,13 @@ pub fn cart_pattern(uid: i64) -> TreePattern {
 pub fn cart_kv_view() -> Cq {
     let pattern = TreePattern::new("Carts")
         .with_step(PatternStep::child("user").bind("user"))
-        .with_step(PatternStep::child("items").with_child(
-            PatternStep::child("$item")
-                .with_child(PatternStep::child("pid").bind("pid"))
-                .with_child(PatternStep::child("qty").bind("qty")),
-        ));
+        .with_step(
+            PatternStep::child("items").with_child(
+                PatternStep::child("$item")
+                    .with_child(PatternStep::child("pid").bind("pid"))
+                    .with_child(PatternStep::child("qty").bind("qty")),
+            ),
+        );
     let mut next = 0u32;
     let (atoms, bindings) = pattern.to_atoms(&mut next);
     let term_of = |name: &str| -> Term {

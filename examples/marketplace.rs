@@ -7,8 +7,8 @@
 use estocada::Latencies;
 use estocada_workloads::marketplace::{generate, w1_workload, MarketplaceConfig, W1Query};
 use estocada_workloads::scenarios::{
-    cart_pattern, deploy_baseline, deploy_kv_migrated, deploy_materialized_join,
-    personalized_sql, pref_sql, run_w1_exec_time, run_w1_query,
+    cart_pattern, deploy_baseline, deploy_kv_migrated, deploy_materialized_join, personalized_sql,
+    pref_sql, run_w1_exec_time, run_w1_query,
 };
 
 fn main() -> estocada::Result<()> {

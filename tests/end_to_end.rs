@@ -6,8 +6,7 @@
 use estocada::Latencies;
 use estocada_workloads::marketplace::{generate, w1_workload, MarketplaceConfig};
 use estocada_workloads::scenarios::{
-    deploy_baseline, deploy_kv_migrated, deploy_materialized_join, personalized_sql,
-    run_w1_query,
+    deploy_baseline, deploy_kv_migrated, deploy_materialized_join, personalized_sql, run_w1_query,
 };
 
 fn cfg() -> MarketplaceConfig {
@@ -30,9 +29,11 @@ fn sorted(mut rows: Vec<Vec<estocada_pivot::Value>>) -> Vec<Vec<estocada_pivot::
 fn all_configurations_agree_on_w1() {
     let m = generate(cfg());
     let workload = w1_workload(&cfg(), 25, 3);
-    let mut configs = [deploy_baseline(&m, Latencies::zero()),
+    let mut configs = [
+        deploy_baseline(&m, Latencies::zero()),
         deploy_kv_migrated(&m, Latencies::zero()),
-        deploy_materialized_join(&m, Latencies::zero())];
+        deploy_materialized_join(&m, Latencies::zero()),
+    ];
     for q in &workload {
         let reference = sorted(
             run_w1_query(&mut configs[0], q)
@@ -53,16 +54,21 @@ fn all_configurations_agree_on_w1() {
 #[test]
 fn all_configurations_agree_on_personalized_search() {
     let m = generate(cfg());
-    let mut configs = [deploy_baseline(&m, Latencies::zero()),
+    let mut configs = [
+        deploy_baseline(&m, Latencies::zero()),
         deploy_kv_migrated(&m, Latencies::zero()),
-        deploy_materialized_join(&m, Latencies::zero())];
+        deploy_materialized_join(&m, Latencies::zero()),
+    ];
     for uid in [0i64, 1, 2, 5] {
         for cat in ["laptop", "mouse", "cable"] {
             let sql = personalized_sql(uid, cat);
             let reference = sorted(configs[0].query_sql(&sql).unwrap().rows);
             for (i, est) in configs.iter_mut().enumerate().skip(1) {
                 let got = sorted(est.query_sql(&sql).unwrap().rows);
-                assert_eq!(reference, got, "config {i} disagrees on uid={uid} cat={cat}");
+                assert_eq!(
+                    reference, got,
+                    "config {i} disagrees on uid={uid} cat={cat}"
+                );
             }
         }
     }
@@ -92,9 +98,7 @@ fn text_search_is_consistent_with_titles() {
     let m = generate(cfg());
     let mut est = deploy_baseline(&m, Latencies::zero());
     let r = est
-        .query_sql(
-            "SELECT p.pid, p.title FROM Products p WHERE CONTAINS(p.title, 'wireless')",
-        )
+        .query_sql("SELECT p.pid, p.title FROM Products p WHERE CONTAINS(p.title, 'wireless')")
         .unwrap();
     assert!(!r.rows.is_empty(), "generator always makes wireless items");
     for row in &r.rows {

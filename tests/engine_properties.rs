@@ -20,9 +20,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(2, 8, 3, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..3).prop_map(Value::array),
-            proptest::collection::vec(("[a-z]{1,4}", inner), 0..3).prop_map(|fields| {
-                Value::object_owned(fields.into_iter())
-            }),
+            proptest::collection::vec(("[a-z]{1,4}", inner), 0..3)
+                .prop_map(|fields| { Value::object_owned(fields.into_iter()) }),
         ]
     })
 }

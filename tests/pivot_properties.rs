@@ -3,9 +3,7 @@
 //! EGD-powered containment.
 
 use estocada_chase::{contained_in, equivalent, minimize, ChaseConfig};
-use estocada_pivot::{
-    AccessMap, AccessPattern, Atom, Constraint, Cq, Egd, Term, Var,
-};
+use estocada_pivot::{AccessMap, AccessPattern, Atom, Constraint, Cq, Egd, Term, Var};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -173,7 +171,7 @@ fn containment_under_functional_dependency() {
 
 #[test]
 fn chase_budget_error_is_surfaced() {
-    use estocada_chase::{chase, canonical_instance, ChaseError};
+    use estocada_chase::{canonical_instance, chase, ChaseError};
     use estocada_pivot::Tgd;
     // Non-terminating pair under a tiny budget.
     let t1: Constraint = Tgd::new(
@@ -189,7 +187,11 @@ fn chase_budget_error_is_surfaced() {
     )
     .into();
     assert!(!estocada_chase::weakly_acyclic(&[t1.clone(), t2.clone()]));
-    let q = Cq::new("Q", vec![Term::var(0)], vec![Atom::new("N", vec![Term::var(0)])]);
+    let q = Cq::new(
+        "Q",
+        vec![Term::var(0)],
+        vec![Atom::new("N", vec![Term::var(0)])],
+    );
     let mut inst = canonical_instance(&q);
     let err = chase(
         &mut inst,

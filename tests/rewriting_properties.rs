@@ -1,14 +1,15 @@
-//! Property-based tests of the rewriting stack: PACB agrees with the
-//! exhaustive classical backchase on randomized problems; chase-based
-//! containment is sound w.r.t. evaluation; the chase reaches genuine
-//! fixpoints.
+//! Property-based tests of the rewriting stack: the optimized homomorphism
+//! engine agrees with a brute-force reference matcher (full and semi-naive
+//! delta search); PACB agrees with the exhaustive classical backchase on
+//! randomized problems; chase-based containment is sound w.r.t. evaluation;
+//! the chase reaches genuine fixpoints.
 
 use estocada::materialize::{evaluate_view, fact_base};
 use estocada_chase::{
-    chase, contained_in, find_homs, find_one_hom, naive_rewrite, pacb_rewrite, ChaseConfig,
-    HomConfig, NaiveConfig, RewriteConfig, RewriteProblem,
+    chase, contained_in, find_homs, find_homs_delta, find_one_hom, naive_rewrite, pacb_rewrite,
+    ChaseConfig, Elem, HomConfig, Instance, NaiveConfig, RewriteConfig, RewriteProblem,
 };
-use estocada_pivot::{Atom, Constraint, Cq, Fact, Symbol, Term, Tgd, Value, ViewDef};
+use estocada_pivot::{Atom, Constraint, Cq, Fact, Symbol, Term, Tgd, Value, Var, ViewDef};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -27,11 +28,7 @@ fn arb_cq(name: &'static str, max_atoms: usize) -> impl Strategy<Value = Cq> {
                 .iter()
                 .map(|(r, a, b)| Atom::new(RELS[*r], vec![Term::var(*a), Term::var(*b)]))
                 .collect();
-            let body_vars: Vec<u32> = body
-                .iter()
-                .flat_map(|a| a.vars())
-                .map(|v| v.0)
-                .collect();
+            let body_vars: Vec<u32> = body.iter().flat_map(|a| a.vars()).map(|v| v.0).collect();
             let head: Vec<Term> = head_pool
                 .iter()
                 .map(|h| Term::var(body_vars[(*h as usize) % body_vars.len()]))
@@ -51,10 +48,205 @@ fn arb_facts(max: usize) -> impl Strategy<Value = Vec<Fact>> {
 }
 
 fn canon_set(rws: &[Cq]) -> Vec<String> {
-    let mut v: Vec<String> = rws.iter().map(|r| format!("{}", r.canonicalize())).collect();
+    let mut v: Vec<String> = rws
+        .iter()
+        .map(|r| format!("{}", r.canonicalize()))
+        .collect();
     v.sort();
     v.dedup();
     v
+}
+
+// ---------------------------------------------------------------------------
+// Differential testing of the homomorphism engine
+// ---------------------------------------------------------------------------
+
+/// Reference matcher: enumerate every tuple of alive facts (one per atom,
+/// in atom order) and keep the consistent assignments. Exponential and
+/// allocation-happy on purpose — its one virtue is being obviously correct.
+fn brute_force_homs(
+    inst: &Instance,
+    atoms: &[Atom],
+    fixed: &HashMap<Var, Elem>,
+) -> Vec<(HashMap<Var, Elem>, Vec<u32>)> {
+    fn extend(
+        inst: &Instance,
+        atoms: &[Atom],
+        idx: usize,
+        map: &HashMap<Var, Elem>,
+        picked: &mut Vec<u32>,
+        out: &mut Vec<(HashMap<Var, Elem>, Vec<u32>)>,
+    ) {
+        let Some(atom) = atoms.get(idx) else {
+            out.push((map.clone(), picked.clone()));
+            return;
+        };
+        for fid in inst.fact_ids() {
+            let fact = inst.fact(fid);
+            if fact.pred != atom.pred || fact.args.len() != atom.args.len() {
+                continue;
+            }
+            let mut next = map.clone();
+            let mut ok = true;
+            for (t, e) in atom.args.iter().zip(fact.args.iter()) {
+                match t {
+                    Term::Const(c) => {
+                        if Elem::Const(c.clone()) != *e {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match next.get(v) {
+                        Some(bound) if bound != e => {
+                            ok = false;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            next.insert(*v, e.clone());
+                        }
+                    },
+                }
+            }
+            if ok {
+                picked.push(fid);
+                extend(inst, atoms, idx + 1, &next, picked, out);
+                picked.pop();
+            }
+        }
+    }
+    let seeded: HashMap<Var, Elem> = fixed.iter().map(|(v, e)| (*v, inst.resolve(e))).collect();
+    let mut out = Vec::new();
+    extend(inst, atoms, 0, &seeded, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Canonical string form of a homomorphism multiset (order-insensitive but
+/// deliberately NOT deduplicated: neither side may report a match twice, so
+/// duplicate enumeration — e.g. broken delta strata — must fail the
+/// comparison).
+fn canon_hom_set(homs: impl Iterator<Item = (HashMap<Var, Elem>, Vec<u32>)>) -> Vec<String> {
+    let mut v: Vec<String> = homs
+        .map(|(map, fact_ids)| {
+            let mut entries: Vec<String> =
+                map.iter().map(|(var, e)| format!("{var}={e}")).collect();
+            entries.sort();
+            format!("{entries:?}|{fact_ids:?}")
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// An argument spec for a generated fact: small constants and a few
+/// labelled nulls.
+fn spec_elem(spec: u8) -> Elem {
+    if spec < 5 {
+        Elem::Const(Value::Int(spec as i64))
+    } else {
+        Elem::Null((spec - 5) as u32 % 3)
+    }
+}
+
+/// Build an instance from `(rel, a, b)` fact specs split into an old and a
+/// new phase (the delta tests advance the epoch between the phases).
+fn build_instance(old: &[(usize, u8, u8)], new: &[(usize, u8, u8)]) -> (Instance, u64) {
+    let mut inst = Instance::new();
+    inst.reserve_nulls(3);
+    for (r, a, b) in old {
+        inst.insert(Symbol::intern(RELS[*r]), vec![spec_elem(*a), spec_elem(*b)]);
+    }
+    let thr = inst.advance_epoch();
+    for (r, a, b) in new {
+        inst.insert(Symbol::intern(RELS[*r]), vec![spec_elem(*a), spec_elem(*b)]);
+    }
+    (inst, thr)
+}
+
+/// A generated query atom: relation plus two term specs. Term specs < 4
+/// are variables (repeats allowed and likely); the rest are constants.
+fn spec_term(spec: u8) -> Term {
+    if spec < 4 {
+        Term::var(spec as u32)
+    } else {
+        Term::Const(Value::Int((spec - 4) as i64 % 5))
+    }
+}
+
+fn spec_atoms(specs: &[(usize, u8, u8)]) -> Vec<Atom> {
+    specs
+        .iter()
+        .map(|(r, a, b)| Atom::new(RELS[*r], vec![spec_term(*a), spec_term(*b)]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The optimized engine returns exactly the homomorphism set of the
+    /// brute-force reference matcher, on instances with constants and
+    /// labelled nulls and queries with repeated variables and constants.
+    #[test]
+    fn find_homs_agrees_with_brute_force(
+        old in proptest::collection::vec((0..3usize, 0..8u8, 0..8u8), 0..8),
+        new in proptest::collection::vec((0..3usize, 0..8u8, 0..8u8), 0..4),
+        query in proptest::collection::vec((0..3usize, 0..9u8, 0..9u8), 1..4),
+    ) {
+        let (inst, _) = build_instance(&old, &new);
+        let atoms = spec_atoms(&query);
+        let fast = find_homs(&inst, &atoms, &HashMap::new(), HomConfig::default());
+        let slow = brute_force_homs(&inst, &atoms, &HashMap::new());
+        prop_assert_eq!(
+            canon_hom_set(fast.into_iter().map(|h| (h.map, h.fact_ids))),
+            canon_hom_set(slow.into_iter()),
+            "engine disagrees with brute force on {:?}", atoms
+        );
+    }
+
+    /// Same agreement under fixed partial bindings (the backchase and
+    /// containment entry points always pin head variables).
+    #[test]
+    fn find_homs_agrees_with_brute_force_under_fixed_bindings(
+        old in proptest::collection::vec((0..3usize, 0..8u8, 0..8u8), 0..8),
+        query in proptest::collection::vec((0..3usize, 0..4u8, 0..9u8), 1..4),
+        pins in proptest::collection::vec((0..4u32, 0..8u8), 0..3),
+    ) {
+        let (inst, _) = build_instance(&old, &[]);
+        let atoms = spec_atoms(&query);
+        let mut fixed: HashMap<Var, Elem> = HashMap::new();
+        for (v, e) in &pins {
+            fixed.insert(Var(*v), spec_elem(*e));
+        }
+        let fast = find_homs(&inst, &atoms, &fixed, HomConfig::default());
+        let slow = brute_force_homs(&inst, &atoms, &fixed);
+        prop_assert_eq!(
+            canon_hom_set(fast.into_iter().map(|h| (h.map, h.fact_ids))),
+            canon_hom_set(slow.into_iter()),
+            "engine disagrees with brute force under pins {:?} on {:?}", fixed, atoms
+        );
+    }
+
+    /// The semi-naive delta search returns exactly the brute-force
+    /// homomorphisms that touch at least one post-threshold fact.
+    #[test]
+    fn delta_search_agrees_with_filtered_brute_force(
+        old in proptest::collection::vec((0..3usize, 0..8u8, 0..8u8), 0..8),
+        new in proptest::collection::vec((0..3usize, 0..8u8, 0..8u8), 1..6),
+        query in proptest::collection::vec((0..3usize, 0..9u8, 0..9u8), 2..4),
+    ) {
+        let (inst, thr) = build_instance(&old, &new);
+        let atoms = spec_atoms(&query);
+        let delta = inst.delta_index(thr);
+        let fast = find_homs_delta(&inst, &atoms, &HashMap::new(), HomConfig::default(), &delta);
+        let slow = brute_force_homs(&inst, &atoms, &HashMap::new())
+            .into_iter()
+            .filter(|(_, fact_ids)| fact_ids.iter().any(|f| inst.fact_epoch(*f) >= thr));
+        prop_assert_eq!(
+            canon_hom_set(fast.into_iter().map(|h| (h.map, h.fact_ids))),
+            canon_hom_set(slow),
+            "delta search disagrees with filtered brute force on {:?}", atoms
+        );
+    }
 }
 
 proptest! {
