@@ -18,7 +18,7 @@
 //! fixpoint is identical to the naive loop's; only the number of rounds may
 //! differ, never the result instance.
 
-use crate::hom::{find_one_hom, find_trigger_homs, HomConfig};
+use crate::hom::{find_one_hom_in, find_trigger_homs_in, HomArena, HomConfig};
 use crate::instance::{DeltaIndex, Elem, Inconsistent, Instance};
 use estocada_pivot::{Constraint, Term, Var};
 use std::collections::HashMap;
@@ -76,7 +76,7 @@ impl fmt::Display for ChaseError {
 impl std::error::Error for ChaseError {}
 
 /// Counters reported by a successful chase.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChaseStats {
     /// Rounds until fixpoint.
     pub rounds: usize,
@@ -99,6 +99,19 @@ pub fn chase(
     constraints: &[Constraint],
     cfg: &ChaseConfig,
 ) -> Result<ChaseStats, ChaseError> {
+    chase_with(&mut HomArena::new(), instance, constraints, cfg)
+}
+
+/// [`chase`] with caller-provided homomorphism scratch: every trigger and
+/// applicability search of the run reuses `arena`'s buffers. Callers that
+/// chase many instances (backchase verification workers) keep one arena per
+/// thread.
+pub fn chase_with(
+    arena: &mut HomArena,
+    instance: &mut Instance,
+    constraints: &[Constraint],
+    cfg: &ChaseConfig,
+) -> Result<ChaseStats, ChaseError> {
     let mut stats = ChaseStats::default();
     // Epoch threshold separating "old" facts from the previous round's
     // delta; `None` = first round, search everything.
@@ -115,7 +128,7 @@ pub fn chase(
         let delta = threshold.map(|t| instance.delta_index(t));
         let mut changed = false;
         for c in constraints {
-            changed |= apply_constraint(instance, c, cfg, &mut stats, delta.as_ref())?;
+            changed |= apply_constraint(arena, instance, c, cfg, &mut stats, delta.as_ref())?;
             if instance.len() > cfg.max_facts {
                 return Err(ChaseError::Budget {
                     rounds: stats.rounds,
@@ -131,6 +144,7 @@ pub fn chase(
 }
 
 fn apply_constraint(
+    arena: &mut HomArena,
     instance: &mut Instance,
     c: &Constraint,
     cfg: &ChaseConfig,
@@ -140,7 +154,7 @@ fn apply_constraint(
     let mut changed = false;
     match c {
         Constraint::Tgd(tgd) => {
-            let homs = find_trigger_homs(instance, &tgd.premise, cfg.hom, delta);
+            let homs = find_trigger_homs_in(arena, instance, &tgd.premise, cfg.hom, delta);
             for h in homs {
                 // Re-resolve the trigger (earlier firings in this batch may
                 // have merged elements) and re-check applicability.
@@ -149,7 +163,7 @@ fn apply_constraint(
                     .iter()
                     .map(|(v, e)| (*v, instance.resolve(e)))
                     .collect();
-                if find_one_hom(instance, &tgd.conclusion, &fixed).is_some() {
+                if find_one_hom_in(arena, instance, &tgd.conclusion, &fixed).is_some() {
                     continue;
                 }
                 // Fire: fresh nulls for existential variables.
@@ -177,7 +191,7 @@ fn apply_constraint(
             }
         }
         Constraint::Egd(egd) => {
-            let homs = find_trigger_homs(instance, &egd.premise, cfg.hom, delta);
+            let homs = find_trigger_homs_in(arena, instance, &egd.premise, cfg.hom, delta);
             for h in homs {
                 let resolve_term = |t: &Term, inst: &Instance| -> Elem {
                     match t {

@@ -1,8 +1,8 @@
 //! Chase-based containment, equivalence and minimization of conjunctive
 //! queries under constraints.
 
-use crate::chase::{chase, ChaseConfig, ChaseError};
-use crate::hom::find_one_hom;
+use crate::chase::{chase_with, ChaseConfig, ChaseError};
+use crate::hom::{find_one_hom_in, HomArena};
 use crate::instance::{Elem, Instance};
 use estocada_pivot::{Constraint, Cq, Term, Var};
 use std::collections::HashMap;
@@ -48,23 +48,48 @@ pub fn contained_in(
     constraints: &[Constraint],
     cfg: &ChaseConfig,
 ) -> Result<bool, ChaseError> {
+    contained_in_with(&mut HomArena::new(), q1, q2, constraints, cfg)
+}
+
+/// [`contained_in`] with caller-provided homomorphism scratch — the whole
+/// decision (the chase of `q1`'s canonical instance and the final
+/// containment-mapping search) runs on `arena`'s buffers. Verification
+/// loops that test many candidates keep one arena per worker thread.
+pub fn contained_in_with(
+    arena: &mut HomArena,
+    q1: &Cq,
+    q2: &Cq,
+    constraints: &[Constraint],
+    cfg: &ChaseConfig,
+) -> Result<bool, ChaseError> {
     if q1.head.len() != q2.head.len() {
         return Ok(false);
     }
     let mut inst = canonical_instance(q1);
-    match chase(&mut inst, constraints, cfg) {
+    match chase_with(arena, &mut inst, constraints, cfg) {
         Ok(_) => {}
         // An inconsistent canonical instance denotes the empty query, which
         // is contained in everything.
         Err(ChaseError::Inconsistent(_)) => return Ok(true),
         Err(e) => return Err(e),
     }
-    Ok(head_preserving_image(q2, &inst, &head_images(q1, &inst)))
+    let targets = head_images(q1, &inst);
+    Ok(head_preserving_image_in(arena, q2, &inst, &targets))
 }
 
 /// Is there a homomorphism from `q`'s body into `inst` mapping `q`'s head
 /// terms exactly onto `targets`?
 pub fn head_preserving_image(q: &Cq, inst: &Instance, targets: &[Elem]) -> bool {
+    head_preserving_image_in(&mut HomArena::new(), q, inst, targets)
+}
+
+/// [`head_preserving_image`] with caller-provided scratch.
+pub fn head_preserving_image_in(
+    arena: &mut HomArena,
+    q: &Cq,
+    inst: &Instance,
+    targets: &[Elem],
+) -> bool {
     debug_assert_eq!(q.head.len(), targets.len());
     let mut fixed: HashMap<Var, Elem> = HashMap::new();
     for (t, target) in q.head.iter().zip(targets) {
@@ -85,7 +110,7 @@ pub fn head_preserving_image(q: &Cq, inst: &Instance, targets: &[Elem]) -> bool 
             }
         }
     }
-    find_one_hom(inst, &q.body, &fixed).is_some()
+    find_one_hom_in(arena, inst, &q.body, &fixed).is_some()
 }
 
 /// Decide `q1 ≡ q2` under `constraints` (containment both ways).

@@ -25,6 +25,20 @@
 //! ids) lives in one reusable buffer set; the only per-result allocation is
 //! the returned [`Hom`] itself.
 //!
+//! # Thread-confined scratch arenas
+//!
+//! The buffer set is owned by a [`HomArena`] — a scratch arena a caller
+//! creates once and reuses across many searches, amortizing the per-call
+//! allocations (binding array, trail, atom order, compiled atoms, the
+//! variable-interning map). Arenas are deliberately **not** shared: each
+//! holds the mutable search state of exactly one search at a time, so
+//! parallel callers (the chase worker pool of the parallel backchase) give
+//! every worker thread its own arena and the searches proceed without any
+//! synchronization. The `*_in` entry points ([`find_homs_in`],
+//! [`find_one_hom_in`], [`find_homs_delta_in`], [`find_trigger_homs_in`])
+//! take the arena explicitly; the classic entry points allocate a
+//! throwaway arena per call.
+//!
 //! # Semi-naive (delta) search
 //!
 //! [`find_homs_delta`] enumerates only the homomorphisms that touch at
@@ -97,6 +111,43 @@ struct CompiledAtom {
     slots: Vec<Slot>,
 }
 
+/// A reusable, thread-confined scratch arena for homomorphism searches.
+///
+/// Holds every buffer the matcher needs — the compiled atoms, the dense
+/// binding array, the undo trail, the atom order and the variable-interning
+/// map — so that a caller running many searches (a chase loop, a backchase
+/// verification worker) allocates them once instead of once per search.
+/// One arena serves one search at a time; give each worker thread its own.
+#[derive(Default)]
+pub struct HomArena {
+    var_ids: HashMap<Var, usize>,
+    vars: Vec<Var>,
+    atoms: Vec<CompiledAtom>,
+    strata: Vec<Stratum>,
+    bind: Vec<Option<Elem>>,
+    trail: Vec<usize>,
+    fact_ids: Vec<u32>,
+    order: Vec<usize>,
+}
+
+impl HomArena {
+    /// A fresh arena (no buffers allocated until first use).
+    pub fn new() -> HomArena {
+        HomArena::default()
+    }
+
+    /// Return the buffers of a finished search to the arena.
+    fn recycle(&mut self, ctx: Ctx<'_>, s: Scratch) {
+        self.vars = ctx.vars;
+        self.atoms = ctx.atoms;
+        self.strata = ctx.strata;
+        self.bind = s.bind;
+        self.trail = s.trail;
+        self.fact_ids = s.fact_ids;
+        self.order = s.order;
+    }
+}
+
 /// Immutable search context: the compiled query against one instance.
 /// Separated from [`Scratch`] so candidate posting lists (which borrow the
 /// context) stay live while the scratch state mutates.
@@ -126,14 +177,19 @@ struct Scratch {
     results: Vec<Hom>,
 }
 
+/// Compile the atom list into a search context, drawing every buffer from
+/// `arena` (cleared, capacity retained) instead of allocating fresh.
 fn compile<'a>(
+    arena: &mut HomArena,
     instance: &'a Instance,
     atoms: &[Atom],
     fixed: &HashMap<Var, Elem>,
     limit: usize,
 ) -> (Ctx<'a>, Scratch) {
-    let mut var_ids: HashMap<Var, usize> = HashMap::new();
-    let mut vars: Vec<Var> = Vec::new();
+    let mut var_ids = std::mem::take(&mut arena.var_ids);
+    let mut vars = std::mem::take(&mut arena.vars);
+    var_ids.clear();
+    vars.clear();
     let intern = |v: Var, vars: &mut Vec<Var>, var_ids: &mut HashMap<Var, usize>| {
         *var_ids.entry(v).or_insert_with(|| {
             vars.push(v);
@@ -144,9 +200,10 @@ fn compile<'a>(
     for v in fixed.keys() {
         intern(*v, &mut vars, &mut var_ids);
     }
-    let compiled: Vec<CompiledAtom> = atoms
-        .iter()
-        .map(|a| CompiledAtom {
+    let mut compiled = std::mem::take(&mut arena.atoms);
+    compiled.clear();
+    compiled.extend(atoms.iter().map(|a| {
+        CompiledAtom {
             pred: a.pred,
             slots: a
                 .args
@@ -156,15 +213,29 @@ fn compile<'a>(
                     Term::Var(v) => Slot::Var(intern(*v, &mut vars, &mut var_ids)),
                 })
                 .collect(),
-        })
-        .collect();
-    let mut bind: Vec<Option<Elem>> = vec![None; vars.len()];
+        }
+    }));
+    let mut bind = std::mem::take(&mut arena.bind);
+    bind.clear();
+    bind.resize(vars.len(), None);
     for (v, e) in fixed {
         bind[var_ids[v]] = Some(instance.resolve(e));
     }
+    arena.var_ids = var_ids; // interning map no longer needed; keep capacity
+    let mut strata = std::mem::take(&mut arena.strata);
+    strata.clear();
+    strata.resize(compiled.len(), Stratum::Any);
+    let mut trail = std::mem::take(&mut arena.trail);
+    trail.clear();
+    let mut fact_ids = std::mem::take(&mut arena.fact_ids);
+    fact_ids.clear();
+    fact_ids.resize(atoms.len(), u32::MAX);
+    let mut order = std::mem::take(&mut arena.order);
+    order.clear();
+    order.extend(0..atoms.len());
     let ctx = Ctx {
         instance,
-        strata: vec![Stratum::Any; compiled.len()],
+        strata,
         atoms: compiled,
         vars,
         threshold: 0,
@@ -173,9 +244,9 @@ fn compile<'a>(
     };
     let scratch = Scratch {
         bind,
-        trail: Vec::new(),
-        fact_ids: vec![u32::MAX; atoms.len()],
-        order: (0..atoms.len()).collect(),
+        trail,
+        fact_ids,
+        order,
         results: Vec::new(),
     };
     (ctx, scratch)
@@ -364,9 +435,23 @@ pub fn find_homs(
     fixed: &HashMap<Var, Elem>,
     cfg: HomConfig,
 ) -> Vec<Hom> {
-    let (ctx, mut scratch) = compile(instance, atoms, fixed, cfg.limit);
+    find_homs_in(&mut HomArena::new(), instance, atoms, fixed, cfg)
+}
+
+/// [`find_homs`] with caller-provided scratch: reuses `arena`'s buffers
+/// instead of allocating per call. The arena is fully reusable afterwards.
+pub fn find_homs_in(
+    arena: &mut HomArena,
+    instance: &Instance,
+    atoms: &[Atom],
+    fixed: &HashMap<Var, Elem>,
+    cfg: HomConfig,
+) -> Vec<Hom> {
+    let (ctx, mut scratch) = compile(arena, instance, atoms, fixed, cfg.limit);
     search(&ctx, &mut scratch, 0);
-    scratch.results
+    let results = std::mem::take(&mut scratch.results);
+    arena.recycle(ctx, scratch);
+    results
 }
 
 /// Find one homomorphism, if any (cheaper early exit).
@@ -375,7 +460,17 @@ pub fn find_one_hom(
     atoms: &[Atom],
     fixed: &HashMap<Var, Elem>,
 ) -> Option<Hom> {
-    find_homs(instance, atoms, fixed, HomConfig { limit: 1 })
+    find_one_hom_in(&mut HomArena::new(), instance, atoms, fixed)
+}
+
+/// [`find_one_hom`] with caller-provided scratch.
+pub fn find_one_hom_in(
+    arena: &mut HomArena,
+    instance: &Instance,
+    atoms: &[Atom],
+    fixed: &HashMap<Var, Elem>,
+) -> Option<Hom> {
+    find_homs_in(arena, instance, atoms, fixed, HomConfig { limit: 1 })
         .into_iter()
         .next()
 }
@@ -396,7 +491,19 @@ pub fn find_homs_delta(
     cfg: HomConfig,
     delta: &DeltaIndex,
 ) -> Vec<Hom> {
-    let (mut ctx, mut scratch) = compile(instance, atoms, fixed, cfg.limit);
+    find_homs_delta_in(&mut HomArena::new(), instance, atoms, fixed, cfg, delta)
+}
+
+/// [`find_homs_delta`] with caller-provided scratch.
+pub fn find_homs_delta_in(
+    arena: &mut HomArena,
+    instance: &Instance,
+    atoms: &[Atom],
+    fixed: &HashMap<Var, Elem>,
+    cfg: HomConfig,
+    delta: &DeltaIndex,
+) -> Vec<Hom> {
+    let (mut ctx, mut scratch) = compile(arena, instance, atoms, fixed, cfg.limit);
     ctx.delta = Some(delta);
     ctx.threshold = delta.threshold;
     for anchor in 0..atoms.len() {
@@ -415,7 +522,9 @@ pub fn find_homs_delta(
             break;
         }
     }
-    scratch.results
+    let results = std::mem::take(&mut scratch.results);
+    arena.recycle(ctx, scratch);
+    results
 }
 
 /// Trigger enumeration shared by both chase loops: full search when `delta`
@@ -426,9 +535,20 @@ pub fn find_trigger_homs(
     cfg: HomConfig,
     delta: Option<&DeltaIndex>,
 ) -> Vec<Hom> {
+    find_trigger_homs_in(&mut HomArena::new(), instance, atoms, cfg, delta)
+}
+
+/// [`find_trigger_homs`] with caller-provided scratch.
+pub fn find_trigger_homs_in(
+    arena: &mut HomArena,
+    instance: &Instance,
+    atoms: &[Atom],
+    cfg: HomConfig,
+    delta: Option<&DeltaIndex>,
+) -> Vec<Hom> {
     match delta {
-        None => find_homs(instance, atoms, &HashMap::new(), cfg),
-        Some(d) => find_homs_delta(instance, atoms, &HashMap::new(), cfg, d),
+        None => find_homs_in(arena, instance, atoms, &HashMap::new(), cfg),
+        Some(d) => find_homs_delta_in(arena, instance, atoms, &HashMap::new(), cfg, d),
     }
 }
 
@@ -568,6 +688,32 @@ mod tests {
         let delta = i.delta_index(0);
         let dhoms = find_homs_delta(&i, &atoms, &HashMap::new(), HomConfig::default(), &delta);
         assert_eq!(full.len(), dhoms.len());
+    }
+
+    #[test]
+    fn arena_reuse_across_searches_matches_fresh_arena() {
+        let i = setup();
+        let queries: Vec<Vec<Atom>> = vec![
+            vec![atom("R", vec![Term::var(0), Term::var(1)])],
+            vec![
+                atom("R", vec![Term::var(0), Term::var(1)]),
+                atom("R", vec![Term::var(1), Term::var(2)]),
+                atom("S", vec![Term::var(2)]),
+            ],
+            vec![atom("S", vec![Term::var(5)])],
+            vec![], // empty query: arena shrinks back down
+            vec![atom("R", vec![Term::constant(1i64), Term::var(0)])],
+        ];
+        let mut arena = HomArena::new();
+        for q in &queries {
+            let reused = find_homs_in(&mut arena, &i, q, &HashMap::new(), HomConfig::default());
+            let fresh = find_homs(&i, q, &HashMap::new(), HomConfig::default());
+            assert_eq!(reused.len(), fresh.len(), "arena reuse skewed {q:?}");
+            for (a, b) in reused.iter().zip(&fresh) {
+                assert_eq!(a.fact_ids, b.fact_ids);
+                assert_eq!(a.map, b.map);
+            }
+        }
     }
 
     #[test]

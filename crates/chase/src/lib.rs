@@ -13,6 +13,11 @@
 //! [`instance`]), and both chase loops evaluate semi-naively — after the
 //! first round only triggers touching the previous round's delta facts are
 //! searched (see [`chase`] and [`instance::Instance::delta_index`]).
+//! Search scratch lives in reusable, thread-confined [`hom::HomArena`]s,
+//! and PACB's per-candidate verification chases fan out over a scoped
+//! worker pool with a deterministic fan-in
+//! ([`pacb::RewriteConfig::parallelism`]; the outcome is identical at any
+//! worker count — see the [`pacb`] module docs).
 
 #![warn(missing_docs)]
 
@@ -24,16 +29,22 @@ pub mod naive;
 pub mod pacb;
 pub mod pchase;
 pub mod prov;
+#[doc(hidden)]
+pub mod testkit;
 pub mod wa;
 
-pub use chase::{chase, ChaseConfig, ChaseError, ChaseStats};
-pub use containment::{canonical_instance, contained_in, equivalent, minimize};
-pub use hom::{find_homs, find_homs_delta, find_one_hom, Hom, HomConfig};
+pub use chase::{chase, chase_with, ChaseConfig, ChaseError, ChaseStats};
+pub use containment::{canonical_instance, contained_in, contained_in_with, equivalent, minimize};
+pub use hom::{
+    find_homs, find_homs_delta, find_homs_delta_in, find_homs_in, find_one_hom, find_one_hom_in,
+    Hom, HomArena, HomConfig,
+};
 pub use instance::{DeltaIndex, Elem, Inconsistent, Instance, StoredFact};
 pub use naive::{naive_rewrite, NaiveConfig};
 pub use pacb::{
-    pacb_rewrite, RewriteConfig, RewriteError, RewriteOutcome, RewriteProblem, RewriteStats,
+    pacb_rewrite, CandidateStats, RewriteConfig, RewriteError, RewriteOutcome, RewriteProblem,
+    RewriteStats,
 };
-pub use pchase::{prov_chase, ProvChaseConfig, ProvChaseStats};
+pub use pchase::{prov_chase, prov_chase_with, ProvChaseConfig, ProvChaseStats};
 pub use prov::Dnf;
 pub use wa::weakly_acyclic;

@@ -9,9 +9,10 @@
 //! benchmark `e3_pacb_vs_naive` regenerates the paper's 1–2
 //! orders-of-magnitude claim against it.
 
+use crate::hom::HomArena;
 use crate::pacb::{
-    accept_candidate, build_candidate, universal_plan, RewriteConfig, RewriteError, RewriteOutcome,
-    RewriteProblem, RewriteStats,
+    accept_candidate, build_candidate, universal_plan, CandidateStats, RewriteConfig, RewriteError,
+    RewriteOutcome, RewriteProblem, RewriteStats,
 };
 use estocada_pivot::Cq;
 use std::collections::BTreeSet;
@@ -43,7 +44,8 @@ pub fn naive_rewrite(
     problem: &RewriteProblem,
     cfg: &NaiveConfig,
 ) -> Result<RewriteOutcome, RewriteError> {
-    let up = universal_plan(problem, &cfg.rewrite.chase)?;
+    let mut arena = HomArena::new();
+    let up = universal_plan(&mut arena, problem, &cfg.rewrite.chase)?;
     let mut stats = RewriteStats {
         forward: up.stats,
         universal_plan_atoms: up.atoms.len(),
@@ -82,13 +84,17 @@ pub fn naive_rewrite(
                     &subset,
                     rewritings.len(),
                 );
-                if accept_candidate(
+                let mut cs = CandidateStats::default();
+                let ok = accept_candidate(
+                    &mut arena,
                     &candidate,
                     problem,
                     &all_constraints,
                     &cfg.rewrite,
-                    &mut stats,
-                ) {
+                    &mut cs,
+                );
+                stats.absorb(cs);
+                if ok {
                     stats.accepted += 1;
                     accepted.push(subset);
                     rewritings.push(candidate);

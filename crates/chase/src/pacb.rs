@@ -19,13 +19,51 @@
 //!    access patterns of binding-restricted fragments, and (because our EGD
 //!    provenance treatment is conservative, see `pchase`) re-verified by a
 //!    chase-based containment test before being reported.
+//!
+//! # Parallel candidate verification and the deterministic fan-in contract
+//!
+//! Step 3 dominates rewriting time on multi-candidate problems, and every
+//! candidate's check is independent of every other's: it reads only the
+//! candidate, the problem, and the constraint set, and chases a **fresh**
+//! canonical instance. [`pacb_rewrite`] therefore fans the checks out over
+//! a scoped worker pool ([`estocada_parexec::scoped_map_init`]) of
+//! [`RewriteConfig::parallelism`] threads, each holding a private
+//! [`HomArena`] scratch arena (no shared mutable state, no locks on the
+//! search path).
+//!
+//! **Fan-in contract:** `pacb_rewrite` at `parallelism = N` returns a
+//! [`RewriteOutcome`] *identical* to `parallelism = 1` — same rewritings in
+//! the same order with the same generated names, same `complete` flag, same
+//! [`RewriteStats`] counters. This holds by construction:
+//!
+//! - candidates are enumerated from the minimized provenance DNF **before**
+//!   fan-out, in clause order, on the coordinator (workers never touch the
+//!   global symbol interner or any other process-wide state);
+//! - each worker computes a pure `(accept?, `[`CandidateStats`]`)` verdict
+//!   for its candidates; per-candidate counters live in the mergeable
+//!   `CandidateStats`, not in shared counters, so they cannot race;
+//! - the coordinator merges verdicts **in candidate order**: sequential
+//!   accepted-rewriting naming (`Q_rw0, Q_rw1, …`), canonical-form
+//!   deduplication and stats absorption all happen at fan-in, exactly as
+//!   the serial loop interleaved them.
+//!
+//! Early exits keep the contract: truncation (`max_images`, the provenance
+//! clause cap) happens before fan-out; a chase-budget failure inside one
+//! worker's containment check rejects that candidate (as in the serial
+//! run) without touching its siblings; a worker panic poisons the pool,
+//! cancels the outstanding candidates and re-raises on the caller — the
+//! scoped pool cannot deadlock or leak threads. Problems with fewer than
+//! `PARALLEL_CANDIDATE_THRESHOLD` candidates (or with verification off)
+//! skip the pool entirely: spawning threads there costs more than the
+//! checks themselves, and the outcome is the same either way.
 
-use crate::chase::{chase, ChaseConfig, ChaseError, ChaseStats};
-use crate::containment::{canonical_instance, contained_in};
-use crate::hom::{find_homs, HomConfig};
+use crate::chase::{chase_with, ChaseConfig, ChaseError, ChaseStats};
+use crate::containment::{canonical_instance, contained_in_with};
+use crate::hom::{find_homs_in, HomArena, HomConfig};
 use crate::instance::{Elem, Instance};
-use crate::pchase::{prov_chase, ProvChaseConfig, ProvChaseStats};
+use crate::pchase::{prov_chase_with, ProvChaseConfig, ProvChaseStats};
 use crate::prov::Dnf;
+use estocada_parexec::scoped_map_init;
 use estocada_pivot::{AccessMap, Atom, Constraint, Cq, Symbol, Term, Var, ViewDef};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
@@ -84,6 +122,10 @@ pub struct RewriteConfig {
     pub max_images: usize,
     /// Re-verify every candidate by a chase-based containment check.
     pub verify: bool,
+    /// Worker threads for candidate verification (≤ 1 = serial). Any value
+    /// produces the identical [`RewriteOutcome`] — see the module docs'
+    /// fan-in contract.
+    pub parallelism: usize,
 }
 
 impl Default for RewriteConfig {
@@ -93,12 +135,45 @@ impl Default for RewriteConfig {
             prov: ProvChaseConfig::default(),
             max_images: 10_000,
             verify: true,
+            parallelism: 1,
         }
     }
 }
 
+impl RewriteConfig {
+    /// This config with `parallelism` workers.
+    pub fn with_parallelism(self, parallelism: usize) -> RewriteConfig {
+        RewriteConfig {
+            parallelism,
+            ..self
+        }
+    }
+}
+
+/// Minimum verified-candidate count before the acceptance checks fan out
+/// to worker threads: below it the scoped pool's spawn/join overhead
+/// outweighs the verification work, so the checks run inline on the
+/// coordinator (identical outcome — few-candidate hot-path rewrites never
+/// pay for threads they can't use).
+const PARALLEL_CANDIDATE_THRESHOLD: usize = 8;
+
+/// Per-candidate acceptance counters — the mergeable fragment of
+/// [`RewriteStats`].
+///
+/// Each verification worker fills a private `CandidateStats` per candidate;
+/// the coordinator absorbs them in candidate order
+/// ([`RewriteStats::absorb`]), so the counters are exact (never racy) no
+/// matter how many workers ran, and identical to the serial run's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CandidateStats {
+    /// Candidate rejected as infeasible under access patterns.
+    pub infeasible: usize,
+    /// Candidate rejected (unsafe head, failed or errored verification).
+    pub rejected: usize,
+}
+
 /// Counters describing one rewriting run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RewriteStats {
     /// Forward-chase counters.
     pub forward: ChaseStats,
@@ -119,8 +194,16 @@ pub struct RewriteStats {
     pub rejected: usize,
 }
 
+impl RewriteStats {
+    /// Fold one candidate's counters into the run totals.
+    pub fn absorb(&mut self, c: CandidateStats) {
+        self.infeasible += c.infeasible;
+        self.rejected += c.rejected;
+    }
+}
+
 /// Result of a rewriting run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RewriteOutcome {
     /// Minimal feasible rewritings, ascending by body size.
     pub rewritings: Vec<Cq>,
@@ -172,6 +255,7 @@ pub(crate) struct UniversalPlan {
 
 /// Compute the universal plan of `problem.query`.
 pub(crate) fn universal_plan(
+    arena: &mut HomArena,
     problem: &RewriteProblem,
     cfg: &ChaseConfig,
 ) -> Result<UniversalPlan, RewriteError> {
@@ -185,7 +269,7 @@ pub(crate) fn universal_plan(
         .map(|v| Constraint::Tgd(v.forward_tgd()))
         .collect();
     constraints.extend(problem.source_constraints.iter().cloned());
-    let stats = chase(&mut inst, &constraints, cfg)?;
+    let stats = chase_with(arena, &mut inst, &constraints, cfg)?;
 
     let names = problem.view_names();
     let mut atoms: Vec<Atom> = Vec::new();
@@ -243,13 +327,19 @@ pub(crate) fn build_candidate(
 }
 
 /// Shared acceptance filter: safety, feasibility, optional verification.
+///
+/// Pure per-candidate check: reads only its arguments, writes only
+/// `stats` (the candidate's private counters) and `arena` (the calling
+/// worker's private scratch) — the reason candidates can verify in
+/// parallel without skew.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn accept_candidate(
+    arena: &mut HomArena,
     candidate: &Cq,
     problem: &RewriteProblem,
     all_constraints: &[Constraint],
     cfg: &RewriteConfig,
-    stats: &mut RewriteStats,
+    stats: &mut CandidateStats,
 ) -> bool {
     if !candidate.is_safe() {
         stats.rejected += 1;
@@ -265,7 +355,13 @@ pub(crate) fn accept_candidate(
     if cfg.verify {
         // Q ⊆ R holds for every subquery of the universal plan (chase
         // soundness); only R ⊆ Q needs checking.
-        match contained_in(candidate, &problem.query, all_constraints, &cfg.chase) {
+        match contained_in_with(
+            arena,
+            candidate,
+            &problem.query,
+            all_constraints,
+            &cfg.chase,
+        ) {
             Ok(true) => {}
             Ok(false) => {
                 stats.rejected += 1;
@@ -286,7 +382,10 @@ pub fn pacb_rewrite(
     problem: &RewriteProblem,
     cfg: &RewriteConfig,
 ) -> Result<RewriteOutcome, RewriteError> {
-    let up = universal_plan(problem, &cfg.chase)?;
+    // Coordinator-side scratch for the forward chase, the provenance chase
+    // and the image search (workers get their own arenas at fan-out).
+    let mut arena = HomArena::new();
+    let up = universal_plan(&mut arena, problem, &cfg.chase)?;
     let mut stats = RewriteStats {
         forward: up.stats,
         universal_plan_atoms: up.atoms.len(),
@@ -328,7 +427,7 @@ pub fn pacb_rewrite(
         .collect();
     back_constraints.extend(problem.source_constraints.iter().cloned());
     back_constraints.extend(problem.target_constraints.iter().cloned());
-    let pstats = prov_chase(&mut inst, &back_constraints, &cfg.prov)?;
+    let pstats = prov_chase_with(&mut arena, &mut inst, &back_constraints, &cfg.prov)?;
     stats.backward = pstats;
     let mut complete = !pstats.truncated;
 
@@ -349,7 +448,8 @@ pub fn pacb_rewrite(
             })
         }
     };
-    let homs = find_homs(
+    let homs = find_homs_in(
+        &mut arena,
         &inst,
         &problem.query.body,
         &fixed,
@@ -383,23 +483,70 @@ pub fn pacb_rewrite(
     }
 
     // --- Clauses → candidate rewritings. ---
+    //
+    // Fan-out: candidates are built on the coordinator in clause order
+    // (with provisional names — workers must not touch the interner), the
+    // independent acceptance checks run on the worker pool, and the fan-in
+    // below merges verdicts in candidate order so naming, dedup and stats
+    // replay the serial loop exactly (see the module-level contract).
     let all_constraints = problem.all_constraints();
-    let mut rewritings: Vec<Cq> = Vec::new();
-    let mut seen_canonical: HashSet<String> = HashSet::new();
+    let mut candidates: Vec<Cq> = Vec::new();
     for clause in total.clauses() {
-        stats.candidates += 1;
         let selection: BTreeSet<usize> = clause.iter().map(|p| *p as usize).collect();
-        let candidate = build_candidate(
+        candidates.push(build_candidate(
             &problem.query,
             &up.head,
             &up.atoms,
             &selection,
-            rewritings.len(),
+            candidates.len(),
+        ));
+    }
+    stats.candidates = candidates.len();
+    // Below the threshold (or with verification off, where a check is two
+    // cheap predicate walks) the per-call thread spawn/join costs more than
+    // it saves — run inline on the coordinator's already-warmed arena. The
+    // outcome is identical either way.
+    let workers = if cfg.verify && candidates.len() >= PARALLEL_CANDIDATE_THRESHOLD {
+        cfg.parallelism
+    } else {
+        1
+    };
+    let check = |worker_arena: &mut HomArena, candidate: &Cq| {
+        let mut cs = CandidateStats::default();
+        let ok = accept_candidate(
+            worker_arena,
+            candidate,
+            problem,
+            &all_constraints,
+            cfg,
+            &mut cs,
         );
-        if !accept_candidate(&candidate, problem, &all_constraints, cfg, &mut stats) {
+        (cs, ok)
+    };
+    let verdicts: Vec<(CandidateStats, bool)> = if workers <= 1 {
+        candidates.iter().map(|c| check(&mut arena, c)).collect()
+    } else {
+        scoped_map_init(workers, &candidates, HomArena::new, |worker_arena, _, c| {
+            check(worker_arena, c)
+        })
+    };
+
+    // Deterministic fan-in, candidate order.
+    let mut rewritings: Vec<Cq> = Vec::new();
+    let mut seen_canonical: HashSet<String> = HashSet::new();
+    for (mut candidate, (cs, ok)) in candidates.into_iter().zip(verdicts) {
+        stats.absorb(cs);
+        if !ok {
             continue;
         }
-        let key = format!("{}", candidate.canonicalize());
+        // Accepted candidates are numbered by acceptance order (rejected
+        // ones consume no index), matching the serial loop's naming.
+        candidate.name = Symbol::intern(&format!("{}_rw{}", problem.query.name, rewritings.len()));
+        // Dedup on the name-independent canonical form: the name is unique
+        // per candidate by construction, so a key that included it (as the
+        // canonicalized Display does) could never collide.
+        let canonical = candidate.canonicalize();
+        let key = format!("{:?}|{:?}", canonical.head, canonical.body);
         if seen_canonical.insert(key) {
             stats.accepted += 1;
             rewritings.push(candidate);
@@ -628,6 +775,89 @@ mod tests {
         // equivalent to Q in general — must be rejected by verification.
         assert!(out.rewritings.is_empty());
         assert!(out.stats.rejected >= 1 || out.stats.candidates == 0);
+    }
+
+    // 2^k minimal rewritings — the candidate fan-out has real width.
+    use crate::testkit::wide_chain_problem as multi_candidate_problem;
+
+    #[test]
+    fn parallel_outcome_identical_to_serial() {
+        let problem = multi_candidate_problem(4); // 16 candidates
+        let serial = pacb_rewrite(&problem, &RewriteConfig::default()).unwrap();
+        assert_eq!(serial.rewritings.len(), 16);
+        for par in [2, 3, 4, 8, 64] {
+            let parallel =
+                pacb_rewrite(&problem, &RewriteConfig::default().with_parallelism(par)).unwrap();
+            assert_eq!(serial, parallel, "fan-in skew at parallelism {par}");
+        }
+    }
+
+    #[test]
+    fn parallel_stats_match_serial_exactly() {
+        // Mix accepted, infeasible and rejected candidates so every
+        // CandidateStats counter is exercised.
+        use estocada_pivot::AccessPattern;
+        let mut problem = multi_candidate_problem(3);
+        problem.access.set("V0", AccessPattern::parse("io")); // V0-candidates infeasible
+        let serial = pacb_rewrite(&problem, &RewriteConfig::default()).unwrap();
+        let parallel =
+            pacb_rewrite(&problem, &RewriteConfig::default().with_parallelism(4)).unwrap();
+        assert_eq!(serial.stats, parallel.stats);
+        assert!(serial.stats.infeasible > 0, "test must exercise infeasible");
+        assert!(serial.stats.accepted > 0);
+    }
+
+    #[test]
+    fn parallel_rewriting_names_match_serial() {
+        let problem = multi_candidate_problem(2);
+        let serial = pacb_rewrite(&problem, &RewriteConfig::default()).unwrap();
+        let parallel =
+            pacb_rewrite(&problem, &RewriteConfig::default().with_parallelism(4)).unwrap();
+        let names = |o: &RewriteOutcome| -> Vec<String> {
+            o.rewritings.iter().map(|r| r.name.to_string()).collect()
+        };
+        assert_eq!(names(&serial), names(&parallel));
+        // Accepted candidates are numbered densely from 0.
+        assert_eq!(names(&serial), vec!["Q_rw0", "Q_rw1", "Q_rw2", "Q_rw3"]);
+    }
+
+    #[test]
+    fn alpha_equivalent_duplicate_candidates_are_deduplicated() {
+        // Q(1) :- R(x), R(y): the universal plan holds one view atom per
+        // canonical null (V(?0) and V(?1)); their singleton candidates are
+        // alpha-equivalent rewritings and must collapse to one at fan-in —
+        // identically at every worker count.
+        let v = ViewDef::new(
+            CqBuilder::new("V")
+                .head_vars(["a"])
+                .atom("R", |x| x.v("a"))
+                .build(),
+        );
+        let q = CqBuilder::new("Q")
+            .head_const(1i64)
+            .atom("R", |a| a.v("x"))
+            .atom("R", |a| a.v("y"))
+            .build();
+        let problem = RewriteProblem::new(q, vec![v]);
+        let serial = pacb_rewrite(&problem, &RewriteConfig::default()).unwrap();
+        assert_eq!(
+            serial.rewritings.len(),
+            1,
+            "alpha-equivalent candidates must dedup: {:?}",
+            serial.rewritings
+        );
+        assert_eq!(serial.stats.accepted, 1);
+        let parallel =
+            pacb_rewrite(&problem, &RewriteConfig::default().with_parallelism(4)).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_parallelism_behaves_like_serial() {
+        let problem = multi_candidate_problem(2);
+        let a = pacb_rewrite(&problem, &RewriteConfig::default()).unwrap();
+        let b = pacb_rewrite(&problem, &RewriteConfig::default().with_parallelism(0)).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! loop.
 
 use crate::chase::{ChaseError, ChaseStats};
-use crate::hom::{find_trigger_homs, HomConfig};
+use crate::hom::{find_trigger_homs_in, HomArena, HomConfig};
 use crate::instance::{Elem, Instance};
 use crate::prov::Dnf;
 use estocada_pivot::{Constraint, Term, Var};
@@ -57,7 +57,7 @@ impl Default for ProvChaseConfig {
 }
 
 /// Outcome counters of a provenance chase.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProvChaseStats {
     /// Underlying chase counters.
     pub chase: ChaseStats,
@@ -68,6 +68,16 @@ pub struct ProvChaseStats {
 
 /// Run the provenance-aware chase to (provenance) fixpoint.
 pub fn prov_chase(
+    instance: &mut Instance,
+    constraints: &[Constraint],
+    cfg: &ProvChaseConfig,
+) -> Result<ProvChaseStats, ChaseError> {
+    prov_chase_with(&mut HomArena::new(), instance, constraints, cfg)
+}
+
+/// [`prov_chase`] with caller-provided homomorphism scratch.
+pub fn prov_chase_with(
+    arena: &mut HomArena,
     instance: &mut Instance,
     constraints: &[Constraint],
     cfg: &ProvChaseConfig,
@@ -93,7 +103,13 @@ pub fn prov_chase(
         for (cidx, c) in constraints.iter().enumerate() {
             match c {
                 Constraint::Tgd(tgd) => {
-                    let homs = find_trigger_homs(instance, &tgd.premise, cfg.hom, delta.as_ref());
+                    let homs = find_trigger_homs_in(
+                        arena,
+                        instance,
+                        &tgd.premise,
+                        cfg.hom,
+                        delta.as_ref(),
+                    );
                     // Frontier variables that actually occur in the conclusion,
                     // in a deterministic order — the Skolem key.
                     let frontier: Vec<Var> = {
@@ -164,7 +180,13 @@ pub fn prov_chase(
                     }
                 }
                 Constraint::Egd(egd) => {
-                    let homs = find_trigger_homs(instance, &egd.premise, cfg.hom, delta.as_ref());
+                    let homs = find_trigger_homs_in(
+                        arena,
+                        instance,
+                        &egd.premise,
+                        cfg.hom,
+                        delta.as_ref(),
+                    );
                     for h in homs {
                         // Conservative: only fire with certain (⊤) trigger
                         // provenance.

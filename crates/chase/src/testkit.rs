@@ -1,0 +1,68 @@
+//! Shared rewrite-problem generators for tests and benches.
+//!
+//! The parallel-backchase unit tests (`pacb`), the differential suite
+//! (`tests/parallel_backchase_properties.rs`) and the scaling bench
+//! (`e6_parallel_backchase`) must all exercise the *same* multi-candidate
+//! workload; keeping the single definition here stops the three from
+//! silently drifting apart.
+
+use crate::pacb::RewriteProblem;
+use estocada_pivot::{CqBuilder, ViewDef};
+
+/// Chain problem `Q(x0,xk) :- R0(x0,x1), …, R(k-1)(x(k-1),xk)` with **two
+/// interchangeable views per edge** (`Vi`/`Wi`): 2^k minimal rewritings,
+/// i.e. 2^k independent verification chases to fan out.
+pub fn wide_chain_problem(k: usize) -> RewriteProblem {
+    let mut qb = CqBuilder::new("Q").head_vars(["x0"]);
+    let mut q = {
+        for i in 0..k {
+            let a = format!("x{i}");
+            let b = format!("x{}", i + 1);
+            qb = qb.atom(format!("R{i}").as_str(), move |ab| ab.v(&a).v(&b));
+        }
+        qb.build()
+    };
+    let last = q.body[k - 1].args[1].clone();
+    q.head.push(last);
+    let mut views = Vec::new();
+    for i in 0..k {
+        for prefix in ["V", "W"] {
+            views.push(ViewDef::new(
+                CqBuilder::new(format!("{prefix}{i}").as_str())
+                    .head_vars(["a", "b"])
+                    .atom(format!("R{i}").as_str(), |x| x.v("a").v("b"))
+                    .build(),
+            ));
+        }
+    }
+    RewriteProblem::new(q, views)
+}
+
+/// Star problem `Q(c) :- Hub(c), S0(c,y0), …` with two interchangeable
+/// views per satellite (`VSi`/`WSi`): 2^k minimal rewritings.
+pub fn wide_star_problem(k: usize) -> RewriteProblem {
+    let mut qb = CqBuilder::new("Q").head_vars(["c"]);
+    qb = qb.atom("Hub", |a| a.v("c"));
+    for i in 0..k {
+        let y = format!("y{i}");
+        qb = qb.atom(format!("S{i}").as_str(), move |a| a.v("c").v(&y));
+    }
+    let q = qb.build();
+    let mut views = vec![ViewDef::new(
+        CqBuilder::new("VHub")
+            .head_vars(["c"])
+            .atom("Hub", |a| a.v("c"))
+            .build(),
+    )];
+    for i in 0..k {
+        for prefix in ["VS", "WS"] {
+            views.push(ViewDef::new(
+                CqBuilder::new(format!("{prefix}{i}").as_str())
+                    .head_vars(["c", "y"])
+                    .atom(format!("S{i}").as_str(), |a| a.v("c").v("y"))
+                    .build(),
+            ));
+        }
+    }
+    RewriteProblem::new(q, views)
+}

@@ -100,7 +100,7 @@ fn current_cost(est: &mut Estocada, q: &WorkloadQuery) -> Option<f64> {
         target_constraints: Vec::new(),
         access: est.catalog().access_map(),
     };
-    let outcome = pacb_rewrite(&problem, &estocada_chase::RewriteConfig::default()).ok()?;
+    let outcome = pacb_rewrite(&problem, est.rewrite_config()).ok()?;
     let mut best = None::<f64>;
     for rw in &outcome.rewritings {
         if let Ok(tr) = translate(

@@ -52,7 +52,11 @@ impl Estocada {
             schema: Schema::new(),
             base: None,
             catalog: Catalog::new(),
-            rewrite_cfg: RewriteConfig::default(),
+            // The parallel backchase is deterministic at any worker count
+            // (identical RewriteOutcome), so the hot rewriting path defaults
+            // to one worker per core.
+            rewrite_cfg: RewriteConfig::default()
+                .with_parallelism(estocada_parexec::default_parallelism()),
             frag_seq: 0,
         }
     }
@@ -70,6 +74,18 @@ impl Estocada {
     /// The cost model in effect.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// The rewriting configuration in effect.
+    pub fn rewrite_config(&self) -> &RewriteConfig {
+        &self.rewrite_cfg
+    }
+
+    /// Set the worker count of the parallel PACB backchase (candidate
+    /// verification). Any value yields the identical rewriting outcome;
+    /// `workers <= 1` runs serially.
+    pub fn set_rewrite_parallelism(&mut self, workers: usize) {
+        self.rewrite_cfg.parallelism = workers.max(1);
     }
 
     /// Register an application dataset (declares its pivot schema and

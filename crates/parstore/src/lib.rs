@@ -6,6 +6,9 @@
 //! join / partial aggregation over the partitions; key indexes give the
 //! point-lookup path used by the materialized-join fragment of the paper's
 //! motivating scenario ("indexed by the user ID and product category").
+//! Partition fan-out runs on the shared scoped-thread executor
+//! ([`estocada_parexec`]), which merges worker results in partition order —
+//! see [`ops`].
 
 #![warn(missing_docs)]
 

@@ -3,11 +3,15 @@
 //! ("if the DMS has a distributed architecture, the delegated subquery will
 //! be evaluated in parallel fashion").
 //!
-//! Worker threads are scoped (std) and fan results in over a crossbeam
-//! channel, one message per partition.
+//! All three operators fan their per-partition work out through the shared
+//! scoped-thread executor ([`estocada_parexec::scoped_map`]) and merge the
+//! results **in partition order**, so every operator is deterministic: the
+//! output is identical to a serial partition-by-partition run regardless of
+//! worker scheduling (including the floating-point sums of
+//! [`par_aggregate`], which are order-sensitive).
 
 use crate::dataset::Dataset;
-use crossbeam::channel;
+use estocada_parexec::scoped_map;
 use estocada_pivot::Value;
 use std::collections::HashMap;
 
@@ -20,25 +24,18 @@ pub fn par_filter(
     pred: &(dyn Fn(&[Value]) -> bool + Sync),
     projection: Option<&[usize]>,
 ) -> Vec<Vec<Value>> {
-    let (tx, rx) = channel::unbounded::<(usize, Vec<Vec<Value>>)>();
-    std::thread::scope(|s| {
-        for (pi, part) in ds.partitions.iter().enumerate() {
-            let tx = tx.clone();
-            s.spawn(move || {
-                let mut out = Vec::new();
-                for row in part {
-                    if pred(row) {
-                        out.push(project(row, projection));
-                    }
-                }
-                tx.send((pi, out)).expect("result channel closed");
-            });
+    scoped_map(ds.partitions.len(), &ds.partitions, |_, part| {
+        let mut out = Vec::new();
+        for row in part {
+            if pred(row) {
+                out.push(project(row, projection));
+            }
         }
-        drop(tx);
-    });
-    let mut parts: Vec<(usize, Vec<Vec<Value>>)> = rx.iter().collect();
-    parts.sort_by_key(|(pi, _)| *pi);
-    parts.into_iter().flat_map(|(_, rows)| rows).collect()
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Broadcast hash join: build a hash table of `right` (assumed the smaller
@@ -57,30 +54,23 @@ pub fn par_join(
         table.entry(key).or_default().push(row);
     }
     let table = &table;
-    let (tx, rx) = channel::unbounded::<(usize, Vec<Vec<Value>>)>();
-    std::thread::scope(|s| {
-        for (pi, part) in left.partitions.iter().enumerate() {
-            let tx = tx.clone();
-            s.spawn(move || {
-                let mut out = Vec::new();
-                for lrow in part {
-                    let key: Vec<Value> = left_keys.iter().map(|c| lrow[*c].clone()).collect();
-                    if let Some(matches) = table.get(&key) {
-                        for rrow in matches {
-                            let mut joined = lrow.clone();
-                            joined.extend(rrow.iter().cloned());
-                            out.push(joined);
-                        }
-                    }
+    scoped_map(left.partitions.len(), &left.partitions, |_, part| {
+        let mut out = Vec::new();
+        for lrow in part {
+            let key: Vec<Value> = left_keys.iter().map(|c| lrow[*c].clone()).collect();
+            if let Some(matches) = table.get(&key) {
+                for rrow in matches {
+                    let mut joined = lrow.clone();
+                    joined.extend(rrow.iter().cloned());
+                    out.push(joined);
                 }
-                tx.send((pi, out)).expect("result channel closed");
-            });
+            }
         }
-        drop(tx);
-    });
-    let mut parts: Vec<(usize, Vec<Vec<Value>>)> = rx.iter().collect();
-    parts.sort_by_key(|(pi, _)| *pi);
-    parts.into_iter().flat_map(|(_, rows)| rows).collect()
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Aggregate functions supported by the parallel store.
@@ -96,44 +86,39 @@ pub enum AggFun {
     Max,
 }
 
+/// Per-group partial aggregate state.
+type Partial = HashMap<Vec<Value>, (f64, i64, Option<Value>)>; // (sum, count, min-or-max)
+
 /// Parallel group-by aggregation: per-partition partial aggregates, merged
-/// on the coordinator (the classic map-side combine).
+/// on the coordinator in partition order (the classic map-side combine).
 pub fn par_aggregate(
     ds: &Dataset,
     group_by: &[usize],
     agg: AggFun,
     agg_col: usize,
 ) -> Vec<Vec<Value>> {
-    type Partial = HashMap<Vec<Value>, (f64, i64, Option<Value>)>; // (sum, count, min-or-max)
-    let (tx, rx) = channel::unbounded::<Partial>();
-    std::thread::scope(|s| {
-        for part in &ds.partitions {
-            let tx = tx.clone();
-            s.spawn(move || {
-                let mut acc: Partial = HashMap::new();
-                for row in part {
-                    let key: Vec<Value> = group_by.iter().map(|c| row[*c].clone()).collect();
-                    let v = &row[agg_col];
-                    let e = acc.entry(key).or_insert((0.0, 0, None));
-                    e.0 += v.as_double().unwrap_or(0.0);
-                    e.1 += 1;
-                    let replace = match (&e.2, agg) {
-                        (None, _) => true,
-                        (Some(cur), AggFun::Min) => v < cur,
-                        (Some(cur), AggFun::Max) => v > cur,
-                        _ => false,
-                    };
-                    if replace {
-                        e.2 = Some(v.clone());
-                    }
-                }
-                tx.send(acc).expect("result channel closed");
-            });
+    let partials = scoped_map(ds.partitions.len(), &ds.partitions, |_, part| {
+        let mut acc: Partial = HashMap::new();
+        for row in part {
+            let key: Vec<Value> = group_by.iter().map(|c| row[*c].clone()).collect();
+            let v = &row[agg_col];
+            let e = acc.entry(key).or_insert((0.0, 0, None));
+            e.0 += v.as_double().unwrap_or(0.0);
+            e.1 += 1;
+            let replace = match (&e.2, agg) {
+                (None, _) => true,
+                (Some(cur), AggFun::Min) => v < cur,
+                (Some(cur), AggFun::Max) => v > cur,
+                _ => false,
+            };
+            if replace {
+                e.2 = Some(v.clone());
+            }
         }
-        drop(tx);
+        acc
     });
-    let mut merged: HashMap<Vec<Value>, (f64, i64, Option<Value>)> = HashMap::new();
-    for partial in rx.iter() {
+    let mut merged: Partial = HashMap::new();
+    for partial in partials {
         for (k, (sum, count, mm)) in partial {
             let e = merged.entry(k).or_insert((0.0, 0, None));
             e.0 += sum;
@@ -216,6 +201,54 @@ mod tests {
     }
 
     #[test]
+    fn par_filter_preserves_partition_order() {
+        // Identity filter must reproduce the exact row order of iter_rows
+        // (which walks partitions in order) — the deterministic fan-in
+        // contract of the shared executor.
+        let d = dataset();
+        let par = par_filter(&d, &|_| true, None);
+        let seq: Vec<_> = d.iter_rows().cloned().collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_dataset_ops_yield_empty() {
+        let empty = Dataset::from_rows(&["id", "grp", "amount"], Vec::new(), 4);
+        assert!(par_filter(&empty, &|_| true, None).is_empty());
+        assert!(par_join(&empty, &dataset(), &[1], &[1]).is_empty());
+        assert!(par_aggregate(&empty, &[], AggFun::Count, 0).is_empty());
+    }
+
+    #[test]
+    fn single_partition_runs_inline() {
+        let d = Dataset::from_rows(
+            &["id"],
+            (0..10).map(|i| vec![Value::Int(i)]),
+            1, // one partition → executor takes the serial path
+        );
+        let out = par_filter(&d, &|r| r[0].as_int().unwrap() % 2 == 0, None);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn predicate_panic_propagates() {
+        let d = dataset();
+        let result = std::panic::catch_unwind(|| {
+            par_filter(
+                &d,
+                &|r| {
+                    if r[0] == Value::Int(42) {
+                        panic!("bad row");
+                    }
+                    true
+                },
+                None,
+            )
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
     fn par_join_matches_nested_loop() {
         let left = dataset();
         let right = Dataset::from_rows(
@@ -250,6 +283,17 @@ mod tests {
         let total: f64 = sums.iter().map(|r| r[1].as_double().unwrap()).sum();
         let expected: f64 = (0..100).map(|i| i as f64 * 0.5).sum();
         assert!((total - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_sums_are_deterministic_across_runs() {
+        // Partition-order merge: repeated runs must produce bit-identical
+        // doubles (the pre-executor fan-in merged in arrival order).
+        let d = dataset();
+        let first = par_aggregate(&d, &[1], AggFun::Sum, 2);
+        for _ in 0..10 {
+            assert_eq!(par_aggregate(&d, &[1], AggFun::Sum, 2), first);
+        }
     }
 
     #[test]

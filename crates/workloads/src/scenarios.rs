@@ -162,6 +162,15 @@ pub fn deploy_materialized_join(m: &Marketplace, latencies: Latencies) -> Estoca
     est
 }
 
+/// Pin the rewriting worker count of a deployment (the parallel-backchase
+/// knob). The rewriting outcome is identical at any value — deployments use
+/// this to trade rewriting latency against CPU, never correctness:
+/// `let est = with_rewrite_workers(deploy_baseline(&m, lat), 4);`
+pub fn with_rewrite_workers(mut est: Estocada, workers: usize) -> Estocada {
+    est.set_rewrite_parallelism(workers);
+    est
+}
+
 /// Run one W1 query, returning its result.
 pub fn run_w1_query(est: &mut Estocada, q: &W1Query) -> estocada::Result<QueryResult> {
     match q {
@@ -209,6 +218,28 @@ mod tests {
         assert!(run_w1_query(&mut est, &W1Query::PrefLookup(3)).is_ok());
         assert!(run_w1_query(&mut est, &W1Query::CartLookup(3)).is_ok());
         assert!(run_w1_query(&mut est, &W1Query::UserOrders(3)).is_ok());
+    }
+
+    #[test]
+    fn rewrite_worker_count_does_not_change_answers() {
+        let m = small();
+        let mut serial = with_rewrite_workers(deploy_kv_migrated(&m, Latencies::zero()), 1);
+        let mut parallel = with_rewrite_workers(deploy_kv_migrated(&m, Latencies::zero()), 4);
+        assert_eq!(parallel.rewrite_config().parallelism, 4);
+        for q in [
+            W1Query::PrefLookup(3),
+            W1Query::CartLookup(7),
+            W1Query::UserOrders(13),
+        ] {
+            let a = run_w1_query(&mut serial, &q).unwrap();
+            let b = run_w1_query(&mut parallel, &q).unwrap();
+            assert_eq!(a.rows, b.rows, "{q:?} differs across worker counts");
+            assert_eq!(
+                a.report.alternatives.len(),
+                b.report.alternatives.len(),
+                "{q:?} found different rewriting sets"
+            );
+        }
     }
 
     #[test]
