@@ -1,0 +1,138 @@
+//! E7 — incremental EGD normalization: merge-heavy chase time with the
+//! incremental occurrence-index rewrite ([`Instance::merge`]) vs the
+//! O(instance) full-rebuild baseline (`Instance::merge_full_rebuild`).
+//!
+//! The workload (shared with the differential merge suite through
+//! `testkit::egd_merge_instance`) is a functional dependency firing
+//! `keys × (dups − 1)` merges over an instance padded with ballast facts
+//! the merges never touch: the full rebuild re-walks the ballast on every
+//! merge (quadratic overall), the incremental path only rewrites the two
+//! facts per merge. Both drivers run the identical trigger/merge schedule
+//! and the end states are asserted equal before any timing is reported.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estocada_chase::testkit::egd_merge_instance;
+use estocada_chase::{chase, find_homs, ChaseConfig, Elem, HomConfig, Instance};
+use estocada_pivot::{Constraint, Egd, Term};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A minimal EGD-only chase loop, generic over the merge strategy: find the
+/// FD's trigger homomorphisms, merge every equality, repeat to fixpoint.
+/// Identical schedules for both strategies — the one variable is the merge.
+fn egd_chase(inst: &mut Instance, fd: &Egd, full_rebuild: bool) -> usize {
+    let mut merges = 0;
+    loop {
+        let homs = find_homs(inst, &fd.premise, &HashMap::new(), HomConfig::default());
+        let mut changed = false;
+        for h in homs {
+            let resolve = |t: &Term, inst: &Instance| match t {
+                Term::Const(v) => Elem::constant(v),
+                Term::Var(v) => inst.resolve(&h.map[v]),
+            };
+            let a = resolve(&fd.equal.0, inst);
+            let b = resolve(&fd.equal.1, inst);
+            let merged = if full_rebuild {
+                inst.merge_full_rebuild(&a, &b).unwrap()
+            } else {
+                inst.merge(&a, &b).unwrap()
+            };
+            if merged {
+                merges += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return merges;
+        }
+    }
+}
+
+fn same_state(a: &Instance, b: &Instance) -> bool {
+    let dump = |i: &Instance| -> Vec<(u32, String, u64)> {
+        i.fact_ids()
+            .map(|id| (id, i.format_fact(id), i.fact_epoch(id)))
+            .collect()
+    };
+    a.len() == b.len() && dump(a) == dump(b)
+}
+
+fn bench(c: &mut Criterion) {
+    println!("== E7 summary (incremental merge vs full-rebuild baseline) ==");
+    for (keys, dups, ballast) in [
+        (20usize, 4usize, 1_000usize),
+        (40, 4, 4_000),
+        (60, 5, 8_000),
+    ] {
+        let (inst, fd) = egd_merge_instance(keys, dups, ballast);
+
+        let mut inc = inst.clone();
+        let t = std::time::Instant::now();
+        let m1 = egd_chase(&mut inc, &fd, false);
+        let t_inc = t.elapsed();
+
+        let mut full = inst.clone();
+        let t = std::time::Instant::now();
+        let m2 = egd_chase(&mut full, &fd, true);
+        let t_full = t.elapsed();
+
+        assert_eq!(m1, m2, "merge schedules diverged");
+        assert!(
+            same_state(&inc, &full),
+            "incremental and full-rebuild end states differ"
+        );
+
+        // The production chase loop on the same workload (incremental path).
+        let mut prod = inst.clone();
+        let constraint: Constraint = fd.clone().into();
+        let t = std::time::Instant::now();
+        let stats = chase(
+            &mut prod,
+            std::slice::from_ref(&constraint),
+            &ChaseConfig::default(),
+        )
+        .unwrap();
+        let t_chase = t.elapsed();
+        assert!(same_state(&prod, &inc), "chase() end state differs");
+
+        let speedup = t_full.as_secs_f64() / t_inc.as_secs_f64().max(1e-12);
+        println!(
+            "keys={keys} dups={dups} ballast={ballast}: {m1} merges — incremental {t_inc:?}, \
+             full-rebuild {t_full:?} ({speedup:.1}x), chase() {t_chase:?} \
+             ({} egd_merges, {} rounds)",
+            stats.egd_merges, stats.rounds
+        );
+    }
+
+    let mut group = c.benchmark_group("e7_egd_merge");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for (keys, dups, ballast) in [(20usize, 4usize, 1_000usize), (40, 4, 4_000)] {
+        let (inst, fd) = egd_merge_instance(keys, dups, ballast);
+        let label = format!("{keys}x{dups}+{ballast}");
+        group.bench_with_input(
+            BenchmarkId::new("incremental", &label),
+            &(inst.clone(), fd.clone()),
+            |b, (inst, fd)| {
+                b.iter(|| {
+                    let mut work = inst.clone();
+                    egd_chase(&mut work, fd, false)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_rebuild", &label),
+            &(inst, fd),
+            |b, (inst, fd)| {
+                b.iter(|| {
+                    let mut work = inst.clone();
+                    egd_chase(&mut work, fd, true)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -19,7 +19,7 @@ fn doc_instance(docs: u64, depth: u64) -> (Instance, Vec<Constraint>) {
         next_id += 1;
         inst.insert(
             rels.root,
-            vec![Elem::Const(Value::Id(d)), Elem::Const(Value::Id(root))],
+            vec![Elem::of(Value::Id(d)), Elem::of(Value::Id(root))],
         );
         let mut prev = root;
         for i in 0..depth {
@@ -27,13 +27,13 @@ fn doc_instance(docs: u64, depth: u64) -> (Instance, Vec<Constraint>) {
             next_id += 1;
             inst.insert(
                 rels.child,
-                vec![Elem::Const(Value::Id(prev)), Elem::Const(Value::Id(node))],
+                vec![Elem::of(Value::Id(prev)), Elem::of(Value::Id(node))],
             );
             inst.insert(
                 rels.node,
                 vec![
-                    Elem::Const(Value::Id(node)),
-                    Elem::Const(Value::str(format!("tag{i}"))),
+                    Elem::of(Value::Id(node)),
+                    Elem::of(Value::str(format!("tag{i}"))),
                 ],
             );
             prev = node;

@@ -20,7 +20,7 @@
 
 use crate::hom::{find_one_hom_in, find_trigger_homs_in, HomArena, HomConfig};
 use crate::instance::{DeltaIndex, Elem, Inconsistent, Instance};
-use estocada_pivot::{Constraint, Term, Var};
+use estocada_pivot::{Constraint, Symbol, Term, Var};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -143,6 +143,26 @@ pub fn chase_with(
     }
 }
 
+/// A conclusion/equality term with its constant pre-interned. Firing loops
+/// evaluate many homomorphisms per round; compiling once per constraint
+/// keeps the global constant-table lookup out of the per-hom path.
+#[derive(Clone, Copy)]
+pub(crate) enum CompiledTerm {
+    /// A pre-interned constant.
+    Const(Elem),
+    /// A variable, looked up in the trigger assignment at fire time.
+    Var(Var),
+}
+
+impl CompiledTerm {
+    pub(crate) fn compile(t: &Term) -> CompiledTerm {
+        match t {
+            Term::Const(v) => CompiledTerm::Const(Elem::constant(v)),
+            Term::Var(v) => CompiledTerm::Var(*v),
+        }
+    }
+}
+
 fn apply_constraint(
     arena: &mut HomArena,
     instance: &mut Instance,
@@ -155,6 +175,13 @@ fn apply_constraint(
     match c {
         Constraint::Tgd(tgd) => {
             let homs = find_trigger_homs_in(arena, instance, &tgd.premise, cfg.hom, delta);
+            // Intern the conclusion constants once per constraint, not once
+            // per trigger.
+            let compiled: Vec<(Symbol, Vec<CompiledTerm>)> = tgd
+                .conclusion
+                .iter()
+                .map(|a| (a.pred, a.args.iter().map(CompiledTerm::compile).collect()))
+                .collect();
             for h in homs {
                 // Re-resolve the trigger (earlier firings in this batch may
                 // have merged elements) and re-check applicability.
@@ -172,19 +199,18 @@ fn apply_constraint(
                     let n = instance.fresh_null();
                     assignment.insert(v, n);
                 }
-                for atom in &tgd.conclusion {
-                    let args: Vec<Elem> = atom
-                        .args
+                for (pred, slots) in &compiled {
+                    let args: Vec<Elem> = slots
                         .iter()
-                        .map(|t| match t {
-                            Term::Const(v) => Elem::Const(v.clone()),
-                            Term::Var(v) => assignment
+                        .map(|s| match s {
+                            CompiledTerm::Const(e) => *e,
+                            CompiledTerm::Var(v) => assignment
                                 .get(v)
-                                .cloned()
+                                .copied()
                                 .expect("conclusion variable neither frontier nor existential"),
                         })
                         .collect();
-                    let (_, new) = instance.insert(atom.pred, args);
+                    let (_, new) = instance.insert(*pred, args);
                     changed |= new;
                 }
                 stats.tgd_fires += 1;
@@ -192,26 +218,40 @@ fn apply_constraint(
         }
         Constraint::Egd(egd) => {
             let homs = find_trigger_homs_in(arena, instance, &egd.premise, cfg.hom, delta);
+            let equal = (
+                CompiledTerm::compile(&egd.equal.0),
+                CompiledTerm::compile(&egd.equal.1),
+            );
             for h in homs {
-                let resolve_term = |t: &Term, inst: &Instance| -> Elem {
-                    match t {
-                        Term::Const(v) => Elem::Const(v.clone()),
-                        Term::Var(v) => inst.resolve(
+                let resolve_term = |ct: &CompiledTerm, inst: &Instance| -> Elem {
+                    match ct {
+                        CompiledTerm::Const(e) => *e,
+                        CompiledTerm::Var(v) => inst.resolve(
                             h.map
                                 .get(v)
                                 .expect("EGD equality variable must occur in premise"),
                         ),
                     }
                 };
-                let a = resolve_term(&egd.equal.0, instance);
-                let b = resolve_term(&egd.equal.1, instance);
+                let a = resolve_term(&equal.0, instance);
+                let b = resolve_term(&equal.1, instance);
                 match instance.merge(&a, &b) {
                     Ok(true) => {
                         stats.egd_merges += 1;
                         changed = true;
                     }
                     Ok(false) => {}
-                    Err(e) => return Err(ChaseError::Inconsistent(e)),
+                    Err(e) => {
+                        // Name the EGD and its trigger facts: a bare
+                        // constant clash is undiagnosable in a large
+                        // constraint set.
+                        let trigger: Vec<String> = h
+                            .fact_ids
+                            .iter()
+                            .map(|fid| instance.format_fact(*fid))
+                            .collect();
+                        return Err(ChaseError::Inconsistent(e.with_trigger(egd.name, trigger)));
+                    }
                 }
             }
         }
@@ -222,14 +262,14 @@ fn apply_constraint(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use estocada_pivot::{Atom, Egd, Symbol, Tgd, Value};
+    use estocada_pivot::{Atom, Egd, Symbol, Tgd};
 
     fn sym(s: &str) -> Symbol {
         Symbol::intern(s)
     }
 
     fn c(v: i64) -> Elem {
-        Elem::Const(Value::Int(v))
+        Elem::of(v)
     }
 
     #[test]
@@ -294,7 +334,7 @@ mod tests {
         );
         let mut i = Instance::new();
         let n = i.fresh_null();
-        i.insert(sym("R"), vec![c(1), n.clone()]);
+        i.insert(sym("R"), vec![c(1), n]);
         i.insert(sym("R"), vec![c(1), c(9)]);
         let stats = chase(&mut i, &[e.into()], &ChaseConfig::default()).unwrap();
         assert!(stats.egd_merges >= 1);
@@ -316,7 +356,14 @@ mod tests {
         i.insert(sym("R"), vec![c(1), c(8)]);
         i.insert(sym("R"), vec![c(1), c(9)]);
         match chase(&mut i, &[e.into()], &ChaseConfig::default()) {
-            Err(ChaseError::Inconsistent(_)) => {}
+            Err(ChaseError::Inconsistent(inc)) => {
+                // The error names the EGD that fired and its trigger facts.
+                assert_eq!(inc.egd, Some(sym("fd")));
+                assert_eq!(inc.trigger_facts.len(), 2);
+                let msg = inc.to_string();
+                assert!(msg.contains("[fd]"), "missing EGD name: {msg}");
+                assert!(msg.contains("R(1, "), "missing trigger facts: {msg}");
+            }
             other => panic!("expected inconsistency, got {other:?}"),
         }
     }
@@ -418,7 +465,7 @@ mod tests {
         let mut i = Instance::new();
         let n = i.fresh_null();
         i.insert(sym("A"), vec![c(1)]);
-        i.insert(sym("R"), vec![c(1), n.clone()]);
+        i.insert(sym("R"), vec![c(1), n]);
         i.insert(sym("R"), vec![c(1), c(9)]);
         chase(
             &mut i,

@@ -18,7 +18,7 @@ pub fn canonical_instance(q: &Cq) -> Instance {
             .iter()
             .map(|t| match t {
                 Term::Var(v) => Elem::Null(v.0),
-                Term::Const(c) => Elem::Const(c.clone()),
+                Term::Const(c) => Elem::constant(c),
             })
             .collect();
         inst.insert(atom.pred, args);
@@ -32,7 +32,7 @@ fn head_images(q1: &Cq, inst: &Instance) -> Vec<Elem> {
         .iter()
         .map(|t| match t {
             Term::Var(v) => inst.resolve(&Elem::Null(v.0)),
-            Term::Const(c) => Elem::Const(c.clone()),
+            Term::Const(c) => Elem::constant(c),
         })
         .collect()
 }
@@ -95,7 +95,7 @@ pub fn head_preserving_image_in(
     for (t, target) in q.head.iter().zip(targets) {
         match t {
             Term::Const(c) => {
-                if Elem::Const(c.clone()) != *target {
+                if Elem::constant(c) != *target {
                     return false;
                 }
             }
@@ -105,7 +105,7 @@ pub fn head_preserving_image_in(
                         return false;
                     }
                 } else {
-                    fixed.insert(*v, target.clone());
+                    fixed.insert(*v, *target);
                 }
             }
         }

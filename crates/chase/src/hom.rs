@@ -68,8 +68,8 @@ impl Hom {
     /// themselves).
     pub fn apply(&self, t: &Term) -> Option<Elem> {
         match t {
-            Term::Const(v) => Some(Elem::Const(v.clone())),
-            Term::Var(v) => self.map.get(v).cloned(),
+            Term::Const(v) => Some(Elem::constant(v)),
+            Term::Var(v) => self.map.get(v).copied(),
         }
     }
 }
@@ -209,7 +209,7 @@ fn compile<'a>(
                 .args
                 .iter()
                 .map(|t| match t {
-                    Term::Const(v) => Slot::Const(Elem::Const(v.clone())),
+                    Term::Const(v) => Slot::Const(Elem::constant(v)),
                     Term::Var(v) => Slot::Var(intern(*v, &mut vars, &mut var_ids)),
                 })
                 .collect(),
@@ -392,7 +392,7 @@ fn try_match(ctx: &Ctx<'_>, s: &mut Scratch, ai: usize, fid: u32) -> bool {
             Slot::Var(v) => match &s.bind[*v] {
                 Some(bound) => bound == e,
                 None => {
-                    s.bind[*v] = Some(e.clone());
+                    s.bind[*v] = Some(*e);
                     s.trail.push(*v);
                     true
                 }
@@ -415,7 +415,7 @@ fn emit(ctx: &Ctx<'_>, s: &mut Scratch) {
         .vars
         .iter()
         .zip(s.bind.iter())
-        .filter_map(|(v, b)| b.as_ref().map(|e| (*v, e.clone())))
+        .filter_map(|(v, b)| b.map(|e| (*v, e)))
         .collect();
     s.results.push(Hom {
         map,
@@ -555,12 +555,11 @@ pub fn find_trigger_homs_in(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use estocada_pivot::Value;
 
     fn setup() -> Instance {
         // R(1,2), R(2,3), S(3)
         let mut i = Instance::new();
-        let c = |v: i64| Elem::Const(Value::Int(v));
+        let c = |v: i64| Elem::of(v);
         i.insert(Symbol::intern("R"), vec![c(1), c(2)]);
         i.insert(Symbol::intern("R"), vec![c(2), c(3)]);
         i.insert(Symbol::intern("S"), vec![c(3)]);
@@ -583,8 +582,8 @@ mod tests {
         let homs = find_homs(&i, &atoms, &HashMap::new(), HomConfig::default());
         assert_eq!(homs.len(), 1);
         let h = &homs[0];
-        assert_eq!(h.map[&Var(0)], Elem::Const(Value::Int(1)));
-        assert_eq!(h.map[&Var(2)], Elem::Const(Value::Int(3)));
+        assert_eq!(h.map[&Var(0)], Elem::of(1i64));
+        assert_eq!(h.map[&Var(2)], Elem::of(3i64));
         assert_eq!(h.fact_ids.len(), 3);
     }
 
@@ -601,10 +600,10 @@ mod tests {
         let i = setup();
         let atoms = vec![atom("R", vec![Term::var(0), Term::var(1)])];
         let mut fixed = HashMap::new();
-        fixed.insert(Var(0), Elem::Const(Value::Int(2)));
+        fixed.insert(Var(0), Elem::of(2i64));
         let homs = find_homs(&i, &atoms, &fixed, HomConfig::default());
         assert_eq!(homs.len(), 1);
-        assert_eq!(homs[0].map[&Var(1)], Elem::Const(Value::Int(3)));
+        assert_eq!(homs[0].map[&Var(1)], Elem::of(3i64));
     }
 
     #[test]
@@ -619,14 +618,11 @@ mod tests {
     #[test]
     fn repeated_variables_enforce_equality() {
         let mut i = setup();
-        i.insert(
-            Symbol::intern("R"),
-            vec![Elem::Const(Value::Int(5)), Elem::Const(Value::Int(5))],
-        );
+        i.insert(Symbol::intern("R"), vec![Elem::of(5i64), Elem::of(5i64)]);
         let atoms = vec![atom("R", vec![Term::var(0), Term::var(0)])];
         let homs = find_homs(&i, &atoms, &HashMap::new(), HomConfig::default());
         assert_eq!(homs.len(), 1);
-        assert_eq!(homs[0].map[&Var(0)], Elem::Const(Value::Int(5)));
+        assert_eq!(homs[0].map[&Var(0)], Elem::of(5i64));
     }
 
     #[test]
@@ -650,21 +646,18 @@ mod tests {
         let i = setup();
         let atoms = vec![atom("S", vec![Term::var(0)])];
         let mut fixed = HashMap::new();
-        fixed.insert(Var(9), Elem::Const(Value::Int(42)));
+        fixed.insert(Var(9), Elem::of(42i64));
         let homs = find_homs(&i, &atoms, &fixed, HomConfig::default());
         assert_eq!(homs.len(), 1);
-        assert_eq!(homs[0].map[&Var(9)], Elem::Const(Value::Int(42)));
-        assert_eq!(homs[0].map[&Var(0)], Elem::Const(Value::Int(3)));
+        assert_eq!(homs[0].map[&Var(9)], Elem::of(42i64));
+        assert_eq!(homs[0].map[&Var(0)], Elem::of(3i64));
     }
 
     #[test]
     fn delta_search_finds_only_new_triggers() {
         let mut i = setup(); // facts at epoch 0
         let thr = i.advance_epoch();
-        i.insert(
-            Symbol::intern("R"),
-            vec![Elem::Const(Value::Int(3)), Elem::Const(Value::Int(4))],
-        );
+        i.insert(Symbol::intern("R"), vec![Elem::of(3i64), Elem::of(4i64)]);
         let atoms = vec![
             atom("R", vec![Term::var(0), Term::var(1)]),
             atom("R", vec![Term::var(1), Term::var(2)]),
@@ -673,7 +666,7 @@ mod tests {
         let dhoms = find_homs_delta(&i, &atoms, &HashMap::new(), HomConfig::default(), &delta);
         // Full search: (1,2,3), (2,3,4). Only the latter touches R(3,4).
         assert_eq!(dhoms.len(), 1);
-        assert_eq!(dhoms[0].map[&Var(2)], Elem::Const(Value::Int(4)));
+        assert_eq!(dhoms[0].map[&Var(2)], Elem::of(4i64));
     }
 
     #[test]
@@ -721,7 +714,7 @@ mod tests {
         // Both atoms can match delta facts — the anchored strata must not
         // double-report the homomorphism that uses two delta facts.
         let mut i = Instance::new();
-        let c = |v: i64| Elem::Const(Value::Int(v));
+        let c = |v: i64| Elem::of(v);
         i.insert(Symbol::intern("R"), vec![c(1), c(2)]); // old
         let thr = i.advance_epoch();
         i.insert(Symbol::intern("R"), vec![c(2), c(2)]); // new, self-loop

@@ -8,11 +8,15 @@
 //! (SIGMOD 2014), which the paper relies on, and the classical exhaustive
 //! backchase used as the performance baseline.
 //!
-//! Performance notes: homomorphism search runs on dense compact-id scratch
-//! bindings over borrowing positional indexes (see [`hom`] and
-//! [`instance`]), and both chase loops evaluate semi-naively — after the
+//! Performance notes: instance elements are 8-byte `Copy` values
+//! (constants intern into the global `ConstId` table — see
+//! [`instance::Elem`]), EGD merges re-normalize incrementally through a
+//! pointer-halving union-find and a null-occurrence index (O(touched
+//! posting lists) per merge — see [`instance`]), homomorphism search runs
+//! on dense compact-id scratch bindings over borrowing positional indexes
+//! (see [`hom`]), and both chase loops evaluate semi-naively — after the
 //! first round only triggers touching the previous round's delta facts are
-//! searched (see [`chase`] and [`instance::Instance::delta_index`]).
+//! searched (see [`mod@chase`] and [`instance::Instance::delta_index`]).
 //! Search scratch lives in reusable, thread-confined [`hom::HomArena`]s,
 //! and PACB's per-candidate verification chases fan out over a scoped
 //! worker pool with a deterministic fan-in

@@ -297,16 +297,16 @@ pub(crate) fn universal_plan(
 }
 
 fn elem_to_term(e: &Elem) -> Term {
-    match e {
-        Elem::Null(n) => Term::Var(Var(*n)),
-        Elem::Const(c) => Term::Const(c.clone()),
+    match e.as_value() {
+        Some(v) => Term::Const(v),
+        None => Term::Var(Var(e.as_null().expect("null element"))),
     }
 }
 
 fn term_to_elem(t: &Term) -> Elem {
     match t {
         Term::Var(v) => Elem::Null(v.0),
-        Term::Const(c) => Elem::Const(c.clone()),
+        Term::Const(c) => Elem::constant(c),
     }
 }
 
@@ -570,7 +570,7 @@ pub(crate) fn head_fixed_map(q: &Cq, targets: &[Elem]) -> Option<HashMap<Var, El
     for (t, target) in q.head.iter().zip(targets) {
         match t {
             Term::Const(c) => {
-                if Elem::Const(c.clone()) != *target {
+                if Elem::constant(c) != *target {
                     return None;
                 }
             }
@@ -578,7 +578,7 @@ pub(crate) fn head_fixed_map(q: &Cq, targets: &[Elem]) -> Option<HashMap<Var, El
                 Some(prev) if prev != target => return None,
                 Some(_) => {}
                 None => {
-                    fixed.insert(*v, target.clone());
+                    fixed.insert(*v, *target);
                 }
             },
         }

@@ -24,11 +24,11 @@
 //! constraints — the provenance fixpoint is reached exactly as in the naive
 //! loop.
 
-use crate::chase::{ChaseError, ChaseStats};
+use crate::chase::{ChaseError, ChaseStats, CompiledTerm};
 use crate::hom::{find_trigger_homs_in, HomArena, HomConfig};
 use crate::instance::{Elem, Instance};
 use crate::prov::Dnf;
-use estocada_pivot::{Constraint, Term, Var};
+use estocada_pivot::{Constraint, Symbol, Var};
 use std::collections::HashMap;
 
 /// Budget and knobs of a provenance chase run.
@@ -129,6 +129,13 @@ pub fn prov_chase_with(
                         e.sort();
                         e
                     };
+                    // Intern the conclusion constants once per constraint,
+                    // not once per trigger.
+                    let compiled: Vec<(Symbol, Vec<CompiledTerm>)> = tgd
+                        .conclusion
+                        .iter()
+                        .map(|a| (a.pred, a.args.iter().map(CompiledTerm::compile).collect()))
+                        .collect();
                     for h in homs {
                         // Trigger provenance: conjunction over premise facts.
                         let mut trigger = Dnf::tru();
@@ -161,17 +168,15 @@ pub fn prov_chase_with(
                             .zip(key.iter().cloned())
                             .chain(existentials.iter().cloned().zip(exist_elems))
                             .collect();
-                        for atom in &tgd.conclusion {
-                            let args: Vec<Elem> = atom
-                                .args
+                        for (pred, slots) in &compiled {
+                            let args: Vec<Elem> = slots
                                 .iter()
-                                .map(|t| match t {
-                                    Term::Const(v) => Elem::Const(v.clone()),
-                                    Term::Var(v) => assignment[v].clone(),
+                                .map(|s| match s {
+                                    CompiledTerm::Const(e) => *e,
+                                    CompiledTerm::Var(v) => assignment[v],
                                 })
                                 .collect();
-                            let (_, ch) =
-                                instance.insert_with_prov(atom.pred, args, trigger.clone());
+                            let (_, ch) = instance.insert_with_prov(*pred, args, trigger.clone());
                             if ch {
                                 stats.chase.tgd_fires += 1;
                                 changed = true;
@@ -187,6 +192,10 @@ pub fn prov_chase_with(
                         cfg.hom,
                         delta.as_ref(),
                     );
+                    let equal = (
+                        CompiledTerm::compile(&egd.equal.0),
+                        CompiledTerm::compile(&egd.equal.1),
+                    );
                     for h in homs {
                         // Conservative: only fire with certain (⊤) trigger
                         // provenance.
@@ -197,21 +206,30 @@ pub fn prov_chase_with(
                         if !certain {
                             continue;
                         }
-                        let resolve_term = |t: &Term, inst: &Instance| -> Elem {
-                            match t {
-                                Term::Const(v) => Elem::Const(v.clone()),
-                                Term::Var(v) => inst.resolve(&h.map[v]),
+                        let resolve_term = |ct: &CompiledTerm, inst: &Instance| -> Elem {
+                            match ct {
+                                CompiledTerm::Const(e) => *e,
+                                CompiledTerm::Var(v) => inst.resolve(&h.map[v]),
                             }
                         };
-                        let a = resolve_term(&egd.equal.0, instance);
-                        let b = resolve_term(&egd.equal.1, instance);
+                        let a = resolve_term(&equal.0, instance);
+                        let b = resolve_term(&equal.1, instance);
                         match instance.merge(&a, &b) {
                             Ok(true) => {
                                 stats.chase.egd_merges += 1;
                                 changed = true;
                             }
                             Ok(false) => {}
-                            Err(e) => return Err(ChaseError::Inconsistent(e)),
+                            Err(e) => {
+                                let trigger: Vec<String> = h
+                                    .fact_ids
+                                    .iter()
+                                    .map(|fid| instance.format_fact(*fid))
+                                    .collect();
+                                return Err(ChaseError::Inconsistent(
+                                    e.with_trigger(egd.name, trigger),
+                                ));
+                            }
                         }
                     }
                 }
@@ -233,14 +251,14 @@ pub fn prov_chase_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use estocada_pivot::{Atom, Symbol, Tgd, Value};
+    use estocada_pivot::{Atom, Symbol, Term, Tgd};
 
     fn sym(s: &str) -> Symbol {
         Symbol::intern(s)
     }
 
     fn c(v: i64) -> Elem {
-        Elem::Const(Value::Int(v))
+        Elem::of(v)
     }
 
     #[test]
@@ -364,8 +382,8 @@ mod tests {
         let mut i = Instance::new();
         let n1 = i.fresh_null();
         let n2 = i.fresh_null();
-        i.insert_with_prov(sym("R"), vec![c(1), n1.clone()], Dnf::var(0));
-        i.insert_with_prov(sym("R"), vec![c(1), n2.clone()], Dnf::var(1));
+        i.insert_with_prov(sym("R"), vec![c(1), n1], Dnf::var(0));
+        i.insert_with_prov(sym("R"), vec![c(1), n2], Dnf::var(1));
         prov_chase(
             &mut i,
             std::slice::from_ref(&e),
@@ -377,8 +395,8 @@ mod tests {
         let mut j = Instance::new();
         let m1 = j.fresh_null();
         let m2 = j.fresh_null();
-        j.insert(sym("R"), vec![c(1), m1.clone()]);
-        j.insert(sym("R"), vec![c(1), m2.clone()]);
+        j.insert(sym("R"), vec![c(1), m1]);
+        j.insert(sym("R"), vec![c(1), m2]);
         prov_chase(&mut j, &[e], &ProvChaseConfig::default()).unwrap();
         assert_eq!(j.resolve(&m1), j.resolve(&m2));
     }

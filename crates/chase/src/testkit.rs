@@ -6,8 +6,9 @@
 //! workload; keeping the single definition here stops the three from
 //! silently drifting apart.
 
+use crate::instance::{Elem, Instance};
 use crate::pacb::RewriteProblem;
-use estocada_pivot::{CqBuilder, ViewDef};
+use estocada_pivot::{Atom, CqBuilder, Egd, Term, ViewDef};
 
 /// Chain problem `Q(x0,xk) :- R0(x0,x1), …, R(k-1)(x(k-1),xk)` with **two
 /// interchangeable views per edge** (`Vi`/`Wi`): 2^k minimal rewritings,
@@ -36,6 +37,38 @@ pub fn wide_chain_problem(k: usize) -> RewriteProblem {
         }
     }
     RewriteProblem::new(q, views)
+}
+
+/// EGD-heavy instance for the incremental-normalization benchmark
+/// (`e7_egd_merge`) and the differential merge suite: `keys` key groups of
+/// `dups` facts `R(k, N_{k,j})` whose second columns a functional
+/// dependency merges pairwise (`keys × (dups − 1)` EGD merges), plus
+/// `ballast` untouched facts `B(i, i)` that a full index rebuild must walk
+/// on every merge but an incremental merge never sees.
+pub fn egd_merge_instance(keys: usize, dups: usize, ballast: usize) -> (Instance, Egd) {
+    let mut inst = Instance::new();
+    for i in 0..ballast {
+        inst.insert(
+            estocada_pivot::Symbol::intern("B"),
+            vec![Elem::of(i as i64), Elem::of(i as i64)],
+        );
+    }
+    let r = estocada_pivot::Symbol::intern("R");
+    for k in 0..keys {
+        for _ in 0..dups {
+            let n = inst.fresh_null();
+            inst.insert(r, vec![Elem::of(k as i64), n]);
+        }
+    }
+    let fd = Egd::new(
+        "fd",
+        vec![
+            Atom::new("R", vec![Term::var(0), Term::var(1)]),
+            Atom::new("R", vec![Term::var(0), Term::var(2)]),
+        ],
+        (Term::var(1), Term::var(2)),
+    );
+    (inst, fd)
 }
 
 /// Star problem `Q(c) :- Hub(c), S0(c,y0), …` with two interchangeable

@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet};
 pub fn fact_base(facts: &[Fact]) -> Instance {
     let mut inst = Instance::new();
     for f in facts {
-        inst.insert(f.pred, f.args.iter().cloned().map(Elem::Const).collect());
+        inst.insert(f.pred, f.args.iter().map(Elem::constant).collect());
     }
     inst
 }
@@ -38,10 +38,7 @@ pub fn evaluate_view(base: &Instance, view: &Cq) -> Vec<Vec<Value>> {
             .iter()
             .map(|t| match t {
                 Term::Const(c) => Some(c.clone()),
-                Term::Var(v) => match h.map.get(v) {
-                    Some(Elem::Const(c)) => Some(c.clone()),
-                    _ => None,
-                },
+                Term::Var(v) => h.map.get(v).and_then(Elem::as_value),
             })
             .collect();
         if let Some(row) = row {

@@ -1,0 +1,145 @@
+//! Process-wide interning of ground constant [`Value`]s.
+//!
+//! The chase engine stores constants in bindings, posting-map keys and
+//! dedup keys, and compares them constantly during homomorphism search.
+//! Structural [`Value`]s make every such key a clone and every comparison a
+//! tree walk; interning them to a `u32`-sized [`ConstId`] (the same pattern
+//! as [`crate::Symbol`] for names) turns all of that into `Copy` moves and
+//! O(1) integer equality. The table is global and append-only: ground
+//! constants live for the process lifetime, which matches how a mediator
+//! uses them (schema constants, query constants, and the finite active
+//! domain of the instances being chased).
+//!
+//! Equality and hashing of `ConstId` agree with `Value` equality by
+//! construction (interning is injective on `Value` equivalence classes:
+//! `Value`'s own `Eq`/`Hash` drive the lookup table). `ConstId`'s `Ord` is
+//! the *allocation order*, not the `Value` order — stable within a process,
+//! suitable for dense keys, but not for semantically ordering constants
+//! (resolve the [`ConstId::value`] for that).
+
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// An interned ground constant. Copyable, `O(1)` equality and hashing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstId(u32);
+
+struct ConstTable {
+    values: Vec<Arc<Value>>,
+    lookup: HashMap<Arc<Value>, u32>,
+}
+
+fn table() -> &'static RwLock<ConstTable> {
+    static TABLE: OnceLock<RwLock<ConstTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(ConstTable {
+            values: Vec::new(),
+            lookup: HashMap::new(),
+        })
+    })
+}
+
+impl ConstId {
+    /// Intern `value`, returning its unique id. The value is cloned only
+    /// the first time it is seen.
+    pub fn intern(value: &Value) -> ConstId {
+        {
+            let guard = table().read();
+            if let Some(&id) = guard.lookup.get(value) {
+                return ConstId(id);
+            }
+        }
+        let mut guard = table().write();
+        if let Some(&id) = guard.lookup.get(value) {
+            return ConstId(id);
+        }
+        let id = guard.values.len() as u32;
+        let arc = Arc::new(value.clone());
+        guard.values.push(arc.clone());
+        guard.lookup.insert(arc, id);
+        ConstId(id)
+    }
+
+    /// Intern an owned (or convertible) value.
+    pub fn of(value: impl Into<Value>) -> ConstId {
+        ConstId::intern(&value.into())
+    }
+
+    /// The interned value (cheap: an `Arc` clone).
+    pub fn value(&self) -> Arc<Value> {
+        table().read().values[self.0 as usize].clone()
+    }
+
+    /// Raw id; stable for the process lifetime.
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ConstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value())
+    }
+}
+
+impl fmt::Debug for ConstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.value())
+    }
+}
+
+impl From<&Value> for ConstId {
+    fn from(v: &Value) -> Self {
+        ConstId::intern(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = ConstId::intern(&Value::Int(42));
+        let b = ConstId::of(42i64);
+        assert_eq!(a, b);
+        assert_eq!(*a.value(), Value::Int(42));
+    }
+
+    #[test]
+    fn distinct_values_get_distinct_ids() {
+        assert_ne!(ConstId::of(1i64), ConstId::of(2i64));
+        // Value's Eq keeps Int(1) and Double(1.0) apart; so must the table.
+        assert_ne!(ConstId::of(1i64), ConstId::of(1.0f64));
+    }
+
+    #[test]
+    fn composite_values_intern_structurally() {
+        let a = ConstId::intern(&Value::array([Value::Int(1), Value::str("x")]));
+        let b = ConstId::intern(&Value::array([Value::Int(1), Value::str("x")]));
+        let c = ConstId::intern(&Value::array([Value::Int(2)]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn const_id_is_copy_and_4_bytes() {
+        fn assert_copy<T: Copy + Eq + Ord + std::hash::Hash>() {}
+        assert_copy::<ConstId>();
+        assert_eq!(std::mem::size_of::<ConstId>(), 4);
+    }
+
+    #[test]
+    fn table_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| std::thread::spawn(move || (i % 3, ConstId::of((i % 3) as i64))))
+            .collect();
+        for h in handles {
+            let (k, id) = h.join().unwrap();
+            assert_eq!(id, ConstId::of(k as i64));
+        }
+    }
+}

@@ -19,6 +19,7 @@ pub mod constraint;
 pub mod cq;
 pub mod encoding;
 pub mod fact;
+pub mod intern;
 pub mod schema;
 pub mod symbol;
 pub mod term;
@@ -29,6 +30,7 @@ pub use binding::{AccessMap, AccessPattern, Adornment};
 pub use constraint::{Constraint, Egd, Tgd, ViewDef};
 pub use cq::{Cq, CqBuilder};
 pub use fact::{Fact, IdGen};
+pub use intern::ConstId;
 pub use schema::{RelationDecl, Schema};
 pub use symbol::Symbol;
 pub use term::{Term, Var};

@@ -485,7 +485,7 @@ fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Size specification for [`vec`]: an exact count or a range.
+    /// Size specification for [`vec()`]: an exact count or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -91,7 +91,7 @@ fn brute_force_homs(
             for (t, e) in atom.args.iter().zip(fact.args.iter()) {
                 match t {
                     Term::Const(c) => {
-                        if Elem::Const(c.clone()) != *e {
+                        if Elem::constant(c) != *e {
                             ok = false;
                             break;
                         }
@@ -103,7 +103,7 @@ fn brute_force_homs(
                         }
                         Some(_) => {}
                         None => {
-                            next.insert(*v, e.clone());
+                            next.insert(*v, *e);
                         }
                     },
                 }
@@ -142,7 +142,7 @@ fn canon_hom_set(homs: impl Iterator<Item = (HashMap<Var, Elem>, Vec<u32>)>) -> 
 /// labelled nulls.
 fn spec_elem(spec: u8) -> Elem {
     if spec < 5 {
-        Elem::Const(Value::Int(spec as i64))
+        Elem::of(spec as i64)
     } else {
         Elem::Null((spec - 5) as u32 % 3)
     }
