@@ -12,16 +12,66 @@
 //! searches for triggers that involve at least one fact from the previous
 //! round's delta ([`crate::hom::find_homs_delta`]).
 //!
+//! # The search/apply phase split
+//!
+//! Each round is an explicit two-phase loop:
+//!
+//! 1. **Search phase (read-only, parallelizable).** Every constraint's
+//!    trigger search runs against the *same frozen* instance — nothing
+//!    mutates between searches — so the per-constraint
+//!    [`find_trigger_homs_in`] calls are independent pure functions of
+//!    `(instance, delta, premise)` and fan out over the shared
+//!    [`estocada_parexec`] executor when [`ChaseConfig::search_workers`]
+//!    `> 1`. Each worker holds a private [`HomArena`]; results come back
+//!    in constraint order, so the apply phase sees the identical trigger
+//!    lists at any worker count and the whole run — firing order, invented
+//!    nulls, stats, and `Inconsistent` errors — is bit-identical to the
+//!    one-worker run.
+//! 2. **Apply phase (serial).** Triggers fire in constraint order, then
+//!    trigger order. Every trigger is re-resolved through the union-find
+//!    at fire time (earlier firings in the same round may have merged
+//!    elements) and TGD applicability is re-probed against the *live*
+//!    instance, so the restricted-chase semantics are unchanged by the
+//!    split: a trigger another constraint satisfied moments earlier still
+//!    does not fire.
+//!
 //! Deferred same-round discoveries (a trigger whose newest fact was created
 //! by an *earlier* constraint in the same round) are picked up in the next
-//! round — the delta lists are snapshot at round start — so the reached
-//! fixpoint is identical to the naive loop's; only the number of rounds may
-//! differ, never the result instance.
+//! round — trigger searches see the round-start snapshot, and facts created
+//! during the apply phase carry the current round's epoch, putting them in
+//! the next round's delta — so the reached fixpoint is identical to the
+//! interleaved loop's; only the number of rounds may differ, never the
+//! result instance.
+//!
+//! # The applicability memo
+//!
+//! The restricted chase probes, per TGD trigger, whether the conclusion
+//! already has an image under the trigger's frontier binding
+//! ([`find_one_hom_in`]). Distinct triggers frequently share a frontier
+//! image (transitive closure derives the same `(x, z)` pair through every
+//! midpoint `y`), and delta rounds re-discover triggers whose probe already
+//! succeeded. With [`ChaseConfig::memo`] on (the default), a per-run memo
+//! records `(constraint index, resolved frontier images)` pairs proven
+//! satisfied — by a successful probe or by the firing itself — and skips
+//! the probe for every later trigger with the same key.
+//!
+//! **Invalidation rule:** satisfaction is monotone as the instance grows
+//! (facts only die by deduplication against an identical survivor, and
+//! argument rewriting maps any witness image to its resolved form), so an
+//! entry can only be disturbed by an EGD merge *retiring one of its keyed
+//! elements*. The apply phase therefore drops, after each merge, exactly
+//! the entries whose key mentions the retired null
+//! ([`crate::instance::Instance::merge_retired`]) — the same occurrence-
+//! list pattern the instance uses for incremental normalization. Retired
+//! ids are never re-issued, so stale keys cannot be misread; memoization
+//! changes which probes run, never what fires ([`ChaseStats::core`] is
+//! identical with the memo on or off).
 
-use crate::hom::{find_one_hom_in, find_trigger_homs_in, HomArena, HomConfig};
+use crate::hom::{find_one_hom_in, find_trigger_homs_in, Hom, HomArena, HomConfig};
 use crate::instance::{DeltaIndex, Elem, Inconsistent, Instance};
-use estocada_pivot::{Constraint, Symbol, Term, Var};
-use std::collections::HashMap;
+use estocada_parexec::scoped_map_init;
+use estocada_pivot::{Atom, Constraint, Egd, Symbol, Term, Tgd, Var};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Resource budget and knobs for a chase run.
@@ -33,6 +83,23 @@ pub struct ChaseConfig {
     pub max_facts: usize,
     /// Homomorphism search configuration.
     pub hom: HomConfig,
+    /// Worker threads for the read-only trigger-search phase (`<= 1` =
+    /// search serially on the caller's arena). Any value produces a
+    /// bit-identical chase — see the module docs' phase-split contract.
+    pub search_workers: usize,
+    /// Minimum alive-fact count before the search phase actually fans out
+    /// (defaults to [`SEARCH_PARALLEL_MIN_FACTS`]): below it a round's
+    /// whole search costs less than spawning and joining the scoped pool,
+    /// so small chases — the mediator's per-query universal-plan and
+    /// candidate-verification chases are typically tens of facts — search
+    /// inline even at `search_workers > 1`. Set to 0 to force fan-out
+    /// (the differential suites do, so the parallel branch is genuinely
+    /// exercised). Identical outcome either way; only latency changes.
+    pub search_min_facts: usize,
+    /// Memoize applicability probes across triggers and rounds (see the
+    /// module docs). Elides redundant probes only; never changes the
+    /// result instance or [`ChaseStats::core`].
+    pub memo: bool,
 }
 
 impl Default for ChaseConfig {
@@ -41,6 +108,9 @@ impl Default for ChaseConfig {
             max_rounds: 10_000,
             max_facts: 500_000,
             hom: HomConfig::default(),
+            search_workers: 1,
+            search_min_facts: SEARCH_PARALLEL_MIN_FACTS,
+            memo: true,
         }
     }
 }
@@ -84,6 +154,24 @@ pub struct ChaseStats {
     pub tgd_fires: usize,
     /// EGD firings that merged elements.
     pub egd_merges: usize,
+    /// Applicability probes skipped because the memo had already proven the
+    /// (constraint, frontier image) pair satisfied. 0 when the memo is off.
+    pub memo_hits: usize,
+    /// Applicability probes actually run under the memo. 0 when the memo
+    /// is off (probes still run; they just aren't counted against a memo).
+    pub memo_misses: usize,
+}
+
+impl ChaseStats {
+    /// The memo-independent counters `(rounds, tgd_fires, egd_merges)`.
+    ///
+    /// Identical for memo-on and memo-off runs of the same chase — the
+    /// memo elides redundant applicability probes, never changes what
+    /// fires — while the memo hit/miss counters themselves are diagnostic
+    /// and differ by construction. Differential suites compare this.
+    pub fn core(&self) -> (usize, usize, usize) {
+        (self.rounds, self.tgd_fires, self.egd_merges)
+    }
 }
 
 /// Run the restricted chase of `constraints` over `instance` to fixpoint.
@@ -113,6 +201,7 @@ pub fn chase_with(
     cfg: &ChaseConfig,
 ) -> Result<ChaseStats, ChaseError> {
     let mut stats = ChaseStats::default();
+    let mut memo = cfg.memo.then(ApplicabilityMemo::default);
     // Epoch threshold separating "old" facts from the previous round's
     // delta; `None` = first round, search everything.
     let mut threshold: Option<u64> = None;
@@ -126,9 +215,21 @@ pub fn chase_with(
         stats.rounds += 1;
         let round_epoch = instance.advance_epoch();
         let delta = threshold.map(|t| instance.delta_index(t));
+        // Phase 1: read-only trigger search against the frozen round-start
+        // instance, fanned out over the search workers.
+        let triggers = search_triggers(
+            arena,
+            instance,
+            constraints,
+            cfg.hom,
+            cfg.search_workers,
+            cfg.search_min_facts,
+            delta.as_ref(),
+        );
+        // Phase 2: serial apply in constraint order.
         let mut changed = false;
-        for c in constraints {
-            changed |= apply_constraint(arena, instance, c, cfg, &mut stats, delta.as_ref())?;
+        for (cidx, (c, homs)) in constraints.iter().zip(triggers).enumerate() {
+            changed |= apply_constraint(arena, instance, cidx, c, homs, &mut stats, memo.as_mut())?;
             if instance.len() > cfg.max_facts {
                 return Err(ChaseError::Budget {
                     rounds: stats.rounds,
@@ -141,6 +242,114 @@ pub fn chase_with(
         }
         threshold = Some(round_epoch);
     }
+}
+
+/// Default of [`ChaseConfig::search_min_facts`] /
+/// [`crate::pchase::ProvChaseConfig::search_min_facts`] — mirrors pacb's
+/// `PARALLEL_CANDIDATE_THRESHOLD` rationale at the chase-round level.
+pub const SEARCH_PARALLEL_MIN_FACTS: usize = 512;
+
+/// The premise whose homomorphisms trigger a constraint.
+pub(crate) fn constraint_premise(c: &Constraint) -> &[Atom] {
+    match c {
+        Constraint::Tgd(t) => &t.premise,
+        Constraint::Egd(e) => &e.premise,
+    }
+}
+
+/// The read-only search phase shared by both chase loops: enumerate every
+/// constraint's triggers against the frozen instance, in constraint order.
+///
+/// With `workers <= 1`, a single constraint, or an instance below
+/// `min_facts` (see [`ChaseConfig::search_min_facts`]) the searches run
+/// inline on the caller's warmed arena — the serial fast path pays
+/// nothing for the phase machinery. Otherwise the per-constraint searches
+/// fan out over [`estocada_parexec::scoped_map_init`], each worker
+/// holding a private [`HomArena`]; the executor reassembles results in
+/// item (= constraint) order, so the returned trigger lists are
+/// bit-identical at any worker count — each search is a pure function of
+/// `(instance, delta, premise)` and nothing mutates the instance while
+/// the phase runs.
+pub(crate) fn search_triggers(
+    arena: &mut HomArena,
+    instance: &Instance,
+    constraints: &[Constraint],
+    hom: HomConfig,
+    workers: usize,
+    min_facts: usize,
+    delta: Option<&DeltaIndex>,
+) -> Vec<Vec<Hom>> {
+    if workers <= 1 || constraints.len() <= 1 || instance.len() < min_facts {
+        return constraints
+            .iter()
+            .map(|c| find_trigger_homs_in(arena, instance, constraint_premise(c), hom, delta))
+            .collect();
+    }
+    scoped_map_init(workers, constraints, HomArena::new, |worker_arena, _, c| {
+        find_trigger_homs_in(worker_arena, instance, constraint_premise(c), hom, delta)
+    })
+}
+
+/// Per-run memo of applicability probes already proven satisfied, keyed by
+/// `(constraint index, resolved images of the conclusion-relevant frontier
+/// variables)` — see the module docs for the soundness argument and the
+/// invalidation rule.
+#[derive(Default)]
+pub(crate) struct ApplicabilityMemo {
+    /// constraint index → set of satisfied frontier-image keys (lookups
+    /// borrow the candidate key as a slice — no allocation on a hit).
+    satisfied: HashMap<usize, HashSet<Vec<Elem>>>,
+    /// null id → keys mentioning it, mirroring the instance's `null →
+    /// fact ids` occurrence index: a merge retiring null `n` invalidates
+    /// exactly `occ[n]`.
+    occ: HashMap<u32, Vec<(usize, Vec<Elem>)>>,
+}
+
+impl ApplicabilityMemo {
+    /// Whether `(cidx, key)` is known satisfied.
+    fn contains(&self, cidx: usize, key: &[Elem]) -> bool {
+        self.satisfied.get(&cidx).is_some_and(|s| s.contains(key))
+    }
+
+    /// Record `(cidx, key)` as satisfied and index its nulls for
+    /// invalidation.
+    fn insert(&mut self, cidx: usize, key: Vec<Elem>) {
+        for e in &key {
+            if let Elem::Null(n) = e {
+                self.occ.entry(*n).or_default().push((cidx, key.clone()));
+            }
+        }
+        self.satisfied.entry(cidx).or_default().insert(key);
+    }
+
+    /// Drop every entry whose key mentions the retired null (no-op when
+    /// none does — constants and surviving nulls never invalidate).
+    fn invalidate_null(&mut self, retired: u32) {
+        let Some(keys) = self.occ.remove(&retired) else {
+            return;
+        };
+        for (cidx, key) in keys {
+            if let Some(s) = self.satisfied.get_mut(&cidx) {
+                s.remove(key.as_slice());
+            }
+        }
+    }
+}
+
+/// The frontier variables that occur in a TGD's conclusion, sorted — the
+/// applicability-probe result depends on exactly these bindings (and the
+/// provenance chase keys its Skolem memo on the same slots).
+pub(crate) fn conclusion_frontier(tgd: &Tgd) -> Vec<Var> {
+    let f = tgd.frontier();
+    let mut used: Vec<Var> = tgd
+        .conclusion
+        .iter()
+        .flat_map(|a| a.vars())
+        .filter(|v| f.contains(v))
+        .collect();
+    used.sort();
+    used.dedup();
+    used
 }
 
 /// A conclusion/equality term with its constant pre-interned. Firing loops
@@ -163,18 +372,20 @@ impl CompiledTerm {
     }
 }
 
+/// Fire the pre-searched triggers of one constraint (the serial apply
+/// phase for a single constraint).
 fn apply_constraint(
     arena: &mut HomArena,
     instance: &mut Instance,
+    cidx: usize,
     c: &Constraint,
-    cfg: &ChaseConfig,
+    homs: Vec<Hom>,
     stats: &mut ChaseStats,
-    delta: Option<&DeltaIndex>,
+    mut memo: Option<&mut ApplicabilityMemo>,
 ) -> Result<bool, ChaseError> {
     let mut changed = false;
     match c {
         Constraint::Tgd(tgd) => {
-            let homs = find_trigger_homs_in(arena, instance, &tgd.premise, cfg.hom, delta);
             // Intern the conclusion constants once per constraint, not once
             // per trigger.
             let compiled: Vec<(Symbol, Vec<CompiledTerm>)> = tgd
@@ -182,22 +393,44 @@ fn apply_constraint(
                 .iter()
                 .map(|a| (a.pred, a.args.iter().map(CompiledTerm::compile).collect()))
                 .collect();
+            // Only the conclusion-relevant bindings matter from here on:
+            // the applicability probe constrains exactly the frontier
+            // variables that occur in the conclusion, and firing reads
+            // those plus the (fresh-null) existentials — premise-only
+            // variables never escape the trigger.
+            let key_vars: Vec<Var> = conclusion_frontier(tgd);
+            let existentials: Vec<Var> = tgd.existentials().into_iter().collect();
+            let mut key_buf: Vec<Elem> = Vec::with_capacity(key_vars.len());
             for h in homs {
-                // Re-resolve the trigger (earlier firings in this batch may
-                // have merged elements) and re-check applicability.
-                let fixed: HashMap<Var, Elem> = h
-                    .map
+                // Re-resolve the trigger under the live union-find
+                // (earlier firings this round may have merged elements).
+                key_buf.clear();
+                key_buf.extend(key_vars.iter().map(|v| instance.resolve(&h.map[v])));
+                if let Some(m) = memo.as_deref_mut() {
+                    // A hit skips the probe *and* the per-trigger
+                    // assignment build — the whole remaining cost.
+                    if m.contains(cidx, &key_buf) {
+                        stats.memo_hits += 1;
+                        continue;
+                    }
+                    stats.memo_misses += 1;
+                }
+                let fixed: HashMap<Var, Elem> = key_vars
                     .iter()
-                    .map(|(v, e)| (*v, instance.resolve(e)))
+                    .copied()
+                    .zip(key_buf.iter().copied())
                     .collect();
                 if find_one_hom_in(arena, instance, &tgd.conclusion, &fixed).is_some() {
+                    if let Some(m) = memo.as_deref_mut() {
+                        m.insert(cidx, key_buf.clone());
+                    }
                     continue;
                 }
                 // Fire: fresh nulls for existential variables.
                 let mut assignment = fixed;
-                for v in tgd.existentials() {
+                for v in &existentials {
                     let n = instance.fresh_null();
-                    assignment.insert(v, n);
+                    assignment.insert(*v, n);
                 }
                 for (pred, slots) in &compiled {
                     let args: Vec<Elem> = slots
@@ -213,50 +446,80 @@ fn apply_constraint(
                     let (_, new) = instance.insert(*pred, args);
                     changed |= new;
                 }
+                // The firing itself satisfies the conclusion under this
+                // frontier image: memoize it so later triggers sharing the
+                // key skip their probe entirely.
+                if let Some(m) = memo.as_deref_mut() {
+                    m.insert(cidx, key_buf.clone());
+                }
                 stats.tgd_fires += 1;
             }
         }
         Constraint::Egd(egd) => {
-            let homs = find_trigger_homs_in(arena, instance, &egd.premise, cfg.hom, delta);
-            let equal = (
-                CompiledTerm::compile(&egd.equal.0),
-                CompiledTerm::compile(&egd.equal.1),
-            );
-            for h in homs {
-                let resolve_term = |ct: &CompiledTerm, inst: &Instance| -> Elem {
-                    match ct {
-                        CompiledTerm::Const(e) => *e,
-                        CompiledTerm::Var(v) => inst.resolve(
-                            h.map
-                                .get(v)
-                                .expect("EGD equality variable must occur in premise"),
-                        ),
-                    }
-                };
-                let a = resolve_term(&equal.0, instance);
-                let b = resolve_term(&equal.1, instance);
-                match instance.merge(&a, &b) {
-                    Ok(true) => {
-                        stats.egd_merges += 1;
-                        changed = true;
-                    }
-                    Ok(false) => {}
-                    Err(e) => {
-                        // Name the EGD and its trigger facts: a bare
-                        // constant clash is undiagnosable in a large
-                        // constraint set.
-                        let trigger: Vec<String> = h
-                            .fact_ids
-                            .iter()
-                            .map(|fid| instance.format_fact(*fid))
-                            .collect();
-                        return Err(ChaseError::Inconsistent(e.with_trigger(egd.name, trigger)));
-                    }
-                }
-            }
+            apply_egd_homs(instance, egd, &homs, |_, _| true, stats, &mut changed, memo)?;
         }
     }
     Ok(changed)
+}
+
+/// The EGD apply loop shared verbatim by both chase loops: resolve each
+/// trigger's equality under the live union-find, merge, and render any
+/// constant clash with the firing EGD's name and trigger facts (the
+/// `with_trigger` form). `fire` gates each trigger against the live
+/// instance — the provenance chase passes its certain-provenance filter,
+/// the plain chase fires everything. A merge that retires a null
+/// invalidates the applicability memo's entries keyed on it.
+pub(crate) fn apply_egd_homs(
+    instance: &mut Instance,
+    egd: &Egd,
+    homs: &[Hom],
+    fire: impl Fn(&Instance, &Hom) -> bool,
+    stats: &mut ChaseStats,
+    changed: &mut bool,
+    mut memo: Option<&mut ApplicabilityMemo>,
+) -> Result<(), ChaseError> {
+    let equal = (
+        CompiledTerm::compile(&egd.equal.0),
+        CompiledTerm::compile(&egd.equal.1),
+    );
+    for h in homs {
+        if !fire(instance, h) {
+            continue;
+        }
+        let resolve_term = |ct: &CompiledTerm, inst: &Instance| -> Elem {
+            match ct {
+                CompiledTerm::Const(e) => *e,
+                CompiledTerm::Var(v) => inst.resolve(
+                    h.map
+                        .get(v)
+                        .expect("EGD equality variable must occur in premise"),
+                ),
+            }
+        };
+        let a = resolve_term(&equal.0, instance);
+        let b = resolve_term(&equal.1, instance);
+        match instance.merge_retired(&a, &b) {
+            Ok(Some(retired)) => {
+                if let Some(m) = memo.as_deref_mut() {
+                    m.invalidate_null(retired);
+                }
+                stats.egd_merges += 1;
+                *changed = true;
+            }
+            Ok(None) => {}
+            Err(e) => {
+                // Name the EGD and its trigger facts: a bare constant
+                // clash is undiagnosable in a large constraint set.
+                let trigger: Vec<String> = h
+                    .fact_ids
+                    .iter()
+                    .map(|fid| instance.format_fact(*fid))
+                    .collect();
+                return Err(ChaseError::Inconsistent(e.with_trigger(egd.name, trigger)));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -438,6 +701,154 @@ mod tests {
         )
         .unwrap();
         assert_eq!(i.facts_of(sym("Path")).count(), 12 * 13 / 2);
+    }
+
+    /// Closure constraints over a chain — many triggers per frontier
+    /// image. The shared testkit workload, so the unit tests, the
+    /// differential suite and the e8 bench exercise the same shape.
+    fn closure_set() -> (Instance, Vec<Constraint>) {
+        crate::testkit::phase_split_workload(1, 8)
+    }
+
+    use crate::testkit::dump_state as dump;
+
+    #[test]
+    fn memo_on_and_off_reach_identical_fixpoints() {
+        let (seed, constraints) = closure_set();
+        let mut on = seed.clone();
+        let mut off = seed.clone();
+        let s_on = chase(&mut on, &constraints, &ChaseConfig::default()).unwrap();
+        let s_off = chase(
+            &mut off,
+            &constraints,
+            &ChaseConfig {
+                memo: false,
+                ..ChaseConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s_on.core(), s_off.core());
+        assert_eq!(dump(&on), dump(&off));
+        // The closure workload re-derives pairs through every midpoint:
+        // the memo must actually absorb probes.
+        assert!(s_on.memo_hits > 0, "no memo hits on closure: {s_on:?}");
+        assert_eq!(s_off.memo_hits, 0);
+        assert_eq!(s_off.memo_misses, 0);
+    }
+
+    #[test]
+    fn search_workers_do_not_change_the_chase() {
+        let (seed, constraints) = closure_set();
+        let mut reference = seed.clone();
+        let ref_stats = chase(&mut reference, &constraints, &ChaseConfig::default()).unwrap();
+        for workers in [2usize, 4, 8] {
+            let mut work = seed.clone();
+            let stats = chase(
+                &mut work,
+                &constraints,
+                &ChaseConfig {
+                    search_workers: workers,
+                    // Force fan-out even on this small instance so the
+                    // parallel branch is genuinely exercised.
+                    search_min_facts: 0,
+                    ..ChaseConfig::default()
+                },
+            )
+            .unwrap();
+            // Full stats equality — memo counters included — plus the
+            // complete instance state.
+            assert_eq!(stats, ref_stats, "stats skew at {workers} search workers");
+            assert_eq!(dump(&work), dump(&reference));
+        }
+    }
+
+    #[test]
+    fn memo_invalidation_survives_egd_merges() {
+        // t1 invents a null R(x, n); the FD then merges n with the constant
+        // 9 — retiring a null that appears in memoized frontier keys of t2
+        // (R's second column feeds t2's frontier). The memo must not
+        // suppress the downstream fire: S(9) is derivable only after the
+        // merge.
+        let t1 = Tgd::new(
+            "t1",
+            vec![Atom::new("A", vec![Term::var(0)])],
+            vec![Atom::new("R", vec![Term::var(0), Term::var(1)])],
+        );
+        let fd = Egd::new(
+            "fd",
+            vec![
+                Atom::new("R", vec![Term::var(0), Term::var(1)]),
+                Atom::new("R", vec![Term::var(0), Term::var(2)]),
+            ],
+            (Term::var(1), Term::var(2)),
+        );
+        let t2 = Tgd::new(
+            "t2",
+            vec![Atom::new("R", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("S", vec![Term::var(1)])],
+        );
+        let constraints: Vec<Constraint> = vec![t1.into(), fd.into(), t2.into()];
+        let run = |memo: bool| {
+            let mut i = Instance::new();
+            let n = i.fresh_null();
+            i.insert(sym("A"), vec![c(1)]);
+            i.insert(sym("R"), vec![c(1), n]);
+            i.insert(sym("R"), vec![c(1), c(9)]);
+            let cfg = ChaseConfig {
+                memo,
+                ..ChaseConfig::default()
+            };
+            let stats = chase(&mut i, &constraints, &cfg).unwrap();
+            (dump(&i), stats)
+        };
+        let (on, s_on) = run(true);
+        let (off, s_off) = run(false);
+        assert_eq!(on, off);
+        assert_eq!(s_on.core(), s_off.core());
+        let (inst, _) = run(true);
+        assert!(
+            inst.iter().any(|(_, f, _, _)| f == "S(9)"),
+            "memo suppressed the post-merge derivation: {inst:?}"
+        );
+    }
+
+    #[test]
+    fn inconsistent_error_is_identical_across_memo_and_workers() {
+        let e = Egd::new(
+            "fd",
+            vec![
+                Atom::new("R", vec![Term::var(0), Term::var(1)]),
+                Atom::new("R", vec![Term::var(0), Term::var(2)]),
+            ],
+            (Term::var(1), Term::var(2)),
+        );
+        let pad = Tgd::new(
+            "pad",
+            vec![Atom::new("R", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("T", vec![Term::var(0)])],
+        );
+        let constraints: Vec<Constraint> = vec![pad.into(), e.into()];
+        let run = |memo: bool, workers: usize| {
+            let mut i = Instance::new();
+            i.insert(sym("R"), vec![c(1), c(8)]);
+            i.insert(sym("R"), vec![c(1), c(9)]);
+            let cfg = ChaseConfig {
+                memo,
+                search_workers: workers,
+                search_min_facts: 0,
+                ..ChaseConfig::default()
+            };
+            chase(&mut i, &constraints, &cfg).unwrap_err().to_string()
+        };
+        let reference = run(true, 1);
+        assert!(reference.contains("[fd]"), "missing EGD name: {reference}");
+        for (memo, workers) in [(false, 1), (true, 4), (false, 4), (true, 8)] {
+            assert_eq!(
+                run(memo, workers),
+                reference,
+                "error skew at memo={memo} workers={workers}"
+            );
+        }
     }
 
     #[test]

@@ -32,7 +32,9 @@
 //! allocations (binding array, trail, atom order, compiled atoms, the
 //! variable-interning map). Arenas are deliberately **not** shared: each
 //! holds the mutable search state of exactly one search at a time, so
-//! parallel callers (the chase worker pool of the parallel backchase) give
+//! parallel callers (the candidate-verification pool of the parallel
+//! backchase, and the read-only trigger-search phase both chase loops fan
+//! out each round — see the phase-split contract in [`mod@crate::chase`]) give
 //! every worker thread its own arena and the searches proceed without any
 //! synchronization. The `*_in` entry points ([`find_homs_in`],
 //! [`find_one_hom_in`], [`find_homs_delta_in`], [`find_trigger_homs_in`])

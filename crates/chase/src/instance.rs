@@ -532,11 +532,27 @@ impl Instance {
     /// retired null are rewritten, re-indexed and re-dedupped (see module
     /// docs). Observationally identical to [`Instance::merge_full_rebuild`].
     pub fn merge(&mut self, a: &Elem, b: &Elem) -> Result<bool, Inconsistent> {
+        Ok(self.merge_retired(a, b)?.is_some())
+    }
+
+    /// [`Instance::merge`] additionally reporting *which* null the merge
+    /// retired: `Ok(Some(n))` when the instance changed by retiring null
+    /// `n` (the younger of two null roots, or the null that was bound to a
+    /// constant), `Ok(None)` when both sides already resolved equal.
+    ///
+    /// A merge can only disturb state keyed on *representatives* by
+    /// retiring one — every surviving element still resolves to itself —
+    /// so caches keyed on resolved elements (the chase-level applicability
+    /// memo in [`mod@crate::chase`]) use the returned id to invalidate exactly
+    /// the entries this merge can affect, mirroring the `null → fact ids`
+    /// occurrence index the instance itself uses for incremental
+    /// normalization.
+    pub fn merge_retired(&mut self, a: &Elem, b: &Elem) -> Result<Option<u32>, Inconsistent> {
         match self.merge_union(a, b)? {
-            None => Ok(false),
+            None => Ok(None),
             Some(retired) => {
                 self.rewrite_occurrences(retired);
-                Ok(true)
+                Ok(Some(retired))
             }
         }
     }
@@ -864,6 +880,20 @@ mod tests {
         let b = i.fresh_null(); // N1 — e.g. a chase-invented null
         i.merge(&b, &a).unwrap();
         assert_eq!(i.resolve(&b), a);
+    }
+
+    #[test]
+    fn merge_retired_names_the_retired_null() {
+        let mut i = Instance::new();
+        let a = i.fresh_null(); // N0
+        let b = i.fresh_null(); // N1
+                                // Null/null: the younger root retires.
+        assert_eq!(i.merge_retired(&b, &a).unwrap(), Some(1));
+        // Already equal: nothing retires.
+        assert_eq!(i.merge_retired(&a, &b).unwrap(), None);
+        // Null/constant: the null retires.
+        assert_eq!(i.merge_retired(&a, &Elem::of(5i64)).unwrap(), Some(0));
+        assert_eq!(i.merge_retired(&b, &Elem::of(5i64)).unwrap(), None);
     }
 
     #[test]

@@ -21,7 +21,13 @@
 //! and PACB's per-candidate verification chases fan out over a scoped
 //! worker pool with a deterministic fan-in
 //! ([`pacb::RewriteConfig::parallelism`]; the outcome is identical at any
-//! worker count — see the [`pacb`] module docs).
+//! worker count — see the [`pacb`] module docs). Both chase loops split
+//! every round into a read-only trigger-search phase — fanned out over
+//! [`chase::ChaseConfig::search_workers`] /
+//! [`pchase::ProvChaseConfig::search_workers`] workers, bit-identical at
+//! any count — and a serial apply phase, and the restricted chase
+//! memoizes applicability probes per (constraint, frontier image) with
+//! precise merge-driven invalidation (see the [`mod@chase`] module docs).
 
 #![warn(missing_docs)]
 

@@ -56,6 +56,15 @@
 //! `PARALLEL_CANDIDATE_THRESHOLD` candidates (or with verification off)
 //! skip the pool entirely: spawning threads there costs more than the
 //! checks themselves, and the outcome is the same either way.
+//!
+//! Orthogonally, the *inner* chase loops (the forward chase and the
+//! provenance backchase, both on the coordinator) parallelize their
+//! per-round trigger-search phase through
+//! [`ChaseConfig::search_workers`] / [`ProvChaseConfig::search_workers`]
+//! (see the phase-split contract in [`mod@crate::chase`]); inside the
+//! candidate-verification workers the search phase is forced serial —
+//! the candidate fan-out already owns the cores. Neither knob affects the
+//! outcome.
 
 use crate::chase::{chase_with, ChaseConfig, ChaseError, ChaseStats};
 use crate::containment::{canonical_instance, contained_in_with};
@@ -145,6 +154,24 @@ impl RewriteConfig {
     pub fn with_parallelism(self, parallelism: usize) -> RewriteConfig {
         RewriteConfig {
             parallelism,
+            ..self
+        }
+    }
+
+    /// This config with `workers` trigger-search workers in both inner
+    /// chase loops (the forward chase and the provenance backchase — see
+    /// the phase-split contract in [`mod@crate::chase`]). Any value yields the
+    /// identical [`RewriteOutcome`].
+    pub fn with_chase_parallelism(self, workers: usize) -> RewriteConfig {
+        RewriteConfig {
+            chase: ChaseConfig {
+                search_workers: workers,
+                ..self.chase
+            },
+            prov: ProvChaseConfig {
+                search_workers: workers,
+                ..self.prov
+            },
             ..self
         }
     }
@@ -511,23 +538,38 @@ pub fn pacb_rewrite(
     } else {
         1
     };
-    let check = |worker_arena: &mut HomArena, candidate: &Cq| {
+    let check = |worker_arena: &mut HomArena, candidate: &Cq, check_cfg: &RewriteConfig| {
         let mut cs = CandidateStats::default();
         let ok = accept_candidate(
             worker_arena,
             candidate,
             problem,
             &all_constraints,
-            cfg,
+            check_cfg,
             &mut cs,
         );
         (cs, ok)
     };
     let verdicts: Vec<(CandidateStats, bool)> = if workers <= 1 {
-        candidates.iter().map(|c| check(&mut arena, c)).collect()
+        candidates
+            .iter()
+            .map(|c| check(&mut arena, c, cfg))
+            .collect()
     } else {
+        // Inside the candidate fan-out the verification chases search
+        // serially: the candidate pool already owns the cores, and nesting
+        // a per-round trigger-search pool in every worker would multiply
+        // thread counts without adding parallel work. The outcome is
+        // identical either way (search workers never affect results).
+        let worker_cfg = RewriteConfig {
+            chase: ChaseConfig {
+                search_workers: 1,
+                ..cfg.chase
+            },
+            ..*cfg
+        };
         scoped_map_init(workers, &candidates, HomArena::new, |worker_arena, _, c| {
-            check(worker_arena, c)
+            check(worker_arena, c, &worker_cfg)
         })
     };
 

@@ -23,9 +23,27 @@
 //! only effect is a wider provenance formula still re-trigger downstream
 //! constraints — the provenance fixpoint is reached exactly as in the naive
 //! loop.
+//!
+//! # The search/apply phase split
+//!
+//! Each round follows the same two-phase contract as the standard chase
+//! (see [`mod@crate::chase`]): a **read-only search phase** enumerates every
+//! constraint's triggers against the frozen round-start instance — fanned
+//! out over [`ProvChaseConfig::search_workers`] workers, each with a
+//! private [`HomArena`], results reassembled in constraint order — then a
+//! **serial apply phase** fires them in constraint order. Firing
+//! re-resolves every binding under the live union-find and re-reads live
+//! provenance (the Skolem memo, the trigger-conjunction build, and the
+//! EGD certainty filter all consult the instance at fire time), so the
+//! run — firing order, Skolem naming, provenance formulas, stats, and
+//! `Inconsistent` errors — is bit-identical at any worker count.
+//! Same-round discoveries deferred by the split land in the next round's
+//! delta; the provenance fixpoint reached is the naive loop's.
 
-use crate::chase::{ChaseError, ChaseStats, CompiledTerm};
-use crate::hom::{find_trigger_homs_in, HomArena, HomConfig};
+use crate::chase::{
+    apply_egd_homs, conclusion_frontier, search_triggers, ChaseError, ChaseStats, CompiledTerm,
+};
+use crate::hom::{HomArena, HomConfig};
 use crate::instance::{Elem, Instance};
 use crate::prov::Dnf;
 use estocada_pivot::{Constraint, Symbol, Var};
@@ -43,6 +61,13 @@ pub struct ProvChaseConfig {
     pub clause_cap: usize,
     /// Homomorphism search knobs.
     pub hom: HomConfig,
+    /// Worker threads for the read-only trigger-search phase (`<= 1` =
+    /// serial). Any value produces a bit-identical provenance chase — see
+    /// the module docs' phase-split contract.
+    pub search_workers: usize,
+    /// Minimum alive-fact count before the search phase actually fans out
+    /// — see [`crate::chase::ChaseConfig::search_min_facts`].
+    pub search_min_facts: usize,
 }
 
 impl Default for ProvChaseConfig {
@@ -52,6 +77,8 @@ impl Default for ProvChaseConfig {
             max_facts: 200_000,
             clause_cap: 2_048,
             hom: HomConfig::default(),
+            search_workers: 1,
+            search_min_facts: crate::chase::SEARCH_PARALLEL_MIN_FACTS,
         }
     }
 }
@@ -98,32 +125,26 @@ pub fn prov_chase_with(
         stats.chase.rounds += 1;
         let round_epoch = instance.advance_epoch();
         let delta = threshold.map(|t| instance.delta_index(t));
+        // Phase 1: read-only trigger search against the frozen round-start
+        // instance, fanned out over the search workers.
+        let triggers = search_triggers(
+            arena,
+            instance,
+            constraints,
+            cfg.hom,
+            cfg.search_workers,
+            cfg.search_min_facts,
+            delta.as_ref(),
+        );
+        // Phase 2: serial apply in constraint order.
         let mut changed = false;
 
-        for (cidx, c) in constraints.iter().enumerate() {
+        for (cidx, (c, homs)) in constraints.iter().zip(triggers).enumerate() {
             match c {
                 Constraint::Tgd(tgd) => {
-                    let homs = find_trigger_homs_in(
-                        arena,
-                        instance,
-                        &tgd.premise,
-                        cfg.hom,
-                        delta.as_ref(),
-                    );
                     // Frontier variables that actually occur in the conclusion,
                     // in a deterministic order — the Skolem key.
-                    let frontier: Vec<Var> = {
-                        let f = tgd.frontier();
-                        let mut used: Vec<Var> = tgd
-                            .conclusion
-                            .iter()
-                            .flat_map(|a| a.vars())
-                            .filter(|v| f.contains(v))
-                            .collect();
-                        used.sort();
-                        used.dedup();
-                        used
-                    };
+                    let frontier: Vec<Var> = conclusion_frontier(tgd);
                     let existentials: Vec<Var> = {
                         let mut e: Vec<Var> = tgd.existentials().into_iter().collect();
                         e.sort();
@@ -185,53 +206,23 @@ pub fn prov_chase_with(
                     }
                 }
                 Constraint::Egd(egd) => {
-                    let homs = find_trigger_homs_in(
-                        arena,
+                    // Conservative: only fire with certain (⊤) trigger
+                    // provenance, read at fire time. A trigger fact killed
+                    // by an earlier same-round dedup still shows its
+                    // pre-join (narrower) formula here — the survivor's
+                    // widened formula bumps its epoch, so the skipped
+                    // merge is re-searched and fires next round; the
+                    // fixpoint is unchanged and stays bit-identical at
+                    // any worker count.
+                    apply_egd_homs(
                         instance,
-                        &egd.premise,
-                        cfg.hom,
-                        delta.as_ref(),
-                    );
-                    let equal = (
-                        CompiledTerm::compile(&egd.equal.0),
-                        CompiledTerm::compile(&egd.equal.1),
-                    );
-                    for h in homs {
-                        // Conservative: only fire with certain (⊤) trigger
-                        // provenance.
-                        let certain = h
-                            .fact_ids
-                            .iter()
-                            .all(|fid| instance.fact(*fid).prov.is_true());
-                        if !certain {
-                            continue;
-                        }
-                        let resolve_term = |ct: &CompiledTerm, inst: &Instance| -> Elem {
-                            match ct {
-                                CompiledTerm::Const(e) => *e,
-                                CompiledTerm::Var(v) => inst.resolve(&h.map[v]),
-                            }
-                        };
-                        let a = resolve_term(&equal.0, instance);
-                        let b = resolve_term(&equal.1, instance);
-                        match instance.merge(&a, &b) {
-                            Ok(true) => {
-                                stats.chase.egd_merges += 1;
-                                changed = true;
-                            }
-                            Ok(false) => {}
-                            Err(e) => {
-                                let trigger: Vec<String> = h
-                                    .fact_ids
-                                    .iter()
-                                    .map(|fid| instance.format_fact(*fid))
-                                    .collect();
-                                return Err(ChaseError::Inconsistent(
-                                    e.with_trigger(egd.name, trigger),
-                                ));
-                            }
-                        }
-                    }
+                        egd,
+                        &homs,
+                        |inst, h| h.fact_ids.iter().all(|fid| inst.fact(*fid).prov.is_true()),
+                        &mut stats.chase,
+                        &mut changed,
+                        None,
+                    )?;
                 }
             }
             if instance.len() > cfg.max_facts {

@@ -8,7 +8,7 @@
 
 use crate::instance::{Elem, Instance};
 use crate::pacb::RewriteProblem;
-use estocada_pivot::{Atom, CqBuilder, Egd, Term, ViewDef};
+use estocada_pivot::{Atom, Constraint, CqBuilder, Egd, Symbol, Term, Tgd, ViewDef};
 
 /// Chain problem `Q(x0,xk) :- R0(x0,x1), …, R(k-1)(x(k-1),xk)` with **two
 /// interchangeable views per edge** (`Vi`/`Wi`): 2^k minimal rewritings,
@@ -69,6 +69,75 @@ pub fn egd_merge_instance(keys: usize, dups: usize, ballast: usize) -> (Instance
         (Term::var(1), Term::var(2)),
     );
     (inst, fd)
+}
+
+/// Full observable state of an instance — fact ids, rendered facts,
+/// provenance formulas, change epochs — the bit-identity yardstick the
+/// phase-split unit tests, the differential suite
+/// (`tests/phase_split_properties.rs`) and the `e8_phase_split` bench all
+/// compare. One definition so the three cannot silently drift on what
+/// counts as observable.
+pub fn dump_state(i: &Instance) -> Vec<(u32, String, String, u64)> {
+    i.fact_ids()
+        .map(|id| {
+            (
+                id,
+                i.format_fact(id),
+                format!("{:?}", i.fact(id).prov),
+                i.fact_epoch(id),
+            )
+        })
+        .collect()
+}
+
+/// Probe-heavy multi-constraint chase workload for the phase-split bench
+/// (`e8_phase_split`) and the differential suite
+/// (`tests/phase_split_properties.rs`): `rels` independent edge relations
+/// `E0..`, each with a copy TGD `Ei(x,y) → Pi(x,y)` and a transitivity TGD
+/// `Pi(x,y) ∧ Pi(y,z) → Pi(x,z)`, seeded with a `chain`-node path per
+/// relation. Closing the chain re-derives every pair `Pi(a,c)` through
+/// each midpoint `b`, so trigger counts grow cubically while distinct
+/// applicability keys stay quadratic — the memo-hit hot case — and the
+/// `2 × rels` independent per-constraint searches give the parallel
+/// search phase real fan-out width.
+pub fn phase_split_workload(rels: usize, chain: usize) -> (Instance, Vec<Constraint>) {
+    let mut inst = Instance::new();
+    let mut constraints: Vec<Constraint> = Vec::new();
+    for r in 0..rels {
+        let e = Symbol::intern(&format!("E{r}"));
+        for k in 0..chain {
+            inst.insert(e, vec![Elem::of(k as i64), Elem::of((k + 1) as i64)]);
+        }
+        constraints.push(
+            Tgd::new(
+                format!("e2p{r}").as_str(),
+                vec![Atom::new(
+                    format!("E{r}").as_str(),
+                    vec![Term::var(0), Term::var(1)],
+                )],
+                vec![Atom::new(
+                    format!("P{r}").as_str(),
+                    vec![Term::var(0), Term::var(1)],
+                )],
+            )
+            .into(),
+        );
+        constraints.push(
+            Tgd::new(
+                format!("trans{r}").as_str(),
+                vec![
+                    Atom::new(format!("P{r}").as_str(), vec![Term::var(0), Term::var(1)]),
+                    Atom::new(format!("P{r}").as_str(), vec![Term::var(1), Term::var(2)]),
+                ],
+                vec![Atom::new(
+                    format!("P{r}").as_str(),
+                    vec![Term::var(0), Term::var(2)],
+                )],
+            )
+            .into(),
+        );
+    }
+    (inst, constraints)
 }
 
 /// Star problem `Q(c) :- Hub(c), S0(c,y0), …` with two interchangeable

@@ -52,11 +52,13 @@ impl Estocada {
             schema: Schema::new(),
             base: None,
             catalog: Catalog::new(),
-            // The parallel backchase is deterministic at any worker count
-            // (identical RewriteOutcome), so the hot rewriting path defaults
-            // to one worker per core.
+            // The parallel backchase and the chase loops' trigger-search
+            // phase are both deterministic at any worker count (identical
+            // RewriteOutcome), so the hot rewriting path defaults to one
+            // worker per core on each.
             rewrite_cfg: RewriteConfig::default()
-                .with_parallelism(estocada_parexec::default_parallelism()),
+                .with_parallelism(estocada_parexec::default_parallelism())
+                .with_chase_parallelism(estocada_parexec::default_parallelism()),
             frag_seq: 0,
         }
     }
@@ -86,6 +88,16 @@ impl Estocada {
     /// `workers <= 1` runs serially.
     pub fn set_rewrite_parallelism(&mut self, workers: usize) {
         self.rewrite_cfg.parallelism = workers.max(1);
+    }
+
+    /// Set the worker count of the chase loops' read-only trigger-search
+    /// phase (both the plain chase and the provenance backchase). Any
+    /// value yields identical chase results and rewriting outcomes;
+    /// `workers <= 1` searches serially.
+    pub fn set_chase_parallelism(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        self.rewrite_cfg.chase.search_workers = workers;
+        self.rewrite_cfg.prov.search_workers = workers;
     }
 
     /// Register an application dataset (declares its pivot schema and

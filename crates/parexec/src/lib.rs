@@ -2,7 +2,8 @@
 //!
 //! The scoped-thread fan-out / deterministic fan-in executor shared by the
 //! parallel store ([`estocada-parstore`]'s partition operators) and the
-//! chase crate (the parallel PACB backchase).
+//! chase crate (the parallel PACB backchase, and the per-round read-only
+//! trigger-search phase of both chase loops).
 //!
 //! The pattern: a fixed worker pool of scoped threads claims items off a
 //! shared atomic cursor, sends `(index, result)` pairs over a channel, and

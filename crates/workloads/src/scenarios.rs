@@ -171,6 +171,16 @@ pub fn with_rewrite_workers(mut est: Estocada, workers: usize) -> Estocada {
     est
 }
 
+/// Pin the trigger-search worker count of the chase loops inside a
+/// deployment's rewriter (the phase-split knob). Like
+/// [`with_rewrite_workers`], the outcome is identical at any value —
+/// deployments use it to trade rewriting latency against CPU:
+/// `let est = with_chase_workers(deploy_baseline(&m, lat), 4);`
+pub fn with_chase_workers(mut est: Estocada, workers: usize) -> Estocada {
+    est.set_chase_parallelism(workers);
+    est
+}
+
 /// Run one W1 query, returning its result.
 pub fn run_w1_query(est: &mut Estocada, q: &W1Query) -> estocada::Result<QueryResult> {
     match q {
@@ -234,6 +244,29 @@ mod tests {
             let a = run_w1_query(&mut serial, &q).unwrap();
             let b = run_w1_query(&mut parallel, &q).unwrap();
             assert_eq!(a.rows, b.rows, "{q:?} differs across worker counts");
+            assert_eq!(
+                a.report.alternatives.len(),
+                b.report.alternatives.len(),
+                "{q:?} found different rewriting sets"
+            );
+        }
+    }
+
+    #[test]
+    fn chase_worker_count_does_not_change_answers() {
+        let m = small();
+        let mut serial = with_chase_workers(deploy_kv_migrated(&m, Latencies::zero()), 1);
+        let mut parallel = with_chase_workers(deploy_kv_migrated(&m, Latencies::zero()), 4);
+        assert_eq!(parallel.rewrite_config().chase.search_workers, 4);
+        assert_eq!(parallel.rewrite_config().prov.search_workers, 4);
+        for q in [
+            W1Query::PrefLookup(3),
+            W1Query::CartLookup(7),
+            W1Query::UserOrders(13),
+        ] {
+            let a = run_w1_query(&mut serial, &q).unwrap();
+            let b = run_w1_query(&mut parallel, &q).unwrap();
+            assert_eq!(a.rows, b.rows, "{q:?} differs across chase worker counts");
             assert_eq!(
                 a.report.alternatives.len(),
                 b.report.alternatives.len(),

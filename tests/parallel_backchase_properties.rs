@@ -149,6 +149,7 @@ proptest! {
                 max_rounds,
                 max_facts,
                 hom: HomConfig { limit: 64 },
+                ..ChaseConfig::default()
             },
             prov: ProvChaseConfig {
                 clause_cap,

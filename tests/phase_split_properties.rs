@@ -1,0 +1,398 @@
+//! Differential tests of the **phase-split chase** (PR 4): each chase
+//! round is a read-only trigger-search phase (fanned out over
+//! `ChaseConfig::search_workers` / `ProvChaseConfig::search_workers`)
+//! followed by a serial apply phase, plus a memo of applicability probes
+//! keyed on (constraint, resolved frontier image) with merge-driven
+//! invalidation. The contracts pinned here:
+//!
+//! - **1-vs-N search workers**: `chase` and `prov_chase` produce identical
+//!   `ChaseStats` (all counters, memo included), bit-identical final
+//!   instances (facts, ids, provenance, epochs) and identical
+//!   `Inconsistent`/`Budget` errors at any worker count;
+//! - **memo on vs off**: identical core `ChaseStats` (rounds, TGD fires,
+//!   EGD merges — the memo elides probes, never firings), identical final
+//!   instances, identical errors on EGD-violating inputs;
+//! - **end-to-end**: `pacb_rewrite` returns the identical
+//!   `RewriteOutcome` with the parallel inner chase at any search-worker
+//!   count, composed with the candidate-verification fan-out of PR 2.
+
+use estocada_chase::testkit::{phase_split_workload, wide_chain_problem};
+use estocada_chase::{
+    chase, pacb_rewrite, prov_chase, ChaseConfig, ChaseStats, Dnf, Elem, HomConfig, Instance,
+    ProvChaseConfig, RewriteConfig, RewriteProblem,
+};
+use estocada_pivot::{Atom, Constraint, Cq, Egd, Symbol, Term, Tgd, ViewDef};
+use proptest::prelude::*;
+
+const RELS: [&str; 3] = ["Ra", "Rb", "Rc"];
+const NULLS: u32 = 6;
+
+/// Element specs: < 5 are small constants, the rest labelled nulls —
+/// EGD equalities then hit null/null, null/constant and (clashing)
+/// constant/constant merges.
+fn elem(spec: u8) -> Elem {
+    if spec < 5 {
+        Elem::of(spec as i64)
+    } else {
+        Elem::Null((spec as u32 - 5) % NULLS)
+    }
+}
+
+/// A random TGD over the shared binary relations. Conclusion variables
+/// absent from the premise are existential, so the generator exercises
+/// fresh-null invention and non-trivial applicability probes.
+fn arb_tgd(idx: usize) -> impl Strategy<Value = Constraint> {
+    (
+        proptest::collection::vec((0..3usize, 0..4u32, 0..4u32), 1..=2),
+        proptest::collection::vec((0..3usize, 0..5u32, 0..5u32), 1..=2),
+    )
+        .prop_map(move |(premise, conclusion)| {
+            let atoms = |specs: &[(usize, u32, u32)]| -> Vec<Atom> {
+                specs
+                    .iter()
+                    .map(|(r, a, b)| Atom::new(RELS[*r], vec![Term::var(*a), Term::var(*b)]))
+                    .collect()
+            };
+            Tgd::new(
+                format!("t{idx}").as_str(),
+                atoms(&premise),
+                atoms(&conclusion),
+            )
+            .into()
+        })
+}
+
+/// A random EGD whose equality variables are guaranteed to occur in the
+/// premise (both premise atoms share the relation, so the FD shape can
+/// actually merge).
+fn arb_egd(idx: usize) -> impl Strategy<Value = Constraint> {
+    (0..3usize, 0..3u32, 0..3u32, 0..3usize, 0..3usize).prop_map(move |(r, a, b, c, d)| {
+        // Equality variables drawn from the premise pool, as the chase
+        // requires.
+        let pool = [0u32, a, b];
+        Egd::new(
+            format!("e{idx}").as_str(),
+            vec![
+                Atom::new(RELS[r], vec![Term::var(0), Term::var(a)]),
+                Atom::new(RELS[r], vec![Term::var(0), Term::var(b)]),
+            ],
+            (Term::var(pool[c]), Term::var(pool[d])),
+        )
+        .into()
+    })
+}
+
+/// 1–5 random constraints, TGDs and EGDs interleaved.
+fn arb_constraints() -> impl Strategy<Value = Vec<Constraint>> {
+    (
+        proptest::collection::vec((0..2usize).prop_flat_map(arb_tgd), 1..=3),
+        proptest::collection::vec((0..2usize).prop_flat_map(arb_egd), 0..=2),
+    )
+        .prop_map(|(tgds, egds)| {
+            let mut out = Vec::new();
+            let mut t = tgds.into_iter();
+            let mut e = egds.into_iter();
+            loop {
+                match (t.next(), e.next()) {
+                    (None, None) => return out,
+                    (a, b) => {
+                        out.extend(a);
+                        out.extend(b);
+                    }
+                }
+            }
+        })
+}
+
+/// Random seed facts over the shared relations, mixing constants and
+/// nulls. Returned as specs so every run builds its own instance (null
+/// ids must align across the compared runs).
+fn arb_facts() -> impl Strategy<Value = Vec<(usize, u8, u8, u8)>> {
+    proptest::collection::vec((0..3usize, 0..11u8, 0..11u8, 0..4u8), 1..12)
+}
+
+fn build_instance(facts: &[(usize, u8, u8, u8)], with_prov: bool) -> Instance {
+    let mut inst = Instance::new();
+    inst.reserve_nulls(NULLS);
+    for (r, a, b, p) in facts {
+        let prov = if with_prov {
+            Dnf::var(*p as u32)
+        } else {
+            Dnf::tru()
+        };
+        inst.insert_with_prov(Symbol::intern(RELS[*r]), vec![elem(*a), elem(*b)], prov);
+    }
+    inst
+}
+
+// Full observable state — ids, facts, provenance, epochs — shared with
+// the phase-split unit tests and the e8 bench so the identity yardstick
+// cannot drift between the suites.
+use estocada_chase::testkit::dump_state as dump;
+
+/// Small budgets so randomly non-terminating TGD sets exercise the
+/// `Budget` error path deterministically instead of running away.
+/// `search_min_facts: 0` forces the parallel search branch even on these
+/// small instances — without it every 1-vs-N comparison would silently
+/// run the inline path twice.
+fn tight(search_workers: usize, memo: bool) -> ChaseConfig {
+    ChaseConfig {
+        max_rounds: 30,
+        max_facts: 400,
+        hom: HomConfig { limit: 4_096 },
+        search_workers,
+        search_min_facts: 0,
+        memo,
+    }
+}
+
+type ChaseOutcome = Result<(ChaseStats, Vec<(u32, String, String, u64)>), String>;
+
+fn run_chase(facts: &[(usize, u8, u8, u8)], cs: &[Constraint], cfg: &ChaseConfig) -> ChaseOutcome {
+    let mut inst = build_instance(facts, false);
+    match chase(&mut inst, cs, cfg) {
+        Ok(stats) => Ok((stats, dump(&inst))),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// 1-vs-N search workers on the restricted chase: full `ChaseStats`
+    /// equality (memo counters included), bit-identical instances,
+    /// identical errors — the phase-split fan-in contract.
+    #[test]
+    fn chase_identical_at_any_search_worker_count(
+        facts in arb_facts(),
+        cs in arb_constraints(),
+    ) {
+        let reference = run_chase(&facts, &cs, &tight(1, true));
+        for workers in [2usize, 4, 8] {
+            let parallel = run_chase(&facts, &cs, &tight(workers, true));
+            prop_assert_eq!(&reference, &parallel, "skew at {} search workers", workers);
+        }
+    }
+
+    /// Memo on vs off: identical core stats (rounds / fires / merges),
+    /// identical instances, identical errors — memoization elides probes,
+    /// never changes what fires. Also pins that the memo-off run reports
+    /// zero memo counters.
+    #[test]
+    fn memo_on_off_identical_results(
+        facts in arb_facts(),
+        cs in arb_constraints(),
+    ) {
+        let on = run_chase(&facts, &cs, &tight(1, true));
+        let off = run_chase(&facts, &cs, &tight(1, false));
+        match (on, off) {
+            (Ok((s_on, d_on)), Ok((s_off, d_off))) => {
+                prop_assert_eq!(s_on.core(), s_off.core());
+                prop_assert_eq!(d_on, d_off);
+                prop_assert_eq!(s_off.memo_hits, 0);
+                prop_assert_eq!(s_off.memo_misses, 0);
+            }
+            (Err(e_on), Err(e_off)) => prop_assert_eq!(e_on, e_off),
+            (a, b) => prop_assert!(
+                false,
+                "success/failure skew: memo-on ok={} memo-off ok={}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
+    /// The provenance chase under the same contract: identical stats,
+    /// instances (provenance formulas included) and errors at any search
+    /// worker count.
+    #[test]
+    fn prov_chase_identical_at_any_search_worker_count(
+        facts in arb_facts(),
+        cs in arb_constraints(),
+    ) {
+        let run = |workers: usize| {
+            let mut inst = build_instance(&facts, true);
+            let cfg = ProvChaseConfig {
+                max_rounds: 30,
+                max_facts: 400,
+                clause_cap: 64,
+                hom: HomConfig { limit: 4_096 },
+                search_workers: workers,
+                search_min_facts: 0,
+            };
+            match prov_chase(&mut inst, &cs, &cfg) {
+                Ok(stats) => Ok((stats, dump(&inst))),
+                Err(e) => Err(e.to_string()),
+            }
+        };
+        let reference = run(1);
+        for workers in [2usize, 4, 8] {
+            prop_assert_eq!(&reference, &run(workers), "skew at {} search workers", workers);
+        }
+    }
+
+    /// End-to-end: `pacb_rewrite` with the parallel inner chase (search
+    /// workers on both the forward chase and the backchase) returns the
+    /// identical `RewriteOutcome`, alone and composed with the PR 2
+    /// candidate-verification fan-out.
+    #[test]
+    fn pacb_identical_with_parallel_inner_chase(
+        q in arb_query(),
+        v1 in arb_query(),
+        v2 in arb_query(),
+    ) {
+        let problem = RewriteProblem::new(
+            q.named("Q"),
+            vec![ViewDef::new(v1.named("V1")), ViewDef::new(v2.named("V2"))],
+        );
+        let serial = pacb_rewrite(&problem, &RewriteConfig::default());
+        for (chase_workers, cand_workers) in [(2usize, 1usize), (4, 1), (4, 4), (8, 2)] {
+            let cfg = forced_fanout_cfg(chase_workers, cand_workers);
+            let parallel = pacb_rewrite(&problem, &cfg);
+            match (&serial, &parallel) {
+                (Ok(s), Ok(p)) => prop_assert_eq!(
+                    s, p,
+                    "outcome skew at chase_workers={} cand_workers={}",
+                    chase_workers, cand_workers
+                ),
+                (Err(se), Err(pe)) => prop_assert_eq!(format!("{se}"), format!("{pe}")),
+                (s, p) => prop_assert!(
+                    false,
+                    "success/failure skew: serial ok={} parallel ok={}",
+                    s.is_ok(),
+                    p.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+/// A rewrite config with `chase_workers` search workers on both inner
+/// chase loops and the fan-out size gate zeroed, so the canonical-instance
+/// chases (tens of facts) genuinely exercise the parallel search branch.
+fn forced_fanout_cfg(chase_workers: usize, cand_workers: usize) -> RewriteConfig {
+    let mut cfg = RewriteConfig::default()
+        .with_chase_parallelism(chase_workers)
+        .with_parallelism(cand_workers);
+    cfg.chase.search_min_facts = 0;
+    cfg.prov.search_min_facts = 0;
+    cfg
+}
+
+/// A safe random CQ builder piece shared by the end-to-end property
+/// (head vars drawn from body vars — same family as the PR 2 suite).
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    atoms: Vec<(usize, u32, u32)>,
+    head: Vec<u32>,
+}
+
+impl QuerySpec {
+    fn named(&self, name: &str) -> Cq {
+        let body: Vec<Atom> = self
+            .atoms
+            .iter()
+            .map(|(r, a, b)| Atom::new(RELS[*r], vec![Term::var(*a), Term::var(*b)]))
+            .collect();
+        let body_vars: Vec<u32> = body.iter().flat_map(|a| a.vars()).map(|v| v.0).collect();
+        let head: Vec<Term> = self
+            .head
+            .iter()
+            .map(|h| Term::var(body_vars[(*h as usize) % body_vars.len()]))
+            .collect();
+        Cq::new(name, head, body)
+    }
+}
+
+fn arb_query() -> impl Strategy<Value = QuerySpec> {
+    (
+        proptest::collection::vec((0..3usize, 0..4u32, 0..4u32), 1..=3),
+        proptest::collection::vec(0..4u32, 1..=2),
+    )
+        .prop_map(|(atoms, head)| QuerySpec { atoms, head })
+}
+
+/// The probe-heavy closure workload (shared with `e8_phase_split`): the
+/// memo must absorb a large share of the probes, the phase split must be
+/// identical at every worker count, and memo-off must agree on the core.
+#[test]
+fn closure_workload_hits_the_memo_and_stays_identical() {
+    let (seed, constraints) = phase_split_workload(4, 10);
+    let run = |workers: usize, memo: bool| {
+        let mut inst = seed.clone();
+        let stats = chase(
+            &mut inst,
+            &constraints,
+            &ChaseConfig {
+                search_workers: workers,
+                search_min_facts: 0,
+                memo,
+                ..ChaseConfig::default()
+            },
+        )
+        .unwrap();
+        (stats, dump(&inst))
+    };
+    let (ref_stats, ref_dump) = run(1, true);
+    assert!(
+        ref_stats.memo_hits > ref_stats.memo_misses,
+        "closure workload should be memo-dominated: {ref_stats:?}"
+    );
+    for workers in [2usize, 4, 8] {
+        assert_eq!((ref_stats, ref_dump.clone()), run(workers, true));
+    }
+    let (off_stats, off_dump) = run(1, false);
+    assert_eq!(ref_stats.core(), off_stats.core());
+    assert_eq!(ref_dump, off_dump);
+}
+
+/// An EGD-violating chase fails with the *same* rendered `Inconsistent`
+/// error — EGD name and trigger facts included — whatever the memo
+/// setting or worker count.
+#[test]
+fn egd_violation_error_identical_across_configs() {
+    let fd: Constraint = Egd::new(
+        "fd",
+        vec![
+            Atom::new("Ra", vec![Term::var(0), Term::var(1)]),
+            Atom::new("Ra", vec![Term::var(0), Term::var(2)]),
+        ],
+        (Term::var(1), Term::var(2)),
+    )
+    .into();
+    let pad: Constraint = Tgd::new(
+        "pad",
+        vec![Atom::new("Ra", vec![Term::var(0), Term::var(1)])],
+        vec![Atom::new("Rb", vec![Term::var(1), Term::var(0)])],
+    )
+    .into();
+    let constraints = vec![pad, fd];
+    let facts = vec![(0usize, 1u8, 2u8, 0u8), (0, 1, 3, 0), (0, 4, 4, 0)];
+    let reference = run_chase(&facts, &constraints, &tight(1, true)).unwrap_err();
+    assert!(reference.contains("[fd]"), "unnamed EGD: {reference}");
+    assert!(reference.contains("Ra(1, "), "missing trigger: {reference}");
+    for (workers, memo) in [(1usize, false), (4, true), (4, false), (8, true)] {
+        assert_eq!(
+            run_chase(&facts, &constraints, &tight(workers, memo)).unwrap_err(),
+            reference,
+            "error skew at workers={workers} memo={memo}"
+        );
+    }
+}
+
+/// Re-assert the PR 2 fan-in contract end-to-end on the wide-fanout
+/// problem with the parallel inner chase switched on: candidate
+/// verification workers × chase search workers, one outcome.
+#[test]
+fn wide_fanout_identity_with_parallel_inner_chase() {
+    let problem = wide_chain_problem(5); // 32 candidates
+    let serial = pacb_rewrite(&problem, &RewriteConfig::default()).unwrap();
+    for (cand, chase_w) in [(1usize, 4usize), (4, 1), (4, 4), (8, 8)] {
+        let cfg = forced_fanout_cfg(chase_w, cand);
+        let parallel = pacb_rewrite(&problem, &cfg).unwrap();
+        assert_eq!(
+            serial, parallel,
+            "skew at parallelism={cand} chase workers={chase_w}"
+        );
+    }
+}
