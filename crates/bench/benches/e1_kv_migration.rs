@@ -29,13 +29,13 @@ fn bench(c: &mut Criterion) {
 
     // One-shot headline measurement (printed into bench_output.txt).
     {
-        let mut base = deploy_baseline(&m, Latencies::datacenter());
-        let mut kv = deploy_kv_migrated(&m, Latencies::datacenter());
+        let base = deploy_baseline(&m, Latencies::datacenter());
+        let kv = deploy_kv_migrated(&m, Latencies::datacenter());
         // Warm up both (first run pays cache warmup).
-        run_w1_exec_time(&mut base, &workload);
-        run_w1_exec_time(&mut kv, &workload);
-        let t_base = run_w1_exec_time(&mut base, &workload);
-        let t_kv = run_w1_exec_time(&mut kv, &workload);
+        run_w1_exec_time(&base, &workload);
+        run_w1_exec_time(&kv, &workload);
+        let t_base = run_w1_exec_time(&base, &workload);
+        let t_kv = run_w1_exec_time(&kv, &workload);
         let gain = 100.0 * (1.0 - t_kv.as_secs_f64() / t_base.as_secs_f64());
         println!("== E1 summary ==");
         println!(
@@ -52,24 +52,24 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(4));
 
     group.bench_function("baseline", |b| {
-        let mut est = deploy_baseline(&m, Latencies::datacenter());
-        run_w1_exec_time(&mut est, &workload); // warm
+        let est = deploy_baseline(&m, Latencies::datacenter());
+        run_w1_exec_time(&est, &workload); // warm
         b.iter_custom(|iters| {
             let mut total = Duration::ZERO;
             for _ in 0..iters {
-                total += run_w1_exec_time(&mut est, &workload);
+                total += run_w1_exec_time(&est, &workload);
             }
             total
         })
     });
 
     group.bench_function("kv_migrated", |b| {
-        let mut est = deploy_kv_migrated(&m, Latencies::datacenter());
-        run_w1_exec_time(&mut est, &workload);
+        let est = deploy_kv_migrated(&m, Latencies::datacenter());
+        run_w1_exec_time(&est, &workload);
         b.iter_custom(|iters| {
             let mut total = Duration::ZERO;
             for _ in 0..iters {
-                total += run_w1_exec_time(&mut est, &workload);
+                total += run_w1_exec_time(&est, &workload);
             }
             total
         })

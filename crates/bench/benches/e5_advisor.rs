@@ -70,7 +70,7 @@ fn bench(c: &mut Criterion) {
         let workload = parse_workload(&est);
         run_w2(&mut est);
         let before = run_w2(&mut est);
-        let recs = recommend(&mut est, &workload).expect("advisor");
+        let recs = recommend(&est, &workload).expect("advisor");
         println!("== E5 summary ==");
         println!("advisor produced {} recommendations:", recs.len());
         for r in &recs {
@@ -111,7 +111,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("w2_after_advice", |b| {
         let mut est = deploy_baseline(&m, Latencies::datacenter());
         let workload = parse_workload(&est);
-        let recs = recommend(&mut est, &workload).unwrap();
+        let recs = recommend(&est, &workload).unwrap();
         apply(&mut est, recs, false).unwrap();
         run_w2(&mut est);
         b.iter_custom(|iters| {

@@ -1,0 +1,168 @@
+//! E9 — the shared-read query API (PR 5): N client threads drive one
+//! shared `&Estocada` through a repeated-shape marketplace workload, with
+//! the rewrite-plan cache on and off.
+//!
+//! Two effects are measured:
+//!
+//! - **plan-cache speedup**: with repeated query shapes, cache-on runs
+//!   skip the chase & backchase for every repeat — the serial cache-on
+//!   arm vs the serial cache-off arm isolates it;
+//! - **shared-engine scaling**: the `threadsN` arms split the same
+//!   workload over N clients of one engine (`&self` query path, engine is
+//!   `Sync`). On a single-core host the expectation is parity, never skew.
+//!
+//! **Identity is asserted inside every measurement**: each timed run
+//! compares every query's rows and chosen delegation against the serial
+//! cache-off reference, so a stale cached plan or a shared-state race
+//! fails the bench instead of skewing its numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estocada::{Estocada, Latencies};
+use estocada_workloads::marketplace::{generate, MarketplaceConfig};
+use estocada_workloads::scenarios::{
+    cart_pattern, deploy_kv_migrated, personalized_sql, pref_sql, user_orders_sql,
+};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Clone)]
+enum Q {
+    Sql(String),
+    Doc(i64),
+}
+
+/// Five query shapes, each repeated — the regime the plan cache targets
+/// (an application replays its templates with varying parameters; repeats
+/// of one parameterization are verbatim repeats).
+fn workload() -> Vec<Q> {
+    let mut out = Vec::new();
+    for _ in 0..4 {
+        for uid in [1i64, 3, 7] {
+            out.push(Q::Sql(pref_sql(uid)));
+            out.push(Q::Doc(uid));
+            out.push(Q::Sql(user_orders_sql(uid)));
+        }
+        out.push(Q::Sql(personalized_sql(1, "laptop")));
+    }
+    out
+}
+
+fn run_q(est: &Estocada, q: &Q) -> (Vec<Vec<estocada_pivot::Value>>, Vec<String>) {
+    let r = match q {
+        Q::Sql(sql) => est.query_sql(sql).expect("bench query"),
+        Q::Doc(uid) => est
+            .query_doc(&cart_pattern(*uid), &["pid", "qty"])
+            .expect("bench doc query"),
+    };
+    (r.rows, r.report.delegated)
+}
+
+type Reference = Vec<(Vec<Vec<estocada_pivot::Value>>, Vec<String>)>;
+
+fn engine(cache: bool) -> Estocada {
+    let m = generate(MarketplaceConfig {
+        users: 60,
+        products: 30,
+        orders: 200,
+        log_entries: 400,
+        skew: 0.8,
+        seed: 31,
+    });
+    let mut est = deploy_kv_migrated(&m, Latencies::zero());
+    est.set_plan_cache(cache);
+    est
+}
+
+/// Run the whole workload from `threads` clients of one shared engine
+/// (`threads == 1` runs inline) and assert every answer against the
+/// reference.
+fn run_checked(est: &Estocada, work: &[Q], threads: usize, reference: &Reference) -> Duration {
+    let t0 = Instant::now();
+    if threads <= 1 {
+        for (i, q) in work.iter().enumerate() {
+            let got = run_q(est, q);
+            assert_eq!(got, reference[i], "serial skew at query {i}");
+        }
+        return t0.elapsed();
+    }
+    let slots: Mutex<Vec<bool>> = Mutex::new(vec![false; work.len()]);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let slots = &slots;
+            s.spawn(move || {
+                for (i, q) in work.iter().enumerate() {
+                    if i % threads != t {
+                        continue;
+                    }
+                    let got = run_q(est, q);
+                    assert_eq!(got, reference[i], "thread {t} skew at query {i}");
+                    slots.lock().unwrap()[i] = true;
+                }
+            });
+        }
+    });
+    assert!(slots.into_inner().unwrap().iter().all(|b| *b));
+    t0.elapsed()
+}
+
+fn bench(c: &mut Criterion) {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let work = workload();
+    // The reference: serial, cache off — ground truth for every arm.
+    let reference: Reference = {
+        let est = engine(false);
+        work.iter().map(|q| run_q(&est, q)).collect()
+    };
+
+    println!(
+        "== E9 summary (shared engine, {} queries / {} shapes, host cores: {host_cores}) ==",
+        work.len(),
+        5
+    );
+    let best = |est: &Estocada, threads: usize| {
+        (0..3)
+            .map(|_| run_checked(est, &work, threads, &reference))
+            .min()
+            .unwrap()
+    };
+    let off = engine(false);
+    let on = engine(true);
+    let t_off = best(&off, 1);
+    let t_on = best(&on, 1);
+    let s = on.plan_cache_stats();
+    println!(
+        "serial: cache-off {t_off:?}, cache-on {t_on:?} ({:.2}x; {} hits / {} misses)",
+        t_off.as_secs_f64() / t_on.as_secs_f64().max(1e-12),
+        s.hits,
+        s.misses,
+    );
+    assert!(s.hits > 0, "repeated shapes must hit the cache");
+    for threads in [2usize, 4, 8] {
+        let t_toff = best(&engine(false), threads);
+        let t_ton = best(&engine(true), threads);
+        println!("threads {threads}: cache-off {t_toff:?}, cache-on {t_ton:?}");
+    }
+    println!("(identity vs the serial cache-off reference asserted on every run above)");
+
+    let mut group = c.benchmark_group("e9_concurrent_queries");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for (name, cache, threads) in [
+        ("serial_cache_off", false, 1usize),
+        ("serial_cache_on", true, 1),
+        ("threads4_cache_off", false, 4),
+        ("threads4_cache_on", true, 4),
+        ("threads8_cache_on", true, 8),
+    ] {
+        let est = engine(cache);
+        group.bench_with_input(BenchmarkId::new(name, work.len()), &threads, |b, &t| {
+            b.iter(|| run_checked(&est, &work, t, &reference))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

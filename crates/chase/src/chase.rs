@@ -69,7 +69,7 @@
 
 use crate::hom::{find_one_hom_in, find_trigger_homs_in, Hom, HomArena, HomConfig};
 use crate::instance::{DeltaIndex, Elem, Inconsistent, Instance};
-use estocada_parexec::scoped_map_init;
+use estocada_parexec::Pool;
 use estocada_pivot::{Atom, Constraint, Egd, Symbol, Term, Tgd, Var};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -202,6 +202,11 @@ pub fn chase_with(
 ) -> Result<ChaseStats, ChaseError> {
     let mut stats = ChaseStats::default();
     let mut memo = cfg.memo.then(ApplicabilityMemo::default);
+    // One search pool for the whole run: spawned lazily on the first round
+    // that actually fans out, then reused by every later round (a chase is
+    // a loop of searches — paying a thread spawn/join per round is pure
+    // overhead, most visible on few-core hosts).
+    let mut pool = LazySearchPool::new(cfg.search_workers, constraints.len());
     // Epoch threshold separating "old" facts from the previous round's
     // delta; `None` = first round, search everything.
     let mut threshold: Option<u64> = None;
@@ -222,7 +227,7 @@ pub fn chase_with(
             instance,
             constraints,
             cfg.hom,
-            cfg.search_workers,
+            &mut pool,
             cfg.search_min_facts,
             delta.as_ref(),
         );
@@ -257,6 +262,33 @@ pub(crate) fn constraint_premise(c: &Constraint) -> &[Atom] {
     }
 }
 
+/// The per-chase trigger-search pool, spawned lazily: a chase whose every
+/// round searches inline (serial config, single constraint, or an instance
+/// that never reaches `search_min_facts`) creates no threads at all, while
+/// the first round that fans out spawns the pool once and every later
+/// round reuses it. Both chase loops hold one of these for the duration of
+/// a run.
+pub(crate) struct LazySearchPool {
+    workers: usize,
+    pool: Option<Pool>,
+}
+
+impl LazySearchPool {
+    /// A pool of up to `workers` threads, capped by the constraint count
+    /// (a batch never has more items than constraints).
+    pub(crate) fn new(workers: usize, constraints: usize) -> LazySearchPool {
+        LazySearchPool {
+            workers: workers.max(1).min(constraints.max(1)),
+            pool: None,
+        }
+    }
+
+    fn get(&mut self) -> &Pool {
+        let workers = self.workers;
+        self.pool.get_or_insert_with(|| Pool::new(workers))
+    }
+}
+
 /// The read-only search phase shared by both chase loops: enumerate every
 /// constraint's triggers against the frozen instance, in constraint order.
 ///
@@ -264,10 +296,11 @@ pub(crate) fn constraint_premise(c: &Constraint) -> &[Atom] {
 /// `min_facts` (see [`ChaseConfig::search_min_facts`]) the searches run
 /// inline on the caller's warmed arena — the serial fast path pays
 /// nothing for the phase machinery. Otherwise the per-constraint searches
-/// fan out over [`estocada_parexec::scoped_map_init`], each worker
-/// holding a private [`HomArena`]; the executor reassembles results in
-/// item (= constraint) order, so the returned trigger lists are
-/// bit-identical at any worker count — each search is a pure function of
+/// fan out over the run's [`LazySearchPool`] (an [`estocada_parexec::Pool`]
+/// spawned once per chase and reused every round), each worker holding a
+/// private [`HomArena`]; the executor reassembles results in item
+/// (= constraint) order, so the returned trigger lists are bit-identical
+/// at any worker count — each search is a pure function of
 /// `(instance, delta, premise)` and nothing mutates the instance while
 /// the phase runs.
 pub(crate) fn search_triggers(
@@ -275,19 +308,20 @@ pub(crate) fn search_triggers(
     instance: &Instance,
     constraints: &[Constraint],
     hom: HomConfig,
-    workers: usize,
+    pool: &mut LazySearchPool,
     min_facts: usize,
     delta: Option<&DeltaIndex>,
 ) -> Vec<Vec<Hom>> {
-    if workers <= 1 || constraints.len() <= 1 || instance.len() < min_facts {
+    if pool.workers <= 1 || constraints.len() <= 1 || instance.len() < min_facts {
         return constraints
             .iter()
             .map(|c| find_trigger_homs_in(arena, instance, constraint_premise(c), hom, delta))
             .collect();
     }
-    scoped_map_init(workers, constraints, HomArena::new, |worker_arena, _, c| {
-        find_trigger_homs_in(worker_arena, instance, constraint_premise(c), hom, delta)
-    })
+    pool.get()
+        .map_init(constraints, HomArena::new, |worker_arena, _, c| {
+            find_trigger_homs_in(worker_arena, instance, constraint_premise(c), hom, delta)
+        })
 }
 
 /// Per-run memo of applicability probes already proven satisfied, keyed by

@@ -65,6 +65,18 @@
 //! candidate-verification workers the search phase is forced serial —
 //! the candidate fan-out already owns the cores. Neither knob affects the
 //! outcome.
+//!
+//! # Cacheability
+//!
+//! The fan-in contract makes a [`RewriteOutcome`] a *pure, deterministic*
+//! function of `(RewriteProblem, budgets)` — worker counts never leak into
+//! it. That is what lets callers share one outcome across threads and
+//! reuse it across queries: the mediator's rewrite-plan cache stores
+//! outcomes as `Arc<RewriteOutcome>` keyed by `(canonical query, catalog
+//! epoch)` and hands the same plan to every client that repeats a query
+//! shape, with no risk that a cached plan differs from what a fresh
+//! rewrite would produce. Two threads racing to fill a cold cache slot
+//! compute bit-identical outcomes, so first-insert-wins is sound.
 
 use crate::chase::{chase_with, ChaseConfig, ChaseError, ChaseStats};
 use crate::containment::{canonical_instance, contained_in_with};

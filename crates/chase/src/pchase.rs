@@ -42,6 +42,7 @@
 
 use crate::chase::{
     apply_egd_homs, conclusion_frontier, search_triggers, ChaseError, ChaseStats, CompiledTerm,
+    LazySearchPool,
 };
 use crate::hom::{HomArena, HomConfig};
 use crate::instance::{Elem, Instance};
@@ -112,6 +113,9 @@ pub fn prov_chase_with(
     let mut stats = ProvChaseStats::default();
     // Skolem memo: (constraint index, frontier images) → existential images.
     let mut skolems: HashMap<(usize, Vec<Elem>), Vec<Elem>> = HashMap::new();
+    // One search pool for the whole run, spawned lazily on the first round
+    // that fans out and reused by every later round (see `chase_with`).
+    let mut pool = LazySearchPool::new(cfg.search_workers, constraints.len());
     // Epoch threshold of the previous round's delta; `None` = first round.
     let mut threshold: Option<u64> = None;
 
@@ -132,7 +136,7 @@ pub fn prov_chase_with(
             instance,
             constraints,
             cfg.hom,
-            cfg.search_workers,
+            &mut pool,
             cfg.search_min_facts,
             delta.as_ref(),
         );

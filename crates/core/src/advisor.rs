@@ -92,7 +92,7 @@ pub fn generalize(cq: &Cq, view_name: &str) -> (Cq, usize) {
 }
 
 /// Current (best) cost of answering `q`, or `None` when unanswerable.
-fn current_cost(est: &mut Estocada, q: &WorkloadQuery) -> Option<f64> {
+fn current_cost(est: &Estocada, q: &WorkloadQuery) -> Option<f64> {
     let problem = RewriteProblem {
         query: q.cq.clone(),
         views: est.catalog().view_defs(),
@@ -100,7 +100,7 @@ fn current_cost(est: &mut Estocada, q: &WorkloadQuery) -> Option<f64> {
         target_constraints: Vec::new(),
         access: est.catalog().access_map(),
     };
-    let outcome = pacb_rewrite(&problem, est.rewrite_config()).ok()?;
+    let outcome = pacb_rewrite(&problem, &est.rewrite_config()).ok()?;
     let mut best = None::<f64>;
     for rw in &outcome.rewritings {
         if let Ok(tr) = translate(
@@ -125,7 +125,8 @@ fn candidate_cost(cost: &CostModel, system: SystemId, est_result_rows: f64) -> f
 }
 
 /// Produce recommendations for `workload` against the current catalog.
-pub fn recommend(est: &mut Estocada, workload: &[WorkloadQuery]) -> Result<Vec<Recommendation>> {
+/// Read-only: safe to run against a shared engine while it serves queries.
+pub fn recommend(est: &Estocada, workload: &[WorkloadQuery]) -> Result<Vec<Recommendation>> {
     let mut recs = Vec::new();
     // Identical generalized shapes (same query template with different
     // parameters) share one candidate; weights accumulate.
@@ -200,7 +201,7 @@ pub fn recommend(est: &mut Estocada, workload: &[WorkloadQuery]) -> Result<Vec<R
 
     // Drop recommendations: fragments never used by the optimizer.
     for f in est.fragments() {
-        if f.use_count == 0 {
+        if f.use_count.get() == 0 {
             recs.push(Recommendation {
                 action: Action::Drop(f.id.clone()),
                 reason: format!(
@@ -224,7 +225,7 @@ pub fn recommend(est: &mut Estocada, workload: &[WorkloadQuery]) -> Result<Vec<R
 /// greedily by benefit density (benefit per byte) under `budget_bytes`.
 /// Drop recommendations pass through unchanged (they free space).
 pub fn recommend_under_budget(
-    est: &mut Estocada,
+    est: &Estocada,
     workload: &[WorkloadQuery],
     budget_bytes: u64,
 ) -> Result<Vec<Recommendation>> {

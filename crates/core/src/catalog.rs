@@ -6,6 +6,44 @@ use crate::system::SystemId;
 use estocada_pivot::{AccessPattern, Cq, Symbol, ViewDef};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed atomic usage counter: concurrent query threads bump it through
+/// a shared `&Catalog` ([`Catalog::record_use`]) without serializing on the
+/// mediator. Cloning snapshots the current count.
+#[derive(Debug, Default)]
+pub struct UseCount(AtomicU64);
+
+impl UseCount {
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Add one use.
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Clone for UseCount {
+    fn clone(&self) -> UseCount {
+        UseCount(AtomicU64::new(self.get()))
+    }
+}
+
+impl From<u64> for UseCount {
+    fn from(n: u64) -> UseCount {
+        UseCount(AtomicU64::new(n))
+    }
+}
+
+impl PartialEq for UseCount {
+    fn eq(&self, other: &UseCount) -> bool {
+        self.get() == other.get()
+    }
+}
+impl Eq for UseCount {}
 
 /// How the mediator may specify a fragment to be built.
 #[derive(Debug, Clone)]
@@ -200,7 +238,8 @@ pub struct FragmentMeta {
     /// authenticate, but the descriptor format mirrors the paper).
     pub credentials: String,
     /// How many query rewritings have used this fragment (advisor input).
-    pub use_count: u64,
+    /// Atomic so the shared `&self` query path can count uses concurrently.
+    pub use_count: UseCount,
 }
 
 impl fmt::Display for FragmentMeta {
@@ -285,10 +324,12 @@ impl Catalog {
         })
     }
 
-    /// Record one use of the fragment owning `name`.
-    pub fn record_use(&mut self, name: Symbol) {
+    /// Record one use of the fragment owning `name`. Takes `&self`: usage
+    /// counting is the only catalog write on the query path, and making it
+    /// atomic is what lets concurrent queries share the catalog read-only.
+    pub fn record_use(&self, name: Symbol) {
         if let Some((fi, _)) = self.by_relation.get(&name).copied() {
-            self.fragments[fi].use_count += 1;
+            self.fragments[fi].use_count.bump();
         }
     }
 
@@ -344,7 +385,7 @@ mod tests {
             }],
             stats: vec![FragmentStats::default()],
             credentials: String::new(),
-            use_count: 0,
+            use_count: Default::default(),
         }
     }
 
@@ -381,6 +422,6 @@ mod tests {
         c.add(meta("f1", "V1"));
         c.record_use(Symbol::intern("V1"));
         c.record_use(Symbol::intern("V1"));
-        assert_eq!(c.fragments()[0].use_count, 2);
+        assert_eq!(c.fragments()[0].use_count.get(), 2);
     }
 }

@@ -1,5 +1,56 @@
 //! The ESTOCADA mediator facade: datasets in, fragments materialized,
 //! queries answered through constraint-based rewriting.
+//!
+//! # The shared-read query API
+//!
+//! [`Estocada`] splits its surface into two paths:
+//!
+//! - **DDL time** (`&mut self`): [`Estocada::register_dataset`],
+//!   [`Estocada::add_fragment`], [`Estocada::drop_fragment`]. Each DDL
+//!   operation bumps the **catalog epoch**
+//!   ([`Estocada::catalog_epoch`]) and invalidates the rewrite-plan
+//!   cache wholesale.
+//! - **Query time** (`&self`, and `Estocada: Sync`):
+//!   [`Estocada::query_sql`], [`Estocada::query_doc`],
+//!   [`Estocada::query_cq`], [`Estocada::explain_sql`] and
+//!   [`Estocada::oracle_eval`] all take `&self`, so any number of client
+//!   threads can answer queries against one shared engine concurrently —
+//!   the underlying stores synchronize internally, fragment usage counters
+//!   are atomics, and the staged fact base is a lazily-initialized
+//!   [`OnceLock`]. Rewriting is deterministic at any worker count (the PR 2
+//!   fan-in contract), so concurrent runs return exactly what the serial
+//!   run returns.
+//!
+//! # Per-query options: the builder
+//!
+//! Per-query knobs no longer require exclusive access to the engine.
+//! [`Estocada::query`] (and its document/pivot siblings
+//! [`Estocada::query_pattern`] / [`Estocada::query_pivot`]) return a
+//! [`QueryRequest`] builder:
+//!
+//! ```text
+//! engine.query(sql)
+//!     .with_rewrite_workers(4)   // parallel backchase width
+//!     .with_chase_workers(2)     // trigger-search width inside the chases
+//!     .explain_only()            // plan, don't execute
+//!     .run()?;
+//! ```
+//!
+//! The legacy global setters [`Estocada::set_rewrite_parallelism`] /
+//! [`Estocada::set_chase_parallelism`] survive as deprecated shims that
+//! adjust the engine's *default* [`QueryOptions`]; both spellings produce
+//! identical rewriting outcomes (worker counts never change results).
+//!
+//! # The rewrite-plan cache
+//!
+//! Rewriting outcomes are cached in an epoch-keyed bounded map
+//! ([`crate::plancache::PlanCache`]): a repeated query shape skips the
+//! chase & backchase entirely and goes straight to translation (which is
+//! cheap and depends on live statistics, so it is *not* cached). Any DDL
+//! epoch bump invalidates every entry. Per-query activity and engine
+//! totals are surfaced in [`Report::plan_cache`]; opt out per query with
+//! [`QueryRequest::no_plan_cache`] or engine-wide with
+//! [`Estocada::set_plan_cache`].
 
 use crate::catalog::{Catalog, FragmentMeta, FragmentSpec};
 use crate::connector::Residual;
@@ -8,15 +59,169 @@ use crate::dataset::{Dataset, DatasetContent};
 use crate::error::{Error, Result};
 use crate::frontends::{doc_query, parse_sql, SqlCatalog, SqlTable};
 use crate::materialize::{drop_fragment, fact_base, materialize};
-use crate::report::{Alternative, QueryResult, Report};
+use crate::plancache::{PlanCache, PlanCacheStats};
+use crate::report::{Alternative, PlanCacheActivity, QueryResult, Report};
 use crate::system::{Latencies, Stores};
 use crate::translate::{translate, Translation};
-use estocada_chase::{pacb_rewrite, Instance, RewriteConfig, RewriteProblem};
+use estocada_chase::{pacb_rewrite, Instance, RewriteConfig, RewriteOutcome, RewriteProblem};
 use estocada_engine::execute;
 use estocada_pivot::encoding::document::TreePattern;
 use estocada_pivot::{Cq, IdGen, Schema};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Per-query knobs, resolved against the engine's defaults at run time.
+///
+/// `None` means "use the engine default". Build one fluently through
+/// [`QueryRequest`], or construct it directly and pass it to
+/// [`QueryRequest::with_options`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Worker threads of the parallel PACB backchase (candidate
+    /// verification). Any value yields the identical rewriting outcome.
+    pub rewrite_workers: Option<usize>,
+    /// Worker threads of the chase loops' trigger-search phase. Any value
+    /// yields the identical rewriting outcome.
+    pub chase_workers: Option<usize>,
+    /// Plan and cost the query but skip execution; the returned
+    /// [`QueryResult`] has no rows and a fully populated report.
+    pub explain_only: bool,
+    /// Consult/populate the rewrite-plan cache (on by default; the engine
+    /// can also disable the cache globally).
+    pub plan_cache: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> QueryOptions {
+        QueryOptions {
+            rewrite_workers: None,
+            chase_workers: None,
+            explain_only: false,
+            plan_cache: true,
+        }
+    }
+}
+
+/// The query input a [`QueryRequest`] carries: one of the three frontends.
+#[derive(Debug, Clone)]
+enum QueryInput {
+    /// Mini-SQL text.
+    Sql(String),
+    /// Document tree pattern + selected bindings.
+    Doc {
+        pattern: TreePattern,
+        select: Vec<String>,
+    },
+    /// A pivot CQ with output names and residual comparisons.
+    Pivot {
+        cq: Cq,
+        head_names: Vec<String>,
+        residuals: Vec<Residual>,
+    },
+}
+
+/// A query being assembled against a shared engine — created by
+/// [`Estocada::query`] / [`Estocada::query_pattern`] /
+/// [`Estocada::query_pivot`], configured fluently, finished with
+/// [`QueryRequest::run`] (or [`QueryRequest::explain`]). Holds `&Estocada`:
+/// any number of requests may run concurrently.
+#[derive(Clone)]
+pub struct QueryRequest<'e> {
+    engine: &'e Estocada,
+    input: QueryInput,
+    opts: QueryOptions,
+}
+
+impl std::fmt::Debug for QueryRequest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryRequest")
+            .field("input", &self.input)
+            .field("opts", &self.opts)
+            .finish_non_exhaustive()
+    }
+}
+
+impl QueryRequest<'_> {
+    /// Set the parallel-backchase worker count for this query only.
+    pub fn with_rewrite_workers(mut self, workers: usize) -> Self {
+        self.opts.rewrite_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Set the chase trigger-search worker count for this query only.
+    pub fn with_chase_workers(mut self, workers: usize) -> Self {
+        self.opts.chase_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Plan and cost, but do not execute: [`QueryRequest::run`] returns an
+    /// empty row set with a fully populated report.
+    pub fn explain_only(mut self) -> Self {
+        self.opts.explain_only = true;
+        self
+    }
+
+    /// Bypass the rewrite-plan cache for this query (neither consulted nor
+    /// populated).
+    pub fn no_plan_cache(mut self) -> Self {
+        self.opts.plan_cache = false;
+        self
+    }
+
+    /// Replace all options at once.
+    pub fn with_options(mut self, opts: QueryOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The options as currently configured.
+    pub fn options(&self) -> QueryOptions {
+        self.opts
+    }
+
+    /// Run the query end to end (or plan-only with
+    /// [`QueryRequest::explain_only`]).
+    pub fn run(self) -> Result<QueryResult> {
+        let (cq, head_names, residuals) = match self.input {
+            QueryInput::Sql(sql) => {
+                let parsed = parse_sql(&sql, &self.engine.sql_catalog())?;
+                (parsed.cq, parsed.head_names, parsed.residuals)
+            }
+            QueryInput::Doc { pattern, select } => {
+                let sel: Vec<&str> = select.iter().map(String::as_str).collect();
+                let parsed = doc_query(&pattern, &sel)?;
+                (parsed.cq, parsed.head_names, Vec::new())
+            }
+            QueryInput::Pivot {
+                cq,
+                head_names,
+                residuals,
+            } => (cq, head_names, residuals),
+        };
+        self.engine
+            .run_planned(&cq, &head_names, &residuals, &self.opts)
+    }
+
+    /// Plan and cost without executing; returns the report alone.
+    pub fn explain(self) -> Result<Report> {
+        Ok(self.explain_only().run()?.report)
+    }
+}
+
+/// A planned (rewritten + translated + costed) query, shared by the
+/// execute and explain paths so the two can never drift.
+struct PlannedQuery {
+    outcome: Arc<RewriteOutcome>,
+    /// `Some(hit?)` when the plan cache was consulted.
+    cache_hit: Option<bool>,
+    rewrite_time: Duration,
+    alternatives: Vec<Alternative>,
+    /// Index into `alternatives` plus the executable translation of the
+    /// cheapest executable rewriting, when one exists.
+    best: Option<(usize, Translation)>,
+    translate_time: Duration,
+}
 
 /// The mediator.
 pub struct Estocada {
@@ -26,10 +231,22 @@ pub struct Estocada {
     cost: CostModel,
     datasets: HashMap<String, Dataset>,
     schema: Schema,
-    base: Option<Instance>,
+    /// The staged pivot fact base, built lazily on first use by whichever
+    /// query thread gets there first; reset (not rebuilt) by DDL.
+    base: OnceLock<Instance>,
     catalog: Catalog,
+    /// Base rewriting configuration (budgets and auto-sized worker
+    /// defaults); per-query [`QueryOptions`] refine it.
     rewrite_cfg: RewriteConfig,
+    /// Engine-default query options (what the deprecated global setters
+    /// adjust); per-query options override field-by-field.
+    default_opts: QueryOptions,
     frag_seq: usize,
+    /// The catalog epoch: bumped by every DDL operation. Tags plan-cache
+    /// entries so no query can ever run a plan computed against an older
+    /// catalog.
+    epoch: u64,
+    plan_cache: PlanCache,
 }
 
 impl Estocada {
@@ -50,7 +267,7 @@ impl Estocada {
             cost,
             datasets: HashMap::new(),
             schema: Schema::new(),
-            base: None,
+            base: OnceLock::new(),
             catalog: Catalog::new(),
             // The parallel backchase and the chase loops' trigger-search
             // phase are both deterministic at any worker count (identical
@@ -59,7 +276,10 @@ impl Estocada {
             rewrite_cfg: RewriteConfig::default()
                 .with_parallelism(estocada_parexec::default_parallelism())
                 .with_chase_parallelism(estocada_parexec::default_parallelism()),
+            default_opts: QueryOptions::default(),
             frag_seq: 0,
+            epoch: 0,
+            plan_cache: PlanCache::default(),
         }
     }
 
@@ -78,26 +298,71 @@ impl Estocada {
         &self.cost
     }
 
-    /// The rewriting configuration in effect.
-    pub fn rewrite_config(&self) -> &RewriteConfig {
-        &self.rewrite_cfg
+    /// The rewriting configuration queries run with by default (the base
+    /// configuration with the engine-default [`QueryOptions`] applied).
+    pub fn rewrite_config(&self) -> RewriteConfig {
+        self.effective_cfg(&QueryOptions::default())
+    }
+
+    /// The engine-default query options.
+    pub fn default_query_options(&self) -> QueryOptions {
+        self.default_opts
+    }
+
+    /// Replace the engine-default query options (DDL-time configuration;
+    /// per-query options still override field-by-field).
+    pub fn set_default_query_options(&mut self, opts: QueryOptions) {
+        self.default_opts = opts;
+    }
+
+    /// Enable or disable the rewrite-plan cache engine-wide. Disabling
+    /// also drops every cached entry.
+    pub fn set_plan_cache(&mut self, enabled: bool) {
+        self.default_opts.plan_cache = enabled;
+        if !enabled {
+            self.plan_cache.clear();
+        }
+    }
+
+    /// The current catalog epoch (bumped by every DDL operation).
+    pub fn catalog_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Rewrite-plan cache counters and size.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
     }
 
     /// Set the worker count of the parallel PACB backchase (candidate
-    /// verification). Any value yields the identical rewriting outcome;
-    /// `workers <= 1` runs serially.
+    /// verification) for every query that does not override it. Any value
+    /// yields the identical rewriting outcome; `workers <= 1` runs
+    /// serially.
+    #[deprecated(
+        note = "use the per-query builder: `engine.query(sql).with_rewrite_workers(n)` \
+                (or `set_default_query_options`)"
+    )]
     pub fn set_rewrite_parallelism(&mut self, workers: usize) {
-        self.rewrite_cfg.parallelism = workers.max(1);
+        self.default_opts.rewrite_workers = Some(workers.max(1));
     }
 
     /// Set the worker count of the chase loops' read-only trigger-search
-    /// phase (both the plain chase and the provenance backchase). Any
-    /// value yields identical chase results and rewriting outcomes;
-    /// `workers <= 1` searches serially.
+    /// phase (both the plain chase and the provenance backchase) for every
+    /// query that does not override it. Any value yields identical chase
+    /// results and rewriting outcomes; `workers <= 1` searches serially.
+    #[deprecated(
+        note = "use the per-query builder: `engine.query(sql).with_chase_workers(n)` \
+                (or `set_default_query_options`)"
+    )]
     pub fn set_chase_parallelism(&mut self, workers: usize) {
-        let workers = workers.max(1);
-        self.rewrite_cfg.chase.search_workers = workers;
-        self.rewrite_cfg.prov.search_workers = workers;
+        self.default_opts.chase_workers = Some(workers.max(1));
+    }
+
+    /// One DDL operation happened: advance the epoch and drop every cached
+    /// plan (they were computed against the previous catalog).
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.plan_cache.clear();
     }
 
     /// Register an application dataset (declares its pivot schema and
@@ -105,7 +370,8 @@ impl Estocada {
     pub fn register_dataset(&mut self, ds: Dataset) {
         ds.declare(&mut self.schema);
         self.datasets.insert(ds.name.clone(), ds);
-        self.base = None; // staging facts changed
+        self.base = OnceLock::new(); // staging facts changed
+        self.bump_epoch();
     }
 
     /// The registered datasets.
@@ -123,26 +389,26 @@ impl Estocada {
         &self.catalog
     }
 
-    fn ensure_base(&mut self) -> &Instance {
-        if self.base.is_none() {
+    /// The staged pivot fact base, built on first use (thread-safe: any
+    /// query thread may race here; exactly one builds).
+    fn base(&self) -> &Instance {
+        self.base.get_or_init(|| {
             let mut ids = IdGen::starting_at(1_000_000);
             let mut facts = Vec::new();
             for ds in self.datasets.values() {
                 facts.extend(ds.pivot_facts(&mut ids));
             }
-            self.base = Some(fact_base(&facts));
-        }
-        self.base.as_ref().unwrap()
+            fact_base(&facts)
+        })
     }
 
     /// Materialize a fragment; returns its id.
     pub fn add_fragment(&mut self, spec: FragmentSpec) -> Result<String> {
         self.frag_seq += 1;
         let id = format!("F{}", self.frag_seq);
-        self.ensure_base();
-        let base = self.base.as_ref().unwrap();
-        let meta = materialize(&id, spec, base, &self.datasets, &self.stores)?;
+        let meta = materialize(&id, spec, self.base(), &self.datasets, &self.stores)?;
         self.catalog.add(meta);
+        self.bump_epoch();
         Ok(id)
     }
 
@@ -153,6 +419,7 @@ impl Estocada {
             .remove(id)
             .ok_or_else(|| Error::UnknownName(format!("fragment {id}")))?;
         drop_fragment(&meta, &self.stores);
+        self.bump_epoch();
         Ok(meta)
     }
 
@@ -181,52 +448,158 @@ impl Estocada {
         out
     }
 
-    /// Run a mini-SQL query end to end.
-    pub fn query_sql(&mut self, sql: &str) -> Result<QueryResult> {
-        let parsed = parse_sql(sql, &self.sql_catalog())?;
-        self.query_cq(parsed.cq, parsed.head_names, parsed.residuals)
+    /// Start building a mini-SQL query against this engine.
+    pub fn query(&self, sql: &str) -> QueryRequest<'_> {
+        QueryRequest {
+            engine: self,
+            input: QueryInput::Sql(sql.to_string()),
+            opts: QueryOptions::default(),
+        }
     }
 
-    /// Run a document tree-pattern query end to end.
-    pub fn query_doc(&mut self, pattern: &TreePattern, select: &[&str]) -> Result<QueryResult> {
-        let parsed = doc_query(pattern, select)?;
-        self.query_cq(parsed.cq, parsed.head_names, Vec::new())
+    /// Start building a document tree-pattern query against this engine.
+    pub fn query_pattern(&self, pattern: &TreePattern, select: &[&str]) -> QueryRequest<'_> {
+        QueryRequest {
+            engine: self,
+            input: QueryInput::Doc {
+                pattern: pattern.clone(),
+                select: select.iter().map(|s| s.to_string()).collect(),
+            },
+            opts: QueryOptions::default(),
+        }
     }
 
-    /// The core pipeline: pivot query → PACB rewriting → translation →
-    /// cost-based choice → execution → report.
+    /// Start building a pivot-CQ query against this engine.
+    pub fn query_pivot(
+        &self,
+        cq: Cq,
+        head_names: Vec<String>,
+        residuals: Vec<Residual>,
+    ) -> QueryRequest<'_> {
+        QueryRequest {
+            engine: self,
+            input: QueryInput::Pivot {
+                cq,
+                head_names,
+                residuals,
+            },
+            opts: QueryOptions::default(),
+        }
+    }
+
+    /// Run a mini-SQL query end to end with default options.
+    pub fn query_sql(&self, sql: &str) -> Result<QueryResult> {
+        self.query(sql).run()
+    }
+
+    /// Run a document tree-pattern query end to end with default options.
+    pub fn query_doc(&self, pattern: &TreePattern, select: &[&str]) -> Result<QueryResult> {
+        self.query_pattern(pattern, select).run()
+    }
+
+    /// Run a pivot-CQ query end to end with default options: pivot query →
+    /// PACB rewriting → translation → cost-based choice → execution →
+    /// report.
     pub fn query_cq(
-        &mut self,
+        &self,
         cq: Cq,
         head_names: Vec<String>,
         residuals: Vec<Residual>,
     ) -> Result<QueryResult> {
-        // 1. Rewriting under constraints.
-        let t0 = Instant::now();
-        let problem = RewriteProblem {
+        self.query_pivot(cq, head_names, residuals).run()
+    }
+
+    /// Explain a SQL query without executing it: rewritings and costs.
+    pub fn explain_sql(&self, sql: &str) -> Result<Report> {
+        self.query(sql).explain()
+    }
+
+    /// Ground-truth evaluation of a pivot CQ directly over the staged
+    /// dataset facts — the oracle used by tests and the advisor (not a
+    /// production query path).
+    pub fn oracle_eval(&self, cq: &Cq) -> Vec<Vec<estocada_pivot::Value>> {
+        crate::materialize::evaluate_view(self.base(), cq)
+    }
+
+    /// Resolve per-query options against the engine defaults into the
+    /// rewriting configuration the query will run with.
+    fn effective_cfg(&self, opts: &QueryOptions) -> RewriteConfig {
+        let mut cfg = self.rewrite_cfg;
+        if let Some(n) = opts.rewrite_workers.or(self.default_opts.rewrite_workers) {
+            cfg.parallelism = n.max(1);
+        }
+        if let Some(n) = opts.chase_workers.or(self.default_opts.chase_workers) {
+            cfg.chase.search_workers = n.max(1);
+            cfg.prov.search_workers = n.max(1);
+        }
+        cfg
+    }
+
+    /// The rewriting problem of `cq` against the current catalog + schema.
+    fn rewrite_problem(&self, cq: &Cq) -> RewriteProblem {
+        RewriteProblem {
             query: cq.clone(),
             views: self.catalog.view_defs(),
             source_constraints: self.schema.constraints.clone(),
             target_constraints: Vec::new(),
             access: self.catalog.access_map(),
-        };
-        let outcome = pacb_rewrite(&problem, &self.rewrite_cfg)?;
-        let rewrite_time = t0.elapsed();
-        if outcome.rewritings.is_empty() {
-            return Err(Error::NoRewriting {
-                query: format!("{cq}"),
-            });
         }
+    }
 
-        // 2. Translate every rewriting; keep the cheapest executable one.
+    /// The stable plan-cache key of a query. For residual-free queries the
+    /// key is the alpha-invariant canonical form; queries with residual
+    /// comparisons key on the exact CQ instead, because residual predicates
+    /// reference the query's concrete variable ids — two alpha-equivalent
+    /// variants with differently-numbered variables must not share a
+    /// cached outcome there.
+    fn plan_cache_key(cq: &Cq, residuals: &[Residual]) -> String {
+        if residuals.is_empty() {
+            let c = cq.canonicalize();
+            format!("c|{}|{:?}|{:?}", cq.name, c.head, c.body)
+        } else {
+            format!("x|{}|{:?}|{:?}|{:?}", cq.name, cq.head, cq.body, residuals)
+        }
+    }
+
+    /// The planning pipeline shared by execution and explain: rewrite
+    /// (through the plan cache when enabled), then translate every
+    /// rewriting and keep the cheapest executable one.
+    fn plan_cq(
+        &self,
+        cq: &Cq,
+        head_names: &[String],
+        residuals: &[Residual],
+        cfg: &RewriteConfig,
+        use_cache: bool,
+    ) -> Result<PlannedQuery> {
+        // 1. Rewriting under constraints (or a cache hit skipping it).
+        let t0 = Instant::now();
+        let (outcome, cache_hit) = if use_cache {
+            let key = Self::plan_cache_key(cq, residuals);
+            match self.plan_cache.lookup(&key, self.epoch) {
+                Some(outcome) => (outcome, Some(true)),
+                None => {
+                    let outcome = Arc::new(pacb_rewrite(&self.rewrite_problem(cq), cfg)?);
+                    self.plan_cache.insert(key, self.epoch, outcome.clone());
+                    (outcome, Some(false))
+                }
+            }
+        } else {
+            let outcome = Arc::new(pacb_rewrite(&self.rewrite_problem(cq), cfg)?);
+            (outcome, None)
+        };
+        let rewrite_time = t0.elapsed();
+
+        // 2. Translate every rewriting; keep the cheapest executable one
+        // (ties go to the earliest, as the serial loops always did).
         let t1 = Instant::now();
         let mut alternatives: Vec<Alternative> = Vec::new();
         let mut best: Option<(usize, Translation)> = None;
-        for rw in &outcome.rewritings {
+        for rw in outcome.rewritings.iter() {
             match translate(
                 rw,
-                &head_names,
-                &residuals,
+                head_names,
+                residuals,
                 &self.catalog,
                 &self.stores,
                 &self.cost,
@@ -253,11 +626,72 @@ impl Estocada {
                 }),
             }
         }
-        let translate_time = t1.elapsed();
-        let (chosen, translation) = best.ok_or_else(|| {
+        Ok(PlannedQuery {
+            outcome,
+            cache_hit,
+            rewrite_time,
+            alternatives,
+            best,
+            translate_time: t1.elapsed(),
+        })
+    }
+
+    /// This query's plan-cache activity for the report.
+    fn cache_activity(&self, cache_hit: Option<bool>) -> Option<PlanCacheActivity> {
+        cache_hit.map(|hit| PlanCacheActivity {
+            hit,
+            totals: self.plan_cache.stats(),
+        })
+    }
+
+    /// Plan `cq` and either execute it or stop at the report, per `opts`.
+    fn run_planned(
+        &self,
+        cq: &Cq,
+        head_names: &[String],
+        residuals: &[Residual],
+        opts: &QueryOptions,
+    ) -> Result<QueryResult> {
+        let cfg = self.effective_cfg(opts);
+        let use_cache = opts.plan_cache && self.default_opts.plan_cache;
+        let plan = self.plan_cq(cq, head_names, residuals, &cfg, use_cache)?;
+
+        if opts.explain_only {
+            // Explain reports cost every alternative but tolerate a query
+            // with no (executable) rewriting.
+            let (chosen, plan_text, delegated) = match &plan.best {
+                Some((idx, tr)) => (*idx, tr.plan.explain(), tr.unit_labels.clone()),
+                None => (0, String::from("(not executable)"), Vec::new()),
+            };
+            return Ok(QueryResult {
+                columns: head_names.to_vec(),
+                rows: Vec::new(),
+                report: Report {
+                    pivot_query: format!("{cq}"),
+                    universal_plan: format!("{}", plan.outcome.universal_plan),
+                    alternatives: plan.alternatives,
+                    chosen,
+                    plan: plan_text,
+                    delegated,
+                    per_store: Vec::new(),
+                    exec: Default::default(),
+                    rewrite_time: plan.rewrite_time,
+                    translate_time: plan.translate_time,
+                    complete_search: plan.outcome.complete,
+                    plan_cache: self.cache_activity(plan.cache_hit),
+                },
+            });
+        }
+
+        if plan.outcome.rewritings.is_empty() {
+            return Err(Error::NoRewriting {
+                query: format!("{cq}"),
+            });
+        }
+        let (chosen, translation) = plan.best.ok_or_else(|| {
             Error::Untranslatable(format!(
                 "none of the {} rewritings is executable",
-                outcome.rewritings.len()
+                plan.outcome.rewritings.len()
             ))
         })?;
 
@@ -280,89 +714,80 @@ impl Estocada {
             rows: batch.rows,
             report: Report {
                 pivot_query: format!("{cq}"),
-                universal_plan: format!("{}", outcome.universal_plan),
-                alternatives,
+                universal_plan: format!("{}", plan.outcome.universal_plan),
+                alternatives: plan.alternatives,
                 chosen,
                 plan: translation.plan.explain(),
                 delegated: translation.unit_labels,
                 per_store,
                 exec,
-                rewrite_time,
-                translate_time,
-                complete_search: outcome.complete,
+                rewrite_time: plan.rewrite_time,
+                translate_time: plan.translate_time,
+                complete_search: plan.outcome.complete,
+                plan_cache: self.cache_activity(plan.cache_hit),
             },
         })
     }
+}
 
-    /// Explain a SQL query without executing it: rewritings and costs.
-    pub fn explain_sql(&mut self, sql: &str) -> Result<Report> {
-        let parsed = parse_sql(sql, &self.sql_catalog())?;
-        let cq = parsed.cq;
-        let t0 = Instant::now();
-        let problem = RewriteProblem {
-            query: cq.clone(),
-            views: self.catalog.view_defs(),
-            source_constraints: self.schema.constraints.clone(),
-            target_constraints: Vec::new(),
-            access: self.catalog.access_map(),
-        };
-        let outcome = pacb_rewrite(&problem, &self.rewrite_cfg)?;
-        let rewrite_time = t0.elapsed();
-        let mut alternatives = Vec::new();
-        let mut chosen = 0usize;
-        let mut best_cost = f64::INFINITY;
-        let mut plan_text = String::from("(not executable)");
-        let mut delegated = Vec::new();
-        let t1 = Instant::now();
-        for rw in &outcome.rewritings {
-            match translate(
-                rw,
-                &parsed.head_names,
-                &parsed.residuals,
-                &self.catalog,
-                &self.stores,
-                &self.cost,
-            ) {
-                Ok(tr) => {
-                    if tr.est_cost < best_cost {
-                        best_cost = tr.est_cost;
-                        chosen = alternatives.len();
-                        plan_text = tr.plan.explain();
-                        delegated = tr.unit_labels.clone();
-                    }
-                    alternatives.push(Alternative {
-                        rewriting: format!("{rw}"),
-                        est_cost: Some(tr.est_cost),
-                        note: None,
-                    });
-                }
-                Err(e) => alternatives.push(Alternative {
-                    rewriting: format!("{rw}"),
-                    est_cost: None,
-                    note: Some(format!("{e}")),
-                }),
-            }
-        }
-        Ok(Report {
-            pivot_query: format!("{cq}"),
-            universal_plan: format!("{}", outcome.universal_plan),
-            alternatives,
-            chosen,
-            plan: plan_text,
-            delegated,
-            per_store: Vec::new(),
-            exec: Default::default(),
-            rewrite_time,
-            translate_time: t1.elapsed(),
-            complete_search: outcome.complete,
-        })
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estocada_is_sync_and_send() {
+        // The whole point of the shared-read API: one engine, any number
+        // of query threads.
+        fn assert_shared<T: Sync + Send>() {}
+        assert_shared::<Estocada>();
     }
 
-    /// Ground-truth evaluation of a pivot CQ directly over the staged
-    /// dataset facts — the oracle used by tests and the advisor (not a
-    /// production query path).
-    pub fn oracle_eval(&mut self, cq: &Cq) -> Vec<Vec<estocada_pivot::Value>> {
-        self.ensure_base();
-        crate::materialize::evaluate_view(self.base.as_ref().unwrap(), cq)
+    #[test]
+    fn ddl_bumps_the_catalog_epoch() {
+        use estocada_pivot::encoding::relational::TableEncoding;
+        let mut est = Estocada::in_memory();
+        assert_eq!(est.catalog_epoch(), 0);
+        est.register_dataset(Dataset::relational(
+            "d",
+            vec![crate::dataset::TableData {
+                encoding: TableEncoding::new("T", &["k", "v"], Some(&["k"])),
+                rows: vec![vec![
+                    estocada_pivot::Value::Int(1),
+                    estocada_pivot::Value::Int(2),
+                ]],
+                text_columns: vec![],
+            }],
+        ));
+        assert_eq!(est.catalog_epoch(), 1);
+        let id = est
+            .add_fragment(FragmentSpec::NativeTables {
+                dataset: "d".into(),
+                only: None,
+            })
+            .unwrap();
+        assert_eq!(est.catalog_epoch(), 2);
+        est.drop_fragment(&id).unwrap();
+        assert_eq!(est.catalog_epoch(), 3);
+    }
+
+    #[test]
+    fn options_resolve_against_engine_defaults() {
+        let mut est = Estocada::in_memory();
+        #[allow(deprecated)]
+        {
+            est.set_rewrite_parallelism(3);
+            est.set_chase_parallelism(2);
+        }
+        let d = est.rewrite_config();
+        assert_eq!(d.parallelism, 3);
+        assert_eq!(d.chase.search_workers, 2);
+        assert_eq!(d.prov.search_workers, 2);
+        // Per-query override wins.
+        let cfg = est.effective_cfg(&QueryOptions {
+            rewrite_workers: Some(7),
+            ..QueryOptions::default()
+        });
+        assert_eq!(cfg.parallelism, 7);
+        assert_eq!(cfg.chase.search_workers, 2);
     }
 }

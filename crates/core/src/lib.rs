@@ -25,6 +25,7 @@ pub mod error;
 pub mod evaluator;
 pub mod frontends;
 pub mod materialize;
+pub mod plancache;
 pub mod report;
 pub mod system;
 pub mod translate;
@@ -35,6 +36,7 @@ pub use connector::{ResOp, Residual};
 pub use cost::CostModel;
 pub use dataset::{Dataset, DatasetContent, DocData, TableData};
 pub use error::{Error, Result};
-pub use evaluator::Estocada;
-pub use report::{QueryResult, Report};
+pub use evaluator::{Estocada, QueryOptions, QueryRequest};
+pub use plancache::{PlanCache, PlanCacheStats};
+pub use report::{PlanCacheActivity, QueryResult, Report};
 pub use system::{Latencies, Stores, SystemId};

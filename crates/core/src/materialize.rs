@@ -387,7 +387,7 @@ pub fn materialize(
         relations,
         stats,
         credentials: format!("sim://{id}"),
-        use_count: 0,
+        use_count: Default::default(),
     })
 }
 

@@ -1,0 +1,288 @@
+//! The epoch-keyed rewrite-plan cache behind the shared `&self` query path.
+//!
+//! PACB rewriting is a pure function of `(query CQ, catalog views, schema
+//! constraints, access map)` — and since PR 2 it is *deterministic* at any
+//! worker count, which is what makes an outcome computed by one query
+//! thread safely reusable by every other. The catalog/schema inputs are
+//! summarized by the mediator's **catalog epoch** (bumped by every DDL
+//! operation: `register_dataset`, `add_fragment`, `drop_fragment`), so the
+//! cache key is `(canonical CQ, epoch)`: any DDL invalidates the whole
+//! cache wholesale (the epoch no longer matches), and repeat query shapes
+//! within an epoch skip the chase & backchase entirely.
+//!
+//! The map is a small sharded `RwLock<HashMap>` (reads take a shard read
+//! lock only), bounded by a per-shard FIFO: the cache can never grow past
+//! [`PlanCache::capacity`] entries no matter how many distinct ad-hoc
+//! shapes a workload produces. Entries store `Arc<RewriteOutcome>`, so a
+//! hit is one clone of a pointer. Hit/miss counters are relaxed atomics
+//! surfaced per query in [`crate::report::Report::plan_cache`].
+//!
+//! Two threads racing on the same cold key both compute the outcome and
+//! both try to insert; determinism makes the two outcomes identical, so
+//! first-insert-wins is correct and the loser merely did redundant work
+//! (exactly what the serial run would have computed).
+
+use estocada_chase::RewriteOutcome;
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shard count: enough to keep concurrent readers of distinct shapes off
+/// each other's locks, small enough that `len()` stays trivial.
+const SHARDS: usize = 16;
+
+/// Default bound on cached outcomes across all shards.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 1_024;
+
+/// Counters and size of the plan cache at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache since construction / last reset.
+    pub hits: u64,
+    /// Lookups that had to run the backchase.
+    pub misses: u64,
+    /// Outcomes currently cached.
+    pub entries: usize,
+}
+
+struct Entry {
+    epoch: u64,
+    outcome: Arc<RewriteOutcome>,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<String, Entry>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<String>,
+}
+
+/// A bounded, sharded, epoch-keyed map `canonical CQ → Arc<RewriteOutcome>`
+/// (see the module docs).
+pub struct PlanCache {
+    shards: Vec<RwLock<Shard>>,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache bounded to roughly `capacity` outcomes (rounded up to a
+    /// multiple of the shard count; `capacity = 0` disables storage but
+    /// still counts misses).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+            per_shard: capacity.div_ceil(SHARDS),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Total entry bound.
+    pub fn capacity(&self) -> usize {
+        self.per_shard * SHARDS
+    }
+
+    fn shard(&self, key: &str) -> &RwLock<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// The cached outcome for `key` at `epoch`, if any. An entry from an
+    /// older epoch never matches (DDL bumped the epoch past it). Counts a
+    /// hit or a miss.
+    pub fn lookup(&self, key: &str, epoch: u64) -> Option<Arc<RewriteOutcome>> {
+        let found = {
+            let shard = self.shard(key).read();
+            shard
+                .map
+                .get(key)
+                .filter(|e| e.epoch == epoch)
+                .map(|e| e.outcome.clone())
+        };
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Cache `outcome` under `(key, epoch)`. First insert wins on a racing
+    /// key (the outcomes are identical by determinism); a stale-epoch entry
+    /// under the same key is replaced in place. At capacity the oldest
+    /// entry of the key's shard is evicted (FIFO).
+    pub fn insert(&self, key: String, epoch: u64, outcome: Arc<RewriteOutcome>) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard(&key).write();
+        if let Some(existing) = shard.map.get_mut(&key) {
+            if existing.epoch != epoch {
+                *existing = Entry { epoch, outcome };
+            }
+            return;
+        }
+        while shard.map.len() >= self.per_shard {
+            match shard.order.pop_front() {
+                Some(old) => {
+                    shard.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        shard.order.push_back(key.clone());
+        shard.map.insert(key, Entry { epoch, outcome });
+    }
+
+    /// Drop every entry (the DDL path calls this on each epoch bump — the
+    /// epoch tag alone already makes stale entries unreachable, clearing
+    /// eagerly just returns their memory).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut s = s.write();
+            s.map.clear();
+            s.order.clear();
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().map.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter + size snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("PlanCache")
+            .field("entries", &s.entries)
+            .field("capacity", &self.capacity())
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estocada_chase::{RewriteOutcome, RewriteStats};
+    use estocada_pivot::CqBuilder;
+
+    fn outcome(tag: &str) -> Arc<RewriteOutcome> {
+        Arc::new(RewriteOutcome {
+            rewritings: Vec::new(),
+            universal_plan: CqBuilder::new(tag)
+                .head_vars(["x"])
+                .atom("R", |a| a.v("x"))
+                .build(),
+            complete: true,
+            stats: RewriteStats::default(),
+        })
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let c = PlanCache::new(8);
+        assert!(c.lookup("q1", 0).is_none());
+        c.insert("q1".into(), 0, outcome("a"));
+        assert!(c.lookup("q1", 0).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let c = PlanCache::new(8);
+        c.insert("q1".into(), 0, outcome("a"));
+        assert!(c.lookup("q1", 1).is_none(), "stale epoch must miss");
+        // Re-inserting at the new epoch replaces in place.
+        c.insert("q1".into(), 1, outcome("b"));
+        assert!(c.lookup("q1", 1).is_some());
+        assert!(c.lookup("q1", 0).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let c = PlanCache::new(32);
+        for i in 0..10_000 {
+            c.insert(format!("q{i}"), 0, outcome("a"));
+        }
+        assert!(c.len() <= c.capacity(), "{} > {}", c.len(), c.capacity());
+        assert!(c.capacity() < 100);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let c = PlanCache::new(32);
+        for i in 0..20 {
+            c.insert(format!("q{i}"), 0, outcome("a"));
+        }
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn first_insert_wins_on_same_epoch() {
+        let c = PlanCache::new(8);
+        c.insert("q".into(), 0, outcome("first"));
+        c.insert("q".into(), 0, outcome("second"));
+        let got = c.lookup("q", 0).unwrap();
+        assert_eq!(got.universal_plan.name.to_string(), "first");
+    }
+
+    #[test]
+    fn concurrent_lookups_and_inserts_are_safe() {
+        let c = PlanCache::new(64);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..500 {
+                        let key = format!("q{}", (t * 31 + i) % 40);
+                        if c.lookup(&key, 0).is_none() {
+                            c.insert(key, 0, outcome("x"));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= 40);
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 8 * 500);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let c = PlanCache::new(0);
+        c.insert("q".into(), 0, outcome("a"));
+        assert!(c.lookup("q", 0).is_none());
+        assert_eq!(c.len(), 0);
+    }
+}

@@ -2,11 +2,25 @@
 //! chosen rewriting, the executable plan, and performance statistics split
 //! across the underlying DMSs and the ESTOCADA runtime.
 
+use crate::plancache::PlanCacheStats;
 use crate::system::SystemId;
 use estocada_engine::ExecStats;
 use estocada_simkit::MetricsSnapshot;
 use std::fmt;
 use std::time::Duration;
+
+/// What the rewrite-plan cache did for one query: whether this query's
+/// rewriting came from the cache (skipping the chase & backchase entirely),
+/// plus the engine-wide counters at report time. `None` in a [`Report`]
+/// means the cache was bypassed for the query (per-request opt-out or
+/// engine-level disable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheActivity {
+    /// This query's plan was served from the cache.
+    pub hit: bool,
+    /// Engine-wide hit/miss/size totals when the report was built.
+    pub totals: PlanCacheStats,
+}
 
 /// A considered rewriting alternative with its estimated cost.
 #[derive(Debug, Clone)]
@@ -38,12 +52,14 @@ pub struct Report {
     pub per_store: Vec<(SystemId, MetricsSnapshot)>,
     /// Engine counters.
     pub exec: ExecStats,
-    /// Time spent in PACB rewriting.
+    /// Time spent in PACB rewriting (or fetching the cached plan).
     pub rewrite_time: Duration,
     /// Time spent translating and costing.
     pub translate_time: Duration,
     /// Whether the rewriting search was provably complete.
     pub complete_search: bool,
+    /// Rewrite-plan cache activity (`None` when the cache was bypassed).
+    pub plan_cache: Option<PlanCacheActivity>,
 }
 
 impl fmt::Display for Report {
@@ -80,6 +96,20 @@ impl fmt::Display for Report {
                     m.requests, m.tuples_out, m.tuples_scanned, m.busy
                 )?;
             }
+        }
+        if let Some(pc) = &self.plan_cache {
+            writeln!(
+                f,
+                "plan cache:     {} (engine totals: {} hits / {} misses, {} entries)",
+                if pc.hit {
+                    "hit — backchase skipped"
+                } else {
+                    "miss"
+                },
+                pc.totals.hits,
+                pc.totals.misses,
+                pc.totals.entries,
+            )?;
         }
         Ok(())
     }

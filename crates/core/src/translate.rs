@@ -497,7 +497,7 @@ mod tests {
                 bytes: 200,
             }],
             credentials: String::new(),
-            use_count: 0,
+            use_count: Default::default(),
         });
         let kv_view = ViewDef::new(
             CqBuilder::new("UsersKV")
@@ -526,7 +526,7 @@ mod tests {
                 bytes: 200,
             }],
             credentials: String::new(),
-            use_count: 0,
+            use_count: Default::default(),
         });
         (catalog, stores)
     }

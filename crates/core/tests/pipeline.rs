@@ -261,7 +261,7 @@ fn full_text_contains_query() {
 
 #[test]
 fn no_rewriting_without_fragments() {
-    let mut est = marketplace();
+    let est = marketplace();
     let r = est.query_sql("SELECT u.name FROM Users u WHERE u.uid = 7");
     assert!(matches!(r, Err(estocada::Error::NoRewriting { .. })));
 }

@@ -25,7 +25,7 @@ fn tiny() -> Estocada {
 
 #[test]
 fn parse_errors_are_reported_not_panicked() {
-    let mut est = tiny();
+    let est = tiny();
     for bad in [
         "",
         "SELECT",
@@ -237,9 +237,9 @@ fn advisor_budget_limits_recommendations() {
         weight: 100.0,
     }];
     // Generous budget: the candidate fits.
-    let recs = recommend_under_budget(&mut est, &workload, 1_000_000).unwrap();
+    let recs = recommend_under_budget(&est, &workload, 1_000_000).unwrap();
     assert!(recs.iter().any(|r| matches!(r.action, Action::Add(_))));
     // Zero budget: only drop suggestions can remain.
-    let recs = recommend_under_budget(&mut est, &workload, 0).unwrap();
+    let recs = recommend_under_budget(&est, &workload, 0).unwrap();
     assert!(recs.iter().all(|r| matches!(r.action, Action::Drop(_))));
 }

@@ -13,7 +13,7 @@
 //!   40%").
 
 use crate::marketplace::{Marketplace, W1Query};
-use estocada::{Estocada, FragmentSpec, Latencies, QueryResult};
+use estocada::{Estocada, FragmentSpec, Latencies, QueryOptions, QueryResult};
 use estocada_pivot::encoding::document::{PatternStep, TreePattern};
 use estocada_pivot::{Cq, CqBuilder, Symbol, Term};
 use std::time::Duration;
@@ -163,26 +163,36 @@ pub fn deploy_materialized_join(m: &Marketplace, latencies: Latencies) -> Estoca
 }
 
 /// Pin the rewriting worker count of a deployment (the parallel-backchase
-/// knob). The rewriting outcome is identical at any value — deployments use
-/// this to trade rewriting latency against CPU, never correctness:
+/// knob) by adjusting its default [`QueryOptions`]. The rewriting outcome
+/// is identical at any value — deployments use this to trade rewriting
+/// latency against CPU, never correctness:
 /// `let est = with_rewrite_workers(deploy_baseline(&m, lat), 4);`
 pub fn with_rewrite_workers(mut est: Estocada, workers: usize) -> Estocada {
-    est.set_rewrite_parallelism(workers);
+    let opts = QueryOptions {
+        rewrite_workers: Some(workers.max(1)),
+        ..est.default_query_options()
+    };
+    est.set_default_query_options(opts);
     est
 }
 
 /// Pin the trigger-search worker count of the chase loops inside a
-/// deployment's rewriter (the phase-split knob). Like
-/// [`with_rewrite_workers`], the outcome is identical at any value —
-/// deployments use it to trade rewriting latency against CPU:
-/// `let est = with_chase_workers(deploy_baseline(&m, lat), 4);`
+/// deployment's rewriter (the phase-split knob) by adjusting its default
+/// [`QueryOptions`]. Like [`with_rewrite_workers`], the outcome is
+/// identical at any value — deployments use it to trade rewriting latency
+/// against CPU: `let est = with_chase_workers(deploy_baseline(&m, lat), 4);`
 pub fn with_chase_workers(mut est: Estocada, workers: usize) -> Estocada {
-    est.set_chase_parallelism(workers);
+    let opts = QueryOptions {
+        chase_workers: Some(workers.max(1)),
+        ..est.default_query_options()
+    };
+    est.set_default_query_options(opts);
     est
 }
 
-/// Run one W1 query, returning its result.
-pub fn run_w1_query(est: &mut Estocada, q: &W1Query) -> estocada::Result<QueryResult> {
+/// Run one W1 query, returning its result. Takes `&Estocada`: W1 clients
+/// share one engine.
+pub fn run_w1_query(est: &Estocada, q: &W1Query) -> estocada::Result<QueryResult> {
     match q {
         W1Query::PrefLookup(uid) => est.query_sql(&pref_sql(*uid)),
         W1Query::CartLookup(uid) => {
@@ -196,7 +206,7 @@ pub fn run_w1_query(est: &mut Estocada, q: &W1Query) -> estocada::Result<QueryRe
 /// Execute a W1 workload, summing *execution* time (stores + mediator
 /// runtime; excludes rewriting, which a deployed application pays once per
 /// query template — see EXPERIMENTS.md).
-pub fn run_w1_exec_time(est: &mut Estocada, workload: &[W1Query]) -> Duration {
+pub fn run_w1_exec_time(est: &Estocada, workload: &[W1Query]) -> Duration {
     let mut total = Duration::ZERO;
     for q in workload {
         let r = run_w1_query(est, q).expect("workload query failed");
@@ -224,25 +234,25 @@ mod tests {
     #[test]
     fn baseline_answers_all_w1_kinds() {
         let m = small();
-        let mut est = deploy_baseline(&m, Latencies::zero());
-        assert!(run_w1_query(&mut est, &W1Query::PrefLookup(3)).is_ok());
-        assert!(run_w1_query(&mut est, &W1Query::CartLookup(3)).is_ok());
-        assert!(run_w1_query(&mut est, &W1Query::UserOrders(3)).is_ok());
+        let est = deploy_baseline(&m, Latencies::zero());
+        assert!(run_w1_query(&est, &W1Query::PrefLookup(3)).is_ok());
+        assert!(run_w1_query(&est, &W1Query::CartLookup(3)).is_ok());
+        assert!(run_w1_query(&est, &W1Query::UserOrders(3)).is_ok());
     }
 
     #[test]
     fn rewrite_worker_count_does_not_change_answers() {
         let m = small();
-        let mut serial = with_rewrite_workers(deploy_kv_migrated(&m, Latencies::zero()), 1);
-        let mut parallel = with_rewrite_workers(deploy_kv_migrated(&m, Latencies::zero()), 4);
+        let serial = with_rewrite_workers(deploy_kv_migrated(&m, Latencies::zero()), 1);
+        let parallel = with_rewrite_workers(deploy_kv_migrated(&m, Latencies::zero()), 4);
         assert_eq!(parallel.rewrite_config().parallelism, 4);
         for q in [
             W1Query::PrefLookup(3),
             W1Query::CartLookup(7),
             W1Query::UserOrders(13),
         ] {
-            let a = run_w1_query(&mut serial, &q).unwrap();
-            let b = run_w1_query(&mut parallel, &q).unwrap();
+            let a = run_w1_query(&serial, &q).unwrap();
+            let b = run_w1_query(&parallel, &q).unwrap();
             assert_eq!(a.rows, b.rows, "{q:?} differs across worker counts");
             assert_eq!(
                 a.report.alternatives.len(),
@@ -255,8 +265,8 @@ mod tests {
     #[test]
     fn chase_worker_count_does_not_change_answers() {
         let m = small();
-        let mut serial = with_chase_workers(deploy_kv_migrated(&m, Latencies::zero()), 1);
-        let mut parallel = with_chase_workers(deploy_kv_migrated(&m, Latencies::zero()), 4);
+        let serial = with_chase_workers(deploy_kv_migrated(&m, Latencies::zero()), 1);
+        let parallel = with_chase_workers(deploy_kv_migrated(&m, Latencies::zero()), 4);
         assert_eq!(parallel.rewrite_config().chase.search_workers, 4);
         assert_eq!(parallel.rewrite_config().prov.search_workers, 4);
         for q in [
@@ -264,8 +274,8 @@ mod tests {
             W1Query::CartLookup(7),
             W1Query::UserOrders(13),
         ] {
-            let a = run_w1_query(&mut serial, &q).unwrap();
-            let b = run_w1_query(&mut parallel, &q).unwrap();
+            let a = run_w1_query(&serial, &q).unwrap();
+            let b = run_w1_query(&parallel, &q).unwrap();
             assert_eq!(a.rows, b.rows, "{q:?} differs across chase worker counts");
             assert_eq!(
                 a.report.alternatives.len(),
@@ -278,14 +288,14 @@ mod tests {
     #[test]
     fn kv_migrated_uses_kv_for_prefs_and_carts() {
         let m = small();
-        let mut est = deploy_kv_migrated(&m, Latencies::zero());
-        let r = run_w1_query(&mut est, &W1Query::PrefLookup(3)).unwrap();
+        let est = deploy_kv_migrated(&m, Latencies::zero());
+        let r = run_w1_query(&est, &W1Query::PrefLookup(3)).unwrap();
         assert!(
             r.report.delegated[0].starts_with("key-value: GET PrefsKV"),
             "got {:?}",
             r.report.delegated
         );
-        let r = run_w1_query(&mut est, &W1Query::CartLookup(3)).unwrap();
+        let r = run_w1_query(&est, &W1Query::CartLookup(3)).unwrap();
         assert!(
             r.report.delegated[0].starts_with("key-value: GET CartKV"),
             "got {:?}",
@@ -296,11 +306,11 @@ mod tests {
     #[test]
     fn kv_and_baseline_agree_on_results() {
         let m = small();
-        let mut base = deploy_baseline(&m, Latencies::zero());
-        let mut kv = deploy_kv_migrated(&m, Latencies::zero());
+        let base = deploy_baseline(&m, Latencies::zero());
+        let kv = deploy_kv_migrated(&m, Latencies::zero());
         for uid in [0, 1, 7, 13] {
-            let a = run_w1_query(&mut base, &W1Query::CartLookup(uid)).unwrap();
-            let b = run_w1_query(&mut kv, &W1Query::CartLookup(uid)).unwrap();
+            let a = run_w1_query(&base, &W1Query::CartLookup(uid)).unwrap();
+            let b = run_w1_query(&kv, &W1Query::CartLookup(uid)).unwrap();
             let mut ra = a.rows.clone();
             let mut rb = b.rows.clone();
             ra.sort();
@@ -312,8 +322,8 @@ mod tests {
     #[test]
     fn personalized_search_improves_with_materialized_join() {
         let m = small();
-        let mut before = deploy_kv_migrated(&m, Latencies::zero());
-        let mut after = deploy_materialized_join(&m, Latencies::zero());
+        let before = deploy_kv_migrated(&m, Latencies::zero());
+        let after = deploy_materialized_join(&m, Latencies::zero());
         let sql = personalized_sql(1, "laptop");
         let rb = before.query_sql(&sql).unwrap();
         let ra = after.query_sql(&sql).unwrap();

@@ -46,14 +46,16 @@ fn main() -> estocada::Result<()> {
 
     println!("== plans before advice ==");
     for (sql, _) in &workload_sql {
-        let r = est.query_sql(sql)?;
+        let r = est.query(sql).run()?;
         println!(
             "  {:?} in {:?}",
             r.report.delegated, r.report.exec.total_time
         );
     }
 
-    let recs = recommend(&mut est, &workload)?;
+    // Recommendation is read-only: it can run against the shared engine
+    // while query threads keep answering.
+    let recs = recommend(&est, &workload)?;
     println!("\n== recommendations ==");
     for r in &recs {
         let kind = match &r.action {

@@ -65,11 +65,13 @@ fn main() -> estocada::Result<()> {
         seed: 7,
     };
 
-    for (label, mut est) in [("vanilla", vanilla(cfg)?), ("hybrid", hybrid(cfg)?)] {
+    for (label, est) in [("vanilla", vanilla(cfg)?), ("hybrid", hybrid(cfg)?)] {
         println!("==== {label} configuration ====");
 
         // Warm up the stores and caches (one-shot timings otherwise carry
-        // thread-spawn and allocator noise).
+        // thread-spawn and allocator noise). This also primes the
+        // rewrite-plan cache: the measured repeats below skip the
+        // backchase entirely.
         est.query_sql(&q1_sql(2_000))?;
         est.query_sql(&q2_fetch_sql())?;
         est.query_sql(&q3_sql(19_900_000, 20_100_000))?;
@@ -132,6 +134,11 @@ fn main() -> estocada::Result<()> {
                 );
             }
         }
+        let pc = est.plan_cache_stats();
+        println!(
+            "plan cache: {} hits / {} misses ({} entries)",
+            pc.hits, pc.misses, pc.entries
+        );
         println!();
     }
     Ok(())

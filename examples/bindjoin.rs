@@ -71,10 +71,12 @@ fn main() -> estocada::Result<()> {
     // key-value store must see no request at all (an MGET of zero keys
     // would still be charged a round-trip).
     let before = est.stores.kv.metrics.snapshot().requests;
-    let empty = est.query_sql(
-        "SELECT o.oid, p.theme FROM Orders o, Prefs p \
-         WHERE p.uid = o.uid AND o.oid < 0",
-    )?;
+    let empty = est
+        .query(
+            "SELECT o.oid, p.theme FROM Orders o, Prefs p \
+             WHERE p.uid = o.uid AND o.oid < 0",
+        )
+        .run()?;
     println!("=== empty probe batch ===");
     println!(
         "rows: {}, kv requests charged: {}",

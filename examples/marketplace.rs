@@ -25,7 +25,7 @@ fn main() -> estocada::Result<()> {
     let lat = Latencies::datacenter();
 
     // --- Release 1: Postgres + MongoDB + SOLR + Spark. ---
-    let mut baseline = deploy_baseline(&m, lat);
+    let baseline = deploy_baseline(&m, lat);
     println!("== release 1: baseline deployment ==");
     for f in baseline.fragments() {
         println!(
@@ -36,22 +36,22 @@ fn main() -> estocada::Result<()> {
             f.relations.len()
         );
     }
-    let r = run_w1_query(&mut baseline, &W1Query::PrefLookup(3))?;
+    let r = run_w1_query(&baseline, &W1Query::PrefLookup(3))?;
     println!("\npreference lookup runs on: {}", r.report.delegated[0]);
-    let r = run_w1_query(&mut baseline, &W1Query::CartLookup(3))?;
+    let r = run_w1_query(&baseline, &W1Query::CartLookup(3))?;
     println!("cart lookup runs on:       {}", r.report.delegated[0]);
-    let t1 = run_w1_exec_time(&mut baseline, &workload);
+    let t1 = run_w1_exec_time(&baseline, &workload);
     println!("workload W1 execution time: {t1:?}");
 
     // --- Release 2: the team migrates prefs + carts to a key-value store.
     //     Under ESTOCADA this is *adding two fragments*; queries unchanged.
-    let mut kv = deploy_kv_migrated(&m, lat);
+    let kv = deploy_kv_migrated(&m, lat);
     println!("\n== release 2: key-value migration (adds PrefsKV, CartKV) ==");
-    let r = run_w1_query(&mut kv, &W1Query::PrefLookup(3))?;
+    let r = run_w1_query(&kv, &W1Query::PrefLookup(3))?;
     println!("preference lookup now runs on: {}", r.report.delegated[0]);
-    let r = run_w1_query(&mut kv, &W1Query::CartLookup(3))?;
+    let r = run_w1_query(&kv, &W1Query::CartLookup(3))?;
     println!("cart lookup now runs on:       {}", r.report.delegated[0]);
-    let t2 = run_w1_exec_time(&mut kv, &workload);
+    let t2 = run_w1_exec_time(&kv, &workload);
     println!(
         "workload W1 execution time: {t2:?}  ({:+.1}% vs baseline; paper: ~20% gain)",
         100.0 * (1.0 - t2.as_secs_f64() / t1.as_secs_f64())
@@ -66,7 +66,7 @@ fn main() -> estocada::Result<()> {
         "personalized search before: {:?} via {:?}",
         before.report.exec.total_time, before.report.delegated
     );
-    let mut mat = deploy_materialized_join(&m, lat);
+    let mat = deploy_materialized_join(&m, lat);
     let after = mat.query_sql(&sql)?;
     println!(
         "personalized search after:  {:?} via {:?}",
@@ -91,9 +91,15 @@ fn main() -> estocada::Result<()> {
             / after.report.exec.total_time.as_secs_f64().max(1e-12)
     );
 
-    // --- The demo's inspection step: show the full report of one query. ---
+    // --- The demo's inspection step: show the full report of one query,
+    //     built through the per-query options builder (the worker knobs
+    //     never change the outcome, only rewriting latency). ---
     println!("\n== rewriting pipeline of the cart lookup (demo step 2) ==");
-    let r = mat.query_doc(&cart_pattern(3), &["pid", "qty"])?;
+    let r = mat
+        .query_pattern(&cart_pattern(3), &["pid", "qty"])
+        .with_rewrite_workers(2)
+        .with_chase_workers(2)
+        .run()?;
     println!("{}", r.report);
 
     println!("pref SQL used throughout:  {}", pref_sql(3));

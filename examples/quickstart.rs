@@ -6,6 +6,11 @@
 //! prefers, and the full rewriting pipeline (pivot query, universal plan,
 //! alternatives, executable plan, per-store statistics) is printed.
 //!
+//! Queries go through the `&self` query builder (`est.query(sql).run()`),
+//! so after DDL the engine can be shared read-only across client threads —
+//! the final step answers the same point query from four threads at once,
+//! with repeats served from the rewrite-plan cache.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use estocada::{Dataset, Estocada, FragmentSpec, Latencies, TableData};
@@ -53,9 +58,11 @@ fn main() -> estocada::Result<()> {
         println!("{f}");
     }
 
-    // 4. A point query: ESTOCADA rewrites it over both fragments and picks
-    //    the key-value plan (cheapest per-request cost).
-    let result = est.query_sql("SELECT u.name, u.tier FROM Users u WHERE u.uid = 42")?;
+    // 4. A point query through the query builder: ESTOCADA rewrites it
+    //    over both fragments and picks the key-value plan (cheapest
+    //    per-request cost).
+    let sql = "SELECT u.name, u.tier FROM Users u WHERE u.uid = 42";
+    let result = est.query(sql).run()?;
     println!("=== query result ===");
     println!("{:?} -> {:?}", result.columns, result.rows);
     println!();
@@ -63,10 +70,34 @@ fn main() -> estocada::Result<()> {
     println!("{}", result.report);
 
     // 5. A scan query: the key-value fragment is infeasible (its key must
-    //    be bound), so the relational fragment serves it.
-    let scan = est.query_sql("SELECT u.uid FROM Users u WHERE u.tier = 'gold'")?;
-    println!("=== scan query ===");
+    //    be bound), so the relational fragment serves it. `explain_only`
+    //    plans and costs without touching the stores.
+    let scan_sql = "SELECT u.uid FROM Users u WHERE u.tier = 'gold'";
+    let explained = est.query(scan_sql).explain_only().run()?;
+    println!("=== scan query, explained first ===");
+    println!("planned unit: {}", explained.report.delegated[0]);
+    let scan = est.query(scan_sql).run()?;
     println!("gold users: {}", scan.rows.len());
     println!("chosen unit: {}", scan.report.delegated[0]);
+
+    // 6. The query path takes `&self`: share the engine across client
+    //    threads. The first run of each shape paid the rewrite; these
+    //    repeats hit the plan cache and skip the backchase entirely.
+    let shared = &est;
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            s.spawn(move || {
+                let r = shared.query(sql).run().expect("shared query");
+                assert_eq!(r.rows.len(), 1);
+                let pc = r.report.plan_cache.expect("cache consulted");
+                println!("thread {t}: {:?} (plan cache hit: {})", r.rows[0], pc.hit);
+            });
+        }
+    });
+    let stats = est.plan_cache_stats();
+    println!(
+        "plan cache after the burst: {} hits / {} misses, {} entries",
+        stats.hits, stats.misses, stats.entries
+    );
     Ok(())
 }

@@ -36,7 +36,7 @@ fn all_configurations_agree_on_w1() {
     ];
     for q in &workload {
         let reference = sorted(
-            run_w1_query(&mut configs[0], q)
+            run_w1_query(&configs[0], q)
                 .unwrap_or_else(|e| panic!("baseline failed on {q:?}: {e}"))
                 .rows,
         );
@@ -77,7 +77,7 @@ fn all_configurations_agree_on_personalized_search() {
 #[test]
 fn mediator_answers_match_oracle() {
     let m = generate(cfg());
-    let mut est = deploy_kv_migrated(&m, Latencies::zero());
+    let est = deploy_kv_migrated(&m, Latencies::zero());
     // The oracle evaluates the pivot CQ directly over the staged facts.
     let catalog = est.sql_catalog();
     for sql in [
@@ -96,7 +96,7 @@ fn mediator_answers_match_oracle() {
 #[test]
 fn text_search_is_consistent_with_titles() {
     let m = generate(cfg());
-    let mut est = deploy_baseline(&m, Latencies::zero());
+    let est = deploy_baseline(&m, Latencies::zero());
     let r = est
         .query_sql("SELECT p.pid, p.title FROM Products p WHERE CONTAINS(p.title, 'wireless')")
         .unwrap();
@@ -110,7 +110,7 @@ fn text_search_is_consistent_with_titles() {
 #[test]
 fn report_splits_time_between_stores_and_runtime() {
     let m = generate(cfg());
-    let mut est = deploy_baseline(&m, Latencies::datacenter());
+    let est = deploy_baseline(&m, Latencies::datacenter());
     let r = est.query_sql(&personalized_sql(1, "laptop")).unwrap();
     let exec = &r.report.exec;
     assert!(exec.delegated_time > std::time::Duration::ZERO);
