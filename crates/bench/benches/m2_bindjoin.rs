@@ -95,7 +95,10 @@ fn ship_all_plan(kv: Arc<KvStore>, probes: i64) -> Plan {
         label: "kv full scan".into(),
         runner: Arc::new(move || {
             latency.charge(rows, bytes, rows);
-            RowBatch::new(vec!["k".into(), "name".into(), "score".into()], all.clone())
+            Ok(RowBatch::new(
+                vec!["k".into(), "name".into(), "score".into()],
+                all.clone(),
+            ))
         }),
     };
     Plan::HashJoin {

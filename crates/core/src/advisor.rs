@@ -110,6 +110,7 @@ fn current_cost(est: &Estocada, q: &WorkloadQuery) -> Option<f64> {
             est.catalog(),
             &est.stores,
             est.cost_model(),
+            None,
         ) {
             best = Some(best.map_or(tr.est_cost, |b: f64| b.min(tr.est_cost)));
         }

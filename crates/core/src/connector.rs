@@ -8,11 +8,15 @@ use crate::catalog::{DocRole, FragmentRelation, FragmentStats, WhereSpec};
 use crate::error::{Error, Result};
 use crate::system::{Stores, SystemId};
 use estocada_docstore::{DocQuery, QueryNode};
-use estocada_engine::{BindSource, RowBatch, Tuple};
+use estocada_engine::{BindSource, RowBatch, StoreError, Tuple};
 use estocada_pivot::{Atom, Term, Value, Var};
 use estocada_relstore::{CmpOp as RelOp, ColRef, Pred, SqlQuery};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Result of a fallible store call (the crate-level [`Result`] alias
+/// carries [`Error`], so store-error results spell their type out).
+pub type StoreResult<T> = std::result::Result<T, StoreError>;
 
 /// Column name carrying variable `v` through engine plans.
 pub fn var_col(v: Var) -> String {
@@ -135,8 +139,10 @@ pub struct Unit {
 
 /// Executable form of a unit.
 pub enum UnitKind {
-    /// Runs standalone (free access).
-    Run(Arc<dyn Fn() -> RowBatch + Send + Sync>),
+    /// Runs standalone (free access). The runner is fallible: a store
+    /// failure propagates as [`StoreError`] instead of decaying to an
+    /// empty row set.
+    Run(Arc<dyn Fn() -> StoreResult<RowBatch> + Send + Sync>),
     /// Must be probed with bound inputs.
     Bind(Arc<dyn BindSource>),
 }
@@ -294,9 +300,10 @@ pub fn sql_unit(
     let label = format!("relational: {q}");
     let rel_store = stores.rel.clone();
     let ov = out_vars.clone();
+    // A store failure must propagate — never decay to an empty row set.
     let runner = move || {
-        let rows = rel_store.query(&q).unwrap_or_default();
-        batch_of(&ov, rows)
+        let rows = rel_store.try_query(&q)?;
+        Ok(batch_of(&ov, rows))
     };
     Ok(Unit {
         label,
@@ -337,14 +344,14 @@ pub fn kv_unit(
             let ov = out_vars.clone();
             let vt = value_terms.clone();
             let runner = move || {
-                let rows = match kv.get(&namespace, &key) {
+                let rows = match kv.try_get(&namespace, &key)? {
                     Some(values) => unpack_kv_rows(&values)
                         .into_iter()
                         .filter_map(|cells| bind_row(&vt, &cells, &HashMap::new(), &ov))
                         .collect(),
                     None => Vec::new(),
                 };
-                batch_of(&ov, rows)
+                Ok(batch_of(&ov, rows))
             };
             Ok(Unit {
                 label,
@@ -408,6 +415,25 @@ pub fn kv_unit(
                         })
                         .collect()
                 }
+                fn try_fetch(&self, key: &[Value]) -> StoreResult<Vec<Tuple>> {
+                    Ok(match self.kv.try_get(&self.namespace, &key[0])? {
+                        Some(values) => self.decode(&key[0], &values),
+                        None => Vec::new(),
+                    })
+                }
+                fn try_fetch_batch(&self, keys: &[Vec<Value>]) -> StoreResult<Vec<Vec<Tuple>>> {
+                    let flat: Vec<Value> = keys.iter().map(|k| k[0].clone()).collect();
+                    Ok(self
+                        .kv
+                        .try_mget(&self.namespace, &flat)?
+                        .into_iter()
+                        .zip(keys)
+                        .map(|(hit, key)| match hit {
+                            Some(values) => self.decode(&key[0], &values),
+                            None => Vec::new(),
+                        })
+                        .collect())
+                }
                 fn label(&self) -> String {
                     self.label.clone()
                 }
@@ -468,12 +494,12 @@ pub fn text_unit(
             let ov = out_vars.clone();
             let kt = key_term.clone();
             let runner = move || {
-                let keys = text.term_lookup(&index, &term_s);
+                let keys = text.try_term_lookup(&index, &term_s)?;
                 let rows: Vec<Tuple> = keys
                     .into_iter()
                     .filter_map(|k| bind_row(std::slice::from_ref(&kt), &[k], &HashMap::new(), &ov))
                     .collect();
-                batch_of(&ov, rows)
+                Ok(batch_of(&ov, rows))
             };
             Ok(Unit {
                 label,
@@ -518,6 +544,27 @@ pub fn text_unit(
                             )
                         })
                         .collect()
+                }
+                fn try_fetch(&self, key: &[Value]) -> StoreResult<Vec<Tuple>> {
+                    let Some(term) = key[0].as_str() else {
+                        return Ok(Vec::new());
+                    };
+                    Ok(self
+                        .text
+                        .try_term_lookup(&self.index, term)?
+                        .into_iter()
+                        .filter_map(|k| {
+                            bind_row(
+                                std::slice::from_ref(&self.key_term),
+                                &[k],
+                                &HashMap::new(),
+                                &self.out_vars,
+                            )
+                        })
+                        .collect())
+                }
+                fn try_fetch_batch(&self, keys: &[Vec<Value>]) -> StoreResult<Vec<Vec<Tuple>>> {
+                    keys.iter().map(|k| self.try_fetch(k)).collect()
                 }
                 fn label(&self) -> String {
                     self.label.clone()
@@ -578,7 +625,7 @@ pub fn doc_rows_unit(
     let terms = atom.args.clone();
     let runner = move || {
         let paths: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
-        let docs = doc.find(&collection, &filter, Some(&paths));
+        let docs = doc.try_find(&collection, &filter, Some(&paths))?;
         let rows: Vec<Tuple> = docs
             .into_iter()
             .filter_map(|d| {
@@ -589,7 +636,7 @@ pub fn doc_rows_unit(
                 bind_row(&terms, &values, &HashMap::new(), &ov)
             })
             .collect();
-        batch_of(&ov, rows)
+        Ok(batch_of(&ov, rows))
     };
     Ok(Unit {
         label,
@@ -699,9 +746,9 @@ fn par_scan_unit(
     let all_vars = var_positions.len() == terms.len();
     let runner = move || {
         let rows_raw = if use_index {
-            par.lookup(&dataset, &key, &preds)
+            par.try_lookup(&dataset, &key, &preds)?
         } else {
-            par.scan(&dataset, &preds, None)
+            par.try_scan(&dataset, &preds, None)?
         };
         let rows: Vec<Tuple> = if plain && all_vars {
             rows_raw
@@ -716,7 +763,7 @@ fn par_scan_unit(
                 .filter_map(|r| bind_row(&terms, &r, &HashMap::new(), &ov))
                 .collect()
         };
-        batch_of(&ov, rows)
+        Ok(batch_of(&ov, rows))
     };
     Ok(Unit {
         label,
@@ -790,7 +837,7 @@ fn par_join_unit(
     let runner = move || {
         let lk: Vec<&str> = lkeys.iter().map(|s| s.as_str()).collect();
         let rk: Vec<&str> = rkeys.iter().map(|s| s.as_str()).collect();
-        let rows_raw = par.join(&lds, &rds, &lk, &rk);
+        let rows_raw = par.try_join(&lds, &rds, &lk, &rk)?;
         let rows: Vec<Tuple> = if needs_bind {
             rows_raw
                 .into_iter()
@@ -802,7 +849,7 @@ fn par_join_unit(
                 .map(|r| var_first_pos.iter().map(|i| r[*i].clone()).collect())
                 .collect()
         };
-        batch_of(&ov, rows)
+        Ok(batch_of(&ov, rows))
     };
     let est = (lstats.rows.max(1) as f64 * rstats.rows.max(1) as f64)
         / lstats
@@ -976,8 +1023,8 @@ pub fn doc_tree_unit(
     let doc = stores.doc.clone();
     let ov = ordered_vars.clone();
     let runner = move || {
-        let (_cols, rows) = doc.query(&q);
-        batch_of(&ov, rows)
+        let (_cols, rows) = doc.try_query(&q)?;
+        Ok(batch_of(&ov, rows))
     };
     // A top-level equality makes the store's path index applicable.
     let indexed = !val_eq.is_empty();

@@ -30,6 +30,12 @@ pub struct CostModel {
     pub parallel: CostParams,
     /// Mediator runtime cost per tuple flowing through an operator.
     pub runtime_per_tuple: f64,
+    /// Additive penalty per plan backend whose circuit breaker is open
+    /// (or that already failed in the current query) — large enough to
+    /// make any healthy plan cheaper than any plan through a tripped
+    /// store. When every breaker is closed no penalty applies, so the
+    /// fault-free plan choice is identical to a model without it.
+    pub open_circuit_penalty: f64,
 }
 
 impl CostModel {
@@ -47,7 +53,15 @@ impl CostModel {
             text: conv(l.text),
             parallel: conv(l.parallel),
             runtime_per_tuple: 0.05,
+            open_circuit_penalty: 1.0e12,
         }
+    }
+
+    /// `base` cost plus the unhealthy-backend penalty for `avoided`
+    /// backends the plan touches. With `avoided == 0` this is exactly
+    /// `base`.
+    pub fn penalize(&self, base: f64, avoided: usize) -> f64 {
+        base + self.open_circuit_penalty * avoided as f64
     }
 
     /// Parameters of one system.
@@ -90,6 +104,14 @@ mod tests {
             m.request_cost(SystemId::Document, 1.0, 0.0)
                 < m.request_cost(SystemId::Parallel, 1.0, 0.0)
         );
+    }
+
+    #[test]
+    fn penalty_is_identity_when_all_breakers_closed() {
+        let m = CostModel::default();
+        assert_eq!(m.penalize(123.5, 0), 123.5);
+        // One tripped backend dwarfs any realistic plan cost.
+        assert!(m.penalize(0.0, 1) > m.request_cost(SystemId::Parallel, 1e9, 1e9));
     }
 
     #[test]

@@ -4,6 +4,18 @@ use estocada_chase::{ChaseError, RewriteError};
 use estocada_engine::EngineError;
 use std::fmt;
 
+/// One failed plan attempt, as recorded by [`Error::AllPlansFailed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanFailure {
+    /// Index of the attempted alternative (into the report's rewriting
+    /// list).
+    pub alternative: usize,
+    /// The rewriting as text.
+    pub rewriting: String,
+    /// The store failure that killed the attempt.
+    pub error: String,
+}
+
 /// Any failure surfaced by the ESTOCADA mediator.
 #[derive(Debug)]
 pub enum Error {
@@ -27,6 +39,15 @@ pub enum Error {
     Chase(ChaseError),
     /// Invalid fragment specification.
     BadFragment(String),
+    /// Every executable rewriting of the query was attempted and every one
+    /// failed on a store error (after retries, breaker rejections, and
+    /// plan failover).
+    AllPlansFailed {
+        /// The query name.
+        query: String,
+        /// Every attempted plan with its failure, in attempt order.
+        attempts: Vec<PlanFailure>,
+    },
 }
 
 impl fmt::Display for Error {
@@ -43,6 +64,21 @@ impl fmt::Display for Error {
             Error::Engine(e) => write!(f, "execution error: {e}"),
             Error::Chase(e) => write!(f, "chase error: {e}"),
             Error::BadFragment(m) => write!(f, "invalid fragment: {m}"),
+            Error::AllPlansFailed { query, attempts } => {
+                write!(
+                    f,
+                    "all {} executable plan(s) for query {query} failed",
+                    attempts.len()
+                )?;
+                for a in attempts {
+                    write!(
+                        f,
+                        "; alternative {} [{}]: {}",
+                        a.alternative, a.rewriting, a.error
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }

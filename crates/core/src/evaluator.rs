@@ -56,18 +56,24 @@ use crate::catalog::{Catalog, FragmentMeta, FragmentSpec};
 use crate::connector::Residual;
 use crate::cost::CostModel;
 use crate::dataset::{Dataset, DatasetContent};
+use crate::error::PlanFailure;
 use crate::error::{Error, Result};
 use crate::frontends::{doc_query, parse_sql, SqlCatalog, SqlTable};
 use crate::materialize::{drop_fragment, fact_base, materialize};
 use crate::plancache::{PlanCache, PlanCacheStats};
 use crate::report::{Alternative, PlanCacheActivity, QueryResult, Report};
-use crate::system::{Latencies, Stores};
+use crate::resilience::{
+    system_for_store, BackendHealth, BreakerConfig, HealthTracker, PlanAttempt, QueryResilience,
+    ResilienceReport, RetryPolicy,
+};
+use crate::system::{Latencies, Stores, SystemId};
 use crate::translate::{translate, Translation};
 use estocada_chase::{pacb_rewrite, Instance, RewriteConfig, RewriteOutcome, RewriteProblem};
-use estocada_engine::execute;
+use estocada_engine::{execute, EngineError};
 use estocada_pivot::encoding::document::TreePattern;
 use estocada_pivot::{Cq, IdGen, Schema};
-use std::collections::HashMap;
+use estocada_simkit::{FaultHook, FaultPlan};
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -90,6 +96,13 @@ pub struct QueryOptions {
     /// Consult/populate the rewrite-plan cache (on by default; the engine
     /// can also disable the cache globally).
     pub plan_cache: bool,
+    /// Retry policy for delegated store calls. `None` uses the engine
+    /// default ([`RetryPolicy::default`] unless reconfigured).
+    pub retry: Option<RetryPolicy>,
+    /// Per-query wall-clock budget, measured from query start: retries
+    /// stop backing off and failover stops trying further plans once
+    /// exceeded. `None` means unbounded.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for QueryOptions {
@@ -99,7 +112,23 @@ impl Default for QueryOptions {
             chase_workers: None,
             explain_only: false,
             plan_cache: true,
+            retry: None,
+            deadline: None,
         }
+    }
+}
+
+impl QueryOptions {
+    /// Set the retry policy for delegated store calls.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Set the wall-clock budget of the execution phase.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -166,6 +195,18 @@ impl QueryRequest<'_> {
     /// populated).
     pub fn no_plan_cache(mut self) -> Self {
         self.opts.plan_cache = false;
+        self
+    }
+
+    /// Set the retry policy for this query's delegated store calls.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.opts.retry = Some(policy);
+        self
+    }
+
+    /// Set the wall-clock budget of this query's execution phase.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.opts.deadline = Some(deadline);
         self
     }
 
@@ -247,6 +288,10 @@ pub struct Estocada {
     /// catalog.
     epoch: u64,
     plan_cache: PlanCache,
+    /// Per-backend circuit breakers, shared by every query.
+    health: Arc<HealthTracker>,
+    /// The installed fault-injection plan, if any.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Estocada {
@@ -280,6 +325,8 @@ impl Estocada {
             frag_seq: 0,
             epoch: 0,
             plan_cache: PlanCache::default(),
+            health: Arc::new(HealthTracker::default()),
+            fault_plan: None,
         }
     }
 
@@ -322,6 +369,56 @@ impl Estocada {
         if !enabled {
             self.plan_cache.clear();
         }
+    }
+
+    /// Install (or clear, with `None`) a seeded fault-injection plan. Each
+    /// store receives a [`FaultHook`] keyed by its selector name
+    /// (`relational`, `key-value`, `document`, `text`, `parallel`);
+    /// subsequent delegated calls consult the hook before every simulated
+    /// request. An empty plan (or `None`) removes every hook, restoring
+    /// the bit-identical clean path.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan.clone().filter(|p| !p.is_empty());
+        match &self.fault_plan {
+            Some(p) => {
+                let p = Arc::new(p.clone());
+                let hook = |name: &str| Some(Arc::new(FaultHook::new(p.clone(), name)));
+                self.stores.rel.set_fault_hook(hook("relational"));
+                self.stores.kv.set_fault_hook(hook("key-value"));
+                self.stores.doc.set_fault_hook(hook("document"));
+                self.stores.text.set_fault_hook(hook("text"));
+                self.stores.par.set_fault_hook(hook("parallel"));
+            }
+            None => {
+                self.stores.rel.set_fault_hook(None);
+                self.stores.kv.set_fault_hook(None);
+                self.stores.doc.set_fault_hook(None);
+                self.stores.text.set_fault_hook(None);
+                self.stores.par.set_fault_hook(None);
+            }
+        }
+    }
+
+    /// The installed fault-injection plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Replace the circuit-breaker thresholds (DDL-time configuration).
+    /// Resets every breaker to closed.
+    pub fn set_breaker_config(&mut self, cfg: BreakerConfig) {
+        self.health = Arc::new(HealthTracker::new(cfg));
+    }
+
+    /// Current breaker state and health counters of every backend.
+    pub fn backend_health(&self) -> Vec<(SystemId, BackendHealth)> {
+        self.health.snapshot()
+    }
+
+    /// Close every breaker and zero the health counters (e.g. after a
+    /// scripted outage ends).
+    pub fn reset_backend_health(&self) {
+        self.health.reset();
     }
 
     /// The current catalog epoch (bumped by every DDL operation).
@@ -571,6 +668,7 @@ impl Estocada {
         residuals: &[Residual],
         cfg: &RewriteConfig,
         use_cache: bool,
+        ctx: Option<&Arc<QueryResilience>>,
     ) -> Result<PlannedQuery> {
         // 1. Rewriting under constraints (or a cache hit skipping it).
         let t0 = Instant::now();
@@ -591,8 +689,16 @@ impl Estocada {
         let rewrite_time = t0.elapsed();
 
         // 2. Translate every rewriting; keep the cheapest executable one
-        // (ties go to the earliest, as the serial loops always did).
+        // (ties go to the earliest, as the serial loops always did). Plan
+        // choice compares breaker-penalized costs: a backend with an open
+        // circuit makes every plan through it rank behind any healthy
+        // plan. With every breaker closed the penalty is zero and the
+        // choice is identical to the unpenalized model.
         let t1 = Instant::now();
+        let penalized = |tr: &Translation| {
+            let avoided = tr.systems.iter().filter(|s| self.health.avoid(**s)).count();
+            self.cost.penalize(tr.est_cost, avoided)
+        };
         let mut alternatives: Vec<Alternative> = Vec::new();
         let mut best: Option<(usize, Translation)> = None;
         for rw in outcome.rewritings.iter() {
@@ -603,6 +709,7 @@ impl Estocada {
                 &self.catalog,
                 &self.stores,
                 &self.cost,
+                ctx,
             ) {
                 Ok(tr) => {
                     let idx = alternatives.len();
@@ -613,7 +720,7 @@ impl Estocada {
                     });
                     let better = best
                         .as_ref()
-                        .map(|(_, b)| tr.est_cost < b.est_cost)
+                        .map(|(_, b)| penalized(&tr) < penalized(b))
                         .unwrap_or(true);
                     if better {
                         best = Some((idx, tr));
@@ -654,7 +761,10 @@ impl Estocada {
     ) -> Result<QueryResult> {
         let cfg = self.effective_cfg(opts);
         let use_cache = opts.plan_cache && self.default_opts.plan_cache;
-        let plan = self.plan_cq(cq, head_names, residuals, &cfg, use_cache)?;
+        let retry = opts.retry.or(self.default_opts.retry).unwrap_or_default();
+        let deadline = opts.deadline.or(self.default_opts.deadline);
+        let ctx = QueryResilience::new(retry, deadline, self.health.clone());
+        let mut plan = self.plan_cq(cq, head_names, residuals, &cfg, use_cache, Some(&ctx))?;
 
         if opts.explain_only {
             // Explain reports cost every alternative but tolerate a query
@@ -679,6 +789,7 @@ impl Estocada {
                     translate_time: plan.translate_time,
                     complete_search: plan.outcome.complete,
                     plan_cache: self.cache_activity(plan.cache_hit),
+                    resilience: None,
                 },
             });
         }
@@ -688,16 +799,80 @@ impl Estocada {
                 query: format!("{cq}"),
             });
         }
-        let (chosen, translation) = plan.best.ok_or_else(|| {
+        let (mut chosen, mut translation) = plan.best.take().ok_or_else(|| {
             Error::Untranslatable(format!(
                 "none of the {} rewritings is executable",
                 plan.outcome.rewritings.len()
             ))
         })?;
 
-        // 3. Execute, splitting metrics per store.
+        // 3. Execute, splitting metrics per store. When a plan attempt
+        // dies on a store failure (after per-call retries and breaker
+        // handling), fail over: re-rank the remaining equivalent
+        // rewritings of the same outcome — penalizing backends that
+        // failed in this query or whose breaker is open — and execute
+        // the next candidate until one succeeds or none remain.
         let before: Vec<_> = self.stores.metrics();
-        let (batch, exec) = execute(&translation.plan)?;
+        let mut attempts: Vec<PlanAttempt> = Vec::new();
+        let mut tried: HashSet<usize> = HashSet::new();
+        let mut failed_systems: HashSet<SystemId> = HashSet::new();
+        let (batch, exec) = loop {
+            tried.insert(chosen);
+            match execute(&translation.plan) {
+                Ok(out) => {
+                    attempts.push(PlanAttempt {
+                        alternative: chosen,
+                        rewriting: plan.alternatives[chosen].rewriting.clone(),
+                        systems: translation.systems.clone(),
+                        error: None,
+                    });
+                    break out;
+                }
+                Err(EngineError::Store(se)) => {
+                    attempts.push(PlanAttempt {
+                        alternative: chosen,
+                        rewriting: plan.alternatives[chosen].rewriting.clone(),
+                        systems: translation.systems.clone(),
+                        error: Some(se.to_string()),
+                    });
+                    if let Some(sys) = system_for_store(&se.store) {
+                        failed_systems.insert(sys);
+                    }
+                    let next = if ctx.deadline_exceeded() {
+                        None
+                    } else {
+                        self.next_failover_candidate(
+                            &plan,
+                            head_names,
+                            residuals,
+                            &tried,
+                            &failed_systems,
+                            &ctx,
+                        )
+                    };
+                    match next {
+                        Some((idx, tr)) => {
+                            chosen = idx;
+                            translation = tr;
+                        }
+                        None => {
+                            return Err(Error::AllPlansFailed {
+                                query: format!("{cq}"),
+                                attempts: attempts
+                                    .iter()
+                                    .map(|a| PlanFailure {
+                                        alternative: a.alternative,
+                                        rewriting: a.rewriting.clone(),
+                                        error: a.error.clone().unwrap_or_default(),
+                                    })
+                                    .collect(),
+                            })
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         let after = self.stores.metrics();
         let per_store = after
             .iter()
@@ -708,6 +883,15 @@ impl Estocada {
         for rel in &translation.used_relations {
             self.catalog.record_use(*rel);
         }
+
+        // The resilience section exists only when something happened: a
+        // fault-free query reports `None`, bit-identical to before.
+        let resilience = (attempts.len() > 1 || ctx.eventful()).then(|| ResilienceReport {
+            attempts,
+            retries: ctx.retries(),
+            store_errors: ctx.store_errors(),
+            breaker_transitions: ctx.transitions(),
+        });
 
         Ok(QueryResult {
             columns: batch.columns.clone(),
@@ -725,8 +909,52 @@ impl Estocada {
                 translate_time: plan.translate_time,
                 complete_search: plan.outcome.complete,
                 plan_cache: self.cache_activity(plan.cache_hit),
+                resilience,
             },
         })
+    }
+
+    /// The cheapest untried executable rewriting for plan failover,
+    /// ranking by breaker-penalized cost where both open-circuit backends
+    /// and backends that already failed in this query count against a
+    /// candidate (the breaker may not have tripped yet when retries are
+    /// exhausted first).
+    fn next_failover_candidate(
+        &self,
+        plan: &PlannedQuery,
+        head_names: &[String],
+        residuals: &[Residual],
+        tried: &HashSet<usize>,
+        failed: &HashSet<SystemId>,
+        ctx: &Arc<QueryResilience>,
+    ) -> Option<(usize, Translation)> {
+        let mut best: Option<(f64, usize, Translation)> = None;
+        for (idx, rw) in plan.outcome.rewritings.iter().enumerate() {
+            if tried.contains(&idx) {
+                continue;
+            }
+            let Ok(tr) = translate(
+                rw,
+                head_names,
+                residuals,
+                &self.catalog,
+                &self.stores,
+                &self.cost,
+                Some(ctx),
+            ) else {
+                continue;
+            };
+            let avoided = tr
+                .systems
+                .iter()
+                .filter(|s| failed.contains(s) || self.health.avoid(**s))
+                .count();
+            let eff = self.cost.penalize(tr.est_cost, avoided);
+            if best.as_ref().map(|(b, _, _)| eff < *b).unwrap_or(true) {
+                best = Some((eff, idx, tr));
+            }
+        }
+        best.map(|(_, idx, tr)| (idx, tr))
     }
 }
 

@@ -27,6 +27,7 @@ pub mod frontends;
 pub mod materialize;
 pub mod plancache;
 pub mod report;
+pub mod resilience;
 pub mod system;
 pub mod translate;
 
@@ -35,8 +36,14 @@ pub use catalog::{Catalog, FragmentMeta, FragmentSpec};
 pub use connector::{ResOp, Residual};
 pub use cost::CostModel;
 pub use dataset::{Dataset, DatasetContent, DocData, TableData};
-pub use error::{Error, Result};
+pub use error::{Error, PlanFailure, Result};
 pub use evaluator::{Estocada, QueryOptions, QueryRequest};
 pub use plancache::{PlanCache, PlanCacheStats};
 pub use report::{PlanCacheActivity, QueryResult, Report};
+pub use resilience::{
+    BackendHealth, BreakerConfig, BreakerState, BreakerTransition, HealthTracker, PlanAttempt,
+    QueryResilience, ResilienceReport, RetryPolicy,
+};
 pub use system::{Latencies, Stores, SystemId};
+
+pub use estocada_simkit::{FaultKind, FaultPlan, FaultRule, Injection, StoreError, StoreErrorKind};

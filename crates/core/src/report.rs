@@ -3,6 +3,7 @@
 //! across the underlying DMSs and the ESTOCADA runtime.
 
 use crate::plancache::PlanCacheStats;
+use crate::resilience::ResilienceReport;
 use crate::system::SystemId;
 use estocada_engine::ExecStats;
 use estocada_simkit::MetricsSnapshot;
@@ -60,6 +61,11 @@ pub struct Report {
     pub complete_search: bool,
     /// Rewrite-plan cache activity (`None` when the cache was bypassed).
     pub plan_cache: Option<PlanCacheActivity>,
+    /// What fault handling did: retries, store errors, breaker moves, and
+    /// the plan-failover chain. `None` when no fault event fired (every
+    /// fault-free query), keeping the clean-path report bit-identical to
+    /// an engine without fault handling.
+    pub resilience: Option<ResilienceReport>,
 }
 
 impl fmt::Display for Report {
@@ -110,6 +116,35 @@ impl fmt::Display for Report {
                 pc.totals.misses,
                 pc.totals.entries,
             )?;
+        }
+        if let Some(r) = &self.resilience {
+            writeln!(
+                f,
+                "resilience:     {} plan attempt(s), {} retries, {} store error(s)",
+                r.attempts.len(),
+                r.retries,
+                r.store_errors.len(),
+            )?;
+            for a in &r.attempts {
+                let systems: Vec<String> = a.systems.iter().map(|s| s.to_string()).collect();
+                match &a.error {
+                    Some(e) => writeln!(
+                        f,
+                        "  attempt alt {} [{}]: failed: {e}",
+                        a.alternative,
+                        systems.join(", "),
+                    )?,
+                    None => writeln!(
+                        f,
+                        "  attempt alt {} [{}]: ok",
+                        a.alternative,
+                        systems.join(", "),
+                    )?,
+                }
+            }
+            for t in &r.breaker_transitions {
+                writeln!(f, "  breaker {t}")?;
+            }
         }
         Ok(())
     }

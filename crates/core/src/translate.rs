@@ -10,10 +10,12 @@ use crate::connector::{
 };
 use crate::cost::CostModel;
 use crate::error::{Error, Result};
+use crate::resilience::{QueryResilience, ResilientSource};
 use crate::system::{Stores, SystemId};
-use estocada_engine::{CmpOp, Expr, Plan};
+use estocada_engine::{BindSource, CmpOp, Expr, Plan};
 use estocada_pivot::{Cq, Symbol, Term, Var};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// A translated, costed, executable rewriting.
 pub struct Translation {
@@ -35,6 +37,10 @@ type AtomInfo = (estocada_pivot::Atom, FragmentRelation, FragmentStats);
 
 /// Translate `rewriting` (over fragment relations) into a plan computing
 /// `head_names` columns, applying `residuals`.
+///
+/// With `resilience` set, every delegated runner and BindJoin source is
+/// wrapped in the per-query retry/breaker loop; with `None` the plan
+/// calls the stores directly (advisor what-if costing, unit tests).
 pub fn translate(
     rewriting: &Cq,
     head_names: &[String],
@@ -42,6 +48,7 @@ pub fn translate(
     catalog: &Catalog,
     stores: &Stores,
     cost: &CostModel,
+    resilience: Option<&Arc<QueryResilience>>,
 ) -> Result<Translation> {
     if rewriting.body.is_empty() {
         return Err(Error::Untranslatable("empty rewriting body".into()));
@@ -77,10 +84,14 @@ pub fn translate(
         state = Some(match (state, &unit.kind) {
             (None, UnitKind::Run(runner)) => {
                 est_cost += cost.request_cost(unit.system, unit.est_rows, unit.est_scanned);
+                let runner = match resilience {
+                    Some(ctx) => ctx.wrap_runner(unit.system, runner.clone()),
+                    None => runner.clone(),
+                };
                 (
                     Plan::Delegated {
                         label: unit.label.clone(),
-                        runner: runner.clone(),
+                        runner,
                     },
                     unit.out_vars.clone(),
                     unit.est_rows,
@@ -94,9 +105,13 @@ pub fn translate(
             }
             (Some((plan, vars, rows)), UnitKind::Run(runner)) => {
                 est_cost += cost.request_cost(unit.system, unit.est_rows, unit.est_scanned);
+                let runner = match resilience {
+                    Some(ctx) => ctx.wrap_runner(unit.system, runner.clone()),
+                    None => runner.clone(),
+                };
                 let right = Plan::Delegated {
                     label: unit.label.clone(),
-                    runner: runner.clone(),
+                    runner,
                 };
                 let (plan, vars, est) = join_states(
                     plan,
@@ -136,10 +151,18 @@ pub fn translate(
                         new_vars.push(*v);
                     }
                 }
+                let source: Arc<dyn BindSource> = match resilience {
+                    Some(ctx) => Arc::new(ResilientSource::new(
+                        source.clone(),
+                        unit.system,
+                        ctx.clone(),
+                    )),
+                    None => source.clone(),
+                };
                 let mut plan = Plan::BindJoin {
                     left: Box::new(plan),
                     key_cols,
-                    source: source.clone(),
+                    source,
                 };
                 plan = dedup_columns(plan, &vars, &unit.out_vars, dup_filters);
                 let est = (rows * unit.est_rows).max(0.0);
@@ -549,6 +572,7 @@ mod tests {
             &catalog,
             &stores,
             &CostModel::default(),
+            None,
         )
         .unwrap();
         let (batch, _) = estocada_engine::execute(&tr.plan).unwrap();
@@ -575,6 +599,7 @@ mod tests {
             &catalog,
             &stores,
             &CostModel::default(),
+            None,
         )
         .unwrap();
         assert!(tr.plan.explain().contains("BindJoin"));
@@ -599,6 +624,7 @@ mod tests {
             &catalog,
             &stores,
             &CostModel::default(),
+            None,
         );
         assert!(matches!(err, Err(Error::Untranslatable(_))));
     }
@@ -618,7 +644,8 @@ mod tests {
                 &[],
                 &catalog,
                 &stores,
-                &CostModel::default()
+                &CostModel::default(),
+                None
             ),
             Err(Error::UnknownName(_))
         ));

@@ -19,9 +19,10 @@ pub use path::{eval_path, eval_path_first};
 pub use query::{DocQuery, QAxis, QueryNode};
 
 use estocada_pivot::Value;
-use estocada_simkit::{LatencyModel, RequestTimer, StoreMetrics};
+use estocada_simkit::{FaultHook, LatencyModel, RequestTimer, StoreError, StoreMetrics};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tag matching array elements in tree patterns (mirrors the pivot
 /// document encoding's `$item`).
@@ -63,6 +64,7 @@ pub struct DocStore {
     /// Operation metrics.
     pub metrics: StoreMetrics,
     latency: LatencyModel,
+    fault: RwLock<Option<Arc<FaultHook>>>,
 }
 
 impl DocStore {
@@ -184,6 +186,39 @@ impl DocStore {
             .sum();
         timer.set_output(rows.len() as u64, bytes as u64);
         (columns, rows)
+    }
+
+    /// Install (or clear) a fault-injection hook. Consulted only by the
+    /// fallible query entry points ([`DocStore::try_find`],
+    /// [`DocStore::try_query`]); the infallible/admin paths bypass it.
+    pub fn set_fault_hook(&self, hook: Option<Arc<FaultHook>>) {
+        *self.fault.write() = hook;
+    }
+
+    fn fault_check(&self, op: &str) -> Result<(), StoreError> {
+        match self.fault.read().as_ref() {
+            Some(h) => h.check(op),
+            None => Ok(()),
+        }
+    }
+
+    /// Fallible [`DocStore::find`]: consults the fault hook before the
+    /// simulated request.
+    pub fn try_find(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        projection: Option<&[&str]>,
+    ) -> Result<Vec<Value>, StoreError> {
+        self.fault_check("find")?;
+        Ok(self.find(collection, filter, projection))
+    }
+
+    /// Fallible [`DocStore::query`]: consults the fault hook before the
+    /// simulated request.
+    pub fn try_query(&self, q: &DocQuery) -> Result<(Vec<String>, Vec<Vec<Value>>), StoreError> {
+        self.fault_check("query")?;
+        Ok(self.query(q))
     }
 
     /// Document count (statistics path).

@@ -3,6 +3,7 @@
 use crate::plan::{AggFun, AggSpec, Plan, Template};
 use crate::tuple::{RowBatch, Tuple};
 use estocada_pivot::Value;
+use estocada_simkit::StoreError;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -18,6 +19,9 @@ pub enum EngineError {
     },
     /// Union inputs disagree on arity.
     UnionArity,
+    /// A delegated sub-query or bound-source probe failed in the
+    /// underlying store.
+    Store(StoreError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -27,7 +31,14 @@ impl std::fmt::Display for EngineError {
                 write!(f, "column {index} out of range in {operator}")
             }
             EngineError::UnionArity => write!(f, "union inputs have different arities"),
+            EngineError::Store(e) => write!(f, "store failure: {e}"),
         }
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> EngineError {
+        EngineError::Store(e)
     }
 }
 
@@ -73,7 +84,7 @@ fn run(plan: &Plan, stats: &mut ExecStats) -> Result<RowBatch, EngineError> {
             let t = Instant::now();
             let b = runner();
             stats.delegated_time += t.elapsed();
-            b
+            b?
         }
         Plan::Filter { input, pred } => {
             let mut b = run(input, stats)?;
@@ -172,9 +183,9 @@ fn run(plan: &Plan, stats: &mut ExecStats) -> Result<RowBatch, EngineError> {
                 Vec::new()
             } else {
                 let t = Instant::now();
-                let f = source.fetch_batch(&distinct);
+                let f = source.try_fetch_batch(&distinct);
                 stats.delegated_time += t.elapsed();
-                f
+                f?
             };
             debug_assert_eq!(fetched.len(), distinct.len());
             let mut rows = Vec::new();
@@ -728,11 +739,60 @@ mod tests {
             label: "fake".into(),
             runner: Arc::new(|| {
                 std::thread::sleep(Duration::from_millis(5));
-                RowBatch::empty(vec!["x".into()])
+                Ok(RowBatch::empty(vec!["x".into()]))
             }),
         };
         let (_, stats) = execute(&p).unwrap();
         assert!(stats.delegated_time >= Duration::from_millis(5));
         assert!(stats.runtime_time() < stats.total_time);
+    }
+
+    #[test]
+    fn delegated_store_error_propagates() {
+        let p = Plan::Delegated {
+            label: "down".into(),
+            runner: Arc::new(|| {
+                Err(StoreError {
+                    store: "relational".into(),
+                    op: "query".into(),
+                    op_index: 1,
+                    kind: estocada_simkit::StoreErrorKind::Unavailable,
+                })
+            }),
+        };
+        match execute(&p) {
+            Err(EngineError::Store(e)) => assert_eq!(e.store, "relational"),
+            other => panic!("expected store error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bindjoin_source_error_propagates() {
+        struct FailingSource;
+        impl crate::plan::BindSource for FailingSource {
+            fn out_columns(&self) -> Vec<String> {
+                vec!["v".into()]
+            }
+            fn fetch(&self, _key: &[Value]) -> Vec<Tuple> {
+                Vec::new()
+            }
+            fn try_fetch_batch(&self, _keys: &[Vec<Value>]) -> Result<Vec<Vec<Tuple>>, StoreError> {
+                Err(StoreError {
+                    store: "key-value".into(),
+                    op: "mget".into(),
+                    op_index: 3,
+                    kind: estocada_simkit::StoreErrorKind::Timeout,
+                })
+            }
+        }
+        let p = Plan::BindJoin {
+            left: Box::new(Plan::Values(batch(&["k"], vec![ints(&[1])]))),
+            key_cols: vec![0],
+            source: Arc::new(FailingSource),
+        };
+        match execute(&p) {
+            Err(EngineError::Store(e)) => assert_eq!(e.op, "mget"),
+            other => panic!("expected store error, got {other:?}"),
+        }
     }
 }

@@ -24,3 +24,5 @@ pub use exec::{execute, EngineError, ExecStats};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use plan::{AggFun, AggSpec, BindSource, Plan, Template};
 pub use tuple::{RowBatch, Tuple};
+
+pub use estocada_simkit::{StoreError, StoreErrorKind};

@@ -9,6 +9,7 @@
 use crate::expr::Expr;
 use crate::tuple::{RowBatch, Tuple};
 use estocada_pivot::Value;
+use estocada_simkit::StoreError;
 use std::fmt;
 use std::sync::Arc;
 
@@ -26,6 +27,17 @@ pub trait BindSource: Send + Sync {
     /// override this to pay the request cost once per batch.
     fn fetch_batch(&self, keys: &[Vec<Value>]) -> Vec<Vec<Tuple>> {
         keys.iter().map(|k| self.fetch(k)).collect()
+    }
+    /// Fallible [`BindSource::fetch`]. The default delegates to the
+    /// infallible method (which cannot fault); sources over fault-injected
+    /// stores override this to surface [`StoreError`].
+    fn try_fetch(&self, key: &[Value]) -> Result<Vec<Tuple>, StoreError> {
+        Ok(self.fetch(key))
+    }
+    /// Fallible [`BindSource::fetch_batch`]. The default delegates to the
+    /// infallible batch method, preserving its batching behavior.
+    fn try_fetch_batch(&self, keys: &[Vec<Value>]) -> Result<Vec<Vec<Tuple>>, StoreError> {
+        Ok(self.fetch_batch(keys))
     }
     /// Display label (for EXPLAIN output).
     fn label(&self) -> String {
@@ -76,11 +88,13 @@ pub enum Plan {
     Values(RowBatch),
     /// A subquery delegated to an underlying DMS; the closure runs the
     /// native query through the store connector when the node executes.
+    /// The runner is fallible: a store failure surfaces as
+    /// [`crate::EngineError::Store`] instead of decaying to empty rows.
     Delegated {
         /// Display label (store + native query).
         label: String,
         /// Runs the native query.
-        runner: Arc<dyn Fn() -> RowBatch + Send + Sync>,
+        runner: Arc<dyn Fn() -> Result<RowBatch, StoreError> + Send + Sync>,
     },
     /// Row filter.
     Filter {

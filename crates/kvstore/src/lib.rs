@@ -16,9 +16,10 @@ pub use codec::{decode_tuple, encode_tuple, DecodeError};
 
 use bytes::Bytes;
 use estocada_pivot::Value;
-use estocada_simkit::{LatencyModel, RequestTimer, StoreMetrics};
+use estocada_simkit::{FaultHook, LatencyModel, RequestTimer, StoreError, StoreMetrics};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The key-value store.
 #[derive(Debug, Default)]
@@ -27,6 +28,7 @@ pub struct KvStore {
     /// Operation metrics.
     pub metrics: StoreMetrics,
     latency: LatencyModel,
+    fault: RwLock<Option<Arc<FaultHook>>>,
 }
 
 impl KvStore {
@@ -94,6 +96,39 @@ impl KvStore {
             .collect();
         timer.set_output(tuples, bytes);
         out
+    }
+
+    /// Install (or clear) a fault-injection hook. The hook is consulted by
+    /// the fallible query entry points ([`KvStore::try_get`],
+    /// [`KvStore::try_mget`]) only; the infallible methods and the admin
+    /// paths bypass it.
+    pub fn set_fault_hook(&self, hook: Option<Arc<FaultHook>>) {
+        *self.fault.write() = hook;
+    }
+
+    fn fault_check(&self, op: &str) -> Result<(), StoreError> {
+        match self.fault.read().as_ref() {
+            Some(h) => h.check(op),
+            None => Ok(()),
+        }
+    }
+
+    /// Fallible [`KvStore::get`]: consults the fault hook before the
+    /// simulated request.
+    pub fn try_get(&self, namespace: &str, key: &Value) -> Result<Option<Vec<Value>>, StoreError> {
+        self.fault_check("get")?;
+        Ok(self.get(namespace, key))
+    }
+
+    /// Fallible [`KvStore::mget`]: the whole batch is one simulated
+    /// round-trip, so one fault fails the whole batch.
+    pub fn try_mget(
+        &self,
+        namespace: &str,
+        keys: &[Value],
+    ) -> Result<Vec<Option<Vec<Value>>>, StoreError> {
+        self.fault_check("mget")?;
+        Ok(self.mget(namespace, keys))
     }
 
     /// Delete a key; returns whether it existed.

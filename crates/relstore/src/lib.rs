@@ -19,9 +19,10 @@ pub use stats::{analyze, ColumnStats, TableStats};
 pub use table::{Index, IndexKind, Table};
 
 use estocada_pivot::Value;
-use estocada_simkit::{LatencyModel, RequestTimer, StoreMetrics};
+use estocada_simkit::{FaultHook, LatencyModel, RequestTimer, StoreError, StoreMetrics};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The relational store: named tables behind a reader-writer lock, with
 /// request metrics and a configurable latency model.
@@ -31,6 +32,7 @@ pub struct RelStore {
     /// Operation metrics (shared with the mediator's reporting).
     pub metrics: StoreMetrics,
     latency: LatencyModel,
+    fault: RwLock<Option<Arc<FaultHook>>>,
 }
 
 impl RelStore {
@@ -100,6 +102,23 @@ impl RelStore {
             .sum();
         timer.set_output(rows.len() as u64, bytes as u64);
         Ok(rows)
+    }
+
+    /// Install (or clear) a fault-injection hook. Consulted only by
+    /// [`RelStore::try_query`]; the infallible/admin paths bypass it.
+    pub fn set_fault_hook(&self, hook: Option<Arc<FaultHook>>) {
+        *self.fault.write() = hook;
+    }
+
+    /// Fallible [`RelStore::query`]: consults the fault hook before the
+    /// simulated request, and surfaces native failures as
+    /// [`StoreError`] (kind `Internal`) instead of [`QueryError`].
+    pub fn try_query(&self, q: &SqlQuery) -> Result<Vec<Vec<Value>>, StoreError> {
+        if let Some(h) = self.fault.read().as_ref() {
+            h.check("query")?;
+        }
+        self.query(q)
+            .map_err(|e| StoreError::internal("relational", "query", e.to_string()))
     }
 
     /// Compute statistics for `table`.

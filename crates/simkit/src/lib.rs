@@ -10,8 +10,19 @@
 //! benchmarks reflect it; setting a cost to zero disables it entirely (the
 //! default for unit tests). The constants used by the benchmark harness are
 //! documented in `EXPERIMENTS.md`.
+//!
+//! The [`fault`] module adds deterministic fault injection on top: a seeded
+//! [`FaultPlan`] scripts per-store/per-operation error schedules and latency
+//! spikes, and a per-store [`FaultHook`] is consulted by the stores'
+//! fallible entry points before each simulated request.
 
 #![warn(missing_docs)]
+
+pub mod fault;
+
+pub use fault::{
+    spin_for, FaultHook, FaultKind, FaultPlan, FaultRule, Injection, StoreError, StoreErrorKind,
+};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};

@@ -14,9 +14,10 @@ pub mod tokenize;
 pub use tokenize::tokenize;
 
 use estocada_pivot::Value;
-use estocada_simkit::{LatencyModel, RequestTimer, StoreMetrics};
+use estocada_simkit::{FaultHook, LatencyModel, RequestTimer, StoreError, StoreMetrics};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// BM25 parameters (standard defaults).
 const BM25_K1: f64 = 1.2;
@@ -102,6 +103,7 @@ pub struct TextStore {
     /// Operation metrics.
     pub metrics: StoreMetrics,
     latency: LatencyModel,
+    fault: RwLock<Option<Arc<FaultHook>>>,
 }
 
 impl TextStore {
@@ -153,6 +155,39 @@ impl TextStore {
         let bytes: usize = out.iter().map(Value::approx_size).sum();
         timer.set_output(out.len() as u64, bytes as u64);
         out
+    }
+
+    /// Install (or clear) a fault-injection hook. Consulted only by the
+    /// fallible query entry points ([`TextStore::try_search`],
+    /// [`TextStore::try_term_lookup`]); infallible/admin paths bypass it.
+    pub fn set_fault_hook(&self, hook: Option<Arc<FaultHook>>) {
+        *self.fault.write() = hook;
+    }
+
+    fn fault_check(&self, op: &str) -> Result<(), StoreError> {
+        match self.fault.read().as_ref() {
+            Some(h) => h.check(op),
+            None => Ok(()),
+        }
+    }
+
+    /// Fallible [`TextStore::search`]: consults the fault hook before the
+    /// simulated request.
+    pub fn try_search(
+        &self,
+        index: &str,
+        query: &str,
+        limit: usize,
+    ) -> Result<Vec<(Value, f64)>, StoreError> {
+        self.fault_check("search")?;
+        Ok(self.search(index, query, limit))
+    }
+
+    /// Fallible [`TextStore::term_lookup`]: consults the fault hook before
+    /// the simulated request.
+    pub fn try_term_lookup(&self, index: &str, term: &str) -> Result<Vec<Value>, StoreError> {
+        self.fault_check("term_lookup")?;
+        Ok(self.term_lookup(index, term))
     }
 
     /// Number of documents in an index.

@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use estocada::{Dataset, Estocada, FragmentSpec, Latencies, TableData};
+use estocada::{Dataset, Estocada, FaultKind, FaultPlan, FragmentSpec, Latencies, TableData};
 use estocada_pivot::encoding::relational::TableEncoding;
 use estocada_pivot::{CqBuilder, Value};
 
@@ -99,5 +99,27 @@ fn main() -> estocada::Result<()> {
         "plan cache after the burst: {} hits / {} misses, {} entries",
         stats.hits, stats.misses, stats.entries
     );
+
+    // 7. Resilience: script a key-value outage and watch the same point
+    //    query survive it. The retry loop burns its attempts against the
+    //    dead store, the breaker trips, and the evaluator fails over to
+    //    the relational rewriting — same rows, different plan, with the
+    //    whole chain recorded in `report.resilience`.
+    est.set_fault_plan(Some(
+        FaultPlan::new(7).down("key-value", FaultKind::Unavailable),
+    ));
+    let survived = est.query(sql).run()?;
+    println!();
+    println!("=== key-value outage, failover ===");
+    println!("{:?} -> {:?}", survived.columns, survived.rows);
+    let resilience = survived.report.resilience.expect("faults were injected");
+    println!(
+        "resilience: {} plan attempt(s), {} retries, failover: {}, now via {}",
+        resilience.attempts.len(),
+        resilience.retries,
+        resilience.failed_over(),
+        survived.report.delegated[0],
+    );
+    est.set_fault_plan(None);
     Ok(())
 }
