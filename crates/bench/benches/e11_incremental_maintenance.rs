@@ -1,0 +1,210 @@
+//! E11 — incremental maintenance (PR 7): the price of keeping every
+//! fragment fresh through the DML path, against the drop-and-rematerialize
+//! alternative.
+//!
+//! Two questions are measured on the kv-migrated marketplace deployment:
+//!
+//! - **small-delta advantage**: applying a K-row order batch through the
+//!   semi-naive delta chase touches only the facts and fragment rows the
+//!   batch derives, while the drop-and-rematerialize alternative replays
+//!   the whole deployment (register + chase-materialize every fragment).
+//!   The single-shot gate asserts the incremental path beats a full
+//!   rematerialization on small deltas (K = 1 and K = 8).
+//! - **steady-state write cost**: criterion arms time an insert+delete
+//!   cycle per batch size, plus the full-remat baseline.
+//!
+//! **Identity is asserted inside every measurement**: each timed
+//! incremental application is followed (clock stopped) by a full
+//! byte-level comparison of all five stores against a fresh engine
+//! deployed from the mutated datasets — a maintenance bug that skews any
+//! store fails the bench instead of its numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use estocada::{Estocada, Latencies};
+use estocada_pivot::Value;
+use estocada_workloads::marketplace::{generate, Marketplace, MarketplaceConfig};
+use estocada_workloads::readwrite::stale_fragments;
+use estocada_workloads::scenarios::deploy_kv_migrated;
+use std::time::{Duration, Instant};
+
+fn cfg() -> MarketplaceConfig {
+    MarketplaceConfig {
+        users: 60,
+        products: 30,
+        orders: 200,
+        log_entries: 400,
+        skew: 0.8,
+        seed: 31,
+    }
+}
+
+fn market() -> Marketplace {
+    generate(cfg())
+}
+
+/// Canonical rendering of every store's full content (sorted rows per
+/// container; the rendered bytes must match exactly).
+fn snapshot(est: &Estocada) -> Vec<(String, String)> {
+    let s = &est.stores;
+    let mut out = Vec::new();
+    for t in s.rel.table_names() {
+        let mut rows = s.rel.scan(&t).unwrap_or_default();
+        rows.sort();
+        out.push((format!("rel:{t}"), format!("{rows:?}")));
+    }
+    for ns in s.kv.namespace_names() {
+        let mut entries = s.kv.scan(&ns);
+        entries.sort();
+        out.push((format!("kv:{ns}"), format!("{entries:?}")));
+    }
+    for c in s.doc.collection_names() {
+        let mut docs = s.doc.scan(&c);
+        docs.sort();
+        out.push((format!("doc:{c}"), format!("{docs:?}")));
+    }
+    for d in s.par.dataset_names() {
+        let mut rows = s.par.scan(&d, &[], None);
+        rows.sort();
+        out.push((format!("par:{d}"), format!("{rows:?}")));
+    }
+    let mut docs = s.text.documents("Products");
+    docs.sort();
+    out.push(("text:Products".into(), format!("{docs:?}")));
+    out.sort();
+    out
+}
+
+/// Fresh engine deployed from the incremental engine's current (mutated)
+/// datasets — the drop-and-rematerialize twin.
+fn remat_twin(est: &Estocada) -> Estocada {
+    let m = Marketplace {
+        sales: est.datasets()["sales"].clone(),
+        carts: est.datasets()["Carts"].clone(),
+        config: cfg(),
+    };
+    deploy_kv_migrated(&m, Latencies::zero())
+}
+
+fn assert_identical(est: &Estocada, what: &str) {
+    assert!(
+        stale_fragments(est).is_empty(),
+        "{what}: stale fragments after maintenance"
+    );
+    let a = snapshot(est);
+    let b = snapshot(&remat_twin(est));
+    assert_eq!(a, b, "{what}: stores diverged from the remat twin");
+}
+
+/// A K-row order batch with oids from `base`.
+fn order_batch(base: i64, k: usize) -> Vec<Vec<Value>> {
+    (0..k as i64)
+        .map(|i| {
+            vec![
+                Value::Int(base + i),
+                Value::Int(i % 7),
+                Value::Int(i % 5),
+                Value::str(if i % 2 == 0 { "laptop" } else { "mouse" }),
+                Value::Double(10.0 + i as f64),
+            ]
+        })
+        .collect()
+}
+
+fn best_of<F: FnMut() -> Duration>(n: usize, mut f: F) -> Duration {
+    (0..n).map(|_| f()).min().unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let m = market();
+    println!(
+        "== E11 summary (kv-migrated deployment, {} seed orders) ==",
+        cfg().orders
+    );
+
+    // --- small-delta gate: incremental must beat full remat ---------
+    let mut est = deploy_kv_migrated(&m, Latencies::zero());
+    let mut next_oid = 500_000i64;
+    for k in [1usize, 8] {
+        let t_inc = best_of(5, || {
+            let batch = order_batch(next_oid, k);
+            next_oid += k as i64;
+            let t0 = Instant::now();
+            let rep = est
+                .insert_rows("sales", "Orders", batch.clone())
+                .expect("incremental insert");
+            let dt = t0.elapsed();
+            assert_eq!(rep.inserted, k);
+            assert_identical(&est, "after incremental insert");
+            // Restore (also through the maintenance path, untimed).
+            est.delete_rows("sales", "Orders", batch)
+                .expect("restore delete");
+            dt
+        });
+        let t_remat = best_of(3, || {
+            let batch = order_batch(next_oid, k);
+            next_oid += k as i64;
+            est.insert_rows("sales", "Orders", batch.clone())
+                .expect("pre-remat insert");
+            // Timed: replay the whole deployment from the mutated data.
+            let t0 = Instant::now();
+            let twin = remat_twin(&est);
+            let dt = t0.elapsed();
+            assert_eq!(
+                snapshot(&est),
+                snapshot(&twin),
+                "remat twin diverged from the incremental engine"
+            );
+            est.delete_rows("sales", "Orders", batch)
+                .expect("restore delete");
+            dt
+        });
+        println!(
+            "delta k={k}: incremental {t_inc:?} vs drop-and-rematerialize {t_remat:?} \
+             ({:.1}x)",
+            t_remat.as_secs_f64() / t_inc.as_secs_f64().max(1e-12)
+        );
+        assert!(
+            t_inc < t_remat,
+            "incremental maintenance of a {k}-row delta ({t_inc:?}) must beat a full \
+             rematerialization ({t_remat:?})"
+        );
+    }
+    println!("(store-level identity vs the remat twin asserted in every measurement above)");
+
+    // --- criterion arms ---------------------------------------------
+    let mut group = c.benchmark_group("e11_incremental_maintenance");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for k in [1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("insert_delete_cycle", k), &k, |b, &k| {
+            b.iter(|| {
+                let batch = order_batch(next_oid, k);
+                next_oid += k as i64;
+                let rep = est
+                    .insert_rows("sales", "Orders", batch.clone())
+                    .expect("insert");
+                assert_eq!(rep.inserted, k, "short insert");
+                assert!(stale_fragments(&est).is_empty(), "stale after insert");
+                let rep = est.delete_rows("sales", "Orders", batch).expect("delete");
+                assert_eq!(rep.deleted, k, "short delete");
+            });
+            // Identity after every measured arm pass.
+            assert_identical(&est, "after insert/delete cycles");
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("full_rematerialize", 0), &(), |b, _| {
+        b.iter(|| {
+            let twin = remat_twin(&est);
+            assert!(
+                !twin.catalog().fragments().is_empty(),
+                "remat built no fragments"
+            );
+            twin
+        });
+        assert_identical(&est, "after remat baseline");
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

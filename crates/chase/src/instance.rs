@@ -440,6 +440,43 @@ impl Instance {
         self.by_pred.entry(pred).or_default().push(id);
     }
 
+    // -- DML deltas ---------------------------------------------------------
+
+    /// Id of the alive fact `pred(args)`, if present. `args` must already
+    /// be representatives (trivially true for the ground facts the DML
+    /// path looks up).
+    pub fn find_fact(&self, pred: Symbol, args: &[Elem]) -> Option<u32> {
+        self.dedup.get(&pred).and_then(|m| m.get(args)).copied()
+    }
+
+    /// Re-stamp fact `id` with the current epoch so the next
+    /// [`Instance::delta_index`] includes it. The DML delete path touches
+    /// doomed facts first, enumerates the homomorphisms flowing through
+    /// them semi-naively, and only then retracts them.
+    pub fn touch(&mut self, id: u32) {
+        self.fact_epoch[id as usize] = self.epoch;
+    }
+
+    /// Retract an alive fact: drop it from the dedup, positional and
+    /// predicate indexes and mark it dead — the inverse of
+    /// [`Instance::insert`], used by the DML delete path. Stale `null_occ`
+    /// entries are left behind and lazily skipped on consumption, the same
+    /// policy as facts killed by merge deduplication.
+    pub fn retract(&mut self, id: u32) {
+        debug_assert!(self.facts[id as usize].alive, "retract of a dead fact");
+        let pred = self.facts[id as usize].pred;
+        let args = self.facts[id as usize].args.clone();
+        if let Some(m) = self.dedup.get_mut(&pred) {
+            m.remove(args.as_slice());
+        }
+        self.unindex_positions(pred, &args, id);
+        if let Some(ids) = self.by_pred.get_mut(&pred) {
+            remove_sorted(ids, id);
+        }
+        self.facts[id as usize].alive = false;
+        self.alive -= 1;
+    }
+
     // -- lookups ------------------------------------------------------------
 
     /// All alive fact ids.
@@ -825,6 +862,42 @@ mod tests {
         assert!(!new2);
         assert_eq!(id1, id2);
         assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn retract_removes_fact_from_every_index() {
+        let mut i = Instance::new();
+        let (id_a, _) = i.insert(sym("R"), vec![Elem::of(1i64), Elem::of(2i64)]);
+        let (id_b, _) = i.insert(sym("R"), vec![Elem::of(3i64), Elem::of(2i64)]);
+        assert_eq!(
+            i.find_fact(sym("R"), &[Elem::of(1i64), Elem::of(2i64)]),
+            Some(id_a)
+        );
+        i.retract(id_a);
+        assert!(!i.is_alive(id_a));
+        assert_eq!(i.len(), 1);
+        assert_eq!(
+            i.find_fact(sym("R"), &[Elem::of(1i64), Elem::of(2i64)]),
+            None
+        );
+        assert_eq!(i.pred_facts(sym("R")), &[id_b]);
+        assert_eq!(i.probe(sym("R"), 1, &Elem::of(2i64)), &[id_b]);
+        assert!(i.probe(sym("R"), 0, &Elem::of(1i64)).is_empty());
+        // Re-inserting the retracted fact is a genuinely new fact again.
+        let (id_c, fresh) = i.insert(sym("R"), vec![Elem::of(1i64), Elem::of(2i64)]);
+        assert!(fresh);
+        assert_ne!(id_c, id_a);
+    }
+
+    #[test]
+    fn touch_restamps_a_fact_into_the_delta() {
+        let mut i = Instance::new();
+        let (id, _) = i.insert(sym("R"), vec![Elem::of(1i64)]);
+        let e = i.advance_epoch();
+        assert!(i.delta_index(e).facts_of(sym("R")).is_empty());
+        i.touch(id);
+        assert_eq!(i.delta_index(e).facts_of(sym("R")), &[id]);
+        assert_eq!(i.fact_epoch(id), e);
     }
 
     #[test]

@@ -21,6 +21,48 @@ pub struct TableData {
     pub text_columns: Vec<String>,
 }
 
+impl TableData {
+    /// Tokenized `{table}_Terms(term, key)` facts of one row — empty when
+    /// the table declares no text columns. Shared by full-content encoding
+    /// ([`Dataset::pivot_facts`]) and the incremental DML fact-delta
+    /// computation, so the two can never drift.
+    pub fn term_facts(&self, row: &[Value]) -> Vec<Fact> {
+        if self.text_columns.is_empty() {
+            return Vec::new();
+        }
+        let rel = Dataset::terms_relation(&self.encoding.relation.as_str());
+        let key = self
+            .encoding
+            .key
+            .as_ref()
+            .and_then(|k| k.first())
+            .and_then(|k| self.encoding.columns.iter().position(|c| c == k))
+            .map(|k| row[k].clone())
+            .unwrap_or(Value::Null);
+        let mut out = Vec::new();
+        for tc in &self.text_columns {
+            let Some(pos) = self.encoding.columns.iter().position(|c| c == tc) else {
+                continue;
+            };
+            if let Some(text) = row[pos].as_str() {
+                for term in tokenize(text) {
+                    out.push(Fact::new(rel, vec![Value::str(&term), key.clone()]));
+                }
+            }
+        }
+        out
+    }
+
+    /// All pivot facts one row contributes: the base tuple plus its term
+    /// facts. The unit of incremental DML maintenance — deleting or
+    /// inserting a row changes exactly these facts' multiplicities.
+    pub fn row_facts(&self, row: &[Value]) -> Vec<Fact> {
+        let mut out = vec![self.encoding.encode_row(row.to_vec())];
+        out.extend(self.term_facts(row));
+        out
+    }
+}
+
 /// One document of a document dataset.
 #[derive(Debug, Clone)]
 pub struct DocData {
@@ -111,36 +153,15 @@ impl Dataset {
         let mut out = Vec::new();
         match &self.content {
             DatasetContent::Relational(tables) => {
+                // Base tuples of a table first, then its term facts — the
+                // same fact order a row-at-a-time encoding would interleave
+                // differently, so keep the two passes distinct.
                 for t in tables {
-                    let key_col = t
-                        .encoding
-                        .key
-                        .as_ref()
-                        .and_then(|k| k.first())
-                        .and_then(|k| t.encoding.columns.iter().position(|c| c == k));
                     for row in &t.rows {
                         out.push(t.encoding.encode_row(row.clone()));
                     }
-                    if !t.text_columns.is_empty() {
-                        let rel = Self::terms_relation(&t.encoding.relation.as_str());
-                        let text_cols: Vec<usize> = t
-                            .text_columns
-                            .iter()
-                            .filter_map(|c| t.encoding.columns.iter().position(|x| x == c))
-                            .collect();
-                        for row in &t.rows {
-                            let key = key_col.map(|k| row[k].clone()).unwrap_or(Value::Null);
-                            for tc in &text_cols {
-                                if let Some(text) = row[*tc].as_str() {
-                                    for term in tokenize(text) {
-                                        out.push(Fact::new(
-                                            rel,
-                                            vec![Value::str(&term), key.clone()],
-                                        ));
-                                    }
-                                }
-                            }
-                        }
+                    for row in &t.rows {
+                        out.extend(t.term_facts(row));
                     }
                 }
             }

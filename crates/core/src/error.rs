@@ -39,6 +39,10 @@ pub enum Error {
     Chase(ChaseError),
     /// Invalid fragment specification.
     BadFragment(String),
+    /// A DML batch was rejected (unknown table, arity mismatch, missing
+    /// row to delete, upsert without a declared key, …). Rejected batches
+    /// are atomic: nothing was applied.
+    Dml(String),
     /// Every executable rewriting of the query was attempted and every one
     /// failed on a store error (after retries, breaker rejections, and
     /// plan failover).
@@ -64,6 +68,7 @@ impl fmt::Display for Error {
             Error::Engine(e) => write!(f, "execution error: {e}"),
             Error::Chase(e) => write!(f, "chase error: {e}"),
             Error::BadFragment(m) => write!(f, "invalid fragment: {m}"),
+            Error::Dml(m) => write!(f, "dml error: {m}"),
             Error::AllPlansFailed { query, attempts } => {
                 write!(
                     f,

@@ -258,9 +258,17 @@ struct PlannedQuery {
     cache_hit: Option<bool>,
     rewrite_time: Duration,
     alternatives: Vec<Alternative>,
-    /// Index into `alternatives` plus the executable translation of the
-    /// cheapest executable rewriting, when one exists.
-    best: Option<(usize, Translation)>,
+    /// Executable translations, index-aligned with `alternatives` and
+    /// `outcome.rewritings` (`None` = untranslatable). Each rewriting is
+    /// translated exactly once, here; plan failover takes candidates out
+    /// of this vector instead of re-running translation per attempt.
+    /// Translations bind the query's resilience context into their
+    /// runners, so they are per-query values — retained for the query's
+    /// lifetime, never cached across queries (the cached `RewriteOutcome`
+    /// carries the cross-query, per-catalog-epoch part).
+    translations: Vec<Option<Translation>>,
+    /// Index of the cheapest executable rewriting, when one exists.
+    best: Option<usize>,
     translate_time: Duration,
 }
 
@@ -270,12 +278,13 @@ pub struct Estocada {
     pub stores: Stores,
     latencies: Latencies,
     cost: CostModel,
-    datasets: HashMap<String, Dataset>,
+    pub(crate) datasets: HashMap<String, Dataset>,
     schema: Schema,
     /// The staged pivot fact base, built lazily on first use by whichever
-    /// query thread gets there first; reset (not rebuilt) by DDL.
-    base: OnceLock<Instance>,
-    catalog: Catalog,
+    /// query thread gets there first; reset (not rebuilt) by DDL and
+    /// maintained **incrementally** by DML (see [`crate::dml`]).
+    pub(crate) base: OnceLock<Instance>,
+    pub(crate) catalog: Catalog,
     /// Base rewriting configuration (budgets and auto-sized worker
     /// defaults); per-query [`QueryOptions`] refine it.
     rewrite_cfg: RewriteConfig,
@@ -287,6 +296,14 @@ pub struct Estocada {
     /// entries so no query can ever run a plan computed against an older
     /// catalog.
     epoch: u64,
+    /// The data epoch: bumped by every DML batch, **without** touching the
+    /// plan cache — writes change data, not the catalog, so cached
+    /// rewritings stay valid across them.
+    pub(crate) data_epoch: u64,
+    /// Incremental-maintenance bookkeeping (fact multiplicities, fragment
+    /// row supports, high-water marks), seeded lazily on the first DML
+    /// batch and invalidated by DDL.
+    pub(crate) maint: Option<crate::dml::MaintenanceState>,
     plan_cache: PlanCache,
     /// Per-backend circuit breakers, shared by every query.
     health: Arc<HealthTracker>,
@@ -324,6 +341,8 @@ impl Estocada {
             default_opts: QueryOptions::default(),
             frag_seq: 0,
             epoch: 0,
+            data_epoch: 0,
+            maint: None,
             plan_cache: PlanCache::default(),
             health: Arc::new(HealthTracker::default()),
             fault_plan: None,
@@ -426,6 +445,12 @@ impl Estocada {
         self.epoch
     }
 
+    /// The current data epoch (bumped by every DML batch). Distinct from
+    /// the catalog epoch: a write invalidates no cached rewrite plan.
+    pub fn data_epoch(&self) -> u64 {
+        self.data_epoch
+    }
+
     /// Rewrite-plan cache counters and size.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plan_cache.stats()
@@ -456,10 +481,13 @@ impl Estocada {
     }
 
     /// One DDL operation happened: advance the epoch and drop every cached
-    /// plan (they were computed against the previous catalog).
+    /// plan (they were computed against the previous catalog). DDL also
+    /// invalidates the DML maintenance bookkeeping — fragment row supports
+    /// were computed against the previous catalog and staging base.
     fn bump_epoch(&mut self) {
         self.epoch += 1;
         self.plan_cache.clear();
+        self.maint = None;
     }
 
     /// Register an application dataset (declares its pivot schema and
@@ -488,7 +516,7 @@ impl Estocada {
 
     /// The staged pivot fact base, built on first use (thread-safe: any
     /// query thread may race here; exactly one builds).
-    fn base(&self) -> &Instance {
+    pub(crate) fn base(&self) -> &Instance {
         self.base.get_or_init(|| {
             let mut ids = IdGen::starting_at(1_000_000);
             let mut facts = Vec::new();
@@ -700,8 +728,12 @@ impl Estocada {
             self.cost.penalize(tr.est_cost, avoided)
         };
         let mut alternatives: Vec<Alternative> = Vec::new();
-        let mut best: Option<(usize, Translation)> = None;
+        let mut translations: Vec<Option<Translation>> = Vec::new();
+        let mut best: Option<usize> = None;
         for rw in outcome.rewritings.iter() {
+            if let Some(c) = ctx {
+                c.note_translation();
+            }
             match translate(
                 rw,
                 head_names,
@@ -719,18 +751,23 @@ impl Estocada {
                         note: None,
                     });
                     let better = best
-                        .as_ref()
-                        .map(|(_, b)| penalized(&tr) < penalized(b))
+                        .map(|b| {
+                            penalized(&tr) < penalized(translations[b].as_ref().expect("best"))
+                        })
                         .unwrap_or(true);
+                    translations.push(Some(tr));
                     if better {
-                        best = Some((idx, tr));
+                        best = Some(idx);
                     }
                 }
-                Err(e) => alternatives.push(Alternative {
-                    rewriting: format!("{rw}"),
-                    est_cost: None,
-                    note: Some(format!("{e}")),
-                }),
+                Err(e) => {
+                    alternatives.push(Alternative {
+                        rewriting: format!("{rw}"),
+                        est_cost: None,
+                        note: Some(format!("{e}")),
+                    });
+                    translations.push(None);
+                }
             }
         }
         Ok(PlannedQuery {
@@ -738,6 +775,7 @@ impl Estocada {
             cache_hit,
             rewrite_time,
             alternatives,
+            translations,
             best,
             translate_time: t1.elapsed(),
         })
@@ -769,8 +807,11 @@ impl Estocada {
         if opts.explain_only {
             // Explain reports cost every alternative but tolerate a query
             // with no (executable) rewriting.
-            let (chosen, plan_text, delegated) = match &plan.best {
-                Some((idx, tr)) => (*idx, tr.plan.explain(), tr.unit_labels.clone()),
+            let (chosen, plan_text, delegated) = match plan.best {
+                Some(idx) => {
+                    let tr = plan.translations[idx].as_ref().expect("best is executable");
+                    (idx, tr.plan.explain(), tr.unit_labels.clone())
+                }
                 None => (0, String::from("(not executable)"), Vec::new()),
             };
             return Ok(QueryResult {
@@ -799,12 +840,15 @@ impl Estocada {
                 query: format!("{cq}"),
             });
         }
-        let (mut chosen, mut translation) = plan.best.take().ok_or_else(|| {
+        let mut chosen = plan.best.ok_or_else(|| {
             Error::Untranslatable(format!(
                 "none of the {} rewritings is executable",
                 plan.outcome.rewritings.len()
             ))
         })?;
+        let mut translation = plan.translations[chosen]
+            .take()
+            .expect("best is executable");
 
         // 3. Execute, splitting metrics per store. When a plan attempt
         // dies on a store failure (after per-call retries and breaker
@@ -841,14 +885,7 @@ impl Estocada {
                     let next = if ctx.deadline_exceeded() {
                         None
                     } else {
-                        self.next_failover_candidate(
-                            &plan,
-                            head_names,
-                            residuals,
-                            &tried,
-                            &failed_systems,
-                            &ctx,
-                        )
+                        self.next_failover_candidate(&mut plan, &tried, &failed_systems)
                     };
                     match next {
                         Some((idx, tr)) => {
@@ -891,6 +928,7 @@ impl Estocada {
             retries: ctx.retries(),
             store_errors: ctx.store_errors(),
             breaker_transitions: ctx.transitions(),
+            translations: ctx.translations(),
         });
 
         Ok(QueryResult {
@@ -918,30 +956,21 @@ impl Estocada {
     /// ranking by breaker-penalized cost where both open-circuit backends
     /// and backends that already failed in this query count against a
     /// candidate (the breaker may not have tripped yet when retries are
-    /// exhausted first).
+    /// exhausted first). Candidates come out of the plan's retained
+    /// translations — failover performs **zero** new translation work
+    /// ([`ResilienceReport::translations`] pins this).
     fn next_failover_candidate(
         &self,
-        plan: &PlannedQuery,
-        head_names: &[String],
-        residuals: &[Residual],
+        plan: &mut PlannedQuery,
         tried: &HashSet<usize>,
         failed: &HashSet<SystemId>,
-        ctx: &Arc<QueryResilience>,
     ) -> Option<(usize, Translation)> {
-        let mut best: Option<(f64, usize, Translation)> = None;
-        for (idx, rw) in plan.outcome.rewritings.iter().enumerate() {
+        let mut best: Option<(f64, usize)> = None;
+        for (idx, tr) in plan.translations.iter().enumerate() {
             if tried.contains(&idx) {
                 continue;
             }
-            let Ok(tr) = translate(
-                rw,
-                head_names,
-                residuals,
-                &self.catalog,
-                &self.stores,
-                &self.cost,
-                Some(ctx),
-            ) else {
+            let Some(tr) = tr else {
                 continue;
             };
             let avoided = tr
@@ -950,11 +979,16 @@ impl Estocada {
                 .filter(|s| failed.contains(s) || self.health.avoid(**s))
                 .count();
             let eff = self.cost.penalize(tr.est_cost, avoided);
-            if best.as_ref().map(|(b, _, _)| eff < *b).unwrap_or(true) {
-                best = Some((eff, idx, tr));
+            if best.map(|(b, _)| eff < b).unwrap_or(true) {
+                best = Some((eff, idx));
             }
         }
-        best.map(|(_, idx, tr)| (idx, tr))
+        best.map(|(_, idx)| {
+            (
+                idx,
+                plan.translations[idx].take().expect("candidate is Some"),
+            )
+        })
     }
 }
 

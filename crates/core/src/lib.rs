@@ -21,6 +21,7 @@ pub mod catalog;
 pub mod connector;
 pub mod cost;
 pub mod dataset;
+pub mod dml;
 pub mod error;
 pub mod evaluator;
 pub mod frontends;
@@ -36,6 +37,7 @@ pub use catalog::{Catalog, FragmentMeta, FragmentSpec};
 pub use connector::{ResOp, Residual};
 pub use cost::CostModel;
 pub use dataset::{Dataset, DatasetContent, DocData, TableData};
+pub use dml::{DmlReport, FragmentDelta, MaintenanceState};
 pub use error::{Error, PlanFailure, Result};
 pub use evaluator::{Estocada, QueryOptions, QueryRequest};
 pub use plancache::{PlanCache, PlanCacheStats};
@@ -46,4 +48,6 @@ pub use resilience::{
 };
 pub use system::{Latencies, Stores, SystemId};
 
-pub use estocada_simkit::{FaultKind, FaultPlan, FaultRule, Injection, StoreError, StoreErrorKind};
+pub use estocada_simkit::{
+    FaultKind, FaultPlan, FaultRule, Injection, SimClock, StoreError, StoreErrorKind,
+};

@@ -25,6 +25,18 @@ pub fn fact_base(facts: &[Fact]) -> Instance {
     inst
 }
 
+/// Project one homomorphism onto a view's head row (`None` when a head
+/// variable maps to a labelled null — never the case over ground bases).
+pub(crate) fn project_head(view: &Cq, h: &estocada_chase::Hom) -> Option<Vec<Value>> {
+    view.head
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => h.map.get(v).and_then(Elem::as_value),
+        })
+        .collect()
+}
+
 /// Evaluate a view over the fact base: all homomorphic images of the body,
 /// projected on the head. Duplicate rows are eliminated (set semantics of
 /// the pivot model).
@@ -33,15 +45,7 @@ pub fn evaluate_view(base: &Instance, view: &Cq) -> Vec<Vec<Value>> {
     let mut seen = HashSet::new();
     let mut out = Vec::new();
     for h in homs {
-        let row: Option<Vec<Value>> = view
-            .head
-            .iter()
-            .map(|t| match t {
-                Term::Const(c) => Some(c.clone()),
-                Term::Var(v) => h.map.get(v).and_then(Elem::as_value),
-            })
-            .collect();
-        if let Some(row) = row {
+        if let Some(row) = project_head(view, &h) {
             if seen.insert(row.clone()) {
                 out.push(row);
             }
@@ -137,7 +141,10 @@ pub fn materialize(
             let columns = head_columns(view);
             let namespace = view.name.as_str().to_string();
             // Group rows per key: a key maps to the *list* of its value
-            // tuples (like a Redis list), so non-unique keys keep every row.
+            // tuples (like a Redis list), so non-unique keys keep every
+            // row. Value tuples are sorted within their key so a packed
+            // entry is a canonical function of the row *set* — incremental
+            // DML maintenance repacks affected keys byte-identically.
             let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
             for r in &rows {
                 groups
@@ -145,7 +152,8 @@ pub fn materialize(
                     .or_default()
                     .push(Value::array(r[1..].iter().cloned()));
             }
-            for (k, vrows) in groups {
+            for (k, mut vrows) in groups {
+                vrows.sort();
                 stores.kv.put(&namespace, k, &[Value::array(vrows)]);
             }
             let pattern = {

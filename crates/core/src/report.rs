@@ -120,10 +120,11 @@ impl fmt::Display for Report {
         if let Some(r) = &self.resilience {
             writeln!(
                 f,
-                "resilience:     {} plan attempt(s), {} retries, {} store error(s)",
+                "resilience:     {} plan attempt(s), {} retries, {} store error(s), {} translation(s)",
                 r.attempts.len(),
                 r.retries,
                 r.store_errors.len(),
+                r.translations,
             )?;
             for a in &r.attempts {
                 let systems: Vec<String> = a.systems.iter().map(|s| s.to_string()).collect();

@@ -32,6 +32,7 @@
 use crate::system::SystemId;
 use estocada_engine::{BindSource, StoreError, StoreErrorKind, Tuple};
 use estocada_pivot::Value;
+use estocada_simkit::SimClock;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
@@ -102,6 +103,13 @@ pub struct BreakerConfig {
     /// Fail-fast rejections an open breaker issues before admitting one
     /// half-open probe (count-based so behavior is deterministic).
     pub probe_after: u32,
+    /// Wall-clock open window: once an open breaker has been open this
+    /// long, the next admission is a half-open probe even if no rejection
+    /// traffic ever arrived — an idle backend can recover without being
+    /// hammered. `None` keeps recovery purely rejection-counted.
+    /// Deterministic in tests via [`HealthTracker::with_clock`] and a
+    /// manual [`SimClock`].
+    pub open_cooldown: Option<Duration>,
 }
 
 impl Default for BreakerConfig {
@@ -109,6 +117,7 @@ impl Default for BreakerConfig {
         BreakerConfig {
             trip_after: 3,
             probe_after: 4,
+            open_cooldown: None,
         }
     }
 }
@@ -199,6 +208,9 @@ struct BackendSlot {
     successes: AtomicU64,
     failures: AtomicU64,
     trips: AtomicU64,
+    /// Clock reading (nanos) of the last Closed/HalfOpen→Open transition;
+    /// drives the [`BreakerConfig::open_cooldown`] window.
+    opened_at: AtomicU64,
 }
 
 /// Per-backend consecutive-failure circuit breakers, shared by every query
@@ -209,6 +221,7 @@ struct BackendSlot {
 pub struct HealthTracker {
     cfg: BreakerConfig,
     slots: [BackendSlot; 5],
+    clock: SimClock,
 }
 
 const ALL_SYSTEMS: [SystemId; 5] = [
@@ -237,9 +250,17 @@ pub fn system_for_store(name: &str) -> Option<SystemId> {
 impl HealthTracker {
     /// A tracker with the given breaker thresholds, all breakers closed.
     pub fn new(cfg: BreakerConfig) -> HealthTracker {
+        Self::with_clock(cfg, SimClock::wall())
+    }
+
+    /// A tracker reading open-window elapsed time off `clock` — a manual
+    /// [`SimClock`] makes [`BreakerConfig::open_cooldown`] recovery fully
+    /// deterministic in tests.
+    pub fn with_clock(cfg: BreakerConfig, clock: SimClock) -> HealthTracker {
         HealthTracker {
             cfg,
             slots: Default::default(),
+            clock,
         }
     }
 
@@ -270,6 +291,18 @@ impl HealthTracker {
             BreakerState::Closed => Admission::Execute,
             BreakerState::HalfOpen => Admission::FailFast,
             BreakerState::Open => {
+                // Time-based recovery first: an open window that has fully
+                // elapsed admits a probe immediately, so a backend that saw
+                // no traffic while open (nothing to count rejections
+                // against) still gets to recover.
+                if let Some(cooldown) = self.cfg.open_cooldown {
+                    let opened = Duration::from_nanos(slot.opened_at.load(Ordering::Relaxed));
+                    if self.clock.now().saturating_sub(opened) >= cooldown {
+                        slot.rejections.store(0, Ordering::Relaxed);
+                        slot.state.store(STATE_HALF_OPEN, Ordering::Relaxed);
+                        return Admission::Probe;
+                    }
+                }
                 let r = slot.rejections.fetch_add(1, Ordering::Relaxed) + 1;
                 if r > self.cfg.probe_after {
                     slot.rejections.store(0, Ordering::Relaxed);
@@ -302,8 +335,10 @@ impl HealthTracker {
         let consec = slot.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
         match decode_state(slot.state.load(Ordering::Relaxed)) {
             BreakerState::HalfOpen => {
-                // The probe failed: back to open.
+                // The probe failed: back to open (fresh open window).
                 slot.rejections.store(0, Ordering::Relaxed);
+                slot.opened_at
+                    .store(self.clock.now().as_nanos() as u64, Ordering::Relaxed);
                 slot.state.store(STATE_OPEN, Ordering::Relaxed);
                 Some(BreakerTransition {
                     system: sys,
@@ -313,6 +348,8 @@ impl HealthTracker {
             }
             BreakerState::Closed if consec >= self.cfg.trip_after => {
                 slot.rejections.store(0, Ordering::Relaxed);
+                slot.opened_at
+                    .store(self.clock.now().as_nanos() as u64, Ordering::Relaxed);
                 slot.state.store(STATE_OPEN, Ordering::Relaxed);
                 slot.trips.fetch_add(1, Ordering::Relaxed);
                 Some(BreakerTransition {
@@ -354,6 +391,7 @@ impl HealthTracker {
             s.successes.store(0, Ordering::Relaxed);
             s.failures.store(0, Ordering::Relaxed);
             s.trips.store(0, Ordering::Relaxed);
+            s.opened_at.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -386,6 +424,11 @@ pub struct ResilienceReport {
     pub store_errors: Vec<String>,
     /// Breaker state changes, in order.
     pub breaker_transitions: Vec<BreakerTransition>,
+    /// Rewriting→plan translation runs this query performed. Planning
+    /// translates each rewriting exactly once and failover reuses the
+    /// retained translations, so this stays at the rewriting count no
+    /// matter how many plan attempts the failover chain needed.
+    pub translations: u64,
 }
 
 impl ResilienceReport {
@@ -404,6 +447,7 @@ pub struct QueryResilience {
     deadline: Option<Instant>,
     health: Arc<HealthTracker>,
     retries: AtomicU64,
+    translations: AtomicU64,
     errors: Mutex<Vec<String>>,
     transitions: Mutex<Vec<BreakerTransition>>,
 }
@@ -421,6 +465,7 @@ impl QueryResilience {
             deadline: deadline.map(|d| Instant::now() + d),
             health,
             retries: AtomicU64::new(0),
+            translations: AtomicU64::new(0),
             errors: Mutex::new(Vec::new()),
             transitions: Mutex::new(Vec::new()),
         })
@@ -444,6 +489,17 @@ impl QueryResilience {
     /// Retries issued so far.
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Rewriting→plan translation runs performed so far.
+    pub fn translations(&self) -> u64 {
+        self.translations.load(Ordering::Relaxed)
+    }
+
+    /// Record one translation run (the evaluator calls this around
+    /// [`crate::translate::translate`]).
+    pub(crate) fn note_translation(&self) {
+        self.translations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Store errors observed so far (rendered).
@@ -484,6 +540,47 @@ impl QueryResilience {
         }
     }
 
+    /// Run one store call under admission control, **without** the retry
+    /// loop — callers that own their own retry discipline (the split-batch
+    /// fetch path) build on this primitive. Breaker-open rejections
+    /// synthesize a [`StoreErrorKind::CircuitOpen`] error without touching
+    /// the backend.
+    pub fn call_once<T>(
+        &self,
+        system: SystemId,
+        op: &str,
+        f: impl FnOnce() -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        if self.health.admit(system) == Admission::FailFast {
+            let e = StoreError {
+                store: system.to_string(),
+                op: op.to_string(),
+                op_index: 0,
+                kind: StoreErrorKind::CircuitOpen,
+            };
+            self.record_error(&e);
+            return Err(e);
+        }
+        match f() {
+            Ok(v) => {
+                self.record_transition(self.health.on_success(system));
+                Ok(v)
+            }
+            Err(e) => {
+                self.record_transition(self.health.on_failure(system));
+                self.record_error(&e);
+                Err(e)
+            }
+        }
+    }
+
+    /// Count one retry and wait out its backoff — the bookkeeping half of
+    /// the retry loop, shared with the split-batch fetch path.
+    fn note_retry_and_back_off(&self, attempt: u32) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.back_off(attempt);
+    }
+
     /// Run one store call under admission control and the retry loop.
     ///
     /// Breaker-open rejections synthesize a
@@ -498,29 +595,16 @@ impl QueryResilience {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            if self.health.admit(system) == Admission::FailFast {
-                let e = StoreError {
-                    store: system.to_string(),
-                    op: op.to_string(),
-                    op_index: 0,
-                    kind: StoreErrorKind::CircuitOpen,
-                };
-                self.record_error(&e);
-                return Err(e);
-            }
-            match f() {
-                Ok(v) => {
-                    self.record_transition(self.health.on_success(system));
-                    return Ok(v);
-                }
+            match self.call_once(system, op, &f) {
+                Ok(v) => return Ok(v),
                 Err(e) => {
-                    self.record_transition(self.health.on_failure(system));
-                    self.record_error(&e);
-                    if attempt >= self.policy.max_attempts.max(1) || self.deadline_exceeded() {
+                    if e.kind == StoreErrorKind::CircuitOpen
+                        || attempt >= self.policy.max_attempts.max(1)
+                        || self.deadline_exceeded()
+                    {
                         return Err(e);
                     }
-                    self.retries.fetch_add(1, Ordering::Relaxed);
-                    self.back_off(attempt);
+                    self.note_retry_and_back_off(attempt);
                 }
             }
         }
@@ -555,6 +639,45 @@ impl ResilientSource {
     ) -> ResilientSource {
         ResilientSource { inner, system, ctx }
     }
+
+    /// Split-batch retry of a key-batch fetch: a failed batch is **not**
+    /// re-issued whole. The batch is split in half and each half fetched
+    /// independently, recursively, so only the keys in a still-failing
+    /// half are ever re-requested — keys delivered by a succeeding half
+    /// are done. `budget` is the per-key attempt allowance
+    /// ([`RetryPolicy::max_attempts`]); a fault-free batch is exactly one
+    /// store call, identical to the unsplit path.
+    fn fetch_batch_split(
+        &self,
+        keys: &[Vec<Value>],
+        budget: u32,
+        attempt: u32,
+    ) -> Result<Vec<Vec<Tuple>>, StoreError> {
+        match self.ctx.call_once(self.system, "fetch_batch", || {
+            self.inner.try_fetch_batch(keys)
+        }) {
+            Ok(v) => Ok(v),
+            Err(e)
+                if budget <= 1
+                    || e.kind == StoreErrorKind::CircuitOpen
+                    || self.ctx.deadline_exceeded() =>
+            {
+                Err(e)
+            }
+            Err(_) => {
+                self.ctx.note_retry_and_back_off(attempt);
+                if keys.len() > 1 {
+                    let (l, r) = keys.split_at(keys.len() / 2);
+                    let mut left = self.fetch_batch_split(l, budget - 1, attempt + 1)?;
+                    let right = self.fetch_batch_split(r, budget - 1, attempt + 1)?;
+                    left.extend(right);
+                    Ok(left)
+                } else {
+                    self.fetch_batch_split(keys, budget - 1, attempt + 1)
+                }
+            }
+        }
+    }
 }
 
 impl BindSource for ResilientSource {
@@ -576,9 +699,7 @@ impl BindSource for ResilientSource {
     }
 
     fn try_fetch_batch(&self, keys: &[Vec<Value>]) -> Result<Vec<Vec<Tuple>>, StoreError> {
-        self.ctx.call(self.system, "fetch_batch", || {
-            self.inner.try_fetch_batch(keys)
-        })
+        self.fetch_batch_split(keys, self.ctx.policy().max_attempts.max(1), 1)
     }
 
     fn label(&self) -> String {
@@ -649,6 +770,7 @@ mod tests {
         let health = Arc::new(HealthTracker::new(BreakerConfig {
             trip_after: 2,
             probe_after: 2,
+            ..Default::default()
         }));
         // Two failures trip the breaker.
         assert!(health.on_failure(SystemId::Text).is_none());
@@ -674,6 +796,7 @@ mod tests {
         let health = HealthTracker::new(BreakerConfig {
             trip_after: 1,
             probe_after: 1,
+            ..Default::default()
         });
         health.on_failure(SystemId::Parallel).unwrap();
         assert_eq!(health.admit(SystemId::Parallel), Admission::FailFast);
@@ -687,6 +810,7 @@ mod tests {
         let health = Arc::new(HealthTracker::new(BreakerConfig {
             trip_after: 1,
             probe_after: 100,
+            ..Default::default()
         }));
         health.on_failure(SystemId::Document);
         let ctx = QueryResilience::new(RetryPolicy::default(), None, health);
@@ -758,6 +882,185 @@ mod tests {
         );
         let out = ctx.call(SystemId::Relational, "query", || Ok(7));
         assert_eq!(out, Ok(7));
+        assert!(!ctx.eventful());
+    }
+
+    #[test]
+    fn cooldown_admits_a_probe_without_rejection_traffic() {
+        let clock = SimClock::manual();
+        let health = HealthTracker::with_clock(
+            BreakerConfig {
+                trip_after: 1,
+                probe_after: 100,
+                open_cooldown: Some(Duration::from_secs(5)),
+            },
+            clock.clone(),
+        );
+        health.on_failure(SystemId::KeyValue).unwrap();
+        // Inside the window the breaker still fails fast.
+        assert_eq!(health.admit(SystemId::KeyValue), Admission::FailFast);
+        clock.advance(Duration::from_secs(5));
+        // The window elapsed: the very next admission is a probe, far
+        // before probe_after=100 rejections ever accumulated.
+        assert_eq!(health.admit(SystemId::KeyValue), Admission::Probe);
+        let t = health.on_success(SystemId::KeyValue).unwrap();
+        assert_eq!(
+            (t.from, t.to),
+            (BreakerState::HalfOpen, BreakerState::Closed)
+        );
+    }
+
+    #[test]
+    fn failed_probe_restarts_the_cooldown_window() {
+        let clock = SimClock::manual();
+        let health = HealthTracker::with_clock(
+            BreakerConfig {
+                trip_after: 1,
+                probe_after: 100,
+                open_cooldown: Some(Duration::from_secs(5)),
+            },
+            clock.clone(),
+        );
+        health.on_failure(SystemId::Document).unwrap();
+        clock.advance(Duration::from_secs(5));
+        assert_eq!(health.admit(SystemId::Document), Admission::Probe);
+        // The probe fails: re-open stamps a fresh window.
+        health.on_failure(SystemId::Document).unwrap();
+        clock.advance(Duration::from_secs(4));
+        assert_eq!(health.admit(SystemId::Document), Admission::FailFast);
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(health.admit(SystemId::Document), Admission::Probe);
+    }
+
+    /// Serves one tuple per key but fails the first `faults` batch calls
+    /// that include the poisoned key, recording every requested key set.
+    struct FlakyBatch {
+        poisoned: Value,
+        faults: AtomicUsize,
+        calls: Mutex<Vec<Vec<Value>>>,
+    }
+
+    impl BindSource for FlakyBatch {
+        fn out_columns(&self) -> Vec<String> {
+            vec!["k".into()]
+        }
+        fn fetch(&self, key: &[Value]) -> Vec<Tuple> {
+            vec![vec![key[0].clone()]]
+        }
+        fn try_fetch_batch(&self, keys: &[Vec<Value>]) -> Result<Vec<Vec<Tuple>>, StoreError> {
+            self.calls
+                .lock()
+                .push(keys.iter().map(|k| k[0].clone()).collect());
+            if keys.iter().any(|k| k[0] == self.poisoned)
+                && self
+                    .faults
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                    != Err(0)
+            {
+                return Err(unavailable(0));
+            }
+            Ok(self.fetch_batch(keys))
+        }
+    }
+
+    #[test]
+    fn split_batch_retry_never_refetches_delivered_keys() {
+        let source = Arc::new(FlakyBatch {
+            poisoned: Value::str("d"),
+            faults: AtomicUsize::new(2),
+            calls: Mutex::new(Vec::new()),
+        });
+        let ctx = QueryResilience::new(
+            RetryPolicy {
+                max_attempts: 3,
+                jitter: false,
+                base_backoff: Duration::from_micros(1),
+                max_backoff: Duration::from_micros(1),
+            },
+            None,
+            Arc::new(HealthTracker::default()),
+        );
+        let resilient = ResilientSource::new(source.clone(), SystemId::KeyValue, ctx.clone());
+        let keys: Vec<Vec<Value>> = ["a", "b", "c", "d"]
+            .iter()
+            .map(|k| vec![Value::str(k)])
+            .collect();
+        let out = resilient.try_fetch_batch(&keys).unwrap();
+        // Every key was delivered, in the original batch order.
+        let flat: Vec<Value> = out.into_iter().map(|rows| rows[0][0].clone()).collect();
+        assert_eq!(
+            flat,
+            vec![
+                Value::str("a"),
+                Value::str("b"),
+                Value::str("c"),
+                Value::str("d")
+            ]
+        );
+        // [a,b,c,d] fails → split: [a,b] succeeds, [c,d] fails → split:
+        // [c] succeeds, [d] succeeds. Keys a and b were requested exactly
+        // once after their delivering call — never re-fetched.
+        let calls = source.calls.lock().clone();
+        assert_eq!(
+            calls,
+            vec![
+                vec![
+                    Value::str("a"),
+                    Value::str("b"),
+                    Value::str("c"),
+                    Value::str("d")
+                ],
+                vec![Value::str("a"), Value::str("b")],
+                vec![Value::str("c"), Value::str("d")],
+                vec![Value::str("c")],
+                vec![Value::str("d")],
+            ]
+        );
+        assert_eq!(ctx.retries(), 2);
+    }
+
+    #[test]
+    fn split_batch_exhaustion_surfaces_the_error() {
+        let source = Arc::new(FlakyBatch {
+            poisoned: Value::str("d"),
+            faults: AtomicUsize::new(usize::MAX),
+            calls: Mutex::new(Vec::new()),
+        });
+        let ctx = QueryResilience::new(
+            RetryPolicy {
+                max_attempts: 2,
+                jitter: false,
+                base_backoff: Duration::from_micros(1),
+                max_backoff: Duration::from_micros(1),
+            },
+            None,
+            Arc::new(HealthTracker::default()),
+        );
+        let resilient = ResilientSource::new(source.clone(), SystemId::KeyValue, ctx);
+        let keys: Vec<Vec<Value>> = ["c", "d"].iter().map(|k| vec![Value::str(k)]).collect();
+        let out = resilient.try_fetch_batch(&keys);
+        assert_eq!(out.unwrap_err().kind, StoreErrorKind::Unavailable);
+        // Budget 2: the full batch, then one split round ([c] delivered,
+        // [d] out of budget) — no runaway recursion.
+        assert_eq!(source.calls.lock().len(), 3);
+    }
+
+    #[test]
+    fn fault_free_batch_is_one_store_call() {
+        let source = Arc::new(FlakyBatch {
+            poisoned: Value::str("zzz"),
+            faults: AtomicUsize::new(0),
+            calls: Mutex::new(Vec::new()),
+        });
+        let ctx = QueryResilience::new(
+            RetryPolicy::default(),
+            None,
+            Arc::new(HealthTracker::default()),
+        );
+        let resilient = ResilientSource::new(source.clone(), SystemId::KeyValue, ctx.clone());
+        let keys: Vec<Vec<Value>> = ["a", "b"].iter().map(|k| vec![Value::str(k)]).collect();
+        resilient.try_fetch_batch(&keys).unwrap();
+        assert_eq!(source.calls.lock().len(), 1);
         assert!(!ctx.eventful());
     }
 }

@@ -55,6 +55,26 @@ impl Collection {
         }
         self.indexes.insert(path.to_string(), idx);
     }
+
+    /// Remove the first document equal to `doc`; returns whether one was
+    /// removed. Doc ids shift, so every path index is rebuilt by the
+    /// caller afterwards.
+    fn remove_first(&mut self, doc: &Value) -> bool {
+        match self.docs.iter().position(|d| d == doc) {
+            Some(pos) => {
+                self.docs.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn rebuild_indexes(&mut self) {
+        let paths: Vec<String> = self.indexes.keys().cloned().collect();
+        for p in paths {
+            self.create_index(&p);
+        }
+    }
 }
 
 /// The document store.
@@ -97,6 +117,28 @@ impl DocStore {
         for d in docs {
             c.insert(d);
         }
+    }
+
+    /// Remove documents from `collection`: each entry of `docs` removes
+    /// **one** stored document equal to it (duplicates are removed one
+    /// instance per request). Path indexes are rebuilt once after the
+    /// batch. Returns how many documents were removed. Admin path: no
+    /// metrics, latency, or fault hook — like [`DocStore::insert_many`].
+    pub fn remove_docs(&self, collection: &str, docs: &[Value]) -> usize {
+        let mut guard = self.collections.write();
+        let Some(c) = guard.get_mut(collection) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for d in docs {
+            if c.remove_first(d) {
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            c.rebuild_indexes();
+        }
+        removed
     }
 
     /// Create a path index on `collection`.
@@ -352,6 +394,28 @@ mod tests {
         s.insert("carts", Value::object([("user", Value::Int(999))]));
         let out = s.find("carts", &Filter::all().eq("user", 999i64), None);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn remove_docs_takes_one_instance_and_rebuilds_indexes() {
+        let s = store();
+        s.create_index("carts", "user");
+        let doc = s
+            .find("carts", &Filter::all().eq("user", 7i64), None)
+            .pop()
+            .unwrap();
+        assert_eq!(s.remove_docs("carts", std::slice::from_ref(&doc)), 1);
+        assert_eq!(s.len("carts"), 99);
+        // Indexed lookup still correct after the id shift.
+        assert!(s
+            .find("carts", &Filter::all().eq("user", 7i64), None)
+            .is_empty());
+        let out = s.find("carts", &Filter::all().eq("user", 99i64), None);
+        assert_eq!(out.len(), 1);
+        assert_eq!(s.metrics.snapshot().tuples_scanned, 0);
+        // Unknown document / collection: no-ops.
+        assert_eq!(s.remove_docs("carts", &[Value::Int(42)]), 0);
+        assert_eq!(s.remove_docs("ghost", &[doc]), 0);
     }
 
     #[test]

@@ -72,6 +72,42 @@ impl Dataset {
         self.key_index = Some(KeyIndex { columns, map });
     }
 
+    /// Append rows round-robin across the existing partitions (continuing
+    /// from the current total, so growth stays balanced). The key index is
+    /// rebuilt when one exists.
+    pub fn append_rows(&mut self, rows: impl IntoIterator<Item = Vec<Value>>) {
+        let n = self.partitions.len().max(1);
+        for (next, row) in (self.len()..).zip(rows) {
+            assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+            self.partitions[next % n].push(row);
+        }
+        if let Some(cols) = self.key_index.as_ref().map(|i| i.columns.clone()) {
+            self.build_key_index(cols);
+        }
+    }
+
+    /// Remove the first stored row equal to each entry of `rows` (one
+    /// instance per request, searched in partition order). Returns how
+    /// many rows were removed; the key index is rebuilt when one exists.
+    pub fn remove_rows(&mut self, rows: &[Vec<Value>]) -> usize {
+        let mut removed = 0;
+        for row in rows {
+            'search: for part in &mut self.partitions {
+                if let Some(pos) = part.iter().position(|r| r == row) {
+                    part.remove(pos);
+                    removed += 1;
+                    break 'search;
+                }
+            }
+        }
+        if removed > 0 {
+            if let Some(cols) = self.key_index.as_ref().map(|i| i.columns.clone()) {
+                self.build_key_index(cols);
+            }
+        }
+        removed
+    }
+
     /// Rows matching `key` through the key index (panics if the index does
     /// not exist or the key arity mismatches).
     pub fn index_lookup(&self, key: &[Value]) -> Vec<&Vec<Value>> {
@@ -129,6 +165,21 @@ mod tests {
         d.build_key_index(vec![0, 1]);
         assert_eq!(d.index_lookup(&[Value::Int(4), Value::Int(1)]).len(), 1);
         assert!(d.index_lookup(&[Value::Int(4), Value::Int(2)]).is_empty());
+    }
+
+    #[test]
+    fn append_and_remove_maintain_the_key_index() {
+        let mut d = Dataset::from_rows(&["id", "grp"], rows(9), 3);
+        d.build_key_index(vec![1]);
+        d.append_rows(vec![vec![Value::Int(11), Value::Int(2)]]);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.index_lookup(&[Value::Int(2)]).len(), 4); // ids 2,5,8,11
+        let removed = d.remove_rows(&[
+            vec![Value::Int(2), Value::Int(2)],
+            vec![Value::Int(99), Value::Int(0)], // absent: no-op
+        ]);
+        assert_eq!(removed, 1);
+        assert_eq!(d.index_lookup(&[Value::Int(2)]).len(), 3);
     }
 
     #[test]

@@ -130,6 +130,34 @@ impl ParStore {
         self.datasets.read().get(name).cloned()
     }
 
+    /// Append rows to a dataset (round-robin across its partitions; the
+    /// key index is rebuilt when one exists). Clone-modify-swap like
+    /// [`ParStore::build_key_index`] so in-flight readers keep their
+    /// snapshot. Admin path: no metrics, latency, or fault hook.
+    pub fn insert_rows(&self, name: &str, rows: impl IntoIterator<Item = Vec<Value>>) {
+        let mut guard = self.datasets.write();
+        let ds = guard
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown dataset {name}"));
+        let mut new = (**ds).clone();
+        new.append_rows(rows);
+        guard.insert(name.to_string(), Arc::new(new));
+    }
+
+    /// Delete rows from a dataset: each entry removes **one** matching
+    /// stored row. Returns how many were removed. Same clone-modify-swap
+    /// and admin-path semantics as [`ParStore::insert_rows`].
+    pub fn delete_rows(&self, name: &str, rows: &[Vec<Value>]) -> usize {
+        let mut guard = self.datasets.write();
+        let ds = guard
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown dataset {name}"));
+        let mut new = (**ds).clone();
+        let removed = new.remove_rows(rows);
+        guard.insert(name.to_string(), Arc::new(new));
+        removed
+    }
+
     /// Parallel scan with predicates and optional projection.
     pub fn scan(
         &self,
@@ -388,6 +416,31 @@ mod tests {
         assert!(s.scan("ghost", &[], None).is_empty());
         assert!(s.join("ghost", "visits", &[], &[]).is_empty());
         assert!(!s.drop_dataset("ghost"));
+    }
+
+    #[test]
+    fn insert_and_delete_rows_swap_in_a_new_snapshot() {
+        let s = store();
+        s.build_key_index("visits", &["user"]);
+        let before = s.dataset("visits").unwrap();
+        s.insert_rows(
+            "visits",
+            vec![vec![Value::Int(7), Value::str("url7"), Value::Double(9.9)]],
+        );
+        // The pre-mutation handle still sees the old snapshot.
+        assert_eq!(before.len(), 1000);
+        assert_eq!(s.len("visits"), 1001);
+        assert_eq!(s.lookup("visits", &[Value::Int(7)], &[]).len(), 11);
+        let removed = s.delete_rows(
+            "visits",
+            &[
+                vec![Value::Int(7), Value::str("url7"), Value::Double(9.9)],
+                vec![Value::Int(-1), Value::str("ghost"), Value::Double(0.0)],
+            ],
+        );
+        assert_eq!(removed, 1);
+        assert_eq!(s.len("visits"), 1000);
+        assert_eq!(s.lookup("visits", &[Value::Int(7)], &[]).len(), 10);
     }
 
     #[test]

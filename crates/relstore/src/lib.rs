@@ -67,6 +67,28 @@ impl RelStore {
         }
     }
 
+    /// Delete rows from `name`: each entry of `rows` removes **one**
+    /// matching stored row (duplicate physical rows are removed one
+    /// instance per request). Secondary indexes are rebuilt once after the
+    /// batch. Returns how many rows were actually removed. Admin path: no
+    /// metrics, latency, or fault hook — like [`RelStore::insert_many`].
+    pub fn delete_rows(&self, name: &str, rows: &[Vec<Value>]) -> usize {
+        let mut guard = self.tables.write();
+        let t = guard
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("unknown table {name}"));
+        let mut removed = 0;
+        for r in rows {
+            if t.remove_first(r) {
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            t.rebuild_indexes();
+        }
+        removed
+    }
+
     /// Create an index on `table.column`.
     pub fn create_index(&self, table: &str, column: &str, kind: IndexKind) {
         let mut guard = self.tables.write();
@@ -87,6 +109,12 @@ impl RelStore {
     /// Column names of a table.
     pub fn columns(&self, table: &str) -> Option<Vec<String>> {
         self.tables.read().get(table).map(|t| t.columns.clone())
+    }
+
+    /// Physical row dump of a table in storage order (admin path: no
+    /// metrics, no latency, no fault hook). `None` for unknown tables.
+    pub fn scan(&self, table: &str) -> Option<Vec<Vec<Value>>> {
+        self.tables.read().get(table).map(|t| t.rows.clone())
     }
 
     /// Run a conjunctive query; metrics and latency are charged.
@@ -194,6 +222,37 @@ mod tests {
         assert!(s.drop_table("users"));
         assert!(!s.drop_table("users"));
         assert_eq!(s.row_count("users"), 0);
+    }
+
+    #[test]
+    fn delete_rows_removes_matches_and_keeps_indexes_consistent() {
+        let s = store();
+        s.create_index("users", "uid", IndexKind::Hash);
+        let removed = s.delete_rows(
+            "users",
+            &[
+                vec![Value::Int(1), Value::str("ann")],
+                vec![Value::Int(9), Value::str("nobody")],
+            ],
+        );
+        assert_eq!(removed, 1);
+        assert_eq!(s.row_count("users"), 1);
+        let mut q = SqlQuery::new();
+        q.add_table("users");
+        let q = q
+            .filter(Pred::ColConst(
+                ColRef {
+                    table: 0,
+                    column: 0,
+                },
+                CmpOp::Eq,
+                Value::Int(2),
+            ))
+            .select(ColRef {
+                table: 0,
+                column: 1,
+            });
+        assert_eq!(s.query(&q).unwrap(), vec![vec![Value::str("bob")]]);
     }
 
     #[test]

@@ -93,6 +93,41 @@ impl Table {
         self.rows.push(row);
     }
 
+    /// Remove the first stored row equal to `row`; returns whether one was
+    /// removed. Indexes are not touched — batch callers rebuild once via
+    /// [`Table::rebuild_indexes`] after all removals.
+    pub fn remove_first(&mut self, row: &[Value]) -> bool {
+        match self.rows.iter().position(|r| r == row) {
+            Some(pos) => {
+                self.rows.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Rebuild every secondary index from the current rows (row ids shift
+    /// after removals, so incremental index maintenance is not worth it for
+    /// delta-sized delete batches).
+    pub fn rebuild_indexes(&mut self) {
+        let kinds: Vec<(usize, IndexKind)> = self
+            .indexes
+            .iter()
+            .map(|(col, idx)| {
+                (
+                    *col,
+                    match idx {
+                        Index::Hash(_) => IndexKind::Hash,
+                        Index::BTree(_) => IndexKind::BTree,
+                    },
+                )
+            })
+            .collect();
+        for (col, kind) in kinds {
+            self.create_index(col, kind);
+        }
+    }
+
     /// Build an index over `column` (replacing any existing one).
     pub fn create_index(&mut self, column: usize, kind: IndexKind) {
         let mut idx = match kind {
@@ -164,5 +199,19 @@ mod tests {
     fn arity_checked_on_insert() {
         let mut t = table();
         t.insert(vec![Value::Int(9)]);
+    }
+
+    #[test]
+    fn remove_first_takes_one_instance_and_rebuild_restores_indexes() {
+        let mut t = table();
+        t.insert(vec![Value::Int(2), Value::str("bob"), Value::Int(25)]); // duplicate
+        t.create_index(0, IndexKind::Hash);
+        assert!(t.remove_first(&[Value::Int(2), Value::str("bob"), Value::Int(25)]));
+        assert_eq!(t.len(), 3); // one of the two copies removed
+        assert!(!t.remove_first(&[Value::Int(9), Value::str("x"), Value::Int(1)]));
+        t.rebuild_indexes();
+        assert_eq!(t.indexes[&0].lookup(&Value::Int(2)).len(), 1);
+        // Carol shifted down after the removal; the rebuild tracked it.
+        assert_eq!(t.indexes[&0].lookup(&Value::Int(3)), &[1]);
     }
 }

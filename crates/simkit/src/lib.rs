@@ -25,7 +25,69 @@ pub use fault::{
 };
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A simulation clock: a monotonically increasing [`Duration`] since the
+/// clock's origin. The default [`SimClock::wall`] flavor reads the host's
+/// monotonic clock; [`SimClock::manual`] starts at zero and only moves
+/// when [`SimClock::advance`]d, making time-based behavior (breaker open
+/// windows, fault schedules) fully deterministic in tests. Cloning shares
+/// the underlying clock.
+#[derive(Clone)]
+pub struct SimClock(Arc<ClockInner>);
+
+enum ClockInner {
+    Wall(Instant),
+    Manual(AtomicU64),
+}
+
+impl Default for SimClock {
+    fn default() -> SimClock {
+        SimClock::wall()
+    }
+}
+
+impl std::fmt::Debug for SimClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &*self.0 {
+            ClockInner::Wall(_) => write!(f, "SimClock::wall({:?})", self.now()),
+            ClockInner::Manual(_) => write!(f, "SimClock::manual({:?})", self.now()),
+        }
+    }
+}
+
+impl SimClock {
+    /// A clock backed by the host's monotonic clock, originated now.
+    pub fn wall() -> SimClock {
+        SimClock(Arc::new(ClockInner::Wall(Instant::now())))
+    }
+
+    /// A manually driven clock starting at zero; time passes only through
+    /// [`SimClock::advance`].
+    pub fn manual() -> SimClock {
+        SimClock(Arc::new(ClockInner::Manual(AtomicU64::new(0))))
+    }
+
+    /// Elapsed time since the clock's origin.
+    pub fn now(&self) -> Duration {
+        match &*self.0 {
+            ClockInner::Wall(origin) => origin.elapsed(),
+            ClockInner::Manual(nanos) => Duration::from_nanos(nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Advance a manual clock by `d`. Panics on a wall clock — advancing
+    /// real time is a test-harness bug, not a runtime feature.
+    pub fn advance(&self, d: Duration) {
+        match &*self.0 {
+            ClockInner::Wall(_) => panic!("cannot advance a wall SimClock"),
+            ClockInner::Manual(nanos) => {
+                nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
 
 /// Latency model of one simulated DMS.
 ///
@@ -213,6 +275,26 @@ impl Drop for RequestTimer<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn manual_clock_advances_only_when_told() {
+        let c = SimClock::manual();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(7));
+        assert_eq!(c.now(), Duration::from_millis(7));
+        let shared = c.clone();
+        shared.advance(Duration::from_millis(3));
+        // Clones share the underlying clock.
+        assert_eq!(c.now(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn wall_clock_moves_on_its_own() {
+        let c = SimClock::wall();
+        let a = c.now();
+        spin_for(Duration::from_micros(10));
+        assert!(c.now() > a);
+    }
 
     #[test]
     fn zero_model_has_zero_cost() {

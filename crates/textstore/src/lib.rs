@@ -27,6 +27,9 @@ const BM25_B: f64 = 0.75;
 struct TextIndex {
     /// Document keys and token counts, by internal doc id.
     docs: Vec<(Value, u32)>,
+    /// Raw document text, by internal doc id (retained so documents can be
+    /// removed by exact content and the index rebuilt).
+    raw: Vec<String>,
     /// term → postings (doc id, term frequency).
     postings: HashMap<String, Vec<(u32, u32)>>,
     total_tokens: u64,
@@ -45,6 +48,17 @@ impl TextIndex {
         }
         self.total_tokens += tokens.len() as u64;
         self.docs.push((key, tokens.len() as u32));
+        self.raw.push(text.to_string());
+    }
+
+    /// Rebuild a fresh index from (key, text) pairs — used after removals,
+    /// where doc ids shift and postings must be recomputed.
+    fn rebuild_from(pairs: Vec<(Value, String)>) -> TextIndex {
+        let mut idx = TextIndex::default();
+        for (k, t) in pairs {
+            idx.add(k, &t);
+        }
+        idx
     }
 
     fn avg_len(&self) -> f64 {
@@ -129,6 +143,36 @@ impl TextStore {
             .add(key, text);
     }
 
+    /// Remove documents from `index`: each `(key, text)` entry removes
+    /// **one** document whose key and exact raw text match. The index is
+    /// rebuilt once after the batch (doc ids shift, so postings are
+    /// recomputed). Returns how many documents were removed. Admin path: no
+    /// metrics, latency, or fault hook — like
+    /// [`TextStore::index_document`].
+    pub fn remove_documents(&self, index: &str, docs: &[(Value, String)]) -> usize {
+        let mut guard = self.indexes.write();
+        let Some(idx) = guard.get_mut(index) else {
+            return 0;
+        };
+        let mut pairs: Vec<(Value, String)> = idx
+            .docs
+            .iter()
+            .map(|(k, _)| k.clone())
+            .zip(idx.raw.iter().cloned())
+            .collect();
+        let mut removed = 0;
+        for (key, text) in docs {
+            if let Some(pos) = pairs.iter().position(|(k, t)| k == key && t == text) {
+                pairs.remove(pos);
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            *idx = TextIndex::rebuild_from(pairs);
+        }
+        removed
+    }
+
     /// BM25 search; `query` is tokenized with the same analyzer.
     pub fn search(&self, index: &str, query: &str, limit: usize) -> Vec<(Value, f64)> {
         let guard = self.indexes.read();
@@ -188,6 +232,23 @@ impl TextStore {
     pub fn try_term_lookup(&self, index: &str, term: &str) -> Result<Vec<Value>, StoreError> {
         self.fault_check("term_lookup")?;
         Ok(self.term_lookup(index, term))
+    }
+
+    /// Dump of an index's `(key, raw text)` documents in insertion order
+    /// (admin path: no metrics, no latency, no fault hook). Empty for
+    /// unknown indexes.
+    pub fn documents(&self, index: &str) -> Vec<(Value, String)> {
+        self.indexes
+            .read()
+            .get(index)
+            .map(|i| {
+                i.docs
+                    .iter()
+                    .map(|(k, _)| k.clone())
+                    .zip(i.raw.iter().cloned())
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Number of documents in an index.
@@ -267,6 +328,27 @@ mod tests {
         assert!(s.search("ghost", "x", 10).is_empty());
         assert!(s.is_empty("ghost"));
         assert_eq!(s.len("catalog"), 3);
+    }
+
+    #[test]
+    fn remove_documents_rebuilds_the_index() {
+        let s = store();
+        let removed = s.remove_documents(
+            "catalog",
+            &[
+                (
+                    Value::Int(1),
+                    "Wireless optical mouse with USB receiver".to_string(),
+                ),
+                (Value::Int(9), "no such document".to_string()),
+            ],
+        );
+        assert_eq!(removed, 1);
+        assert_eq!(s.len("catalog"), 2);
+        // Postings were recomputed: "mouse" now only hits doc 3, "usb" doc 2.
+        assert_eq!(s.term_lookup("catalog", "mouse"), vec![Value::Int(3)]);
+        assert_eq!(s.term_lookup("catalog", "usb"), vec![Value::Int(2)]);
+        assert_eq!(s.remove_documents("ghost", &[]), 0);
     }
 
     #[test]

@@ -10,12 +10,16 @@
 
 pub mod bigdata;
 pub mod marketplace;
+pub mod readwrite;
 pub mod scenarios;
 pub mod zipf;
 
 pub use bigdata::{generate as generate_bigdata, BigDataConfig};
 pub use marketplace::{
     generate as generate_marketplace, w1_workload, Marketplace, MarketplaceConfig, W1Query,
+};
+pub use readwrite::{
+    assert_clean_read, run_rw_workload, rw_workload, stale_fragments, RwConfig, RwOp, RwSummary,
 };
 pub use scenarios::{
     cart_kv_view, cart_pattern, deploy_baseline, deploy_kv_migrated, deploy_materialized_join,

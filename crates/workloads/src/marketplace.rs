@@ -248,7 +248,7 @@ pub fn generate(config: MarketplaceConfig) -> Marketplace {
 /// The scenario's workload W1: a Zipf-sampled mix of key-based preference
 /// and cart lookups (the predominant queries) plus occasional order scans.
 /// Returns SQL texts and document patterns as `(kind, payload)` pairs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum W1Query {
     /// `SELECT p.theme, p.language FROM Prefs p WHERE p.uid = ?`
     PrefLookup(i64),

@@ -23,6 +23,7 @@ use estocada::{
     Error, Estocada, FaultKind, FaultPlan, Latencies, QueryOptions, QueryResult, RetryPolicy,
 };
 use estocada_workloads::marketplace::{generate, Marketplace, MarketplaceConfig};
+use estocada_workloads::readwrite::{run_rw_workload, rw_workload, stale_fragments, RwConfig};
 use estocada_workloads::scenarios::{
     cart_pattern, deploy_baseline, deploy_kv_migrated, deploy_materialized_join, personalized_sql,
     pref_sql, user_orders_sql,
@@ -542,4 +543,143 @@ fn retry_and_deadline_options_resolve_like_other_options() {
         est.default_query_options().retry,
         Some(RetryPolicy::fail_fast())
     );
+}
+
+// ---------------------------------------------------------------------
+// Split-batch retry: a failed wide probe re-fetches only the failed part.
+// ---------------------------------------------------------------------
+
+/// WebLog lives only in the parallel store, so with the relational store
+/// down this join can only run as a parallel scan feeding a BindJoin that
+/// MGETs the `PrefsKV` fragment — a wide key batch in one store call.
+const WEBLOG_PREFS_SQL: &str = "SELECT l.uid, p.theme FROM WebLog l, Prefs p \
+     WHERE l.uid = p.uid AND l.category = 'laptop'";
+
+#[test]
+fn failed_batch_probe_splits_instead_of_refetching_everything() {
+    let m = market();
+    let oracle = deploy_kv_migrated(&m, Latencies::zero());
+    let want = oracle.query_sql(WEBLOG_PREFS_SQL).expect("oracle");
+    assert!(want.rows.len() > 1, "precondition: a wide probe batch");
+
+    let mut est = with_fast_retry(deploy_kv_migrated(&m, Latencies::zero()));
+    est.set_fault_plan(Some(
+        FaultPlan::new(5)
+            .down("relational", FaultKind::Unavailable)
+            .fail_ops("key-value", "mget", 1, 1, FaultKind::Timeout),
+    ));
+    let before = est.stores.kv.metrics.snapshot();
+    let got = est
+        .query_sql(WEBLOG_PREFS_SQL)
+        .expect("split retry recovers");
+    let delta = est.stores.kv.metrics.snapshot().since(&before);
+    assert_eq!(sorted(got.rows), sorted(want.rows.clone()));
+    assert!(
+        got.report
+            .delegated
+            .iter()
+            .any(|d| d.starts_with("key-value:")),
+        "the surviving plan must probe the key-value store: {:?}",
+        got.report.delegated
+    );
+    // The failed full-batch MGET did no store work; the retry split the
+    // batch in half and fetched each half exactly once. An all-or-nothing
+    // retry would re-issue one full-width request instead of two halves.
+    assert_eq!(
+        delta.requests, 2,
+        "split retry must issue exactly the two half-batches"
+    );
+    let r = got.report.resilience.expect("events recorded");
+    assert!(r.retries > 0, "the failed batch burned a retry");
+
+    // Fault-free control: the same plan shape pays exactly one MGET.
+    let mut clean = with_fast_retry(deploy_kv_migrated(&m, Latencies::zero()));
+    clean.set_fault_plan(Some(
+        FaultPlan::new(5).down("relational", FaultKind::Unavailable),
+    ));
+    let before = clean.stores.kv.metrics.snapshot();
+    let control = clean.query_sql(WEBLOG_PREFS_SQL).expect("control");
+    let delta = clean.stores.kv.metrics.snapshot().since(&before);
+    assert_eq!(sorted(control.rows), sorted(want.rows));
+    assert_eq!(delta.requests, 1, "a clean wide probe is one MGET");
+}
+
+// ---------------------------------------------------------------------
+// Failover reuses the retained translations: no per-attempt re-translate.
+// ---------------------------------------------------------------------
+
+#[test]
+fn failover_reuses_translations_instead_of_retranslating() {
+    let m = market();
+    let mut est = with_fast_retry(deploy_kv_migrated(&m, Latencies::zero()));
+    est.set_fault_plan(Some(
+        FaultPlan::new(5).down("key-value", FaultKind::Unavailable),
+    ));
+    let got = est.query_sql(&pref_sql(7)).expect("failover answers");
+    let r = got.report.resilience.expect("chain recorded");
+    assert!(r.failed_over(), "the kv outage must force a failover");
+    // Planning translated each rewriting exactly once; the failover
+    // attempt took a retained translation instead of re-running the
+    // translator, so the counter equals the rewriting count even though
+    // two plans were attempted.
+    assert_eq!(
+        r.translations as usize,
+        got.report.alternatives.len(),
+        "failover must not add translation runs beyond one per rewriting"
+    );
+    assert!(r.attempts.len() > 1);
+}
+
+// ---------------------------------------------------------------------
+// Property: fault schedules interleaved with writes — reads match the
+// fault-free, fully-maintained oracle or fail typed; never silently stale.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// DML bypasses fault hooks (writes are an admin-path contract), so
+    /// under any fault schedule writes keep succeeding and maintaining
+    /// fragments; every read afterwards either returns exactly what a
+    /// fault-free twin (same writes applied) returns, or a typed error —
+    /// a fault must never surface as a stale or short answer.
+    #[test]
+    fn writes_under_faults_never_yield_stale_reads(
+        seeded_rules in arb_plan(),
+        wseed in any::<u64>(),
+    ) {
+        let (seed, rules) = seeded_rules;
+        let m = market();
+        let mut oracle = deploy_kv_migrated(&m, Latencies::zero());
+        let mut est = with_fast_retry(deploy_kv_migrated(&m, Latencies::zero()));
+        est.set_fault_plan(Some(build_plan(seed, &rules)));
+        let schedule = rw_workload(&m, RwConfig {
+            ops: 10,
+            write_ratio: 1.0,
+            seed: wseed,
+        });
+        for step in schedule.chunks(2) {
+            run_rw_workload(&mut oracle, step).expect("oracle writes");
+            // Writes on the faulted engine must also succeed and keep
+            // every fragment at the data epoch.
+            run_rw_workload(&mut est, step).expect("faulted writes");
+            prop_assert!(stale_fragments(&est).is_empty());
+            for q in [Q::Sql(pref_sql(1)), Q::Sql(user_orders_sql(3)), Q::Doc(1)] {
+                let want = run_q(&oracle, &q).expect("oracle read").rows;
+                match run_q(&est, &q) {
+                    Ok(r) => prop_assert_eq!(
+                        sorted(r.rows),
+                        sorted(want),
+                        "stale or wrong read under {:?} (seed {})",
+                        rules.clone(),
+                        seed
+                    ),
+                    Err(Error::AllPlansFailed { attempts, .. }) => {
+                        prop_assert!(!attempts.is_empty());
+                    }
+                    Err(e) => prop_assert!(false, "untyped failure: {}", e),
+                }
+            }
+        }
+    }
 }
