@@ -1,0 +1,156 @@
+//! E12 — static analysis (PR 8): what the deployment analyzer costs, and
+//! what its termination certificate buys.
+//!
+//! Two questions are measured:
+//!
+//! - **analyzer cost**: a full `Estocada::analyze` pass (termination
+//!   certificate, constraint redundancy, fragment subsumption, schema
+//!   hygiene) over the richest builtin catalog — the materialized-join
+//!   marketplace deployment. The pass must come back clean, every time:
+//!   a lint regression fails the bench instead of its numbers.
+//! - **budget-free vs guarded chase**: on a certified weakly-acyclic TGD
+//!   chain, the chase with the budget guard lifted by
+//!   `ChaseConfig::with_certificate` against the guarded default.
+//!   **Identity is asserted inside every measurement**: each timed run's
+//!   final instance is compared against a precomputed reference dump —
+//!   the certificate may remove bookkeeping, never facts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use estocada::{Estocada, Latencies};
+use estocada_chase::testkit::dump_state;
+use estocada_chase::{certify, chase, ChaseConfig, Elem, Instance, TerminationCertificate};
+use estocada_pivot::{Atom, Constraint, Symbol, Term, Tgd};
+use estocada_workloads::marketplace::{generate, Marketplace, MarketplaceConfig};
+use estocada_workloads::scenarios::deploy_materialized_join;
+use std::time::{Duration, Instant};
+
+fn market() -> Marketplace {
+    generate(MarketplaceConfig {
+        users: 60,
+        products: 30,
+        orders: 200,
+        log_entries: 400,
+        skew: 0.8,
+        seed: 12,
+    })
+}
+
+/// A weakly acyclic existential chain `C_i(x, y) → ∃z. C_{i+1}(y, z)`:
+/// every TGD is existential, none cycles, so `certify` issues a
+/// `WeaklyAcyclic` certificate and the budget-free chase is safe.
+fn chain_constraints(len: usize) -> Vec<Constraint> {
+    (0..len)
+        .map(|i| {
+            Tgd::new(
+                format!("chain{i}").as_str(),
+                vec![Atom::new(
+                    format!("C{i}").as_str(),
+                    vec![Term::var(0), Term::var(1)],
+                )],
+                vec![Atom::new(
+                    format!("C{}", i + 1).as_str(),
+                    vec![Term::var(1), Term::var(2)],
+                )],
+            )
+            .into()
+        })
+        .collect()
+}
+
+fn chain_seed(rows: usize) -> Instance {
+    let mut inst = Instance::new();
+    for r in 0..rows {
+        inst.insert(
+            Symbol::intern("C0"),
+            vec![Elem::of(r as i64), Elem::of((r + 1_000) as i64)],
+        );
+    }
+    inst
+}
+
+fn best_of<F: FnMut() -> Duration>(n: usize, mut f: F) -> Duration {
+    (0..n).map(|_| f()).min().unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let m = market();
+    let est: Estocada = deploy_materialized_join(&m, Latencies::zero());
+    println!(
+        "== E12 summary (materialized-join deployment: {} fragments, {} schema constraints) ==",
+        est.catalog().fragments().len(),
+        est.schema().constraints.len(),
+    );
+
+    // --- analyzer cost on the largest builtin catalog ----------------
+    let t_analyze = best_of(5, || {
+        let t0 = Instant::now();
+        let diags = est.analyze();
+        let dt = t0.elapsed();
+        assert!(diags.is_empty(), "deployment must analyze clean: {diags:?}");
+        dt
+    });
+    println!("analyze(materialized-join deployment): {t_analyze:?} (clean, asserted every run)");
+
+    // --- certified vs guarded chase ----------------------------------
+    const CHAIN: usize = 8;
+    const ROWS: usize = 64;
+    let cs = chain_constraints(CHAIN);
+    let cert = certify(&cs);
+    assert!(
+        matches!(cert, TerminationCertificate::WeaklyAcyclic { .. }),
+        "chain must certify weakly acyclic"
+    );
+    let guarded_cfg = ChaseConfig::default();
+    let free_cfg = ChaseConfig::default().with_certificate(&cert);
+    assert_eq!(free_cfg.max_rounds, usize::MAX, "certificate lifts budget");
+
+    // Reference fixpoint, computed once (untimed).
+    let reference = {
+        let mut inst = chain_seed(ROWS);
+        chase(&mut inst, &cs, &guarded_cfg).expect("reference chase");
+        dump_state(&inst)
+    };
+    let run = |cfg: &ChaseConfig| {
+        let mut inst = chain_seed(ROWS);
+        let t0 = Instant::now();
+        chase(&mut inst, &cs, cfg).expect("chase");
+        let dt = t0.elapsed();
+        assert_eq!(
+            dump_state(&inst),
+            reference,
+            "certified run must reach the identical fixpoint"
+        );
+        dt
+    };
+    let t_guarded = best_of(5, || run(&guarded_cfg));
+    let t_free = best_of(5, || run(&free_cfg));
+    println!(
+        "chase (chain {CHAIN}, {ROWS} seed rows): guarded {t_guarded:?} vs certified \
+         budget-free {t_free:?} (identical fixpoint asserted every run)"
+    );
+
+    // --- criterion arms ----------------------------------------------
+    let mut group = c.benchmark_group("e12_static_analysis");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("analyze_deployment", |b| {
+        b.iter(|| {
+            let diags = est.analyze();
+            assert!(diags.is_empty(), "lint regression: {diags:?}");
+            diags.len()
+        })
+    });
+    group.bench_function("certify_chain", |b| {
+        b.iter(|| {
+            let cert = certify(&cs);
+            assert!(matches!(cert, TerminationCertificate::WeaklyAcyclic { .. }));
+            cert
+        })
+    });
+    group.bench_function("chase_guarded", |b| b.iter(|| run(&guarded_cfg)));
+    group.bench_function("chase_certified_budget_free", |b| b.iter(|| run(&free_cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -22,7 +22,7 @@ fn config() -> BigDataConfig {
 /// Vanilla: everything in the relational store.
 fn vanilla(cfg: BigDataConfig) -> Estocada {
     let mut est = Estocada::new(Latencies::datacenter());
-    est.register_dataset(generate(cfg));
+    est.register_dataset(generate(cfg)).unwrap();
     est.add_fragment(FragmentSpec::NativeTables {
         dataset: "bigdata".into(),
         only: None,

@@ -118,8 +118,9 @@ impl Default for ChaseConfig {
 /// Why a chase run failed.
 #[derive(Debug, Clone)]
 pub enum ChaseError {
-    /// Budget exhausted — the constraint set may be non-terminating (check
-    /// [`crate::wa::weakly_acyclic`]).
+    /// Budget exhausted — the constraint set may be non-terminating (run
+    /// [`crate::wa::certify`] for a [`crate::wa::TerminationCertificate`]
+    /// with a concrete witness cycle).
     Budget {
         /// Rounds executed when the budget ran out.
         rounds: usize,
@@ -136,7 +137,8 @@ impl fmt::Display for ChaseError {
             ChaseError::Budget { rounds, facts } => write!(
                 f,
                 "chase budget exhausted after {rounds} rounds / {facts} facts \
-                 (constraint set may be non-terminating)"
+                 (constraint set may be non-terminating: run wa::certify for \
+                 a termination certificate with a witness cycle)"
             ),
             ChaseError::Inconsistent(i) => write!(f, "{i}"),
         }
@@ -339,6 +341,22 @@ pub(crate) struct ApplicabilityMemo {
     occ: HashMap<u32, Vec<(usize, Vec<Elem>)>>,
 }
 
+/// A cache keyed (in part) on null ids that must drop entries when an EGD
+/// merge retires a null. Implemented by the applicability memo here and by
+/// the provenance chase's Skolem table
+/// ([`crate::pchase::ProvChaseConfig::memo`]) — both mirror the instance's
+/// null-occurrence index, so invalidation is exact, not a flush.
+pub(crate) trait NullInvalidate {
+    /// Drop every cached entry whose key mentions the retired null.
+    fn invalidate_null(&mut self, retired: u32);
+}
+
+impl NullInvalidate for ApplicabilityMemo {
+    fn invalidate_null(&mut self, retired: u32) {
+        ApplicabilityMemo::invalidate_null(self, retired);
+    }
+}
+
 impl ApplicabilityMemo {
     /// Whether `(cidx, key)` is known satisfied.
     fn contains(&self, cidx: usize, key: &[Elem]) -> bool {
@@ -490,7 +508,15 @@ fn apply_constraint(
             }
         }
         Constraint::Egd(egd) => {
-            apply_egd_homs(instance, egd, &homs, |_, _| true, stats, &mut changed, memo)?;
+            apply_egd_homs(
+                instance,
+                egd,
+                &homs,
+                |_, _| true,
+                stats,
+                &mut changed,
+                memo.map(|m| m as &mut dyn NullInvalidate),
+            )?;
         }
     }
     Ok(changed)
@@ -510,7 +536,7 @@ pub(crate) fn apply_egd_homs(
     fire: impl Fn(&Instance, &Hom) -> bool,
     stats: &mut ChaseStats,
     changed: &mut bool,
-    mut memo: Option<&mut ApplicabilityMemo>,
+    mut memo: Option<&mut dyn NullInvalidate>,
 ) -> Result<(), ChaseError> {
     let equal = (
         CompiledTerm::compile(&egd.equal.0),

@@ -57,4 +57,4 @@ pub use pacb::{
 };
 pub use pchase::{prov_chase, prov_chase_with, ProvChaseConfig, ProvChaseStats};
 pub use prov::Dnf;
-pub use wa::weakly_acyclic;
+pub use wa::{certify, weakly_acyclic, Pos, PositionGraph, TerminationCertificate};

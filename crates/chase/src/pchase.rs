@@ -42,7 +42,7 @@
 
 use crate::chase::{
     apply_egd_homs, conclusion_frontier, search_triggers, ChaseError, ChaseStats, CompiledTerm,
-    LazySearchPool,
+    LazySearchPool, NullInvalidate,
 };
 use crate::hom::{HomArena, HomConfig};
 use crate::instance::{Elem, Instance};
@@ -69,6 +69,14 @@ pub struct ProvChaseConfig {
     /// Minimum alive-fact count before the search phase actually fans out
     /// — see [`crate::chase::ChaseConfig::search_min_facts`].
     pub search_min_facts: usize,
+    /// Maintain the Skolem table's null-occurrence index so EGD merges
+    /// invalidate (garbage-collect) entries keyed on retired nulls, and
+    /// count Skolem hits/misses in the memo counters — the PR 4
+    /// applicability-memo discipline extended to the provenance chase.
+    /// Resolved lookup keys never mention a retired null, so the setting
+    /// cannot change which Skolem images a trigger sees: core stats,
+    /// instances and errors are identical either way.
+    pub memo: bool,
 }
 
 impl Default for ProvChaseConfig {
@@ -80,6 +88,63 @@ impl Default for ProvChaseConfig {
             hom: HomConfig::default(),
             search_workers: 1,
             search_min_facts: crate::chase::SEARCH_PARALLEL_MIN_FACTS,
+            memo: true,
+        }
+    }
+}
+
+/// The provenance chase's Skolem memo: `(constraint index, resolved
+/// frontier images) → existential images`, with the same
+/// occurrence-indexed invalidation as the standard chase's applicability
+/// memo. An EGD merge retiring null `n` drops exactly the entries whose
+/// *key* mentions `n` — those keys are unreachable forever (lookup keys
+/// are resolved under the live union-find, which never returns a retired
+/// id), so invalidation is pure garbage collection and provably
+/// behaviour-neutral. Stored *values* may mention retired nulls; they are
+/// re-resolved at every lookup, so they stay correct without indexing.
+struct SkolemTable {
+    map: HashMap<(usize, Vec<Elem>), Vec<Elem>>,
+    /// null id → keys mentioning it (maintained only when `track`).
+    occ: HashMap<u32, Vec<(usize, Vec<Elem>)>>,
+    /// Whether to maintain `occ` ([`ProvChaseConfig::memo`]).
+    track: bool,
+}
+
+impl SkolemTable {
+    fn new(track: bool) -> SkolemTable {
+        SkolemTable {
+            map: HashMap::new(),
+            occ: HashMap::new(),
+            track,
+        }
+    }
+
+    fn get(&self, key: &(usize, Vec<Elem>)) -> Option<&Vec<Elem>> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: (usize, Vec<Elem>), value: Vec<Elem>) {
+        if self.track {
+            for e in &key.1 {
+                if let Elem::Null(n) = e {
+                    self.occ.entry(*n).or_default().push(key.clone());
+                }
+            }
+        }
+        self.map.insert(key, value);
+    }
+}
+
+impl NullInvalidate for SkolemTable {
+    fn invalidate_null(&mut self, retired: u32) {
+        if !self.track {
+            return;
+        }
+        let Some(keys) = self.occ.remove(&retired) else {
+            return;
+        };
+        for key in keys {
+            self.map.remove(&key);
         }
     }
 }
@@ -112,7 +177,7 @@ pub fn prov_chase_with(
 ) -> Result<ProvChaseStats, ChaseError> {
     let mut stats = ProvChaseStats::default();
     // Skolem memo: (constraint index, frontier images) → existential images.
-    let mut skolems: HashMap<(usize, Vec<Elem>), Vec<Elem>> = HashMap::new();
+    let mut skolems = SkolemTable::new(cfg.memo);
     // One search pool for the whole run, spawned lazily on the first round
     // that fans out and reused by every later round (see `chase_with`).
     let mut pool = LazySearchPool::new(cfg.search_workers, constraints.len());
@@ -179,8 +244,16 @@ pub fn prov_chase_with(
                             .collect();
                         // Resolve Skolem images for the existentials.
                         let exist_elems: Vec<Elem> = match skolems.get(&(cidx, key.clone())) {
-                            Some(es) => es.iter().map(|e| instance.resolve(e)).collect(),
+                            Some(es) => {
+                                if cfg.memo {
+                                    stats.chase.memo_hits += 1;
+                                }
+                                es.iter().map(|e| instance.resolve(e)).collect()
+                            }
                             None => {
+                                if cfg.memo {
+                                    stats.chase.memo_misses += 1;
+                                }
                                 let es: Vec<Elem> =
                                     existentials.iter().map(|_| instance.fresh_null()).collect();
                                 skolems.insert((cidx, key.clone()), es.clone());
@@ -225,7 +298,7 @@ pub fn prov_chase_with(
                         |inst, h| h.fact_ids.iter().all(|fid| inst.fact(*fid).prov.is_true()),
                         &mut stats.chase,
                         &mut changed,
-                        None,
+                        Some(&mut skolems as &mut dyn NullInvalidate),
                     )?;
                 }
             }

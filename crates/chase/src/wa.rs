@@ -1,4 +1,5 @@
-//! Weak acyclicity: the standard sufficient condition for chase termination.
+//! Chase termination analysis: weak acyclicity upgraded to a three-valued
+//! [`TerminationCertificate`].
 //!
 //! The *position graph* has a node per (relation, position). For every TGD
 //! and every frontier variable `x` at premise position `p`:
@@ -9,28 +10,161 @@
 //!   existential variable.
 //!
 //! The TGD set is weakly acyclic iff no cycle passes through a special edge;
-//! the chase then terminates on every instance. EGDs do not participate
-//! (they can, in rare mixes, break termination — our chase keeps its budget
-//! guard precisely for that).
+//! the chase then terminates on every instance. [`certify`] reports the
+//! verdict with evidence:
+//!
+//! - [`TerminationCertificate::NonTerminating`] carries a concrete witness
+//!   cycle through a special edge — a value can flow around the cycle and
+//!   force a fresh null at each lap, so the restricted chase can run
+//!   forever on some instance.
+//! - [`TerminationCertificate::Unknown`] covers EGD-mixed sets with
+//!   existential TGDs: EGDs do not appear in the position graph, and the
+//!   certificate does not model merge-induced re-triggering of TGDs, so no
+//!   termination guarantee is issued and the budget guard must stay on.
+//! - [`TerminationCertificate::WeaklyAcyclic`] carries the position graph
+//!   itself; the chase provably reaches a fixpoint, so
+//!   [`ChaseConfig::with_certificate`] may drop the budget guard.
+//!
+//! The legacy [`weakly_acyclic`] bool is kept as a thin wrapper: it returns
+//! `false` exactly when the certificate is `NonTerminating`, preserving its
+//! historical behaviour on EGD-bearing sets.
 
+use crate::chase::ChaseConfig;
 use estocada_pivot::{Constraint, Symbol, Term};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 
-/// A position-graph node.
-type Pos = (Symbol, usize);
+/// A position-graph node: (relation, argument position).
+pub type Pos = (Symbol, usize);
+
+/// Deterministic ordering key for a position (symbol interning order is
+/// session-dependent; the printed name is not).
+fn pos_key(p: &Pos) -> (std::sync::Arc<str>, usize) {
+    (p.0.as_str(), p.1)
+}
+
+/// Render a position as `Rel.i`.
+fn pos_str(p: &Pos) -> String {
+    format!("{}.{}", p.0.as_str(), p.1)
+}
+
+/// The position dependency graph of a TGD set, with edges sorted
+/// deterministically (by relation name, then position).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PositionGraph {
+    /// All (relation, position) nodes mentioned by any TGD.
+    pub nodes: Vec<Pos>,
+    /// Regular edges: a frontier variable is copied from → to.
+    pub regular: Vec<(Pos, Pos)>,
+    /// Special edges: firing invents a fresh null at `to` while reading
+    /// a value at `from`.
+    pub special: Vec<(Pos, Pos)>,
+}
+
+/// Verdict of the static termination analysis over a constraint set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TerminationCertificate {
+    /// The TGD set is weakly acyclic: the chase reaches a fixpoint on every
+    /// instance, so the budget guard is provably unnecessary.
+    WeaklyAcyclic {
+        /// The position graph the proof is over.
+        graph: PositionGraph,
+    },
+    /// A cycle through a special edge exists: the chase may generate fresh
+    /// nulls forever. `cycle` is a concrete witness walk in the position
+    /// graph, `cycle[0] == cycle[last]`, whose first step is the offending
+    /// special edge.
+    NonTerminating {
+        /// Witness cycle (first == last; first edge is special).
+        cycle: Vec<Pos>,
+    },
+    /// No guarantee either way: the set mixes EGDs with existential TGDs.
+    /// EGDs are absent from the position graph and the analysis does not
+    /// model merge-induced re-triggering, so the budget guard stays on.
+    Unknown {
+        /// Human-readable explanation of why no verdict was possible.
+        reason: String,
+    },
+}
+
+impl TerminationCertificate {
+    /// `true` iff the chase is statically proven to terminate — only then
+    /// may the budget guard be dropped.
+    pub fn guarantees_termination(&self) -> bool {
+        matches!(self, TerminationCertificate::WeaklyAcyclic { .. })
+    }
+
+    /// The witness cycle of a `NonTerminating` verdict, if any.
+    pub fn cycle(&self) -> Option<&[Pos]> {
+        match self {
+            TerminationCertificate::NonTerminating { cycle } => Some(cycle),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TerminationCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TerminationCertificate::WeaklyAcyclic { graph } => write!(
+                f,
+                "weakly acyclic ({} positions, {} regular / {} special edges)",
+                graph.nodes.len(),
+                graph.regular.len(),
+                graph.special.len(),
+            ),
+            TerminationCertificate::NonTerminating { cycle } => {
+                let walk: Vec<String> = cycle.iter().map(pos_str).collect();
+                write!(
+                    f,
+                    "non-terminating: special-edge cycle {}",
+                    walk.join(" → ")
+                )
+            }
+            TerminationCertificate::Unknown { reason } => write!(f, "unknown: {reason}"),
+        }
+    }
+}
 
 /// Check weak acyclicity of the TGDs in `constraints`.
+///
+/// Compatibility wrapper over [`certify`]: `false` exactly when the
+/// certificate is [`TerminationCertificate::NonTerminating`]. EGD-mixed
+/// sets still return `true` here (as they always did) even though the
+/// certificate downgrades them to `Unknown`.
 pub fn weakly_acyclic(constraints: &[Constraint]) -> bool {
+    !matches!(
+        certify(constraints),
+        TerminationCertificate::NonTerminating { .. }
+    )
+}
+
+/// Statically analyse `constraints` for chase termination.
+///
+/// The non-termination check runs first: a special-edge cycle among the
+/// TGDs is decisive regardless of any EGDs in the set (in practice every
+/// schema carries key EGDs, and they must not mask a genuinely divergent
+/// TGD pair). Only cycle-free sets are then downgraded to `Unknown` when
+/// EGDs coexist with existential TGDs.
+pub fn certify(constraints: &[Constraint]) -> TerminationCertificate {
     let mut regular: HashMap<Pos, HashSet<Pos>> = HashMap::new();
     let mut special: HashMap<Pos, HashSet<Pos>> = HashMap::new();
     let mut nodes: HashSet<Pos> = HashSet::new();
+    let mut has_egds = false;
+    let mut has_existential_tgds = false;
 
     for c in constraints {
         let tgd = match c {
             Constraint::Tgd(t) => t,
-            Constraint::Egd(_) => continue,
+            Constraint::Egd(_) => {
+                has_egds = true;
+                continue;
+            }
         };
         let existentials = tgd.existentials();
+        if !existentials.is_empty() {
+            has_existential_tgds = true;
+        }
         // Conclusion positions per variable.
         let mut conc_positions: HashMap<estocada_pivot::Var, Vec<Pos>> = HashMap::new();
         let mut exist_positions: Vec<Pos> = Vec::new();
@@ -56,12 +190,9 @@ pub fn weakly_acyclic(constraints: &[Constraint]) -> bool {
                             regular.entry(from).or_default().insert(*q);
                         }
                     }
-                    // Special edges only originate from variables that
-                    // actually propagate into the conclusion? No — the
-                    // standard definition adds them from every premise
-                    // position of every frontier variable, because firing
-                    // copies a value from `from` while inventing a null at
-                    // each existential position.
+                    // Special edges originate from every premise position of
+                    // every variable: firing copies a value from `from` while
+                    // inventing a null at each existential position.
                     for q in &exist_positions {
                         special.entry(from).or_default().insert(*q);
                     }
@@ -70,17 +201,129 @@ pub fn weakly_acyclic(constraints: &[Constraint]) -> bool {
         }
     }
 
-    // Weakly acyclic iff no strongly connected component contains a special
-    // edge (i.e. no special edge has its endpoints in the same SCC).
+    // Non-terminating iff some strongly connected component contains a
+    // special edge (both endpoints in the same SCC).
     let scc = tarjan_scc(&nodes, &regular, &special);
+    let mut offending: Vec<(Pos, Pos)> = Vec::new();
     for (from, tos) in &special {
         for to in tos {
             if scc.get(from) == scc.get(to) && scc.contains_key(from) {
-                return false;
+                offending.push((*from, *to));
             }
         }
     }
-    true
+    if !offending.is_empty() {
+        // Deterministic witness: the lexicographically smallest offending
+        // special edge, closed into a cycle by the shortest path back
+        // through its SCC.
+        offending.sort_by_key(|(a, b)| (pos_key(a), pos_key(b)));
+        let (from, to) = offending[0];
+        let cycle = witness_cycle(from, to, &scc, &regular, &special);
+        return TerminationCertificate::NonTerminating { cycle };
+    }
+
+    if has_egds && has_existential_tgds {
+        return TerminationCertificate::Unknown {
+            reason: "constraint set mixes EGDs with existential TGDs; the position graph \
+                     does not model merge-induced re-triggering, so no termination \
+                     guarantee is issued (budget guard retained)"
+                .into(),
+        };
+    }
+
+    let mut node_vec: Vec<Pos> = nodes.into_iter().collect();
+    node_vec.sort_by_key(pos_key);
+    let flatten = |m: &HashMap<Pos, HashSet<Pos>>| {
+        let mut edges: Vec<(Pos, Pos)> = m
+            .iter()
+            .flat_map(|(f, tos)| tos.iter().map(move |t| (*f, *t)))
+            .collect();
+        edges.sort_by_key(|(a, b)| (pos_key(a), pos_key(b)));
+        edges
+    };
+    TerminationCertificate::WeaklyAcyclic {
+        graph: PositionGraph {
+            nodes: node_vec,
+            regular: flatten(&regular),
+            special: flatten(&special),
+        },
+    }
+}
+
+/// Close the offending special edge `from ⇒ to` into a concrete cycle:
+/// BFS (with deterministically ordered neighbour expansion) from `to` back
+/// to `from`, restricted to their shared SCC. Returns
+/// `[from, to, …, from]`; for a self-loop, `[from, from]`.
+fn witness_cycle(
+    from: Pos,
+    to: Pos,
+    scc: &HashMap<Pos, usize>,
+    regular: &HashMap<Pos, HashSet<Pos>>,
+    special: &HashMap<Pos, HashSet<Pos>>,
+) -> Vec<Pos> {
+    if from == to {
+        return vec![from, to];
+    }
+    let comp = scc[&from];
+    let neighbors = |v: &Pos| -> Vec<Pos> {
+        let mut out: Vec<Pos> = Vec::new();
+        for m in [regular, special] {
+            if let Some(e) = m.get(v) {
+                out.extend(e.iter().copied());
+            }
+        }
+        out.retain(|w| scc.get(w) == Some(&comp));
+        out.sort_by_key(pos_key);
+        out.dedup();
+        out
+    };
+    let mut parent: HashMap<Pos, Pos> = HashMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(to);
+    'bfs: while let Some(v) = queue.pop_front() {
+        for w in neighbors(&v) {
+            if w == to || parent.contains_key(&w) {
+                continue;
+            }
+            parent.insert(w, v);
+            if w == from {
+                break 'bfs;
+            }
+            queue.push_back(w);
+        }
+    }
+    // `from` and `to` share an SCC, so a to→from path must exist.
+    let mut back = vec![from];
+    let mut cur = from;
+    while cur != to {
+        cur = parent[&cur];
+        back.push(cur);
+    }
+    back.push(from);
+    // back = [from, …path reversed…, to, from]; reorder to start at `from`
+    // with the special edge first: [from, to, …, from].
+    back.reverse();
+    // now back = [from, to, …, from] — reversed path is exactly the walk.
+    back
+}
+
+impl ChaseConfig {
+    /// Apply a termination certificate to this configuration: a
+    /// [`TerminationCertificate::WeaklyAcyclic`] verdict lifts the
+    /// round/fact budgets (the fixpoint is statically guaranteed, so the
+    /// guard only costs comparisons); any other verdict leaves the budget
+    /// guard untouched.
+    pub fn with_certificate(self, cert: &TerminationCertificate) -> ChaseConfig {
+        if cert.guarantees_termination() {
+            ChaseConfig {
+                max_rounds: usize::MAX,
+                max_facts: usize::MAX,
+                ..self
+            }
+        } else {
+            self
+        }
+    }
 }
 
 /// Tarjan SCC over the union of regular and special edges; returns the
@@ -102,7 +345,7 @@ fn tarjan_scc(
         special: &'a HashMap<Pos, HashSet<Pos>>,
     }
 
-    fn neighbors<'a>(s: &State<'a>, v: &Pos) -> Vec<Pos> {
+    fn neighbors(s: &State<'_>, v: &Pos) -> Vec<Pos> {
         let mut out = Vec::new();
         if let Some(e) = s.regular.get(v) {
             out.extend(e.iter().copied());
@@ -192,10 +435,23 @@ fn tarjan_scc(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use estocada_pivot::{Atom, Tgd};
+    use estocada_pivot::{Atom, Egd, Tgd};
 
     fn tgd(name: &str, premise: Vec<Atom>, conclusion: Vec<Atom>) -> Constraint {
         Tgd::new(name, premise, conclusion).into()
+    }
+
+    fn key_egd() -> Constraint {
+        // T(k, v) ∧ T(k, v') → v = v'
+        Egd::new(
+            "t_key",
+            vec![
+                Atom::new("T", vec![Term::var(0), Term::var(1)]),
+                Atom::new("T", vec![Term::var(0), Term::var(2)]),
+            ],
+            (Term::var(1), Term::var(2)),
+        )
+        .into()
     }
 
     #[test]
@@ -258,5 +514,140 @@ mod tests {
         );
         let cs: Vec<Constraint> = v.constraints().into();
         assert!(weakly_acyclic(&cs));
+    }
+
+    #[test]
+    fn certificate_carries_witness_cycle() {
+        let t1 = tgd(
+            "t1",
+            vec![Atom::new("R", vec![Term::var(0)])],
+            vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+        );
+        let t2 = tgd(
+            "t2",
+            vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("R", vec![Term::var(1)])],
+        );
+        let cert = certify(&[t1, t2]);
+        let cycle = cert.cycle().expect("non-terminating");
+        assert!(cycle.len() >= 2);
+        assert_eq!(cycle.first(), cycle.last());
+        // First step is the offending special edge: R.0 ⇒ S.1.
+        assert_eq!(pos_str(&cycle[0]), "R.0");
+        assert_eq!(pos_str(&cycle[1]), "S.1");
+        assert!(!cert.guarantees_termination());
+    }
+
+    #[test]
+    fn certify_is_deterministic() {
+        let build = || {
+            vec![
+                tgd(
+                    "t1",
+                    vec![Atom::new("R", vec![Term::var(0)])],
+                    vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+                ),
+                tgd(
+                    "t2",
+                    vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+                    vec![Atom::new("R", vec![Term::var(1)])],
+                ),
+                tgd(
+                    "t3",
+                    vec![Atom::new("R", vec![Term::var(0)])],
+                    vec![Atom::new("U", vec![Term::var(0), Term::var(1)])],
+                ),
+            ]
+        };
+        assert_eq!(certify(&build()), certify(&build()));
+        assert_eq!(
+            format!("{}", certify(&build())),
+            format!("{}", certify(&build()))
+        );
+    }
+
+    // Satellite: the doc-noted EGD gap. Mixing EGDs with existential TGDs
+    // must NOT silently certify — the set is downgraded to Unknown and the
+    // budget guard survives `with_certificate`.
+    #[test]
+    fn egd_with_existential_tgds_is_unknown() {
+        let t = tgd(
+            "t",
+            vec![Atom::new("Person", vec![Term::var(0)])],
+            vec![Atom::new("HasParent", vec![Term::var(0), Term::var(1)])],
+        );
+        let cert = certify(&[t, key_egd()]);
+        assert!(matches!(cert, TerminationCertificate::Unknown { .. }));
+        assert!(!cert.guarantees_termination());
+        // The legacy bool stays `true` for compatibility.
+        let t = tgd(
+            "t",
+            vec![Atom::new("Person", vec![Term::var(0)])],
+            vec![Atom::new("HasParent", vec![Term::var(0), Term::var(1)])],
+        );
+        assert!(weakly_acyclic(&[t, key_egd()]));
+        // And the budget guard is kept.
+        let cfg = ChaseConfig::default().with_certificate(&cert);
+        assert_eq!(cfg.max_rounds, ChaseConfig::default().max_rounds);
+        assert_eq!(cfg.max_facts, ChaseConfig::default().max_facts);
+    }
+
+    #[test]
+    fn egd_with_full_tgds_is_weakly_acyclic() {
+        // No existentials anywhere: EGD merges can only shrink the active
+        // domain, so the verdict stays WeaklyAcyclic.
+        let t = tgd(
+            "t",
+            vec![Atom::new("Child", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("Desc", vec![Term::var(0), Term::var(1)])],
+        );
+        let cert = certify(&[t, key_egd()]);
+        assert!(cert.guarantees_termination());
+    }
+
+    #[test]
+    fn egds_do_not_mask_a_divergent_tgd_cycle() {
+        // Key EGDs are everywhere in real schemas; the non-termination
+        // check must fire first so the witness is still produced.
+        let t1 = tgd(
+            "t1",
+            vec![Atom::new("R", vec![Term::var(0)])],
+            vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+        );
+        let t2 = tgd(
+            "t2",
+            vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("R", vec![Term::var(1)])],
+        );
+        let cert = certify(&[t1, t2, key_egd()]);
+        assert!(cert.cycle().is_some());
+    }
+
+    #[test]
+    fn certificate_lifts_budget_only_when_terminating() {
+        let full = tgd(
+            "t",
+            vec![Atom::new("Child", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("Desc", vec![Term::var(0), Term::var(1)])],
+        );
+        let cert = certify(std::slice::from_ref(&full));
+        let cfg = ChaseConfig::default().with_certificate(&cert);
+        assert_eq!(cfg.max_rounds, usize::MAX);
+        assert_eq!(cfg.max_facts, usize::MAX);
+
+        let t1 = tgd(
+            "t1",
+            vec![Atom::new("R", vec![Term::var(0)])],
+            vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+        );
+        let t2 = tgd(
+            "t2",
+            vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("R", vec![Term::var(1)])],
+        );
+        let cert = certify(&[t1, t2]);
+        let cfg = ChaseConfig::default().with_certificate(&cert);
+        assert_eq!(cfg.max_rounds, ChaseConfig::default().max_rounds);
+        assert_eq!(cfg.max_facts, ChaseConfig::default().max_facts);
     }
 }

@@ -200,17 +200,23 @@ pub fn recommend(est: &Estocada, workload: &[WorkloadQuery]) -> Result<Vec<Recom
         }
     }
 
-    // Drop recommendations: fragments never used by the optimizer.
-    for f in est.fragments() {
-        if f.use_count.get() == 0 {
+    // Drop recommendations come straight from the static analyzer's
+    // fragment lints: `W004 UnusedFragment` (never served a query while
+    // other fragments have) and `W001 SubsumedFragment` (defining view
+    // equivalent to an earlier fragment on the same store — pure
+    // redundancy). The lint target is the fragment id.
+    let lint_cfg = est.rewrite_config().chase;
+    let mut dropped: std::collections::HashSet<String> = Default::default();
+    for d in crate::analyze::fragment_lints(est.schema(), est.catalog(), &lint_cfg) {
+        let droppable = matches!(
+            d.code,
+            crate::analyze::Code::UnusedFragment | crate::analyze::Code::SubsumedFragment
+        );
+        // One Drop per fragment even when several lints flag it.
+        if droppable && dropped.insert(d.target.clone()) {
             recs.push(Recommendation {
-                action: Action::Drop(f.id.clone()),
-                reason: format!(
-                    "fragment {} ({} on {}) unused by the workload",
-                    f.id,
-                    f.spec.kind(),
-                    f.system
-                ),
+                action: Action::Drop(d.target.clone()),
+                reason: format!("{} {}: {}", d.code.id(), d.target, d.message),
                 benefit: 0.0,
             });
         }

@@ -1,0 +1,673 @@
+//! Deployment static analysis: termination certificates, constraint and
+//! fragment lints, and schema hygiene — run *before* queries, so a bad
+//! deployment is rejected at DDL time instead of timing out a user's query.
+//!
+//! The analyzer produces structured [`Diagnostic`] values with stable
+//! codes:
+//!
+//! | code | name | severity | meaning |
+//! |------|------|----------|---------|
+//! | `E001` | `NonTerminatingTgdCycle` | error | the combined constraint set (schema constraints + fragment view constraints) has a special-edge cycle in its position graph; the chase can run forever ([`estocada_chase::certify`] supplies the witness cycle) |
+//! | `E002` | `DanglingSymbol` | error | a view or query body references a relation declared by no registered dataset |
+//! | `E003` | `UnboundHeadVariable` | error | a view or query head variable does not occur in its body (unsafe CQ) |
+//! | `E004` | `ArityMismatch` | error | a body atom's arity differs from the relation's declaration |
+//! | `W001` | `SubsumedFragment` | warning | a fragment's defining CQ is equivalent (under the schema constraints) to an earlier fragment on the same store |
+//! | `W002` | `RedundantConstraint` | warning | a schema TGD is implied by the remaining constraints |
+//! | `W003` | `CartesianProductBody` | warning | a view or query body splits into join-disconnected components (a cross product) |
+//! | `W004` | `UnusedFragment` | warning | a fragment has served no query while others have (only fires once at least one fragment has been used) |
+//!
+//! Severity is a function of the code; error-severity findings reject DDL
+//! under [`ValidationMode::Strict`] via
+//! [`crate::Error::Invalid`]. [`ValidationMode::Warn`] (the default)
+//! analyses but never rejects — findings stay queryable through
+//! [`crate::Estocada::analyze`] — and [`ValidationMode::Off`] skips
+//! analysis entirely, leaving only the chase's runtime budget guard.
+//!
+//! Every pass is deterministic: fragments are visited in catalog order,
+//! constraints in schema order, and the result is sorted (errors first,
+//! then by code, target and message), so the same catalog always yields
+//! byte-identical diagnostics.
+
+use crate::catalog::{Catalog, FragmentSpec};
+use estocada_chase::{certify, contained_in, equivalent, ChaseConfig, TerminationCertificate};
+use estocada_pivot::{Constraint, Cq, Schema, Term, Var, ViewDef};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How serious a finding is. Errors reject DDL under
+/// [`ValidationMode::Strict`]; warnings never do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The deployment is broken (non-terminating, dangling, malformed).
+    Error,
+    /// The deployment works but carries redundancy or a likely mistake.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// Stable diagnostic codes (see the module table). The numeric id and the
+/// name are both part of the public contract: tools may match on either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// `E001`: the constraint set has a special-edge cycle — the chase may
+    /// never terminate.
+    NonTerminatingTgdCycle,
+    /// `E002`: a body atom references an undeclared relation.
+    DanglingSymbol,
+    /// `E003`: a head variable does not occur in the body.
+    UnboundHeadVariable,
+    /// `E004`: a body atom's arity contradicts the relation declaration.
+    ArityMismatch,
+    /// `W001`: a fragment is equivalent to an earlier same-store fragment.
+    SubsumedFragment,
+    /// `W002`: a schema TGD is implied by the rest of the constraint set.
+    RedundantConstraint,
+    /// `W003`: a CQ body is a cross product of disconnected components.
+    CartesianProductBody,
+    /// `W004`: a fragment has never served a query while others have.
+    UnusedFragment,
+}
+
+impl Code {
+    /// The stable `Exxx`/`Wxxx` identifier.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Code::NonTerminatingTgdCycle => "E001",
+            Code::DanglingSymbol => "E002",
+            Code::UnboundHeadVariable => "E003",
+            Code::ArityMismatch => "E004",
+            Code::SubsumedFragment => "W001",
+            Code::RedundantConstraint => "W002",
+            Code::CartesianProductBody => "W003",
+            Code::UnusedFragment => "W004",
+        }
+    }
+
+    /// The CamelCase name matching the enum variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Code::NonTerminatingTgdCycle => "NonTerminatingTgdCycle",
+            Code::DanglingSymbol => "DanglingSymbol",
+            Code::UnboundHeadVariable => "UnboundHeadVariable",
+            Code::ArityMismatch => "ArityMismatch",
+            Code::SubsumedFragment => "SubsumedFragment",
+            Code::RedundantConstraint => "RedundantConstraint",
+            Code::CartesianProductBody => "CartesianProductBody",
+            Code::UnusedFragment => "UnusedFragment",
+        }
+    }
+
+    /// Severity is a function of the code.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Code::NonTerminatingTgdCycle
+            | Code::DanglingSymbol
+            | Code::UnboundHeadVariable
+            | Code::ArityMismatch => Severity::Error,
+            Code::SubsumedFragment
+            | Code::RedundantConstraint
+            | Code::CartesianProductBody
+            | Code::UnusedFragment => Severity::Warning,
+        }
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Diagnostic {
+    /// Severity (sorted first so errors lead).
+    pub severity: Severity,
+    /// Stable code.
+    pub code: Code,
+    /// What the finding is about: a fragment id, a constraint name, a
+    /// query name, or `constraints` for set-level findings.
+    pub target: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Machine-checkable evidence when the pass has one: the witness cycle
+    /// for `E001`, the subsuming fragment for `W001`, the disconnected
+    /// component split for `W003`.
+    pub witness: Option<String>,
+}
+
+impl Diagnostic {
+    fn new(code: Code, target: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: code.severity(),
+            code,
+            target: target.into(),
+            message: message.into(),
+            witness: None,
+        }
+    }
+
+    fn with_witness(mut self, witness: impl Into<String>) -> Diagnostic {
+        self.witness = Some(witness.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} ({}) at {}: {}",
+            self.code.id(),
+            self.code.name(),
+            self.severity,
+            self.target,
+            self.message
+        )?;
+        if let Some(w) = &self.witness {
+            write!(f, " [witness: {w}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// What DDL does with analyzer findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationMode {
+    /// Skip analysis entirely (the chase budget guard is the only net).
+    Off,
+    /// Analyse; accept DDL regardless. Findings remain queryable through
+    /// [`crate::Estocada::analyze`]. The default, for compatibility.
+    #[default]
+    Warn,
+    /// Analyse; reject DDL carrying error-severity findings with
+    /// [`crate::Error::Invalid`]. Warnings never reject.
+    Strict,
+}
+
+/// The chase budget the analyzer's containment checks run under. Tight on
+/// purpose: canonical instances are tiny, and a check that exhausts this
+/// budget is treated as "not proven", never as a finding.
+fn lint_chase_cfg(base: &ChaseConfig) -> ChaseConfig {
+    ChaseConfig {
+        max_rounds: base.max_rounds.min(200),
+        max_facts: base.max_facts.min(20_000),
+        ..*base
+    }
+}
+
+/// The full constraint set the rewriting chase runs over: schema
+/// constraints plus both directions of every fragment view, plus an
+/// optional candidate view not yet in the catalog.
+fn combined_constraints(
+    schema: &Schema,
+    catalog: &Catalog,
+    candidate: Option<&ViewDef>,
+) -> Vec<Constraint> {
+    let mut cs = schema.constraints.clone();
+    for v in catalog.view_defs() {
+        cs.extend(v.constraints());
+    }
+    if let Some(v) = candidate {
+        cs.extend(v.constraints());
+    }
+    cs
+}
+
+/// The termination certificate of the deployment's combined constraint
+/// set — what [`crate::Estocada`] feeds into the planner's
+/// [`ChaseConfig::with_certificate`].
+pub fn termination_certificate(schema: &Schema, catalog: &Catalog) -> TerminationCertificate {
+    certify(&combined_constraints(schema, catalog, None))
+}
+
+fn render_cycle(cycle: &[(estocada_pivot::Symbol, usize)]) -> String {
+    cycle
+        .iter()
+        .map(|(s, i)| format!("{}.{}", s.as_str(), i))
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+/// `E001` from a certificate, if it is non-terminating.
+fn termination_pass(cert: &TerminationCertificate, out: &mut Vec<Diagnostic>) {
+    if let Some(cycle) = cert.cycle() {
+        out.push(
+            Diagnostic::new(
+                Code::NonTerminatingTgdCycle,
+                "constraints",
+                "the combined constraint set has a cycle through a special (existential) \
+                 position-graph edge; the chase may generate fresh nulls forever",
+            )
+            .with_witness(render_cycle(cycle)),
+        );
+    }
+}
+
+/// Hygiene lints of one CQ against the declared schema: `E002`, `E003`,
+/// `E004`, `W003`.
+fn cq_hygiene(cq: &Cq, target: &str, schema: &Schema, out: &mut Vec<Diagnostic>) {
+    // E003: unsafe head.
+    let body_vars = cq.body_vars();
+    for t in &cq.head {
+        if let Term::Var(v) = t {
+            if !body_vars.contains(v) {
+                out.push(Diagnostic::new(
+                    Code::UnboundHeadVariable,
+                    target,
+                    format!(
+                        "head variable {} does not occur in the body",
+                        cq.var_name(*v)
+                    ),
+                ));
+            }
+        }
+    }
+    // E002 / E004: body atoms vs declarations.
+    for a in &cq.body {
+        match schema.relation(a.pred) {
+            None => out.push(Diagnostic::new(
+                Code::DanglingSymbol,
+                target,
+                format!(
+                    "body references relation {} declared by no registered dataset",
+                    a.pred.as_str()
+                ),
+            )),
+            Some(decl) if decl.arity() != a.args.len() => out.push(Diagnostic::new(
+                Code::ArityMismatch,
+                target,
+                format!(
+                    "atom {}/{} contradicts the declared arity {}",
+                    a.pred.as_str(),
+                    a.args.len(),
+                    decl.arity()
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    // W003: join-disconnected body. Atoms connect through shared variables
+    // or shared constants (a constant equality is a legitimate join in the
+    // frontends' parameterized queries).
+    if cq.body.len() > 1 {
+        let mut comp: Vec<usize> = (0..cq.body.len()).collect();
+        fn find(comp: &mut [usize], i: usize) -> usize {
+            let mut r = i;
+            while comp[r] != r {
+                r = comp[r];
+            }
+            comp[i] = r;
+            r
+        }
+        let mut token_owner: HashMap<String, usize> = HashMap::new();
+        for (i, a) in cq.body.iter().enumerate() {
+            for t in &a.args {
+                let token = match t {
+                    Term::Var(v) => format!("v{v}"),
+                    Term::Const(c) => format!("c{c}"),
+                };
+                match token_owner.get(&token) {
+                    Some(&j) => {
+                        let (ri, rj) = (find(&mut comp, i), find(&mut comp, j));
+                        comp[ri] = rj;
+                    }
+                    None => {
+                        token_owner.insert(token, i);
+                    }
+                }
+            }
+        }
+        let roots: Vec<usize> = (0..cq.body.len())
+            .map(|i| find(&mut comp, i))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        if roots.len() > 1 {
+            let split: Vec<String> = roots
+                .iter()
+                .map(|r| {
+                    cq.body
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| find(&mut comp, *i) == *r)
+                        .map(|(_, a)| a.pred.as_str().to_string())
+                        .collect::<Vec<_>>()
+                        .join("×")
+                })
+                .collect();
+            out.push(
+                Diagnostic::new(
+                    Code::CartesianProductBody,
+                    target,
+                    format!(
+                        "body splits into {} join-disconnected components (cross product)",
+                        roots.len()
+                    ),
+                )
+                .with_witness(split.join(" | ")),
+            );
+        }
+    }
+}
+
+/// `W002`: schema TGDs implied by the remaining constraints. A TGD
+/// `P → C` is implied by `Σ∖σ` iff the premise-as-CQ is contained in the
+/// conclusion-as-CQ (over the shared frontier) under `Σ∖σ`. Budget
+/// exhaustion or inconsistency abstains — "not proven redundant" is never
+/// a finding.
+fn redundant_constraint_pass(schema: &Schema, cfg: &ChaseConfig, out: &mut Vec<Diagnostic>) {
+    for (idx, c) in schema.constraints.iter().enumerate() {
+        let Constraint::Tgd(t) = c else {
+            continue;
+        };
+        let frontier = t.frontier();
+        let mut shared: Vec<Var> = t
+            .conclusion
+            .iter()
+            .flat_map(|a| a.vars())
+            .filter(|v| frontier.contains(v))
+            .collect();
+        shared.sort_unstable();
+        shared.dedup();
+        let head: Vec<Term> = shared.iter().map(|v| Term::Var(*v)).collect();
+        let qp = Cq::new("_w002_premise", head.clone(), t.premise.clone());
+        let qc = Cq::new("_w002_conclusion", head, t.conclusion.clone());
+        let rest: Vec<Constraint> = schema
+            .constraints
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != idx)
+            .map(|(_, c)| c.clone())
+            .collect();
+        if matches!(contained_in(&qp, &qc, &rest, cfg), Ok(true)) {
+            out.push(Diagnostic::new(
+                Code::RedundantConstraint,
+                t.name.as_str().to_string(),
+                "constraint is implied by the remaining constraint set",
+            ));
+        }
+    }
+}
+
+/// `W001` + `W004`: fragment-level lints, shared with the advisor.
+///
+/// `W001` compares the defining CQs of fragment pairs *on the same store*
+/// — cross-store overlap is the paper's whole point, so `PrefsKV`
+/// mirroring a relational table is intentional, but two equivalent views
+/// on one store are pure redundancy. Equivalence (containment both ways,
+/// cross-checked by `tests/analyzer_properties.rs` against brute-force
+/// [`contained_in`]) is decided under the schema constraints; the later
+/// fragment is flagged. `W004` flags never-used fragments, but only once
+/// at least one fragment *has* served a query — a freshly deployed
+/// catalog, where every count is zero, stays clean.
+pub fn fragment_lints(schema: &Schema, catalog: &Catalog, cfg: &ChaseConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let cfg = lint_chase_cfg(cfg);
+    let skip_containment = matches!(
+        termination_certificate(schema, catalog),
+        TerminationCertificate::NonTerminating { .. }
+    );
+    let frags: Vec<(usize, &crate::catalog::FragmentMeta, &Cq)> = catalog
+        .fragments()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| f.spec.view().map(|v| (i, f, v)))
+        .collect();
+    if !skip_containment {
+        for (a, (_, fa, va)) in frags.iter().enumerate() {
+            for (_, fb, vb) in frags.iter().take(a) {
+                if fa.system != fb.system {
+                    continue;
+                }
+                if matches!(equivalent(va, vb, &schema.constraints, &cfg), Ok(true)) {
+                    out.push(
+                        Diagnostic::new(
+                            Code::SubsumedFragment,
+                            fa.id.clone(),
+                            format!(
+                                "defining view is equivalent to fragment {} on the same store",
+                                fb.id
+                            ),
+                        )
+                        .with_witness(format!("equivalent to {}", fb.id)),
+                    );
+                    break; // one subsumption witness per fragment
+                }
+            }
+        }
+    }
+    if catalog.fragments().iter().any(|f| f.use_count.get() > 0) {
+        for f in catalog.fragments() {
+            if f.use_count.get() == 0 {
+                out.push(Diagnostic::new(
+                    Code::UnusedFragment,
+                    f.id.clone(),
+                    "fragment has served no query while other fragments have",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Pre-materialization lint of a fragment spec: schema hygiene of the
+/// defining view (this is where `E003` is reachable — materialization
+/// itself asserts view safety) and the termination certificate of the
+/// deployment *with the candidate's view constraints included* (`E001`).
+pub fn analyze_fragment_spec(
+    spec: &FragmentSpec,
+    schema: &Schema,
+    catalog: &Catalog,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let candidate = match spec.view() {
+        Some(view) => {
+            cq_hygiene(view, "fragment (pending)", schema, &mut out);
+            // Only a safe view can be lifted to constraints; an unsafe one
+            // already carries E003 above.
+            view.is_safe().then(|| ViewDef::new(view.clone()))
+        }
+        None => None,
+    };
+    let cert = certify(&combined_constraints(schema, catalog, candidate.as_ref()));
+    termination_pass(&cert, &mut out);
+    finish(&mut out);
+    out
+}
+
+/// Query-level lints (`E002`/`E003`/`E004`/`W003` on the query's CQ):
+/// cheap, chase-free, and cached per catalog epoch alongside the plan
+/// cache.
+pub fn analyze_query(cq: &Cq, schema: &Schema) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    cq_hygiene(cq, &format!("query {}", cq.name.as_str()), schema, &mut out);
+    finish(&mut out);
+    out
+}
+
+/// The full deployment analysis: termination certificate, schema hygiene
+/// of every fragment's defining view, constraint redundancy, and fragment
+/// lints. Pure: the same schema + catalog yields byte-identical
+/// diagnostics.
+pub fn analyze_deployment(
+    schema: &Schema,
+    catalog: &Catalog,
+    chase_cfg: &ChaseConfig,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let cert = termination_certificate(schema, catalog);
+    termination_pass(&cert, &mut out);
+    for f in catalog.fragments() {
+        if let Some(view) = f.spec.view() {
+            cq_hygiene(view, &f.id, schema, &mut out);
+        }
+    }
+    // Containment-based passes are pointless (and budget-bound noisy) on a
+    // provably divergent set; E001 already says everything.
+    if !matches!(cert, TerminationCertificate::NonTerminating { .. }) {
+        redundant_constraint_pass(schema, &lint_chase_cfg(chase_cfg), &mut out);
+    }
+    out.extend(fragment_lints(schema, catalog, chase_cfg));
+    finish(&mut out);
+    out
+}
+
+/// Normalize: errors first, then by code, target, message; exact
+/// duplicates collapsed.
+fn finish(out: &mut Vec<Diagnostic>) {
+    out.sort();
+    out.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use estocada_pivot::{Atom, CqBuilder, Tgd};
+
+    fn schema_with(tables: &[(&str, usize)]) -> Schema {
+        let mut s = Schema::new();
+        for (name, arity) in tables {
+            let cols: Vec<String> = (0..*arity).map(|i| format!("c{i}")).collect();
+            let cols: Vec<&str> = cols.iter().map(|c| c.as_str()).collect();
+            s.add_relation(estocada_pivot::RelationDecl::new(*name, &cols));
+        }
+        s
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(Code::NonTerminatingTgdCycle.id(), "E001");
+        assert_eq!(Code::DanglingSymbol.id(), "E002");
+        assert_eq!(Code::UnboundHeadVariable.id(), "E003");
+        assert_eq!(Code::ArityMismatch.id(), "E004");
+        assert_eq!(Code::SubsumedFragment.id(), "W001");
+        assert_eq!(Code::RedundantConstraint.id(), "W002");
+        assert_eq!(Code::CartesianProductBody.id(), "W003");
+        assert_eq!(Code::UnusedFragment.id(), "W004");
+        assert_eq!(Code::NonTerminatingTgdCycle.severity(), Severity::Error);
+        assert_eq!(Code::UnusedFragment.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn hygiene_flags_dangling_arity_and_unsafe_head() {
+        let schema = schema_with(&[("R", 2)]);
+        // Dangling symbol + arity mismatch + unbound head variable.
+        let cq = Cq::new(
+            "q",
+            vec![Term::var(0), Term::var(9)],
+            vec![
+                Atom::new("R", vec![Term::var(0)]),
+                Atom::new("Nope", vec![Term::var(0)]),
+            ],
+        );
+        let diags = analyze_query(&cq, &schema);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code.id()).collect();
+        assert!(codes.contains(&"E002"), "{diags:?}");
+        assert!(codes.contains(&"E003"), "{diags:?}");
+        assert!(codes.contains(&"E004"), "{diags:?}");
+    }
+
+    #[test]
+    fn cartesian_body_flagged_constants_connect() {
+        let schema = schema_with(&[("R", 2), ("S", 2)]);
+        // Disconnected: R(x,y) × S(z,w).
+        let cross = CqBuilder::new("q")
+            .head_vars(["x", "z"])
+            .atom("R", |a| a.v("x").v("y"))
+            .atom("S", |a| a.v("z").v("w"))
+            .build();
+        let diags = analyze_query(&cross, &schema);
+        assert!(diags.iter().any(|d| d.code == Code::CartesianProductBody));
+        // Connected through a shared constant (parameterized join).
+        let shared = Cq::new(
+            "q2",
+            vec![Term::var(0)],
+            vec![
+                Atom::new("R", vec![Term::var(0), Term::constant(7)]),
+                Atom::new("S", vec![Term::constant(7), Term::var(1)]),
+            ],
+        );
+        let diags = analyze_query(&shared, &schema);
+        assert!(
+            !diags.iter().any(|d| d.code == Code::CartesianProductBody),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn redundant_tgd_flagged() {
+        let mut schema = schema_with(&[("R", 2), ("S", 2)]);
+        schema.constraints.push(
+            Tgd::new(
+                "copy",
+                vec![Atom::new("R", vec![Term::var(0), Term::var(1)])],
+                vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+            )
+            .into(),
+        );
+        // Duplicate of `copy` under another name — implied by it.
+        schema.constraints.push(
+            Tgd::new(
+                "copy_again",
+                vec![Atom::new("R", vec![Term::var(0), Term::var(1)])],
+                vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+            )
+            .into(),
+        );
+        let diags = analyze_deployment(&schema, &Catalog::new(), &ChaseConfig::default());
+        let redundant: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.code == Code::RedundantConstraint)
+            .collect();
+        // Each is implied by the other; both are flagged.
+        assert_eq!(redundant.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn non_terminating_set_yields_e001_with_witness() {
+        let mut schema = schema_with(&[("R", 1), ("S", 2)]);
+        schema.constraints.push(
+            Tgd::new(
+                "grow",
+                vec![Atom::new("R", vec![Term::var(0)])],
+                vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+            )
+            .into(),
+        );
+        schema.constraints.push(
+            Tgd::new(
+                "back",
+                vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+                vec![Atom::new("R", vec![Term::var(1)])],
+            )
+            .into(),
+        );
+        let diags = analyze_deployment(&schema, &Catalog::new(), &ChaseConfig::default());
+        let e001 = diags
+            .iter()
+            .find(|d| d.code == Code::NonTerminatingTgdCycle)
+            .expect("E001");
+        assert_eq!(e001.severity, Severity::Error);
+        let witness = e001.witness.as_ref().expect("witness cycle");
+        assert!(witness.contains("S.1"), "{witness}");
+    }
+
+    #[test]
+    fn analyzer_is_pure() {
+        let mut schema = schema_with(&[("R", 2)]);
+        schema.constraints.push(
+            Tgd::new(
+                "t",
+                vec![Atom::new("R", vec![Term::var(0), Term::var(1)])],
+                vec![Atom::new("R", vec![Term::var(1), Term::var(0)])],
+            )
+            .into(),
+        );
+        let a = analyze_deployment(&schema, &Catalog::new(), &ChaseConfig::default());
+        let b = analyze_deployment(&schema, &Catalog::new(), &ChaseConfig::default());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -119,6 +119,20 @@ impl FragmentSpec {
         }
     }
 
+    /// The defining view CQ, for specs that materialize one (`None` for
+    /// native and text-index fragments, which expose identity views).
+    pub fn view(&self) -> Option<&Cq> {
+        match self {
+            FragmentSpec::Table { view, .. }
+            | FragmentSpec::KeyValue { view }
+            | FragmentSpec::DocRows { view, .. }
+            | FragmentSpec::ParRows { view, .. } => Some(view),
+            FragmentSpec::NativeDoc { .. }
+            | FragmentSpec::NativeTables { .. }
+            | FragmentSpec::TextIndex { .. } => None,
+        }
+    }
+
     /// The system a spec targets.
     pub fn system(&self) -> SystemId {
         match self {

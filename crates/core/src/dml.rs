@@ -770,7 +770,7 @@ mod tests {
     /// One fragment of every maintainable kind over the shop dataset.
     fn deploy(ds: Dataset) -> Estocada {
         let mut est = Estocada::new(Latencies::zero());
-        est.register_dataset(ds);
+        est.register_dataset(ds).unwrap();
         est.add_fragment(FragmentSpec::NativeTables {
             dataset: "shop".into(),
             only: None,

@@ -43,6 +43,11 @@ pub enum Error {
     /// row to delete, upsert without a declared key, …). Rejected batches
     /// are atomic: nothing was applied.
     Dml(String),
+    /// DDL rejected by the static analyzer under
+    /// [`crate::analyze::ValidationMode::Strict`]: the operation carried
+    /// error-severity findings. The diagnostics list every finding
+    /// (warnings included, for context); nothing was applied.
+    Invalid(Vec<crate::analyze::Diagnostic>),
     /// Every executable rewriting of the query was attempted and every one
     /// failed on a store error (after retries, breaker rejections, and
     /// plan failover).
@@ -69,6 +74,17 @@ impl fmt::Display for Error {
             Error::Chase(e) => write!(f, "chase error: {e}"),
             Error::BadFragment(m) => write!(f, "invalid fragment: {m}"),
             Error::Dml(m) => write!(f, "dml error: {m}"),
+            Error::Invalid(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == crate::analyze::Severity::Error)
+                    .count();
+                write!(f, "DDL rejected by static analysis: {errors} error(s)")?;
+                for d in diags {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
+            }
             Error::AllPlansFailed { query, attempts } => {
                 write!(
                     f,

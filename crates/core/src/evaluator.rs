@@ -52,6 +52,7 @@
 //! [`QueryRequest::no_plan_cache`] or engine-wide with
 //! [`Estocada::set_plan_cache`].
 
+use crate::analyze::{self, Diagnostic, Severity, ValidationMode};
 use crate::catalog::{Catalog, FragmentMeta, FragmentSpec};
 use crate::connector::Residual;
 use crate::cost::CostModel;
@@ -60,7 +61,7 @@ use crate::error::PlanFailure;
 use crate::error::{Error, Result};
 use crate::frontends::{doc_query, parse_sql, SqlCatalog, SqlTable};
 use crate::materialize::{drop_fragment, fact_base, materialize};
-use crate::plancache::{PlanCache, PlanCacheStats};
+use crate::plancache::{LintCache, PlanCache, PlanCacheStats};
 use crate::report::{Alternative, PlanCacheActivity, QueryResult, Report};
 use crate::resilience::{
     system_for_store, BackendHealth, BreakerConfig, HealthTracker, PlanAttempt, QueryResilience,
@@ -71,7 +72,7 @@ use crate::translate::{translate, Translation};
 use estocada_chase::{pacb_rewrite, Instance, RewriteConfig, RewriteOutcome, RewriteProblem};
 use estocada_engine::{execute, EngineError};
 use estocada_pivot::encoding::document::TreePattern;
-use estocada_pivot::{Cq, IdGen, Schema};
+use estocada_pivot::{Constraint, Cq, IdGen, Schema};
 use estocada_simkit::{FaultHook, FaultPlan};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
@@ -305,6 +306,13 @@ pub struct Estocada {
     /// batch and invalidated by DDL.
     pub(crate) maint: Option<crate::dml::MaintenanceState>,
     plan_cache: PlanCache,
+    /// The analyzer's per-query findings, cached per catalog epoch
+    /// alongside the plan cache (same epoch discipline: any DDL
+    /// invalidates both wholesale).
+    lint_cache: LintCache,
+    /// How DDL reacts to static-analyzer findings (see
+    /// [`ValidationMode`]); queries always report lints regardless.
+    validation: ValidationMode,
     /// Per-backend circuit breakers, shared by every query.
     health: Arc<HealthTracker>,
     /// The installed fault-injection plan, if any.
@@ -344,6 +352,8 @@ impl Estocada {
             data_epoch: 0,
             maint: None,
             plan_cache: PlanCache::default(),
+            lint_cache: LintCache::default(),
+            validation: ValidationMode::default(),
             health: Arc::new(HealthTracker::default()),
             fault_plan: None,
         }
@@ -368,6 +378,14 @@ impl Estocada {
     /// configuration with the engine-default [`QueryOptions`] applied).
     pub fn rewrite_config(&self) -> RewriteConfig {
         self.effective_cfg(&QueryOptions::default())
+    }
+
+    /// Replace the base rewriting configuration (chase budgets, worker
+    /// defaults) — DDL-time configuration. Bumps the catalog epoch:
+    /// cached plans were computed under the previous configuration.
+    pub fn set_rewrite_config(&mut self, cfg: RewriteConfig) {
+        self.rewrite_cfg = cfg;
+        self.bump_epoch();
     }
 
     /// The engine-default query options.
@@ -487,16 +505,80 @@ impl Estocada {
     fn bump_epoch(&mut self) {
         self.epoch += 1;
         self.plan_cache.clear();
+        self.lint_cache.clear();
         self.maint = None;
+    }
+
+    /// The DDL validation mode in effect.
+    pub fn validation(&self) -> ValidationMode {
+        self.validation
+    }
+
+    /// Set how DDL reacts to static-analyzer findings: [`ValidationMode::Off`]
+    /// skips analysis, [`ValidationMode::Warn`] (the default) analyzes but
+    /// always accepts, [`ValidationMode::Strict`] rejects any DDL operation
+    /// carrying error-severity findings with [`Error::Invalid`].
+    pub fn set_validation(&mut self, mode: ValidationMode) {
+        self.validation = mode;
+    }
+
+    /// Run the static analyzer over the whole deployment — schema
+    /// constraints, view-induced constraints, and every fragment — and
+    /// return its findings (sorted errors-first, empty when clean). Pure:
+    /// never mutates the engine.
+    pub fn analyze(&self) -> Vec<Diagnostic> {
+        analyze::analyze_deployment(&self.schema, &self.catalog, &self.rewrite_cfg.chase)
+    }
+
+    /// Whether `diags` should reject DDL under the current mode.
+    fn rejects(&self, diags: &[Diagnostic]) -> bool {
+        matches!(self.validation, ValidationMode::Strict)
+            && diags.iter().any(|d| d.severity == Severity::Error)
     }
 
     /// Register an application dataset (declares its pivot schema and
     /// stages its content for fragment materialization).
-    pub fn register_dataset(&mut self, ds: Dataset) {
-        ds.declare(&mut self.schema);
+    ///
+    /// Under [`ValidationMode::Strict`] the analyzer checks the merged
+    /// schema first; error-severity findings reject the registration with
+    /// [`Error::Invalid`] and leave the engine untouched.
+    pub fn register_dataset(&mut self, ds: Dataset) -> Result<()> {
+        let mut candidate = self.schema.clone();
+        ds.declare(&mut candidate);
+        if !matches!(self.validation, ValidationMode::Off) {
+            let diags =
+                analyze::analyze_deployment(&candidate, &self.catalog, &self.rewrite_cfg.chase);
+            if self.rejects(&diags) {
+                return Err(Error::Invalid(diags));
+            }
+        }
+        self.schema = candidate;
         self.datasets.insert(ds.name.clone(), ds);
         self.base = OnceLock::new(); // staging facts changed
         self.bump_epoch();
+        Ok(())
+    }
+
+    /// Add a schema constraint (TGD or EGD) as a DDL operation.
+    ///
+    /// Under [`ValidationMode::Strict`] the analyzer re-certifies the
+    /// combined constraint set first: error-severity findings — e.g. a
+    /// non-terminating TGD cycle (E001) — reject the DDL with
+    /// [`Error::Invalid`] and leave the schema untouched. Under
+    /// [`ValidationMode::Warn`]/[`ValidationMode::Off`] the constraint is
+    /// accepted; an uncertifiable set then simply keeps the chase budget
+    /// guard (see `estocada_chase::TerminationCertificate`).
+    pub fn add_constraint(&mut self, c: Constraint) -> Result<()> {
+        self.schema.constraints.push(c);
+        if !matches!(self.validation, ValidationMode::Off) {
+            let diags = self.analyze();
+            if self.rejects(&diags) {
+                self.schema.constraints.pop();
+                return Err(Error::Invalid(diags));
+            }
+        }
+        self.bump_epoch();
+        Ok(())
     }
 
     /// The registered datasets.
@@ -528,7 +610,19 @@ impl Estocada {
     }
 
     /// Materialize a fragment; returns its id.
+    ///
+    /// Under [`ValidationMode::Strict`] the analyzer lints the spec
+    /// first (schema hygiene on its view CQ, plus termination
+    /// certification of the constraint set it would induce);
+    /// error-severity findings reject the DDL with [`Error::Invalid`]
+    /// before anything is materialized.
     pub fn add_fragment(&mut self, spec: FragmentSpec) -> Result<String> {
+        if !matches!(self.validation, ValidationMode::Off) {
+            let diags = analyze::analyze_fragment_spec(&spec, &self.schema, &self.catalog);
+            if self.rejects(&diags) {
+                return Err(Error::Invalid(diags));
+            }
+        }
         self.frag_seq += 1;
         let id = format!("F{}", self.frag_seq);
         let meta = materialize(&id, spec, self.base(), &self.datasets, &self.stores)?;
@@ -699,19 +793,31 @@ impl Estocada {
         ctx: Option<&Arc<QueryResilience>>,
     ) -> Result<PlannedQuery> {
         // 1. Rewriting under constraints (or a cache hit skipping it).
+        // Before chasing, consult the deployment's termination
+        // certificate: a `WeaklyAcyclic` verdict on the combined
+        // constraint set lifts the chase budget guard for this run
+        // (every chase terminates without it); any weaker verdict keeps
+        // the budgets exactly as configured.
         let t0 = Instant::now();
+        let certified = |cfg: &RewriteConfig| {
+            let cert = analyze::termination_certificate(&self.schema, &self.catalog);
+            let mut c = *cfg;
+            c.chase = c.chase.with_certificate(&cert);
+            c
+        };
         let (outcome, cache_hit) = if use_cache {
             let key = Self::plan_cache_key(cq, residuals);
             match self.plan_cache.lookup(&key, self.epoch) {
                 Some(outcome) => (outcome, Some(true)),
                 None => {
-                    let outcome = Arc::new(pacb_rewrite(&self.rewrite_problem(cq), cfg)?);
+                    let outcome =
+                        Arc::new(pacb_rewrite(&self.rewrite_problem(cq), &certified(cfg))?);
                     self.plan_cache.insert(key, self.epoch, outcome.clone());
                     (outcome, Some(false))
                 }
             }
         } else {
-            let outcome = Arc::new(pacb_rewrite(&self.rewrite_problem(cq), cfg)?);
+            let outcome = Arc::new(pacb_rewrite(&self.rewrite_problem(cq), &certified(cfg))?);
             (outcome, None)
         };
         let rewrite_time = t0.elapsed();
@@ -789,6 +895,24 @@ impl Estocada {
         })
     }
 
+    /// The analyzer's findings on this query's CQ for the report,
+    /// cached per catalog epoch alongside the rewrite-plan cache.
+    /// [`ValidationMode::Off`] skips analysis entirely.
+    fn query_lints(&self, cq: &Cq) -> Vec<Diagnostic> {
+        if matches!(self.validation, ValidationMode::Off) {
+            return Vec::new();
+        }
+        // Keyed on the exact CQ (not the alpha-invariant canonical form):
+        // lint messages name the query's concrete variables.
+        let key = format!("l|{}|{:?}|{:?}", cq.name, cq.head, cq.body);
+        if let Some(cached) = self.lint_cache.lookup(&key, self.epoch) {
+            return (*cached).clone();
+        }
+        let diags = Arc::new(analyze::analyze_query(cq, &self.schema));
+        self.lint_cache.insert(key, self.epoch, diags.clone());
+        (*diags).clone()
+    }
+
     /// Plan `cq` and either execute it or stop at the report, per `opts`.
     fn run_planned(
         &self,
@@ -803,6 +927,7 @@ impl Estocada {
         let deadline = opts.deadline.or(self.default_opts.deadline);
         let ctx = QueryResilience::new(retry, deadline, self.health.clone());
         let mut plan = self.plan_cq(cq, head_names, residuals, &cfg, use_cache, Some(&ctx))?;
+        let diagnostics = self.query_lints(cq);
 
         if opts.explain_only {
             // Explain reports cost every alternative but tolerate a query
@@ -831,6 +956,7 @@ impl Estocada {
                     complete_search: plan.outcome.complete,
                     plan_cache: self.cache_activity(plan.cache_hit),
                     resilience: None,
+                    diagnostics,
                 },
             });
         }
@@ -948,6 +1074,7 @@ impl Estocada {
                 complete_search: plan.outcome.complete,
                 plan_cache: self.cache_activity(plan.cache_hit),
                 resilience,
+                diagnostics,
             },
         })
     }
@@ -1019,7 +1146,8 @@ mod tests {
                 ]],
                 text_columns: vec![],
             }],
-        ));
+        ))
+        .unwrap();
         assert_eq!(est.catalog_epoch(), 1);
         let id = est
             .add_fragment(FragmentSpec::NativeTables {

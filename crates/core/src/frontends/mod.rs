@@ -6,3 +6,17 @@ pub mod sql;
 
 pub use docq::{doc_query, ParsedDocQuery};
 pub use sql::{parse_sql, ParsedQuery, SqlCatalog, SqlTable};
+
+use crate::analyze::{analyze_query, Diagnostic};
+use crate::error::Result;
+use estocada_pivot::Schema;
+
+/// Parse a mini-SQL query and run the static analyzer's query lints on
+/// its conjunctive core — without planning or executing anything. This is
+/// the frontend-level entry to the analyzer: `E002`/`E004` for dangling
+/// or arity-mismatched relation references, `E003` for unsafe heads,
+/// `W003` for cartesian-product bodies. The same lints are attached to
+/// [`crate::report::Report::diagnostics`] when the query actually runs.
+pub fn lint_sql(sql: &str, catalog: &SqlCatalog, schema: &Schema) -> Result<Vec<Diagnostic>> {
+    Ok(analyze_query(&parse_sql(sql, catalog)?.cq, schema))
+}

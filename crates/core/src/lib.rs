@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod advisor;
+pub mod analyze;
 pub mod catalog;
 pub mod connector;
 pub mod cost;
@@ -33,6 +34,7 @@ pub mod system;
 pub mod translate;
 
 pub use advisor::{recommend, recommend_under_budget, Action, Recommendation, WorkloadQuery};
+pub use analyze::{Code, Diagnostic, Severity, ValidationMode};
 pub use catalog::{Catalog, FragmentMeta, FragmentSpec};
 pub use connector::{ResOp, Residual};
 pub use cost::CostModel;
@@ -40,7 +42,7 @@ pub use dataset::{Dataset, DatasetContent, DocData, TableData};
 pub use dml::{DmlReport, FragmentDelta, MaintenanceState};
 pub use error::{Error, PlanFailure, Result};
 pub use evaluator::{Estocada, QueryOptions, QueryRequest};
-pub use plancache::{PlanCache, PlanCacheStats};
+pub use plancache::{EpochCache, LintCache, PlanCache, PlanCacheStats};
 pub use report::{PlanCacheActivity, QueryResult, Report};
 pub use resilience::{
     BackendHealth, BreakerConfig, BreakerState, BreakerTransition, HealthTracker, PlanAttempt,

@@ -1,27 +1,32 @@
-//! The epoch-keyed rewrite-plan cache behind the shared `&self` query path.
+//! The epoch-keyed caches behind the shared `&self` query path: the
+//! rewrite-plan cache and (PR 8) the query-lint cache, both instances of
+//! one generic [`EpochCache`].
 //!
 //! PACB rewriting is a pure function of `(query CQ, catalog views, schema
 //! constraints, access map)` — and since PR 2 it is *deterministic* at any
 //! worker count, which is what makes an outcome computed by one query
-//! thread safely reusable by every other. The catalog/schema inputs are
-//! summarized by the mediator's **catalog epoch** (bumped by every DDL
-//! operation: `register_dataset`, `add_fragment`, `drop_fragment`), so the
-//! cache key is `(canonical CQ, epoch)`: any DDL invalidates the whole
-//! cache wholesale (the epoch no longer matches), and repeat query shapes
-//! within an epoch skip the chase & backchase entirely.
+//! thread safely reusable by every other. The same holds for the static
+//! analyzer's query lints: a pure function of `(query CQ, schema)`. The
+//! catalog/schema inputs are summarized by the mediator's **catalog
+//! epoch** (bumped by every DDL operation: `register_dataset`,
+//! `add_fragment`, `drop_fragment`), so the cache key is `(canonical CQ,
+//! epoch)`: any DDL invalidates the whole cache wholesale (the epoch no
+//! longer matches), and repeat query shapes within an epoch skip the
+//! cached computation entirely.
 //!
 //! The map is a small sharded `RwLock<HashMap>` (reads take a shard read
 //! lock only), bounded by a per-shard FIFO: the cache can never grow past
-//! [`PlanCache::capacity`] entries no matter how many distinct ad-hoc
-//! shapes a workload produces. Entries store `Arc<RewriteOutcome>`, so a
-//! hit is one clone of a pointer. Hit/miss counters are relaxed atomics
-//! surfaced per query in [`crate::report::Report::plan_cache`].
+//! [`EpochCache::capacity`] entries no matter how many distinct ad-hoc
+//! shapes a workload produces. Entries store an `Arc`, so a hit is one
+//! clone of a pointer. Hit/miss counters are relaxed atomics surfaced per
+//! query in [`crate::report::Report::plan_cache`].
 //!
-//! Two threads racing on the same cold key both compute the outcome and
-//! both try to insert; determinism makes the two outcomes identical, so
+//! Two threads racing on the same cold key both compute the value and
+//! both try to insert; determinism makes the two values identical, so
 //! first-insert-wins is correct and the loser merely did redundant work
 //! (exactly what the serial run would have computed).
 
+use crate::analyze::Diagnostic;
 use estocada_chase::RewriteOutcome;
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
@@ -37,44 +42,59 @@ const SHARDS: usize = 16;
 /// Default bound on cached outcomes across all shards.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 1_024;
 
-/// Counters and size of the plan cache at one instant.
+/// Counters and size of an epoch cache at one instant.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
     /// Lookups answered from the cache since construction / last reset.
     pub hits: u64,
-    /// Lookups that had to run the backchase.
+    /// Lookups that had to run the cached computation.
     pub misses: u64,
-    /// Outcomes currently cached.
+    /// Values currently cached.
     pub entries: usize,
 }
 
-struct Entry {
+struct Entry<V> {
     epoch: u64,
-    outcome: Arc<RewriteOutcome>,
+    value: V,
 }
 
-#[derive(Default)]
-struct Shard {
-    map: HashMap<String, Entry>,
+struct Shard<V> {
+    map: HashMap<String, Entry<V>>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<String>,
 }
 
-/// A bounded, sharded, epoch-keyed map `canonical CQ → Arc<RewriteOutcome>`
-/// (see the module docs).
-pub struct PlanCache {
-    shards: Vec<RwLock<Shard>>,
+impl<V> Default for Shard<V> {
+    fn default() -> Shard<V> {
+        Shard {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+}
+
+/// The rewrite-plan cache: `canonical CQ → Arc<RewriteOutcome>`.
+pub type PlanCache = EpochCache<Arc<RewriteOutcome>>;
+
+/// The query-lint cache: `canonical CQ → Arc<Vec<Diagnostic>>` — the
+/// analyzer's per-query findings, reused until the next DDL.
+pub type LintCache = EpochCache<Arc<Vec<Diagnostic>>>;
+
+/// A bounded, sharded, epoch-keyed map `String → V` (see the module
+/// docs). `V` is expected to be cheap to clone (an `Arc`).
+pub struct EpochCache<V: Clone> {
+    shards: Vec<RwLock<Shard<V>>>,
     per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl PlanCache {
-    /// A cache bounded to roughly `capacity` outcomes (rounded up to a
+impl<V: Clone> EpochCache<V> {
+    /// A cache bounded to roughly `capacity` values (rounded up to a
     /// multiple of the shard count; `capacity = 0` disables storage but
     /// still counts misses).
-    pub fn new(capacity: usize) -> PlanCache {
-        PlanCache {
+    pub fn new(capacity: usize) -> EpochCache<V> {
+        EpochCache {
             shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
             per_shard: capacity.div_ceil(SHARDS),
             hits: AtomicU64::new(0),
@@ -87,23 +107,23 @@ impl PlanCache {
         self.per_shard * SHARDS
     }
 
-    fn shard(&self, key: &str) -> &RwLock<Shard> {
+    fn shard(&self, key: &str) -> &RwLock<Shard<V>> {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % SHARDS]
     }
 
-    /// The cached outcome for `key` at `epoch`, if any. An entry from an
+    /// The cached value for `key` at `epoch`, if any. An entry from an
     /// older epoch never matches (DDL bumped the epoch past it). Counts a
     /// hit or a miss.
-    pub fn lookup(&self, key: &str, epoch: u64) -> Option<Arc<RewriteOutcome>> {
+    pub fn lookup(&self, key: &str, epoch: u64) -> Option<V> {
         let found = {
             let shard = self.shard(key).read();
             shard
                 .map
                 .get(key)
                 .filter(|e| e.epoch == epoch)
-                .map(|e| e.outcome.clone())
+                .map(|e| e.value.clone())
         };
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -112,18 +132,18 @@ impl PlanCache {
         found
     }
 
-    /// Cache `outcome` under `(key, epoch)`. First insert wins on a racing
-    /// key (the outcomes are identical by determinism); a stale-epoch entry
+    /// Cache `value` under `(key, epoch)`. First insert wins on a racing
+    /// key (the values are identical by determinism); a stale-epoch entry
     /// under the same key is replaced in place. At capacity the oldest
     /// entry of the key's shard is evicted (FIFO).
-    pub fn insert(&self, key: String, epoch: u64, outcome: Arc<RewriteOutcome>) {
+    pub fn insert(&self, key: String, epoch: u64, value: V) {
         if self.per_shard == 0 {
             return;
         }
         let mut shard = self.shard(&key).write();
         if let Some(existing) = shard.map.get_mut(&key) {
             if existing.epoch != epoch {
-                *existing = Entry { epoch, outcome };
+                *existing = Entry { epoch, value };
             }
             return;
         }
@@ -136,7 +156,7 @@ impl PlanCache {
             }
         }
         shard.order.push_back(key.clone());
-        shard.map.insert(key, Entry { epoch, outcome });
+        shard.map.insert(key, Entry { epoch, value });
     }
 
     /// Drop every entry (the DDL path calls this on each epoch bump — the
@@ -170,16 +190,16 @@ impl PlanCache {
     }
 }
 
-impl Default for PlanCache {
-    fn default() -> PlanCache {
-        PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
+impl<V: Clone> Default for EpochCache<V> {
+    fn default() -> EpochCache<V> {
+        EpochCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
     }
 }
 
-impl std::fmt::Debug for PlanCache {
+impl<V: Clone> std::fmt::Debug for EpochCache<V> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = self.stats();
-        f.debug_struct("PlanCache")
+        f.debug_struct("EpochCache")
             .field("entries", &s.entries)
             .field("capacity", &self.capacity())
             .field("hits", &s.hits)
@@ -284,5 +304,23 @@ mod tests {
         c.insert("q".into(), 0, outcome("a"));
         assert!(c.lookup("q", 0).is_none());
         assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn lint_cache_shares_the_machinery() {
+        use crate::analyze::{Code, Diagnostic};
+        let c = LintCache::new(8);
+        assert!(c.lookup("q", 3).is_none());
+        let diags = Arc::new(vec![Diagnostic {
+            severity: Code::CartesianProductBody.severity(),
+            code: Code::CartesianProductBody,
+            target: "query q".into(),
+            message: "cross product".into(),
+            witness: None,
+        }]);
+        c.insert("q".into(), 3, diags);
+        let got = c.lookup("q", 3).expect("hit");
+        assert_eq!(got.len(), 1);
+        assert!(c.lookup("q", 4).is_none(), "DDL epoch bump invalidates");
     }
 }

@@ -2,6 +2,7 @@
 //! chosen rewriting, the executable plan, and performance statistics split
 //! across the underlying DMSs and the ESTOCADA runtime.
 
+use crate::analyze::Diagnostic;
 use crate::plancache::PlanCacheStats;
 use crate::resilience::ResilienceReport;
 use crate::system::SystemId;
@@ -66,6 +67,10 @@ pub struct Report {
     /// fault-free query), keeping the clean-path report bit-identical to
     /// an engine without fault handling.
     pub resilience: Option<ResilienceReport>,
+    /// Static-analyzer findings on this query's CQ (cached per catalog
+    /// epoch alongside the plan cache). Empty for a clean query, keeping
+    /// the clean-path report identical to an engine without the analyzer.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl fmt::Display for Report {
@@ -145,6 +150,12 @@ impl fmt::Display for Report {
             }
             for t in &r.breaker_transitions {
                 writeln!(f, "  breaker {t}")?;
+            }
+        }
+        if !self.diagnostics.is_empty() {
+            writeln!(f, "diagnostics:")?;
+            for d in &self.diagnostics {
+                writeln!(f, "  {d}")?;
             }
         }
         Ok(())

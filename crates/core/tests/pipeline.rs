@@ -53,7 +53,8 @@ fn marketplace() -> Estocada {
                 text_columns: vec!["title".into()],
             },
         ],
-    ));
+    ))
+    .unwrap();
     est.register_dataset(Dataset::documents(
         "Carts",
         (0..30)
@@ -72,7 +73,8 @@ fn marketplace() -> Estocada {
                 ]),
             })
             .collect(),
-    ));
+    ))
+    .unwrap();
     est
 }
 

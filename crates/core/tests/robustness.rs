@@ -19,7 +19,8 @@ fn tiny() -> Estocada {
             ],
             text_columns: vec![],
         }],
-    ));
+    ))
+    .unwrap();
     est
 }
 
@@ -62,7 +63,8 @@ fn empty_dataset_round_trips() {
             rows: vec![],
             text_columns: vec![],
         }],
-    ));
+    ))
+    .unwrap();
     est.add_fragment(FragmentSpec::NativeTables {
         dataset: "empty".into(),
         only: None,
@@ -147,7 +149,8 @@ fn deep_document_nesting_is_encoded_and_queried() {
             name: "deep".into(),
             body,
         }],
-    ));
+    ))
+    .unwrap();
     est.add_fragment(FragmentSpec::NativeDoc {
         dataset: "Deep".into(),
     })
@@ -200,7 +203,8 @@ fn query_over_two_datasets_in_one_sql() {
             rows: vec![vec![Value::Int(1), Value::Int(100)]],
             text_columns: vec![],
         }],
-    ));
+    ))
+    .unwrap();
     est.add_fragment(FragmentSpec::NativeTables {
         dataset: "d".into(),
         only: None,

@@ -171,7 +171,7 @@ mod tests {
             seed: 3,
         });
         let mut est = estocada::Estocada::in_memory();
-        est.register_dataset(d);
+        est.register_dataset(d).unwrap();
         est.add_fragment(estocada::FragmentSpec::NativeTables {
             dataset: "bigdata".into(),
             only: None,

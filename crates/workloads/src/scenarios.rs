@@ -13,7 +13,7 @@
 //!   40%").
 
 use crate::marketplace::{Marketplace, W1Query};
-use estocada::{Estocada, FragmentSpec, Latencies, QueryOptions, QueryResult};
+use estocada::{Estocada, FragmentSpec, Latencies, QueryOptions, QueryResult, ValidationMode};
 use estocada_pivot::encoding::document::{PatternStep, TreePattern};
 use estocada_pivot::{Cq, CqBuilder, Symbol, Term};
 use std::time::Duration;
@@ -81,11 +81,15 @@ pub fn personalized_sql(uid: i64, category: &str) -> String {
     )
 }
 
-/// First-release deployment (see module docs).
+/// First-release deployment (see module docs). Every builtin deployment
+/// runs its DDL under [`ValidationMode::Strict`]: the static analyzer
+/// certifies each step, and a regression that introduced an
+/// error-severity finding would fail these constructors outright.
 pub fn deploy_baseline(m: &Marketplace, latencies: Latencies) -> Estocada {
     let mut est = Estocada::new(latencies);
-    est.register_dataset(m.sales.clone());
-    est.register_dataset(m.carts.clone());
+    est.set_validation(ValidationMode::Strict);
+    est.register_dataset(m.sales.clone()).unwrap();
+    est.register_dataset(m.carts.clone()).unwrap();
     est.add_fragment(FragmentSpec::NativeTables {
         dataset: "sales".into(),
         only: Some(vec![

@@ -12,7 +12,7 @@ use estocada_workloads::bigdata::{generate, q1_sql, q2_fetch_sql, q3_sql, BigDat
 
 fn vanilla(cfg: BigDataConfig) -> estocada::Result<Estocada> {
     let mut est = Estocada::new(Latencies::datacenter());
-    est.register_dataset(generate(cfg));
+    est.register_dataset(generate(cfg)).unwrap();
     est.add_fragment(FragmentSpec::NativeTables {
         dataset: "bigdata".into(),
         only: None,

@@ -39,7 +39,8 @@ fn main() -> estocada::Result<()> {
                 text_columns: vec![],
             },
         ],
-    ));
+    ))
+    .unwrap();
 
     // Orders stays native-relational; Prefs is ONLY reachable by key.
     est.add_fragment(FragmentSpec::NativeTables {

@@ -38,7 +38,8 @@ fn main() -> estocada::Result<()> {
                 .collect(),
             text_columns: vec![],
         }],
-    ));
+    ))
+    .unwrap();
 
     // 3. Two overlapping fragments: the table "as such", and a key-value
     //    projection keyed by uid.

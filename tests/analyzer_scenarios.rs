@@ -1,0 +1,233 @@
+//! The static analyzer against real deployments (PR 8) — the test behind
+//! the CI `analyze` job:
+//!
+//! - every builtin scenario deployment builds its DDL under
+//!   `ValidationMode::Strict` and analyzes **clean** (zero diagnostics,
+//!   warnings included);
+//! - a planted cyclic TGD pair proves the job bites: under `Strict` the
+//!   next `add_fragment`/`add_constraint` is rejected with `E001`
+//!   carrying the witness cycle, while with validation `Off` the same
+//!   set still terminates at query time via the chase budget guard,
+//!   whose error message points at the certificate API.
+
+use estocada::frontends::lint_sql;
+use estocada::{
+    Code, Dataset, Error, Estocada, FragmentSpec, Latencies, Severity, TableData, ValidationMode,
+};
+use estocada_pivot::encoding::relational::TableEncoding;
+use estocada_pivot::{Atom, Constraint, Term, Tgd, Value};
+use estocada_workloads::marketplace::{generate, Marketplace, MarketplaceConfig};
+use estocada_workloads::scenarios::{
+    deploy_baseline, deploy_kv_migrated, deploy_materialized_join,
+};
+
+fn small() -> Marketplace {
+    generate(MarketplaceConfig {
+        users: 40,
+        products: 25,
+        orders: 120,
+        log_entries: 200,
+        skew: 0.8,
+        seed: 7,
+    })
+}
+
+#[test]
+fn builtin_deployments_analyze_clean_under_strict() {
+    let m = small();
+    let deployments: Vec<(&str, Estocada)> = vec![
+        ("baseline", deploy_baseline(&m, Latencies::zero())),
+        ("kv_migrated", deploy_kv_migrated(&m, Latencies::zero())),
+        (
+            "materialized_join",
+            deploy_materialized_join(&m, Latencies::zero()),
+        ),
+    ];
+    for (name, est) in deployments {
+        assert!(
+            matches!(est.validation(), ValidationMode::Strict),
+            "{name}: builtin deployments deploy under Strict"
+        );
+        let diags = est.analyze();
+        assert!(
+            diags.is_empty(),
+            "{name}: expected zero diagnostics (warnings included), got {diags:?}"
+        );
+    }
+}
+
+/// A two-table engine with no declared keys (so the planted TGD cycle is
+/// the only constraint in play).
+fn tiny_engine() -> Estocada {
+    let mut est = Estocada::in_memory();
+    est.register_dataset(Dataset::relational(
+        "d",
+        vec![
+            TableData {
+                encoding: TableEncoding::new("T", &["k", "v"], None),
+                rows: vec![vec![Value::Int(1), Value::Int(10)]],
+                text_columns: vec![],
+            },
+            TableData {
+                encoding: TableEncoding::new("U", &["k", "w"], None),
+                rows: vec![vec![Value::Int(1), Value::Int(20)]],
+                text_columns: vec![],
+            },
+        ],
+    ))
+    .unwrap();
+    est
+}
+
+/// The planted non-terminating pair: `T(x, y) → ∃z. U(y, z)` and
+/// `U(x, y) → ∃z. T(y, z)` — each feeds the other's premise through an
+/// existential position.
+fn cyclic_pair() -> (Constraint, Constraint) {
+    let fwd = Tgd::new(
+        "cyc_fwd",
+        vec![Atom::new("T", vec![Term::var(0), Term::var(1)])],
+        vec![Atom::new("U", vec![Term::var(1), Term::var(2)])],
+    );
+    let bwd = Tgd::new(
+        "cyc_bwd",
+        vec![Atom::new("U", vec![Term::var(0), Term::var(1)])],
+        vec![Atom::new("T", vec![Term::var(1), Term::var(2)])],
+    );
+    (fwd.into(), bwd.into())
+}
+
+#[test]
+fn strict_rejects_planted_cycle_with_e001_witness() {
+    let mut est = tiny_engine();
+    // Default mode is Warn: the cyclic pair is analyzed but accepted.
+    let (fwd, bwd) = cyclic_pair();
+    est.add_constraint(fwd).unwrap();
+    est.add_constraint(bwd).unwrap();
+
+    est.set_validation(ValidationMode::Strict);
+    let err = est
+        .add_fragment(FragmentSpec::NativeTables {
+            dataset: "d".into(),
+            only: None,
+        })
+        .expect_err("Strict must reject DDL on a non-terminating constraint set");
+    let Error::Invalid(diags) = err else {
+        panic!("expected Error::Invalid, got: {err}");
+    };
+    let e001 = diags
+        .iter()
+        .find(|d| d.code == Code::NonTerminatingTgdCycle)
+        .expect("E001 present");
+    assert_eq!(e001.severity, Severity::Error);
+    let witness = e001.witness.as_deref().expect("E001 carries the cycle");
+    assert!(
+        witness.contains("T.") && witness.contains("U."),
+        "witness must walk the planted cycle, got: {witness}"
+    );
+    // The typed error renders its diagnostics.
+    let rendered = format!("{}", Error::Invalid(diags));
+    assert!(rendered.contains("E001"), "got: {rendered}");
+}
+
+#[test]
+fn strict_rejects_cycle_at_add_constraint_leaving_schema_untouched() {
+    let mut est = tiny_engine();
+    est.set_validation(ValidationMode::Strict);
+    let (fwd, bwd) = cyclic_pair();
+    // The first TGD alone is weakly acyclic — accepted.
+    est.add_constraint(fwd).unwrap();
+    let n = est.schema().constraints.len();
+    let err = est.add_constraint(bwd).expect_err("closing the cycle");
+    assert!(matches!(err, Error::Invalid(_)));
+    assert_eq!(
+        est.schema().constraints.len(),
+        n,
+        "rejected constraint must not stick"
+    );
+}
+
+#[test]
+fn validation_off_still_terminates_via_budget_guard() {
+    let mut est = tiny_engine();
+    est.set_validation(ValidationMode::Off);
+    let (fwd, bwd) = cyclic_pair();
+    est.add_constraint(fwd).unwrap();
+    est.add_constraint(bwd).unwrap();
+    est.add_fragment(FragmentSpec::NativeTables {
+        dataset: "d".into(),
+        only: None,
+    })
+    .expect("validation off: DDL goes through");
+
+    // Tighten the budgets so the guard trips fast; with validation off
+    // no certificate lifts them.
+    let mut cfg = est.rewrite_config();
+    cfg.chase.max_rounds = 50;
+    cfg.chase.max_facts = 2_000;
+    cfg.prov.max_rounds = 50;
+    cfg.prov.max_facts = 2_000;
+    est.set_rewrite_config(cfg);
+
+    let err = est
+        .query_sql("SELECT t.v FROM T t WHERE t.k = 1")
+        .expect_err("divergent set must exhaust the chase budget");
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("budget"),
+        "expected a budget-guard error, got: {msg}"
+    );
+    assert!(
+        msg.contains("certify"),
+        "budget error must point at the certificate API, got: {msg}"
+    );
+}
+
+#[test]
+fn frontend_lint_flags_cartesian_and_dangling_references() {
+    let est = tiny_engine();
+    let catalog = est.sql_catalog();
+    // T and U share no join column here: a cartesian product (W003).
+    let diags = lint_sql(
+        "SELECT t.v, u.w FROM T t, U u WHERE t.k = 1 AND u.w = 2",
+        &catalog,
+        est.schema(),
+    )
+    .unwrap();
+    assert!(
+        diags.iter().any(|d| d.code == Code::CartesianProductBody),
+        "got: {diags:?}"
+    );
+    // A clean join lints clean.
+    let diags = lint_sql(
+        "SELECT t.v, u.w FROM T t, U u WHERE t.k = u.k",
+        &catalog,
+        est.schema(),
+    )
+    .unwrap();
+    assert!(diags.is_empty(), "got: {diags:?}");
+}
+
+#[test]
+fn report_carries_query_diagnostics_and_caches_them() {
+    let mut est = tiny_engine();
+    est.add_fragment(FragmentSpec::NativeTables {
+        dataset: "d".into(),
+        only: None,
+    })
+    .unwrap();
+    // Clean query: empty diagnostics section, Display unchanged.
+    let r = est.query_sql("SELECT t.v FROM T t WHERE t.k = 1").unwrap();
+    assert!(r.report.diagnostics.is_empty());
+    assert!(!format!("{}", r.report).contains("diagnostics:"));
+
+    // Cartesian query: W003 lands in the report and its Display.
+    let r = est
+        .query_sql("SELECT t.v, u.w FROM T t, U u WHERE t.k = 1 AND u.w = 2")
+        .unwrap();
+    assert!(r
+        .report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == Code::CartesianProductBody));
+    assert!(format!("{}", r.report).contains("W003"));
+}

@@ -219,6 +219,7 @@ proptest! {
                 hom: HomConfig { limit: 4_096 },
                 search_workers: workers,
                 search_min_facts: 0,
+                memo: true,
             };
             match prov_chase(&mut inst, &cs, &cfg) {
                 Ok(stats) => Ok((stats, dump(&inst))),
@@ -228,6 +229,51 @@ proptest! {
         let reference = run(1);
         for workers in [2usize, 4, 8] {
             prop_assert_eq!(&reference, &run(workers), "skew at {} search workers", workers);
+        }
+    }
+
+    /// Skolem-table memo on vs off in the provenance chase: identical core
+    /// stats, instances (provenance formulas included) and errors — the
+    /// occurrence-indexed invalidation only garbage-collects keys that
+    /// resolved lookups can never produce again, so it must not change
+    /// which Skolem images any trigger sees. Also pins that the memo-off
+    /// run reports zero memo counters.
+    #[test]
+    fn prov_memo_on_off_identical_results(
+        facts in arb_facts(),
+        cs in arb_constraints(),
+    ) {
+        let run = |memo: bool| {
+            let mut inst = build_instance(&facts, true);
+            let cfg = ProvChaseConfig {
+                max_rounds: 30,
+                max_facts: 400,
+                clause_cap: 64,
+                hom: HomConfig { limit: 4_096 },
+                search_workers: 1,
+                search_min_facts: 0,
+                memo,
+            };
+            match prov_chase(&mut inst, &cs, &cfg) {
+                Ok(stats) => Ok((stats, dump(&inst))),
+                Err(e) => Err(e.to_string()),
+            }
+        };
+        match (run(true), run(false)) {
+            (Ok((s_on, d_on)), Ok((s_off, d_off))) => {
+                prop_assert_eq!(s_on.chase.core(), s_off.chase.core());
+                prop_assert_eq!(s_on.truncated, s_off.truncated);
+                prop_assert_eq!(d_on, d_off);
+                prop_assert_eq!(s_off.chase.memo_hits, 0);
+                prop_assert_eq!(s_off.chase.memo_misses, 0);
+            }
+            (Err(e_on), Err(e_off)) => prop_assert_eq!(e_on, e_off),
+            (a, b) => prop_assert!(
+                false,
+                "success/failure skew: memo-on ok={} memo-off ok={}",
+                a.is_ok(),
+                b.is_ok()
+            ),
         }
     }
 
