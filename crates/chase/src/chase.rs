@@ -67,7 +67,9 @@
 //! changes which probes run, never what fires ([`ChaseStats::core`] is
 //! identical with the memo on or off).
 
-use crate::hom::{find_one_hom_in, find_trigger_homs_in, Hom, HomArena, HomConfig};
+use crate::hom::{
+    find_homs_delta_anchor_in, find_one_hom_in, find_trigger_homs_in, Hom, HomArena, HomConfig,
+};
 use crate::instance::{DeltaIndex, Elem, Inconsistent, Instance};
 use estocada_parexec::Pool;
 use estocada_pivot::{Atom, Constraint, Egd, Symbol, Term, Tgd, Var};
@@ -208,7 +210,7 @@ pub fn chase_with(
     // that actually fans out, then reused by every later round (a chase is
     // a loop of searches — paying a thread spawn/join per round is pure
     // overhead, most visible on few-core hosts).
-    let mut pool = LazySearchPool::new(cfg.search_workers, constraints.len());
+    let mut pool = LazySearchPool::new(cfg.search_workers, search_item_bound(constraints));
     // Epoch threshold separating "old" facts from the previous round's
     // delta; `None` = first round, search everything.
     let mut threshold: Option<u64> = None;
@@ -276,11 +278,13 @@ pub(crate) struct LazySearchPool {
 }
 
 impl LazySearchPool {
-    /// A pool of up to `workers` threads, capped by the constraint count
-    /// (a batch never has more items than constraints).
-    pub(crate) fn new(workers: usize, constraints: usize) -> LazySearchPool {
+    /// A pool of up to `workers` threads, capped by `max_items` — the most
+    /// work items one search batch can hold. Delta rounds fan out one item
+    /// per (constraint, premise anchor), so the bound is the total anchor
+    /// count, not the constraint count.
+    pub(crate) fn new(workers: usize, max_items: usize) -> LazySearchPool {
         LazySearchPool {
-            workers: workers.max(1).min(constraints.max(1)),
+            workers: workers.max(1).min(max_items.max(1)),
             pool: None,
         }
     }
@@ -289,6 +293,16 @@ impl LazySearchPool {
         let workers = self.workers;
         self.pool.get_or_insert_with(|| Pool::new(workers))
     }
+}
+
+/// The most work items one trigger-search batch over `constraints` can
+/// hold: a delta round fans out one item per (constraint, premise anchor).
+/// Sizes the run's [`LazySearchPool`].
+pub(crate) fn search_item_bound(constraints: &[Constraint]) -> usize {
+    constraints
+        .iter()
+        .map(|c| constraint_premise(c).len().max(1))
+        .sum()
 }
 
 /// The read-only search phase shared by both chase loops: enumerate every
@@ -320,10 +334,57 @@ pub(crate) fn search_triggers(
             .map(|c| find_trigger_homs_in(arena, instance, constraint_premise(c), hom, delta))
             .collect();
     }
-    pool.get()
-        .map_init(constraints, HomArena::new, |worker_arena, _, c| {
-            find_trigger_homs_in(worker_arena, instance, constraint_premise(c), hom, delta)
-        })
+    let Some(d) = delta else {
+        // First round: one full search per constraint.
+        return pool
+            .get()
+            .map_init(constraints, HomArena::new, |worker_arena, _, c| {
+                find_trigger_homs_in(worker_arena, instance, constraint_premise(c), hom, None)
+            });
+    };
+    // Delta rounds fan out one work item per (constraint, premise anchor)
+    // with delta facts, not one per constraint: each anchored pass of the
+    // semi-naive search is an independent pure function, so a skewed round
+    // (one constraint whose every trigger sits behind a single hot
+    // predicate) no longer serializes behind one worker. Anchors with no
+    // delta facts are skipped up front — same as the serial loop.
+    let mut items: Vec<(usize, usize)> = Vec::new();
+    for (cidx, c) in constraints.iter().enumerate() {
+        let premise = constraint_premise(c);
+        for (anchor, atom) in premise.iter().enumerate() {
+            if !d.facts_of(atom.pred).is_empty() {
+                items.push((cidx, anchor));
+            }
+        }
+    }
+    let fixed = HashMap::new();
+    let per_item =
+        pool.get()
+            .map_init(&items, HomArena::new, |worker_arena, _, &(cidx, anchor)| {
+                find_homs_delta_anchor_in(
+                    worker_arena,
+                    instance,
+                    constraint_premise(&constraints[cidx]),
+                    &fixed,
+                    hom,
+                    d,
+                    anchor,
+                )
+            });
+    // Reassemble per constraint in anchor order, truncated to the hom
+    // limit — the same homs, in the same order, as the serial
+    // early-stopping anchor loop.
+    let mut out: Vec<Vec<Hom>> = vec![Vec::new(); constraints.len()];
+    for (&(cidx, _), homs) in items.iter().zip(per_item) {
+        let dst = &mut out[cidx];
+        for h in homs {
+            if dst.len() >= hom.limit {
+                break;
+            }
+            dst.push(h);
+        }
+    }
+    out
 }
 
 /// Per-run memo of applicability probes already proven satisfied, keyed by

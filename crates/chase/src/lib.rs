@@ -46,8 +46,8 @@ pub mod wa;
 pub use chase::{chase, chase_with, ChaseConfig, ChaseError, ChaseStats};
 pub use containment::{canonical_instance, contained_in, contained_in_with, equivalent, minimize};
 pub use hom::{
-    find_homs, find_homs_delta, find_homs_delta_in, find_homs_in, find_one_hom, find_one_hom_in,
-    Hom, HomArena, HomConfig,
+    find_homs, find_homs_delta, find_homs_delta_anchor_in, find_homs_delta_in, find_homs_in,
+    find_one_hom, find_one_hom_in, Hom, HomArena, HomConfig,
 };
 pub use instance::{DeltaIndex, Elem, Inconsistent, Instance, StoredFact};
 pub use naive::{naive_rewrite, NaiveConfig};

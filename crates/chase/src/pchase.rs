@@ -41,8 +41,8 @@
 //! delta; the provenance fixpoint reached is the naive loop's.
 
 use crate::chase::{
-    apply_egd_homs, conclusion_frontier, search_triggers, ChaseError, ChaseStats, CompiledTerm,
-    LazySearchPool, NullInvalidate,
+    apply_egd_homs, conclusion_frontier, search_item_bound, search_triggers, ChaseError,
+    ChaseStats, CompiledTerm, LazySearchPool, NullInvalidate,
 };
 use crate::hom::{HomArena, HomConfig};
 use crate::instance::{Elem, Instance};
@@ -180,7 +180,7 @@ pub fn prov_chase_with(
     let mut skolems = SkolemTable::new(cfg.memo);
     // One search pool for the whole run, spawned lazily on the first round
     // that fans out and reused by every later round (see `chase_with`).
-    let mut pool = LazySearchPool::new(cfg.search_workers, constraints.len());
+    let mut pool = LazySearchPool::new(cfg.search_workers, search_item_bound(constraints));
     // Epoch threshold of the previous round's delta; `None` = first round.
     let mut threshold: Option<u64> = None;
 

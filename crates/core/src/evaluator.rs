@@ -59,7 +59,7 @@ use crate::cost::CostModel;
 use crate::dataset::{Dataset, DatasetContent};
 use crate::error::PlanFailure;
 use crate::error::{Error, Result};
-use crate::frontends::{doc_query, parse_sql, SqlCatalog, SqlTable};
+use crate::frontends::{doc_query, parse_sql, AggregateSpec, SqlCatalog, SqlTable};
 use crate::materialize::{drop_fragment, fact_base, materialize};
 use crate::plancache::{LintCache, PlanCache, PlanCacheStats};
 use crate::report::{Alternative, PlanCacheActivity, QueryResult, Report};
@@ -70,7 +70,7 @@ use crate::resilience::{
 use crate::system::{Latencies, Stores, SystemId};
 use crate::translate::{translate, Translation};
 use estocada_chase::{pacb_rewrite, Instance, RewriteConfig, RewriteOutcome, RewriteProblem};
-use estocada_engine::{execute, EngineError};
+use estocada_engine::{execute_with, EngineError, ExecOptions, Expr, Plan};
 use estocada_pivot::encoding::document::TreePattern;
 use estocada_pivot::{Constraint, Cq, IdGen, Schema};
 use estocada_simkit::{FaultHook, FaultPlan};
@@ -104,6 +104,13 @@ pub struct QueryOptions {
     /// stop backing off and failover stops trying further plans once
     /// exceeded. `None` means unbounded.
     pub deadline: Option<Duration>,
+    /// Run plans through the vectorized columnar executor (the default).
+    /// `false` selects the tuple-at-a-time executor — observationally
+    /// identical (same rows, operator counts, and bind probes), retained
+    /// as a differential oracle and for debugging.
+    pub vectorized: bool,
+    /// Batch size (rows) of the vectorized executor's pipeline.
+    pub batch_size: usize,
 }
 
 impl Default for QueryOptions {
@@ -115,6 +122,8 @@ impl Default for QueryOptions {
             plan_cache: true,
             retry: None,
             deadline: None,
+            vectorized: true,
+            batch_size: 1024,
         }
     }
 }
@@ -129,6 +138,19 @@ impl QueryOptions {
     /// Set the wall-clock budget of the execution phase.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Choose between the vectorized (default) and tuple-at-a-time
+    /// executors.
+    pub fn with_vectorized(mut self, on: bool) -> Self {
+        self.vectorized = on;
+        self
+    }
+
+    /// Set the vectorized executor's batch size (clamped to at least 1).
+    pub fn with_batch_size(mut self, rows: usize) -> Self {
+        self.batch_size = rows.max(1);
         self
     }
 }
@@ -211,6 +233,19 @@ impl QueryRequest<'_> {
         self
     }
 
+    /// Choose between the vectorized (default) and tuple-at-a-time
+    /// executors for this query.
+    pub fn with_vectorized(mut self, on: bool) -> Self {
+        self.opts.vectorized = on;
+        self
+    }
+
+    /// Set the vectorized executor's batch size for this query.
+    pub fn with_batch_size(mut self, rows: usize) -> Self {
+        self.opts.batch_size = rows.max(1);
+        self
+    }
+
     /// Replace all options at once.
     pub fn with_options(mut self, opts: QueryOptions) -> Self {
         self.opts = opts;
@@ -225,24 +260,29 @@ impl QueryRequest<'_> {
     /// Run the query end to end (or plan-only with
     /// [`QueryRequest::explain_only`]).
     pub fn run(self) -> Result<QueryResult> {
-        let (cq, head_names, residuals) = match self.input {
+        let (cq, head_names, residuals, aggregate) = match self.input {
             QueryInput::Sql(sql) => {
                 let parsed = parse_sql(&sql, &self.engine.sql_catalog())?;
-                (parsed.cq, parsed.head_names, parsed.residuals)
+                (
+                    parsed.cq,
+                    parsed.head_names,
+                    parsed.residuals,
+                    parsed.aggregate,
+                )
             }
             QueryInput::Doc { pattern, select } => {
                 let sel: Vec<&str> = select.iter().map(String::as_str).collect();
                 let parsed = doc_query(&pattern, &sel)?;
-                (parsed.cq, parsed.head_names, Vec::new())
+                (parsed.cq, parsed.head_names, Vec::new(), None)
             }
             QueryInput::Pivot {
                 cq,
                 head_names,
                 residuals,
-            } => (cq, head_names, residuals),
+            } => (cq, head_names, residuals, None),
         };
         self.engine
-            .run_planned(&cq, &head_names, &residuals, &self.opts)
+            .run_planned(&cq, &head_names, &residuals, aggregate.as_ref(), &self.opts)
     }
 
     /// Plan and cost without executing; returns the report alone.
@@ -894,7 +934,41 @@ impl Estocada {
             totals: self.plan_cache.stats(),
         })
     }
+}
 
+/// Layer the SQL aggregation pipeline over a rewritten core plan:
+/// `Project(SELECT) ∘ Filter(HAVING) ∘ Aggregate(GROUP BY) ∘ core`.
+/// Translation wraps the core in a duplicate-eliminating projection, so
+/// the aggregates range over the *distinct* core tuples regardless of
+/// which rewriting executes.
+fn wrap_aggregate(core: Plan, spec: &AggregateSpec) -> Plan {
+    let mut plan = Plan::Aggregate {
+        input: Box::new(core),
+        group_by: (0..spec.group_cols).collect(),
+        aggs: spec.aggs.clone(),
+    };
+    let having = spec
+        .having
+        .iter()
+        .map(|(col, op, v)| Expr::col(*col).cmp(*op, Expr::Lit(v.clone())))
+        .reduce(Expr::and);
+    if let Some(pred) = having {
+        plan = Plan::Filter {
+            input: Box::new(plan),
+            pred,
+        };
+    }
+    Plan::Project {
+        input: Box::new(plan),
+        exprs: spec
+            .select
+            .iter()
+            .map(|(name, col)| (name.clone(), Expr::col(*col)))
+            .collect(),
+    }
+}
+
+impl Estocada {
     /// The analyzer's findings on this query's CQ for the report,
     /// cached per catalog epoch alongside the rewrite-plan cache.
     /// [`ValidationMode::Off`] skips analysis entirely.
@@ -914,11 +988,16 @@ impl Estocada {
     }
 
     /// Plan `cq` and either execute it or stop at the report, per `opts`.
+    /// `aggregate` (from the SQL frontend) layers grouping / HAVING /
+    /// final projection over whichever rewriting executes — it is applied
+    /// post-translation, so the plan cache and failover candidates are
+    /// shared with the non-aggregated core.
     fn run_planned(
         &self,
         cq: &Cq,
         head_names: &[String],
         residuals: &[Residual],
+        aggregate: Option<&AggregateSpec>,
         opts: &QueryOptions,
     ) -> Result<QueryResult> {
         let cfg = self.effective_cfg(opts);
@@ -929,18 +1008,31 @@ impl Estocada {
         let mut plan = self.plan_cq(cq, head_names, residuals, &cfg, use_cache, Some(&ctx))?;
         let diagnostics = self.query_lints(cq);
 
+        // An aggregate query's output columns come from its SELECT list,
+        // not the conjunctive core's head.
+        let out_columns = || -> Vec<String> {
+            match aggregate {
+                Some(spec) => spec.select.iter().map(|(n, _)| n.clone()).collect(),
+                None => head_names.to_vec(),
+            }
+        };
+
         if opts.explain_only {
             // Explain reports cost every alternative but tolerate a query
             // with no (executable) rewriting.
             let (chosen, plan_text, delegated) = match plan.best {
                 Some(idx) => {
                     let tr = plan.translations[idx].as_ref().expect("best is executable");
-                    (idx, tr.plan.explain(), tr.unit_labels.clone())
+                    let text = match aggregate {
+                        Some(spec) => wrap_aggregate(tr.plan.clone(), spec).explain(),
+                        None => tr.plan.explain(),
+                    };
+                    (idx, text, tr.unit_labels.clone())
                 }
                 None => (0, String::from("(not executable)"), Vec::new()),
             };
             return Ok(QueryResult {
-                columns: head_names.to_vec(),
+                columns: out_columns(),
                 rows: Vec::new(),
                 report: Report {
                     pivot_query: format!("{cq}"),
@@ -983,12 +1075,23 @@ impl Estocada {
         // failed in this query or whose breaker is open — and execute
         // the next candidate until one succeeds or none remain.
         let before: Vec<_> = self.stores.metrics();
+        let eopts = ExecOptions {
+            vectorized: opts.vectorized,
+            batch_size: opts.batch_size.max(1),
+        };
         let mut attempts: Vec<PlanAttempt> = Vec::new();
         let mut tried: HashSet<usize> = HashSet::new();
         let mut failed_systems: HashSet<SystemId> = HashSet::new();
-        let (batch, exec) = loop {
+        let (batch, exec, plan_text) = loop {
             tried.insert(chosen);
-            match execute(&translation.plan) {
+            // The aggregation pipeline sits on top of the (per-attempt)
+            // rewritten core, so each failover candidate gets its own wrap.
+            let wrapped = aggregate.map(|spec| wrap_aggregate(translation.plan.clone(), spec));
+            let attempt = match &wrapped {
+                Some(p) => execute_with(p, &eopts),
+                None => execute_with(&translation.plan, &eopts),
+            };
+            match attempt {
                 Ok(out) => {
                     attempts.push(PlanAttempt {
                         alternative: chosen,
@@ -996,7 +1099,11 @@ impl Estocada {
                         systems: translation.systems.clone(),
                         error: None,
                     });
-                    break out;
+                    let text = match wrapped {
+                        Some(p) => p.explain(),
+                        None => translation.plan.explain(),
+                    };
+                    break (out.0, out.1, text);
                 }
                 Err(EngineError::Store(se)) => {
                     attempts.push(PlanAttempt {
@@ -1065,7 +1172,7 @@ impl Estocada {
                 universal_plan: format!("{}", plan.outcome.universal_plan),
                 alternatives: plan.alternatives,
                 chosen,
-                plan: translation.plan.explain(),
+                plan: plan_text,
                 delegated: translation.unit_labels,
                 per_store,
                 exec,

@@ -5,7 +5,7 @@ pub mod docq;
 pub mod sql;
 
 pub use docq::{doc_query, ParsedDocQuery};
-pub use sql::{parse_sql, ParsedQuery, SqlCatalog, SqlTable};
+pub use sql::{parse_sql, AggregateSpec, ParsedQuery, SqlCatalog, SqlTable};
 
 use crate::analyze::{analyze_query, Diagnostic};
 use crate::error::Result;

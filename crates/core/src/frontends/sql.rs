@@ -1,14 +1,21 @@
 //! Mini-SQL frontend: conjunctive SELECT-FROM-WHERE blocks (plus
-//! `CONTAINS` full-text predicates), translated into the pivot model.
+//! `CONTAINS` full-text predicates and GROUP BY / HAVING aggregation),
+//! translated into the pivot model.
 //!
 //! Grammar (case-insensitive keywords):
 //!
 //! ```text
-//! query    := SELECT sel (',' sel)* FROM tbl (',' tbl)* [WHERE cond (AND cond)*]
+//! query    := SELECT item (',' item)* FROM tbl (',' tbl)*
+//!             [WHERE cond (AND cond)*]
+//!             [GROUP BY sel (',' sel)*]
+//!             [HAVING hcond (AND hcond)*]
+//! item     := (sel | agg) [AS ident]
+//! agg      := (COUNT | SUM | AVG | MIN | MAX) '(' (sel | '*') ')'
 //! sel      := alias '.' column
 //! tbl      := table alias
-//! cond     := ref op (const | ref)
+//! cond     := sel op (const | sel)
 //!           | CONTAINS '(' alias '.' column ',' string ')'
+//! hcond    := (agg | sel) op const
 //! op       := '=' | '<>' | '<' | '<=' | '>' | '>='
 //! const    := integer | float | string
 //! ```
@@ -16,9 +23,26 @@
 //! Equality conditions fold into the conjunctive query (variable
 //! unification / constants in atoms); other comparisons become residual
 //! predicates carried alongside the rewriting.
+//!
+//! ## Aggregation semantics
+//!
+//! An aggregate query keeps the *conjunctive core* (FROM + WHERE)
+//! rewritable: the core's head is the GROUP BY columns followed by the
+//! distinct aggregate argument columns, and the grouping/aggregation runs
+//! in the mediator on top of whatever rewriting the planner picked. The
+//! mediator evaluates conjunctive queries under **set semantics** (every
+//! rewriting is wrapped in a duplicate-eliminating projection), so
+//! aggregates range over the *distinct* core tuples — `COUNT`/`SUM` over a
+//! column with duplicates across the grouped rows count each distinct
+//! `(group key, argument)` combination once. Aggregate over a key column
+//! (e.g. `COUNT(o.oid)`) to count underlying rows. This makes results
+//! independent of which rewriting executes. Bare (non-aggregated) columns
+//! in SELECT or HAVING must appear in GROUP BY; violations are typed
+//! [`Error::Parse`] errors, not panics.
 
 use crate::connector::{ResOp, Residual};
 use crate::error::{Error, Result};
+use estocada_engine::{AggFun, AggSpec, CmpOp};
 use estocada_pivot::{Atom, Cq, Symbol, Term, Value, Var};
 use std::collections::HashMap;
 
@@ -41,10 +65,36 @@ pub type SqlCatalog = HashMap<String, SqlTable>;
 pub struct ParsedQuery {
     /// The conjunctive core.
     pub cq: Cq,
-    /// Output column names (`alias.column`).
+    /// Output column names of the conjunctive core (`alias.column`). For an
+    /// aggregate query these are the *inner* head columns (group keys then
+    /// aggregate arguments), not the final output columns.
     pub head_names: Vec<String>,
     /// Residual comparisons.
     pub residuals: Vec<Residual>,
+    /// Grouping/aggregation to run on top of the rewritten core, if the
+    /// query used aggregate functions, GROUP BY, or HAVING.
+    pub aggregate: Option<AggregateSpec>,
+}
+
+/// Aggregation layered over the conjunctive core of a parsed SQL query.
+///
+/// Column indexes are positional: the core's head lays out the GROUP BY
+/// columns first (`0..group_cols`), then the deduplicated aggregate
+/// argument columns. The aggregate operator's *output* lays out the group
+/// keys first, then `aggs` in order — `having` and `select` index into
+/// that output.
+#[derive(Debug, Clone)]
+pub struct AggregateSpec {
+    /// Number of GROUP BY columns (a prefix of the core head; empty for a
+    /// global aggregate).
+    pub group_cols: usize,
+    /// Aggregates, deduplicated by `(function, argument column)`.
+    pub aggs: Vec<AggSpec>,
+    /// HAVING conjuncts: `(aggregate-output column, op, constant)`.
+    pub having: Vec<(usize, CmpOp, Value)>,
+    /// Final projection: `(display name, aggregate-output column)` per
+    /// SELECT item, in SELECT order.
+    pub select: Vec<(String, usize)>,
 }
 
 // ---------- Lexer ----------
@@ -59,6 +109,7 @@ enum Tok {
     Dot,
     LParen,
     RParen,
+    Star,
     Op(String),
 }
 
@@ -84,6 +135,10 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
             }
             ')' => {
                 out.push(Tok::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
                 i += 1;
             }
             '=' => {
@@ -185,6 +240,21 @@ enum CondAst {
     Contains(ColRefAst, String),
 }
 
+/// One SELECT-list item: a plain column or an aggregate call, each with an
+/// optional `AS` alias. `Agg(Count, None, _)` is `COUNT(*)`.
+#[derive(Debug, Clone)]
+enum SelectItemAst {
+    Col(ColRefAst, Option<String>),
+    Agg(AggFun, Option<ColRefAst>, Option<String>),
+}
+
+/// Left-hand side of a HAVING conjunct.
+#[derive(Debug, Clone)]
+enum HavingLhsAst {
+    Col(ColRefAst),
+    Agg(AggFun, Option<ColRefAst>),
+}
+
 #[derive(Debug, Clone)]
 enum RhsAst {
     Const(Value),
@@ -244,6 +314,101 @@ impl Parser {
             Err(Error::Parse(format!("expected {t:?}, found {n:?}")))
         }
     }
+
+    /// Aggregate function at the cursor? Requires the identifier to be
+    /// immediately followed by `(`, so a column alias named `count` still
+    /// parses as a plain column reference.
+    fn agg_fun_at(&self) -> Option<AggFun> {
+        let Some(Tok::Ident(s)) = self.peek() else {
+            return None;
+        };
+        if self.toks.get(self.pos + 1) != Some(&Tok::LParen) {
+            return None;
+        }
+        match s.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFun::Count),
+            "SUM" => Some(AggFun::Sum),
+            "AVG" => Some(AggFun::Avg),
+            "MIN" => Some(AggFun::Min),
+            "MAX" => Some(AggFun::Max),
+            _ => None,
+        }
+    }
+
+    /// `FUN '(' (colref | '*') ')'` — the cursor is on the function name.
+    fn agg_call(&mut self, fun: AggFun) -> Result<Option<ColRefAst>> {
+        self.next()?; // function name
+        self.expect(Tok::LParen)?;
+        let arg = if self.peek() == Some(&Tok::Star) {
+            self.next()?;
+            if fun != AggFun::Count {
+                return Err(Error::Parse(format!(
+                    "{fun:?}(*) is not valid; only COUNT(*)"
+                )));
+            }
+            None
+        } else {
+            Some(self.colref()?)
+        };
+        self.expect(Tok::RParen)?;
+        Ok(arg)
+    }
+
+    fn alias_opt(&mut self) -> Result<Option<String>> {
+        if self.at_keyword("AS") {
+            self.keyword("AS")?;
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItemAst> {
+        if let Some(fun) = self.agg_fun_at() {
+            let arg = self.agg_call(fun)?;
+            let alias = self.alias_opt()?;
+            Ok(SelectItemAst::Agg(fun, arg, alias))
+        } else {
+            let c = self.colref()?;
+            let alias = self.alias_opt()?;
+            Ok(SelectItemAst::Col(c, alias))
+        }
+    }
+
+    fn having_cond(&mut self) -> Result<(HavingLhsAst, CmpOp, Value)> {
+        let lhs = if let Some(fun) = self.agg_fun_at() {
+            HavingLhsAst::Agg(fun, self.agg_call(fun)?)
+        } else {
+            HavingLhsAst::Col(self.colref()?)
+        };
+        let op = match self.next()? {
+            Tok::Op(o) => cmp_op(&o)?,
+            other => return Err(Error::Parse(format!("expected operator, found {other:?}"))),
+        };
+        let v = match self.next()? {
+            Tok::Int(i) => Value::Int(i),
+            Tok::Float(f) => Value::Double(f),
+            Tok::Str(s) => Value::str(s),
+            other => {
+                return Err(Error::Parse(format!(
+                    "HAVING needs a constant right-hand side, found {other:?}"
+                )))
+            }
+        };
+        Ok((lhs, op, v))
+    }
+}
+
+fn cmp_op(op: &str) -> Result<CmpOp> {
+    Ok(match op {
+        "=" => CmpOp::Eq,
+        "<>" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        other => return Err(Error::Parse(format!("unknown operator {other}"))),
+    })
 }
 
 /// Parse `sql` against `catalog` into a pivot query.
@@ -253,10 +418,10 @@ pub fn parse_sql(sql: &str, catalog: &SqlCatalog) -> Result<ParsedQuery> {
         pos: 0,
     };
     p.keyword("SELECT")?;
-    let mut selects = vec![p.colref()?];
+    let mut items = vec![p.select_item()?];
     while p.peek() == Some(&Tok::Comma) {
         p.next()?;
-        selects.push(p.colref()?);
+        items.push(p.select_item()?);
     }
     p.keyword("FROM")?;
     let mut tables: Vec<(String, String)> = Vec::new(); // (table, alias)
@@ -317,13 +482,179 @@ pub fn parse_sql(sql: &str, catalog: &SqlCatalog) -> Result<ParsedQuery> {
             }
         }
     }
+    let mut group_refs: Vec<ColRefAst> = Vec::new();
+    if p.at_keyword("GROUP") {
+        p.keyword("GROUP")?;
+        p.keyword("BY")?;
+        group_refs.push(p.colref()?);
+        while p.peek() == Some(&Tok::Comma) {
+            p.next()?;
+            group_refs.push(p.colref()?);
+        }
+    }
+    let mut having_asts: Vec<(HavingLhsAst, CmpOp, Value)> = Vec::new();
+    if p.at_keyword("HAVING") {
+        p.keyword("HAVING")?;
+        loop {
+            having_asts.push(p.having_cond()?);
+            if p.at_keyword("AND") {
+                p.keyword("AND")?;
+            } else {
+                break;
+            }
+        }
+    }
     if p.peek().is_some() {
         return Err(Error::Parse(format!(
             "trailing tokens after query: {:?}",
             p.peek()
         )));
     }
-    build_cq(selects, tables, conds, catalog)
+
+    let is_aggregate = !group_refs.is_empty()
+        || !having_asts.is_empty()
+        || items.iter().any(|i| matches!(i, SelectItemAst::Agg(..)));
+    if !is_aggregate {
+        let mut selects = Vec::new();
+        let mut head_names = Vec::new();
+        for item in items {
+            match item {
+                SelectItemAst::Col(c, alias) => {
+                    head_names.push(alias.unwrap_or_else(|| format!("{}.{}", c.alias, c.column)));
+                    selects.push(c);
+                }
+                SelectItemAst::Agg(..) => unreachable!("no aggregates on this path"),
+            }
+        }
+        return build_cq(selects, head_names, tables, conds, catalog);
+    }
+
+    let (inner_refs, spec) = build_aggregate(items, group_refs, having_asts)?;
+    let inner_names = inner_refs
+        .iter()
+        .map(|c| format!("{}.{}", c.alias, c.column))
+        .collect();
+    let mut parsed = build_cq(inner_refs, inner_names, tables, conds, catalog)?;
+    parsed.aggregate = Some(spec);
+    Ok(parsed)
+}
+
+/// Lay out the conjunctive core's head (group keys, then deduplicated
+/// aggregate arguments) and resolve every SELECT/HAVING item to positional
+/// indexes over the aggregate operator's output.
+fn build_aggregate(
+    items: Vec<SelectItemAst>,
+    group_refs: Vec<ColRefAst>,
+    having_asts: Vec<(HavingLhsAst, CmpOp, Value)>,
+) -> Result<(Vec<ColRefAst>, AggregateSpec)> {
+    let mut inner: Vec<ColRefAst> = Vec::new();
+    let mut inner_idx: HashMap<(String, String), usize> = HashMap::new();
+    for g in &group_refs {
+        let key = (g.alias.clone(), g.column.clone());
+        if let std::collections::hash_map::Entry::Vacant(e) = inner_idx.entry(key) {
+            e.insert(inner.len());
+            inner.push(g.clone());
+        }
+    }
+    let group_cols = inner.len();
+
+    // A bare column is legal only when it is one of the group keys; its
+    // aggregate-output index equals its core-head index.
+    let group_pos =
+        |c: &ColRefAst, inner_idx: &HashMap<(String, String), usize>| -> Result<usize> {
+            match inner_idx.get(&(c.alias.clone(), c.column.clone())) {
+                Some(&i) if i < group_cols => Ok(i),
+                _ => Err(Error::Parse(format!(
+                    "column {}.{} must appear in GROUP BY to be used outside an aggregate",
+                    c.alias, c.column
+                ))),
+            }
+        };
+
+    let mut aggs: Vec<AggSpec> = Vec::new();
+    let register = |fun: AggFun,
+                    arg: Option<&ColRefAst>,
+                    inner: &mut Vec<ColRefAst>,
+                    inner_idx: &mut HashMap<(String, String), usize>,
+                    aggs: &mut Vec<AggSpec>|
+     -> usize {
+        // COUNT(*) counts core tuples; the engine's Count ignores its input
+        // column, so any in-range index works — use 0 (validated non-empty
+        // by the caller).
+        let col = match arg {
+            Some(c) => {
+                let key = (c.alias.clone(), c.column.clone());
+                *inner_idx.entry(key).or_insert_with(|| {
+                    inner.push(c.clone());
+                    inner.len() - 1
+                })
+            }
+            None => 0,
+        };
+        if let Some(i) = aggs.iter().position(|a| a.fun == fun && a.col == col) {
+            return i;
+        }
+        let name = match arg {
+            Some(c) => format!("{}({}.{})", fun_name(fun), c.alias, c.column),
+            None => "COUNT(*)".to_string(),
+        };
+        aggs.push(AggSpec { fun, col, name });
+        aggs.len() - 1
+    };
+
+    let mut select = Vec::new();
+    for item in &items {
+        match item {
+            SelectItemAst::Col(c, alias) => {
+                let i = group_pos(c, &inner_idx)?;
+                let name = alias
+                    .clone()
+                    .unwrap_or_else(|| format!("{}.{}", c.alias, c.column));
+                select.push((name, i));
+            }
+            SelectItemAst::Agg(fun, arg, alias) => {
+                let a = register(*fun, arg.as_ref(), &mut inner, &mut inner_idx, &mut aggs);
+                let name = alias.clone().unwrap_or_else(|| aggs[a].name.clone());
+                select.push((name, group_cols + a));
+            }
+        }
+    }
+    let mut having = Vec::new();
+    for (lhs, op, v) in &having_asts {
+        let idx = match lhs {
+            HavingLhsAst::Col(c) => group_pos(c, &inner_idx)?,
+            HavingLhsAst::Agg(fun, arg) => {
+                group_cols + register(*fun, arg.as_ref(), &mut inner, &mut inner_idx, &mut aggs)
+            }
+        };
+        having.push((idx, *op, v.clone()));
+    }
+    if inner.is_empty() {
+        return Err(Error::Parse(
+            "COUNT(*) needs at least one GROUP BY column or aggregate argument \
+             (the conjunctive core would have an empty head)"
+                .into(),
+        ));
+    }
+    Ok((
+        inner,
+        AggregateSpec {
+            group_cols,
+            aggs,
+            having,
+            select,
+        },
+    ))
+}
+
+fn fun_name(fun: AggFun) -> &'static str {
+    match fun {
+        AggFun::Count => "COUNT",
+        AggFun::Sum => "SUM",
+        AggFun::Avg => "AVG",
+        AggFun::Min => "MIN",
+        AggFun::Max => "MAX",
+    }
 }
 
 /// Union-find over (alias, column) cells plus constant binding.
@@ -397,6 +728,7 @@ impl Cells {
 
 fn build_cq(
     selects: Vec<ColRefAst>,
+    head_names: Vec<String>,
     tables: Vec<(String, String)>,
     conds: Vec<CondAst>,
     catalog: &SqlCatalog,
@@ -514,11 +846,9 @@ fn build_cq(
 
     // Head and residuals.
     let mut head = Vec::new();
-    let mut head_names = Vec::new();
     for s in &selects {
         resolve(s)?;
         head.push(term_of(&mut cells, &s.alias, &s.column));
-        head_names.push(format!("{}.{}", s.alias, s.column));
     }
     let mut residuals = Vec::new();
     for (l, op, v) in residual_asts {
@@ -560,6 +890,7 @@ fn build_cq(
         cq,
         head_names,
         residuals,
+        aggregate: None,
     })
 }
 
@@ -707,5 +1038,132 @@ mod tests {
     #[test]
     fn trailing_tokens_rejected() {
         assert!(parse_sql("SELECT u.uid FROM Users u garbage", &catalog()).is_err());
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let p = parse_sql(
+            "SELECT u.tier, COUNT(o.oid), SUM(o.total) AS revenue \
+             FROM Users u, Orders o WHERE u.uid = o.uid \
+             GROUP BY u.tier HAVING SUM(o.total) > 100",
+            &catalog(),
+        )
+        .unwrap();
+        // Inner head: group key + the two aggregate arguments.
+        assert_eq!(p.head_names, vec!["u.tier", "o.oid", "o.total"]);
+        let spec = p.aggregate.unwrap();
+        assert_eq!(spec.group_cols, 1);
+        assert_eq!(spec.aggs.len(), 2);
+        assert_eq!(spec.aggs[0].fun, AggFun::Count);
+        assert_eq!(spec.aggs[0].col, 1);
+        // HAVING SUM(o.total) reuses the SELECT aggregate (dedup).
+        assert_eq!(spec.aggs[1].fun, AggFun::Sum);
+        assert_eq!(spec.having, vec![(2, CmpOp::Gt, Value::Int(100))]);
+        assert_eq!(
+            spec.select,
+            vec![
+                ("u.tier".to_string(), 0),
+                ("COUNT(o.oid)".to_string(), 1),
+                ("revenue".to_string(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn count_star_uses_first_inner_column() {
+        let p = parse_sql(
+            "SELECT u.tier, COUNT(*) FROM Users u GROUP BY u.tier",
+            &catalog(),
+        )
+        .unwrap();
+        let spec = p.aggregate.unwrap();
+        assert_eq!(spec.aggs.len(), 1);
+        assert_eq!(spec.aggs[0].col, 0);
+        assert_eq!(spec.aggs[0].name, "COUNT(*)");
+        assert_eq!(spec.select[1].0, "COUNT(*)");
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let p = parse_sql("SELECT AVG(o.total) FROM Orders o", &catalog()).unwrap();
+        let spec = p.aggregate.unwrap();
+        assert_eq!(spec.group_cols, 0);
+        assert_eq!(p.head_names, vec!["o.total"]);
+        assert_eq!(spec.select, vec![("AVG(o.total)".to_string(), 0)]);
+    }
+
+    #[test]
+    fn having_on_group_key() {
+        let p = parse_sql(
+            "SELECT u.tier FROM Users u GROUP BY u.tier HAVING u.tier <> 'basic'",
+            &catalog(),
+        )
+        .unwrap();
+        let spec = p.aggregate.unwrap();
+        assert!(spec.aggs.is_empty()); // pure GROUP BY = distinct
+        assert_eq!(spec.having, vec![(0, CmpOp::Ne, Value::str("basic"))]);
+    }
+
+    #[test]
+    fn non_grouped_bare_column_is_typed_error() {
+        let r = parse_sql(
+            "SELECT u.name, COUNT(o.oid) FROM Users u, Orders o \
+             WHERE u.uid = o.uid GROUP BY u.tier",
+            &catalog(),
+        );
+        assert!(matches!(r, Err(Error::Parse(ref m)) if m.contains("GROUP BY")));
+        // Same for a bare column in HAVING.
+        let r = parse_sql(
+            "SELECT u.tier FROM Users u GROUP BY u.tier HAVING u.name = 'x'",
+            &catalog(),
+        );
+        assert!(matches!(r, Err(Error::Parse(ref m)) if m.contains("GROUP BY")));
+    }
+
+    #[test]
+    fn bare_count_star_rejected() {
+        assert!(matches!(
+            parse_sql("SELECT COUNT(*) FROM Users u", &catalog()),
+            Err(Error::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn star_only_valid_for_count() {
+        assert!(matches!(
+            parse_sql(
+                "SELECT u.tier, SUM(*) FROM Users u GROUP BY u.tier",
+                &catalog()
+            ),
+            Err(Error::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn aggregate_arg_columns_resolve_against_catalog() {
+        assert!(matches!(
+            parse_sql(
+                "SELECT u.tier, SUM(u.ghost) FROM Users u GROUP BY u.tier",
+                &catalog()
+            ),
+            Err(Error::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn alias_named_count_still_parses_as_column() {
+        // `count` followed by `.` is an alias, not an aggregate call.
+        let mut c = catalog();
+        c.insert(
+            "Stats".into(),
+            SqlTable {
+                columns: vec!["count".into()],
+                key_column: None,
+                has_text: false,
+            },
+        );
+        let p = parse_sql("SELECT count.count FROM Stats count", &c).unwrap();
+        assert!(p.aggregate.is_none());
+        assert_eq!(p.head_names, vec!["count.count"]);
     }
 }

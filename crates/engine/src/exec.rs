@@ -270,37 +270,7 @@ fn run(plan: &Plan, stats: &mut ExecStats) -> Result<RowBatch, EngineError> {
         } => {
             let b = run(input, stats)?;
             check_cols(group_by, b.columns.len(), "Nest")?;
-            let rest: Vec<usize> = (0..b.columns.len())
-                .filter(|c| !group_by.contains(c))
-                .collect();
-            let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
-            let mut order: Vec<Vec<Value>> = Vec::new();
-            for row in &b.rows {
-                let key: Vec<Value> = group_by.iter().map(|c| row[*c].clone()).collect();
-                let elem = Value::object_owned(
-                    rest.iter()
-                        .map(|c| (b.columns[*c].clone(), row[*c].clone())),
-                );
-                match groups.get_mut(&key) {
-                    Some(items) => items.push(elem),
-                    None => {
-                        order.push(key.clone());
-                        groups.insert(key, vec![elem]);
-                    }
-                }
-            }
-            let mut columns: Vec<String> = group_by.iter().map(|c| b.columns[*c].clone()).collect();
-            columns.push(nested_as.clone());
-            let rows: Vec<Tuple> = order
-                .into_iter()
-                .map(|key| {
-                    let items = groups.remove(&key).unwrap_or_default();
-                    let mut row = key;
-                    row.push(Value::array(items));
-                    row
-                })
-                .collect();
-            RowBatch { columns, rows }
+            nest(&b, group_by, nested_as)
         }
         Plan::Unnest {
             input,
@@ -309,19 +279,7 @@ fn run(plan: &Plan, stats: &mut ExecStats) -> Result<RowBatch, EngineError> {
         } => {
             let b = run(input, stats)?;
             check_cols(&[*col], b.columns.len(), "Unnest")?;
-            let mut columns = b.columns.clone();
-            columns.push(elem_as.clone());
-            let mut rows = Vec::new();
-            for row in &b.rows {
-                if let Value::Array(items) = &row[*col] {
-                    for item in items.iter() {
-                        let mut r = row.clone();
-                        r.push(item.clone());
-                        rows.push(r);
-                    }
-                }
-            }
-            RowBatch { columns, rows }
+            unnest(&b, *col, elem_as)
         }
         Plan::Construct {
             input,
@@ -329,22 +287,18 @@ fn run(plan: &Plan, stats: &mut ExecStats) -> Result<RowBatch, EngineError> {
             as_col,
         } => {
             let b = run(input, stats)?;
-            let rows: Vec<Tuple> = b
-                .rows
-                .iter()
-                .map(|r| vec![build_template(template, r)])
-                .collect();
-            RowBatch {
-                columns: vec![as_col.clone()],
-                rows,
-            }
+            construct(&b, template, as_col)
         }
     };
     stats.rows += out.len() as u64;
     Ok(out)
 }
 
-fn check_cols(cols: &[usize], arity: usize, operator: &'static str) -> Result<(), EngineError> {
+pub(crate) fn check_cols(
+    cols: &[usize],
+    arity: usize,
+    operator: &'static str,
+) -> Result<(), EngineError> {
     for c in cols {
         if *c >= arity {
             return Err(EngineError::BadColumn {
@@ -436,6 +390,68 @@ fn aggregate(b: &RowBatch, group_by: &[usize], aggs: &[AggSpec]) -> RowBatch {
         })
         .collect();
     RowBatch { columns, rows }
+}
+
+pub(crate) fn nest(b: &RowBatch, group_by: &[usize], nested_as: &str) -> RowBatch {
+    let rest: Vec<usize> = (0..b.columns.len())
+        .filter(|c| !group_by.contains(c))
+        .collect();
+    let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in &b.rows {
+        let key: Vec<Value> = group_by.iter().map(|c| row[*c].clone()).collect();
+        let elem = Value::object_owned(
+            rest.iter()
+                .map(|c| (b.columns[*c].clone(), row[*c].clone())),
+        );
+        match groups.get_mut(&key) {
+            Some(items) => items.push(elem),
+            None => {
+                order.push(key.clone());
+                groups.insert(key, vec![elem]);
+            }
+        }
+    }
+    let mut columns: Vec<String> = group_by.iter().map(|c| b.columns[*c].clone()).collect();
+    columns.push(nested_as.to_string());
+    let rows: Vec<Tuple> = order
+        .into_iter()
+        .map(|key| {
+            let items = groups.remove(&key).unwrap_or_default();
+            let mut row = key;
+            row.push(Value::array(items));
+            row
+        })
+        .collect();
+    RowBatch { columns, rows }
+}
+
+pub(crate) fn unnest(b: &RowBatch, col: usize, elem_as: &str) -> RowBatch {
+    let mut columns = b.columns.clone();
+    columns.push(elem_as.to_string());
+    let mut rows = Vec::new();
+    for row in &b.rows {
+        if let Value::Array(items) = &row[col] {
+            for item in items.iter() {
+                let mut r = row.clone();
+                r.push(item.clone());
+                rows.push(r);
+            }
+        }
+    }
+    RowBatch { columns, rows }
+}
+
+pub(crate) fn construct(b: &RowBatch, template: &Template, as_col: &str) -> RowBatch {
+    let rows: Vec<Tuple> = b
+        .rows
+        .iter()
+        .map(|r| vec![build_template(template, r)])
+        .collect();
+    RowBatch {
+        columns: vec![as_col.to_string()],
+        rows,
+    }
 }
 
 fn build_template(t: &Template, row: &[Value]) -> Value {

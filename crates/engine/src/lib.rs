@@ -15,14 +15,18 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod exec;
 pub mod expr;
 pub mod plan;
 pub mod tuple;
+pub mod vexec;
 
+pub use batch::Batch;
 pub use exec::{execute, EngineError, ExecStats};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use plan::{AggFun, AggSpec, BindSource, Plan, Template};
 pub use tuple::{RowBatch, Tuple};
+pub use vexec::{execute_with, ExecOptions};
 
 pub use estocada_simkit::{StoreError, StoreErrorKind};

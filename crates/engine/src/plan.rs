@@ -83,6 +83,7 @@ pub enum Template {
 }
 
 /// A physical plan node. Execution is materialized, bottom-up.
+#[derive(Clone)]
 pub enum Plan {
     /// Constant input rows.
     Values(RowBatch),

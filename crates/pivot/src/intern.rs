@@ -16,9 +16,14 @@
 //! the *allocation order*, not the `Value` order — stable within a process,
 //! suitable for dense keys, but not for semantically ordering constants
 //! (resolve the [`ConstId::value`] for that).
+//!
+//! Small integers (`Value::Int` in ±32 K) bypass the table's lock and hash
+//! entirely: their ids are computed arithmetically from a pre-seeded dense
+//! range, which makes the columnar executor's hottest path — interning
+//! scan and arithmetic-result columns — lock-free.
 
 use crate::value::Value;
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -32,11 +37,31 @@ struct ConstTable {
     lookup: HashMap<Arc<Value>, u32>,
 }
 
+/// Small integers get dense, arithmetically computed ids at the front of
+/// the table — no lock, no hash. The table pre-seeds their `values` slots
+/// at init so id → value resolution stays a plain index; the `lookup` map
+/// never contains them (every lookup path checks [`small_id`] first,
+/// keeping interning injective).
+const SMALL_MIN: i64 = -32_768;
+const SMALL_MAX: i64 = 32_767;
+
+fn small_id(value: &Value) -> Option<ConstId> {
+    match value {
+        Value::Int(i) if (SMALL_MIN..=SMALL_MAX).contains(i) => {
+            Some(ConstId((i - SMALL_MIN) as u32))
+        }
+        _ => None,
+    }
+}
+
 fn table() -> &'static RwLock<ConstTable> {
     static TABLE: OnceLock<RwLock<ConstTable>> = OnceLock::new();
     TABLE.get_or_init(|| {
+        let values = (SMALL_MIN..=SMALL_MAX)
+            .map(|i| Arc::new(Value::Int(i)))
+            .collect();
         RwLock::new(ConstTable {
-            values: Vec::new(),
+            values,
             lookup: HashMap::new(),
         })
     })
@@ -46,6 +71,9 @@ impl ConstId {
     /// Intern `value`, returning its unique id. The value is cloned only
     /// the first time it is seen.
     pub fn intern(value: &Value) -> ConstId {
+        if let Some(id) = small_id(value) {
+            return id;
+        }
         {
             let guard = table().read();
             if let Some(&id) = guard.lookup.get(value) {
@@ -76,6 +104,82 @@ impl ConstId {
     /// Raw id; stable for the process lifetime.
     pub fn id(&self) -> u32 {
         self.0
+    }
+
+    /// Intern a batch of values with one shared read pass.
+    ///
+    /// The common case in a columnar scan is that every value is already in
+    /// the table; this resolves the whole slice under a single read guard
+    /// and only takes the write lock for values never seen before (after
+    /// the read guard is dropped, so it cannot deadlock).
+    pub fn intern_all<'a, I>(values: I) -> Vec<ConstId>
+    where
+        I: IntoIterator<Item = &'a Value>,
+    {
+        let mut out = Vec::new();
+        let mut misses: Vec<(usize, &Value)> = Vec::new();
+        {
+            let guard = table().read();
+            for (i, v) in values.into_iter().enumerate() {
+                if let Some(id) = small_id(v) {
+                    out.push(id);
+                } else {
+                    match guard.lookup.get(v) {
+                        Some(&id) => out.push(ConstId(id)),
+                        None => {
+                            out.push(ConstId(0));
+                            misses.push((i, v));
+                        }
+                    }
+                }
+            }
+        }
+        for (i, v) in misses {
+            out[i] = ConstId::intern(v);
+        }
+        out
+    }
+}
+
+/// A held read guard over the intern table for amortized id → value
+/// resolution.
+///
+/// [`ConstId::value`] takes the table's read lock and clones an `Arc` on
+/// every call — fine for one-off lookups, wasteful inside a columnar
+/// operator that resolves thousands of ids per batch. A `ConstReader`
+/// acquires the read lock once and hands out `&Value` borrows for the
+/// lifetime of the guard.
+///
+/// **Never intern while holding a `ConstReader`**: interning a new value
+/// takes the table's write lock, and `std`-backed read guards are not
+/// reentrant — the write would deadlock against the held read guard.
+/// Intern first (e.g. via [`ConstId::intern_all`]), then open the reader.
+pub struct ConstReader {
+    guard: RwLockReadGuard<'static, ConstTable>,
+}
+
+impl ConstReader {
+    /// Open a reader (acquires the table's read lock until dropped).
+    pub fn new() -> ConstReader {
+        ConstReader {
+            guard: table().read(),
+        }
+    }
+
+    /// Resolve an id without cloning.
+    pub fn get(&self, id: ConstId) -> &Value {
+        &self.guard.values[id.0 as usize]
+    }
+
+    /// Look up the id of an already-interned value, if any.
+    pub fn lookup(&self, value: &Value) -> Option<ConstId> {
+        small_id(value).or_else(|| self.guard.lookup.get(value).map(|&id| ConstId(id)))
+    }
+}
+
+impl Default for ConstReader {
+    fn default() -> Self {
+        ConstReader::new()
     }
 }
 
@@ -130,6 +234,33 @@ mod tests {
         fn assert_copy<T: Copy + Eq + Ord + std::hash::Hash>() {}
         assert_copy::<ConstId>();
         assert_eq!(std::mem::size_of::<ConstId>(), 4);
+    }
+
+    #[test]
+    fn bulk_intern_matches_one_by_one() {
+        let vals: Vec<Value> = (0..64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Value::Int(i)
+                } else {
+                    Value::str(format!("bulk-{i}"))
+                }
+            })
+            .collect();
+        let bulk = ConstId::intern_all(&vals);
+        let single: Vec<ConstId> = vals.iter().map(ConstId::intern).collect();
+        assert_eq!(bulk, single);
+    }
+
+    #[test]
+    fn reader_resolves_without_cloning() {
+        let id = ConstId::of("reader-test");
+        let ids = ConstId::intern_all(&[Value::Int(7), Value::str("reader-test")]);
+        let reader = ConstReader::new();
+        assert_eq!(reader.get(id), &Value::str("reader-test"));
+        assert_eq!(reader.get(ids[0]), &Value::Int(7));
+        assert_eq!(reader.lookup(&Value::str("reader-test")), Some(id));
+        assert_eq!(reader.lookup(&Value::str("reader-test-missing-xyz")), None);
     }
 
     #[test]

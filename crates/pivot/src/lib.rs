@@ -30,7 +30,7 @@ pub use binding::{AccessMap, AccessPattern, Adornment};
 pub use constraint::{Constraint, Egd, Tgd, ViewDef};
 pub use cq::{Cq, CqBuilder};
 pub use fact::{Fact, IdGen};
-pub use intern::ConstId;
+pub use intern::{ConstId, ConstReader};
 pub use schema::{RelationDecl, Schema};
 pub use symbol::Symbol;
 pub use term::{Term, Var};

@@ -6,9 +6,9 @@
 //! `std::sync`. Poisoned locks are transparently recovered — matching
 //! parking_lot's no-poisoning semantics.
 
-use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
-};
+use std::sync::{Mutex as StdMutex, RwLock as StdRwLock};
+
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A reader-writer lock that never poisons.
 #[derive(Debug, Default)]

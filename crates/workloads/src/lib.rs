@@ -8,12 +8,17 @@
 
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod bigdata;
 pub mod marketplace;
 pub mod readwrite;
 pub mod scenarios;
 pub mod zipf;
 
+pub use analytics::{
+    analytics_sql, analytics_workload, run_analytics_exec_time, run_analytics_query,
+    AnalyticsConfig, AnalyticsQuery,
+};
 pub use bigdata::{generate as generate_bigdata, BigDataConfig};
 pub use marketplace::{
     generate as generate_marketplace, w1_workload, Marketplace, MarketplaceConfig, W1Query,

@@ -231,3 +231,48 @@ fn report_carries_query_diagnostics_and_caches_them() {
         .any(|d| d.code == Code::CartesianProductBody));
     assert!(format!("{}", r.report).contains("W003"));
 }
+
+/// Aggregate queries run the same query lints on their conjunctive core:
+/// a grouped cross join draws `W003` (through `lint_sql` and through the
+/// executed query's report), a properly joined aggregate lints clean, and
+/// HAVING over a non-grouped bare column is a typed parse error — never a
+/// panic or a silent empty result.
+#[test]
+fn aggregate_queries_lint_and_report_diagnostics() {
+    let m = small();
+    let est = deploy_baseline(&m, Latencies::zero());
+    let catalog = est.sql_catalog();
+    let cross = "SELECT u.tier, COUNT(p.pid) FROM Users u, Products p GROUP BY u.tier";
+    let diags = lint_sql(cross, &catalog, est.schema()).unwrap();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == Code::CartesianProductBody && d.severity == Severity::Warning),
+        "got: {diags:?}"
+    );
+    // The cross join is legal (warned, not rejected): it executes, and the
+    // warning lands in the report's diagnostics.
+    let r = est.query_sql(cross).unwrap();
+    assert!(!r.rows.is_empty());
+    assert!(r
+        .report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == Code::CartesianProductBody));
+
+    // A joined aggregate lints clean.
+    let diags = lint_sql(
+        "SELECT u.tier, COUNT(o.oid) FROM Users u, Orders o WHERE u.uid = o.uid \
+         GROUP BY u.tier HAVING COUNT(o.oid) > 1",
+        &catalog,
+        est.schema(),
+    )
+    .unwrap();
+    assert!(diags.is_empty(), "got: {diags:?}");
+
+    // HAVING referencing a non-aggregated, non-grouped column: typed error.
+    let err = est
+        .query_sql("SELECT u.tier FROM Users u GROUP BY u.tier HAVING u.name = 'x'")
+        .expect_err("bare non-grouped column in HAVING must be rejected");
+    assert!(matches!(err, Error::Parse(_)), "got {err:?}");
+}
