@@ -71,6 +71,7 @@ use crate::hom::{
     find_homs_delta_anchor_in, find_one_hom_in, find_trigger_homs_in, Hom, HomArena, HomConfig,
 };
 use crate::instance::{DeltaIndex, Elem, Inconsistent, Instance};
+use crate::wa::TerminationCertificate;
 use estocada_parexec::Pool;
 use estocada_pivot::{Atom, Constraint, Egd, Symbol, Term, Tgd, Var};
 use std::collections::{HashMap, HashSet};
@@ -251,6 +252,67 @@ pub fn chase_with(
         }
         threshold = Some(round_epoch);
     }
+}
+
+/// Run the chase stratum-by-stratum under a termination certificate.
+///
+/// A [`TerminationCertificate::Stratified`] verdict partitions
+/// `constraints` — which must be the exact slice the certificate was
+/// computed over, in the same order — into strata; each stratum is chased
+/// to fixpoint in turn, with the budgets lifted according to the stratum's
+/// *own* certificate ([`ChaseConfig::with_certificate`] consumes the
+/// per-stratum verdict). Later strata never write into relations earlier
+/// strata read (that is what stratification certifies), so earlier
+/// fixpoints survive and the final instance satisfies the whole set.
+///
+/// Any other verdict — including one whose stratum indices do not fit
+/// `constraints` — falls back to a single [`chase_with`] run under
+/// `cfg.with_certificate(cert)`. Stats accumulate across strata.
+pub fn chase_stratified(
+    instance: &mut Instance,
+    constraints: &[Constraint],
+    cfg: &ChaseConfig,
+    cert: &TerminationCertificate,
+) -> Result<ChaseStats, ChaseError> {
+    chase_stratified_with(&mut HomArena::new(), instance, constraints, cfg, cert)
+}
+
+/// [`chase_stratified`] with caller-provided homomorphism scratch, shared
+/// across every stratum's run.
+pub fn chase_stratified_with(
+    arena: &mut HomArena,
+    instance: &mut Instance,
+    constraints: &[Constraint],
+    cfg: &ChaseConfig,
+    cert: &TerminationCertificate,
+) -> Result<ChaseStats, ChaseError> {
+    let strata = match cert {
+        TerminationCertificate::Stratified { strata }
+            if strata
+                .iter()
+                .flat_map(|s| s.members.iter())
+                .all(|&i| i < constraints.len()) =>
+        {
+            strata
+        }
+        _ => return chase_with(arena, instance, constraints, &cfg.with_certificate(cert)),
+    };
+    let mut total = ChaseStats::default();
+    for stratum in strata {
+        let subset: Vec<Constraint> = stratum
+            .members
+            .iter()
+            .map(|&i| constraints[i].clone())
+            .collect();
+        let sub_cfg = cfg.with_certificate(&stratum.certificate);
+        let stats = chase_with(arena, instance, &subset, &sub_cfg)?;
+        total.rounds += stats.rounds;
+        total.tgd_fires += stats.tgd_fires;
+        total.egd_merges += stats.egd_merges;
+        total.memo_hits += stats.memo_hits;
+        total.memo_misses += stats.memo_misses;
+    }
+    Ok(total)
 }
 
 /// Default of [`ChaseConfig::search_min_facts`] /
@@ -1008,5 +1070,124 @@ mod tests {
         // FD merges n with 9 (and the TGD's fresh null too); S(9) derived.
         assert_eq!(i.resolve(&n), c(9));
         assert_eq!(i.facts_of(sym("S")).count(), 1);
+    }
+
+    /// t: A(x) → ∃y B(x,y); e: B(x,y) ∧ A(x) → y = x — certifies
+    /// `Stratified` ([t] before [e]), and the chase pins every invented
+    /// null to its row key.
+    fn stratified_set() -> Vec<Constraint> {
+        let t = Tgd::new(
+            "t",
+            vec![Atom::new("A", vec![Term::var(0)])],
+            vec![Atom::new("B", vec![Term::var(0), Term::var(1)])],
+        );
+        let e = Egd::new(
+            "e",
+            vec![
+                Atom::new("B", vec![Term::var(0), Term::var(1)]),
+                Atom::new("A", vec![Term::var(0)]),
+            ],
+            (Term::var(1), Term::var(0)),
+        );
+        vec![t.into(), e.into()]
+    }
+
+    #[test]
+    fn stratified_chase_reaches_the_plain_fixpoint() {
+        let constraints = stratified_set();
+        let cert = crate::wa::certify(&constraints);
+        assert!(matches!(cert, TerminationCertificate::Stratified { .. }));
+        let seed = || {
+            let mut i = Instance::new();
+            i.insert(sym("A"), vec![c(1)]);
+            i.insert(sym("A"), vec![c(2)]);
+            i
+        };
+        let mut plain = seed();
+        chase(&mut plain, &constraints, &ChaseConfig::default()).unwrap();
+        let mut strat = seed();
+        let stats =
+            chase_stratified(&mut strat, &constraints, &ChaseConfig::default(), &cert).unwrap();
+        assert!(stats.tgd_fires >= 2);
+        assert!(stats.egd_merges >= 2);
+        // Same facts; epochs are excluded because the stratified run's
+        // round structure differs from the interleaved run by construction.
+        let facts = |i: &Instance| {
+            let mut v: Vec<(u32, String)> =
+                dump(i).into_iter().map(|(id, f, _, _)| (id, f)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(facts(&plain), facts(&strat));
+        // Both runs satisfy the EGD: every B row collapsed onto its key.
+        for want in ["B(1, 1)", "B(2, 2)"] {
+            assert!(
+                facts(&strat).iter().any(|(_, f)| f == want),
+                "missing {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn stratified_chase_budget_free_matches_per_stratum_guarded() {
+        // The certificate lifts each stratum's budget; the guarded twin
+        // chases the same strata under the default budgets. Identical
+        // executor, identical round structure — the dumps must match
+        // bit-for-bit, epochs included.
+        let constraints = stratified_set();
+        let cert = crate::wa::certify(&constraints);
+        let TerminationCertificate::Stratified { strata } = &cert else {
+            panic!("expected stratified certificate");
+        };
+        let seed = || {
+            let mut i = Instance::new();
+            i.insert(sym("A"), vec![c(7)]);
+            i
+        };
+        let mut certified = seed();
+        chase_stratified(&mut certified, &constraints, &ChaseConfig::default(), &cert).unwrap();
+        let mut guarded = seed();
+        for s in strata {
+            let subset: Vec<Constraint> =
+                s.members.iter().map(|&i| constraints[i].clone()).collect();
+            chase(&mut guarded, &subset, &ChaseConfig::default()).unwrap();
+        }
+        assert_eq!(dump(&certified), dump(&guarded));
+    }
+
+    #[test]
+    fn stratified_chase_falls_back_on_other_certificates() {
+        // A weakly-acyclic certificate has no strata: the stratified entry
+        // point must behave exactly like the certified plain chase.
+        let t = Tgd::new(
+            "copy",
+            vec![Atom::new("A", vec![Term::var(0)])],
+            vec![Atom::new("B", vec![Term::var(0)])],
+        );
+        let constraints: Vec<Constraint> = vec![t.into()];
+        let cert = crate::wa::certify(&constraints);
+        assert!(cert.guarantees_termination());
+        let seed = || {
+            let mut i = Instance::new();
+            i.insert(sym("A"), vec![c(3)]);
+            i
+        };
+        let mut via_stratified = seed();
+        let s1 = chase_stratified(
+            &mut via_stratified,
+            &constraints,
+            &ChaseConfig::default(),
+            &cert,
+        )
+        .unwrap();
+        let mut via_plain = seed();
+        let s2 = chase(
+            &mut via_plain,
+            &constraints,
+            &ChaseConfig::default().with_certificate(&cert),
+        )
+        .unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(dump(&via_stratified), dump(&via_plain));
     }
 }

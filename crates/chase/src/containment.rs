@@ -4,7 +4,7 @@
 use crate::chase::{chase_with, ChaseConfig, ChaseError};
 use crate::hom::{find_one_hom_in, HomArena};
 use crate::instance::{Elem, Instance};
-use estocada_pivot::{Constraint, Cq, Term, Var};
+use estocada_pivot::{Atom, Constraint, Cq, Term, Var};
 use std::collections::HashMap;
 
 /// Build the canonical instance ("frozen body") of a query: variable `i`
@@ -113,6 +113,104 @@ pub fn head_preserving_image_in(
     find_one_hom_in(arena, inst, &q.body, &fixed).is_some()
 }
 
+/// Freeze a constraint premise into a canonical instance: variable `i`
+/// becomes labelled null `i`, constants stay constants.
+fn frozen_premise(atoms: &[Atom]) -> Instance {
+    let mut inst = Instance::new();
+    let var_space = atoms
+        .iter()
+        .flat_map(|a| a.args.iter())
+        .filter_map(|t| match t {
+            Term::Var(v) => Some(v.0 + 1),
+            Term::Const(_) => None,
+        })
+        .max()
+        .unwrap_or(0);
+    inst.reserve_nulls(var_space);
+    for atom in atoms {
+        let args: Vec<Elem> = atom
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => Elem::Null(v.0),
+                Term::Const(c) => Elem::constant(c),
+            })
+            .collect();
+        inst.insert(atom.pred, args);
+    }
+    inst
+}
+
+/// Decide whether `sigma` is logically implied by `rest` (for every
+/// instance satisfying `rest`, `sigma` holds): chase `sigma`'s frozen
+/// premise under `rest`, then
+///
+/// - a **TGD** is implied iff its conclusion has a homomorphism into the
+///   chased instance that pins every frontier variable to its (possibly
+///   EGD-merged) frozen image;
+/// - an **EGD** is implied iff its two equality terms resolve to the same
+///   element of the chased instance.
+///
+/// An inconsistent chase means the premise is unsatisfiable under `rest`,
+/// so `sigma` holds vacuously (`Ok(true)`). A budget abort propagates as
+/// `Err` — the caller must treat it as *abstain*, not as a verdict.
+pub fn implies(
+    sigma: &Constraint,
+    rest: &[Constraint],
+    cfg: &ChaseConfig,
+) -> Result<bool, ChaseError> {
+    implies_with(&mut HomArena::new(), sigma, rest, cfg)
+}
+
+/// [`implies`] with caller-provided homomorphism scratch.
+pub fn implies_with(
+    arena: &mut HomArena,
+    sigma: &Constraint,
+    rest: &[Constraint],
+    cfg: &ChaseConfig,
+) -> Result<bool, ChaseError> {
+    let mut inst = frozen_premise(sigma.premise());
+    match chase_with(arena, &mut inst, rest, cfg) {
+        Ok(_) => {}
+        Err(ChaseError::Inconsistent(_)) => return Ok(true),
+        Err(e) => return Err(e),
+    }
+    match sigma {
+        Constraint::Tgd(tgd) => {
+            let fixed: HashMap<Var, Elem> = tgd
+                .frontier()
+                .into_iter()
+                .map(|v| (v, inst.resolve(&Elem::Null(v.0))))
+                .collect();
+            Ok(find_one_hom_in(arena, &inst, &tgd.conclusion, &fixed).is_some())
+        }
+        Constraint::Egd(egd) => {
+            let resolve = |t: &Term| match t {
+                Term::Var(v) => inst.resolve(&Elem::Null(v.0)),
+                Term::Const(c) => Elem::constant(c),
+            };
+            Ok(resolve(&egd.equal.0) == resolve(&egd.equal.1))
+        }
+    }
+}
+
+/// Is `sigma`'s premise **certainly unsatisfiable** under `constraints` —
+/// does chasing its frozen premise derive a contradiction (an EGD forced
+/// to merge two distinct constants)? Such a constraint can never fire on
+/// any consistent instance. A budget abort propagates as `Err` (abstain).
+pub fn premise_unsatisfiable(
+    sigma: &Constraint,
+    constraints: &[Constraint],
+    cfg: &ChaseConfig,
+) -> Result<bool, ChaseError> {
+    let mut inst = frozen_premise(sigma.premise());
+    match chase_with(&mut HomArena::new(), &mut inst, constraints, cfg) {
+        Ok(_) => Ok(false),
+        Err(ChaseError::Inconsistent(_)) => Ok(true),
+        Err(e) => Err(e),
+    }
+}
+
 /// Decide `q1 ≡ q2` under `constraints` (containment both ways).
 pub fn equivalent(
     q1: &Cq,
@@ -155,7 +253,7 @@ pub fn minimize(q: &Cq) -> Cq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use estocada_pivot::{Atom, CqBuilder, Tgd, ViewDef};
+    use estocada_pivot::{Atom, CqBuilder, Egd, Tgd, ViewDef};
 
     fn cfg() -> ChaseConfig {
         ChaseConfig::default()
@@ -274,6 +372,143 @@ mod tests {
             .atom("R", |a| a.v("x").v("y"))
             .build();
         assert!(!contained_in(&q1, &q2, &[], &cfg()).unwrap());
+    }
+
+    #[test]
+    fn implied_tgd_is_detected_transitively() {
+        // A(x)→B(x), B(x)→C(x) imply A(x)→C(x); the converse fails.
+        let a2b: Constraint = Tgd::new(
+            "a2b",
+            vec![Atom::new("A", vec![Term::var(0)])],
+            vec![Atom::new("B", vec![Term::var(0)])],
+        )
+        .into();
+        let b2c: Constraint = Tgd::new(
+            "b2c",
+            vec![Atom::new("B", vec![Term::var(0)])],
+            vec![Atom::new("C", vec![Term::var(0)])],
+        )
+        .into();
+        let a2c: Constraint = Tgd::new(
+            "a2c",
+            vec![Atom::new("A", vec![Term::var(0)])],
+            vec![Atom::new("C", vec![Term::var(0)])],
+        )
+        .into();
+        assert!(implies(&a2c, &[a2b.clone(), b2c.clone()], &cfg()).unwrap());
+        assert!(!implies(&a2b, &[a2c, b2c], &cfg()).unwrap());
+    }
+
+    #[test]
+    fn implied_egd_needs_egd_reasoning() {
+        // key: R(k,v) ∧ R(k,v') → v = v'. A widened variant joining
+        // through an extra copy of the same atom is implied by the key;
+        // the key is NOT implied by a trivially-true reflexive EGD.
+        let key: Constraint = Egd::new(
+            "key",
+            vec![
+                Atom::new("R", vec![Term::var(0), Term::var(1)]),
+                Atom::new("R", vec![Term::var(0), Term::var(2)]),
+            ],
+            (Term::var(1), Term::var(2)),
+        )
+        .into();
+        let widened: Constraint = Egd::new(
+            "widened",
+            vec![
+                Atom::new("R", vec![Term::var(0), Term::var(1)]),
+                Atom::new("R", vec![Term::var(0), Term::var(2)]),
+                Atom::new("R", vec![Term::var(0), Term::var(3)]),
+            ],
+            (Term::var(1), Term::var(3)),
+        )
+        .into();
+        let reflexive: Constraint = Egd::new(
+            "refl",
+            vec![Atom::new("R", vec![Term::var(0), Term::var(1)])],
+            (Term::var(1), Term::var(1)),
+        )
+        .into();
+        assert!(implies(&widened, std::slice::from_ref(&key), &cfg()).unwrap());
+        assert!(implies(&reflexive, &[], &cfg()).unwrap());
+        assert!(!implies(&key, std::slice::from_ref(&reflexive), &cfg()).unwrap());
+    }
+
+    #[test]
+    fn tgd_implied_through_an_egd_merge() {
+        // key EGD on S plus S(x,y)→T(y) imply S(x,y)∧S(x,z)→T(z)'s twin
+        // S(x,y)∧S(x,z)→T(y): the merge identifies y and z first.
+        let key: Constraint = Egd::new(
+            "s_key",
+            vec![
+                Atom::new("S", vec![Term::var(0), Term::var(1)]),
+                Atom::new("S", vec![Term::var(0), Term::var(2)]),
+            ],
+            (Term::var(1), Term::var(2)),
+        )
+        .into();
+        let s2t: Constraint = Tgd::new(
+            "s2t",
+            vec![Atom::new("S", vec![Term::var(0), Term::var(1)])],
+            vec![Atom::new("T", vec![Term::var(1)])],
+        )
+        .into();
+        let joined: Constraint = Tgd::new(
+            "joined",
+            vec![
+                Atom::new("S", vec![Term::var(0), Term::var(1)]),
+                Atom::new("S", vec![Term::var(0), Term::var(2)]),
+            ],
+            vec![Atom::new("T", vec![Term::var(2)])],
+        )
+        .into();
+        // Without the key, y and z stay distinct and T(z) is underivable
+        // from s2t's firing on y alone... but s2t also fires on z, so this
+        // IS implied by s2t alone. The interesting direction: dropping s2t
+        // leaves nothing to derive T at all.
+        assert!(implies(&joined, &[key.clone(), s2t.clone()], &cfg()).unwrap());
+        assert!(implies(&joined, std::slice::from_ref(&s2t), &cfg()).unwrap());
+        assert!(!implies(&joined, std::slice::from_ref(&key), &cfg()).unwrap());
+    }
+
+    #[test]
+    fn unsatisfiable_premise_is_vacuously_implied() {
+        // Σ forces Flag(x) → x = 1 and x = 2 on any Flag pair — the frozen
+        // premise of a constraint joining Flag with both constants chases
+        // to a constant clash.
+        let to_one: Constraint = Egd::new(
+            "to_one",
+            vec![Atom::new("Flag", vec![Term::var(0)])],
+            (Term::var(0), Term::Const(estocada_pivot::Value::Int(1))),
+        )
+        .into();
+        let bad: Constraint = Tgd::new(
+            "bad",
+            vec![
+                Atom::new("Flag", vec![Term::var(0)]),
+                Atom::new("Two", vec![Term::var(0)]),
+                Atom::new("Flag", vec![Term::var(1)]),
+                Atom::new("Two", vec![Term::var(1)]),
+            ],
+            vec![Atom::new("Out", vec![Term::var(0)])],
+        )
+        .into();
+        let fix_two: Constraint = Egd::new(
+            "fix_two",
+            vec![Atom::new("Two", vec![Term::var(0)])],
+            (Term::var(0), Term::Const(estocada_pivot::Value::Int(2))),
+        )
+        .into();
+        assert!(premise_unsatisfiable(&bad, &[to_one.clone(), fix_two.clone()], &cfg()).unwrap());
+        assert!(implies(&bad, &[to_one, fix_two], &cfg()).unwrap());
+        // A satisfiable premise is not flagged.
+        let ok: Constraint = Tgd::new(
+            "ok",
+            vec![Atom::new("Other", vec![Term::var(0)])],
+            vec![Atom::new("Out", vec![Term::var(0)])],
+        )
+        .into();
+        assert!(!premise_unsatisfiable(&ok, &[], &cfg()).unwrap());
     }
 
     #[test]

@@ -43,8 +43,13 @@ pub mod prov;
 pub mod testkit;
 pub mod wa;
 
-pub use chase::{chase, chase_with, ChaseConfig, ChaseError, ChaseStats};
-pub use containment::{canonical_instance, contained_in, contained_in_with, equivalent, minimize};
+pub use chase::{
+    chase, chase_stratified, chase_stratified_with, chase_with, ChaseConfig, ChaseError, ChaseStats,
+};
+pub use containment::{
+    canonical_instance, contained_in, contained_in_with, equivalent, implies, implies_with,
+    minimize, premise_unsatisfiable,
+};
 pub use hom::{
     find_homs, find_homs_delta, find_homs_delta_anchor_in, find_homs_delta_in, find_homs_in,
     find_one_hom, find_one_hom_in, Hom, HomArena, HomConfig,
@@ -55,6 +60,12 @@ pub use pacb::{
     pacb_rewrite, CandidateStats, RewriteConfig, RewriteError, RewriteOutcome, RewriteProblem,
     RewriteStats,
 };
-pub use pchase::{prov_chase, prov_chase_with, ProvChaseConfig, ProvChaseStats};
+pub use pchase::{
+    prov_chase, prov_chase_stratified, prov_chase_stratified_with, prov_chase_with,
+    ProvChaseConfig, ProvChaseStats,
+};
 pub use prov::Dnf;
-pub use wa::{certify, weakly_acyclic, Pos, PositionGraph, TerminationCertificate};
+pub use wa::{
+    certify, stratify, weakly_acyclic, Pos, PositionGraph, Stratum, TerminationCertificate,
+    UnknownReason,
+};

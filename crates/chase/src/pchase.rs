@@ -47,6 +47,7 @@ use crate::chase::{
 use crate::hom::{HomArena, HomConfig};
 use crate::instance::{Elem, Instance};
 use crate::prov::Dnf;
+use crate::wa::TerminationCertificate;
 use estocada_pivot::{Constraint, Symbol, Var};
 use std::collections::HashMap;
 
@@ -90,6 +91,21 @@ impl Default for ProvChaseConfig {
             search_min_facts: crate::chase::SEARCH_PARALLEL_MIN_FACTS,
             memo: true,
         }
+    }
+}
+
+impl ProvChaseConfig {
+    /// Copy of this configuration with the round/fact budgets lifted to
+    /// effectively-unbounded when `cert` guarantees termination; returned
+    /// unchanged otherwise. The provenance-chase analogue of
+    /// [`crate::chase::ChaseConfig::with_certificate`].
+    pub fn with_certificate(&self, cert: &TerminationCertificate) -> ProvChaseConfig {
+        let mut cfg = *self;
+        if cert.guarantees_termination() {
+            cfg.max_rounds = usize::MAX;
+            cfg.max_facts = usize::MAX;
+        }
+        cfg
     }
 }
 
@@ -316,10 +332,65 @@ pub fn prov_chase_with(
     }
 }
 
+/// Run the provenance chase stratum-by-stratum under a
+/// [`TerminationCertificate::Stratified`] verdict: each stratum's
+/// constraint subset is chased to its provenance fixpoint (budgets lifted
+/// per the stratum's own certificate) before the next stratum starts.
+/// Sound for the same reason as [`crate::chase::chase_stratified`]: later
+/// strata never write a relation an earlier stratum reads, so earlier
+/// fixpoints — fact sets *and* their provenance formulas — stay fixpoints.
+/// Any other certificate falls back to a single [`prov_chase`] run with
+/// [`ProvChaseConfig::with_certificate`] applied.
+pub fn prov_chase_stratified(
+    instance: &mut Instance,
+    constraints: &[Constraint],
+    cfg: &ProvChaseConfig,
+    cert: &TerminationCertificate,
+) -> Result<ProvChaseStats, ChaseError> {
+    prov_chase_stratified_with(&mut HomArena::new(), instance, constraints, cfg, cert)
+}
+
+/// [`prov_chase_stratified`] with caller-provided homomorphism scratch.
+pub fn prov_chase_stratified_with(
+    arena: &mut HomArena,
+    instance: &mut Instance,
+    constraints: &[Constraint],
+    cfg: &ProvChaseConfig,
+    cert: &TerminationCertificate,
+) -> Result<ProvChaseStats, ChaseError> {
+    if let TerminationCertificate::Stratified { strata } = cert {
+        let indices_valid = strata
+            .iter()
+            .flat_map(|s| s.members.iter())
+            .all(|&i| i < constraints.len());
+        if indices_valid {
+            let mut total = ProvChaseStats::default();
+            for stratum in strata {
+                let subset: Vec<Constraint> = stratum
+                    .members
+                    .iter()
+                    .map(|&i| constraints[i].clone())
+                    .collect();
+                let scfg = cfg.with_certificate(&stratum.certificate);
+                let stats = prov_chase_with(arena, instance, &subset, &scfg)?;
+                total.chase.rounds += stats.chase.rounds;
+                total.chase.tgd_fires += stats.chase.tgd_fires;
+                total.chase.egd_merges += stats.chase.egd_merges;
+                total.chase.memo_hits += stats.chase.memo_hits;
+                total.chase.memo_misses += stats.chase.memo_misses;
+                total.truncated |= stats.truncated;
+            }
+            return Ok(total);
+        }
+    }
+    prov_chase_with(arena, instance, constraints, &cfg.with_certificate(cert))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use estocada_pivot::{Atom, Symbol, Term, Tgd};
+    use crate::testkit::dump_state as dump;
+    use estocada_pivot::{Atom, Egd, Symbol, Term, Tgd};
 
     fn sym(s: &str) -> Symbol {
         Symbol::intern(s)
@@ -467,5 +538,58 @@ mod tests {
         j.insert(sym("R"), vec![c(1), m2]);
         prov_chase(&mut j, &[e], &ProvChaseConfig::default()).unwrap();
         assert_eq!(j.resolve(&m1), j.resolve(&m2));
+    }
+
+    #[test]
+    fn stratified_prov_chase_matches_per_stratum_guarded() {
+        // t: A(x) → ∃y B(x,y); e: B(x,y) ∧ A(x) → y = x. Certifies
+        // Stratified ([t], [e]); ground ⊤-provenance facts let the EGD
+        // fire. The budget-free stratified run must be bit-identical to a
+        // manual per-stratum run under the default (guarded) budgets.
+        let t = Tgd::new(
+            "t",
+            vec![Atom::new("A", vec![Term::var(0)])],
+            vec![Atom::new("B", vec![Term::var(0), Term::var(1)])],
+        );
+        let e = Egd::new(
+            "e",
+            vec![
+                Atom::new("B", vec![Term::var(0), Term::var(1)]),
+                Atom::new("A", vec![Term::var(0)]),
+            ],
+            (Term::var(1), Term::var(0)),
+        );
+        let cs: Vec<Constraint> = vec![t.into(), e.into()];
+        let cert = crate::wa::certify(&cs);
+        let TerminationCertificate::Stratified { ref strata } = cert else {
+            panic!("expected a stratified certificate, got {cert}");
+        };
+
+        let mut certified = Instance::new();
+        certified.insert(sym("A"), vec![c(1)]);
+        certified.insert(sym("A"), vec![c(2)]);
+        let mut guarded = Instance::new();
+        guarded.insert(sym("A"), vec![c(1)]);
+        guarded.insert(sym("A"), vec![c(2)]);
+
+        let cfg = ProvChaseConfig::default();
+        let stats = prov_chase_stratified(&mut certified, &cs, &cfg, &cert).unwrap();
+
+        let mut ref_stats = ProvChaseStats::default();
+        for stratum in strata {
+            let subset: Vec<Constraint> = stratum.members.iter().map(|&i| cs[i].clone()).collect();
+            let s = prov_chase(&mut guarded, &subset, &cfg).unwrap();
+            ref_stats.chase.rounds += s.chase.rounds;
+            ref_stats.chase.tgd_fires += s.chase.tgd_fires;
+            ref_stats.chase.egd_merges += s.chase.egd_merges;
+            ref_stats.chase.memo_hits += s.chase.memo_hits;
+            ref_stats.chase.memo_misses += s.chase.memo_misses;
+            ref_stats.truncated |= s.truncated;
+        }
+
+        assert_eq!(stats, ref_stats);
+        assert_eq!(dump(&certified), dump(&guarded));
+        // The EGD pinned each existential null to its row key.
+        assert!(dump(&certified).iter().any(|(_, f, _, _)| f == "B(1, 1)"));
     }
 }

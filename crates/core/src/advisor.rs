@@ -203,8 +203,13 @@ pub fn recommend(est: &Estocada, workload: &[WorkloadQuery]) -> Result<Vec<Recom
     // Drop recommendations come straight from the static analyzer's
     // fragment lints: `W004 UnusedFragment` (never served a query while
     // other fragments have) and `W001 SubsumedFragment` (defining view
-    // equivalent to an earlier fragment on the same store — pure
-    // redundancy). The lint target is the fragment id.
+    // equivalent to an earlier fragment). W001's message distinguishes
+    // same-store redundancy from a cross-store mirror; both surface here
+    // — dropping a cross-store mirror is the analyzer's consolidation
+    // recommendation (the rewriting engine keeps answering through the
+    // surviving fragment), and the reason string carries the distinction
+    // so operators can keep deliberate mirrors. The lint target is the
+    // fragment id.
     let lint_cfg = est.rewrite_config().chase;
     let mut dropped: std::collections::HashSet<String> = Default::default();
     for d in crate::analyze::fragment_lints(est.schema(), est.catalog(), &lint_cfg) {

@@ -11,10 +11,22 @@
 //! | `E002` | `DanglingSymbol` | error | a view or query body references a relation declared by no registered dataset |
 //! | `E003` | `UnboundHeadVariable` | error | a view or query head variable does not occur in its body (unsafe CQ) |
 //! | `E004` | `ArityMismatch` | error | a body atom's arity differs from the relation's declaration |
-//! | `W001` | `SubsumedFragment` | warning | a fragment's defining CQ is equivalent (under the schema constraints) to an earlier fragment on the same store |
-//! | `W002` | `RedundantConstraint` | warning | a schema TGD is implied by the remaining constraints |
+//! | `E005` | `UnsatisfiableConstraintBody` | error | a constraint's premise is certainly unsatisfiable — chasing its frozen body under the schema constraints derives a contradiction, so the constraint can never fire on a consistent instance ([`estocada_chase::premise_unsatisfiable`]) |
+//! | `W001` | `SubsumedFragment` | warning | a fragment's defining CQ is equivalent (under the schema constraints) to an earlier fragment — same-store pairs are pure redundancy; cross-store pairs are consolidation candidates fed to the advisor |
+//! | `W002` | `RedundantConstraint` | warning | a schema constraint (TGD *or* EGD) is implied by the remaining constraints ([`estocada_chase::implies`] — the chase-based check covers implications that need EGD merge reasoning) |
 //! | `W003` | `CartesianProductBody` | warning | a view or query body splits into join-disconnected components (a cross product) |
 //! | `W004` | `UnusedFragment` | warning | a fragment has served no query while others have (only fires once at least one fragment has been used) |
+//! | `W005` | `StratumSpanningFragment` | warning | under a [`TerminationCertificate::Stratified`] verdict, a fragment's defining view reads relations maintained by constraints in *different* strata — its contents are meaningful only after the final involved stratum reaches fixpoint |
+//! | `W006` | `CertificateDowngrade` | warning | the termination certificate degraded to `Unknown`; the diagnostic names the exact EGD/TGD pair that blocks certification (the [`estocada_chase::UnknownReason`]), and the chase keeps its runtime budget guard |
+//!
+//! The termination certificate itself is a **lattice**
+//! ([`estocada_chase::certify`]): `WeaklyAcyclic` (EGD merges modelled as
+//! position contractions, so key constraints don't degrade the verdict),
+//! `SuperWeaklyAcyclic` (null-flow refinement discharging plain-WA cycles
+//! no null can actually traverse), `Stratified` (per-stratum certificates
+//! consumed stratum-by-stratum by [`estocada_chase::chase_stratified`]),
+//! `NonTerminating` (E001 with a witness cycle) and `Unknown` (W006 with
+//! a structured blame pair).
 //!
 //! Severity is a function of the code; error-severity findings reject DDL
 //! under [`ValidationMode::Strict`] via
@@ -29,8 +41,10 @@
 //! byte-identical diagnostics.
 
 use crate::catalog::{Catalog, FragmentSpec};
-use estocada_chase::{certify, contained_in, equivalent, ChaseConfig, TerminationCertificate};
-use estocada_pivot::{Constraint, Cq, Schema, Term, Var, ViewDef};
+use estocada_chase::{
+    certify, equivalent, implies, premise_unsatisfiable, ChaseConfig, TerminationCertificate,
+};
+use estocada_pivot::{Constraint, Cq, Schema, Symbol, Term, ViewDef};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -66,14 +80,25 @@ pub enum Code {
     UnboundHeadVariable,
     /// `E004`: a body atom's arity contradicts the relation declaration.
     ArityMismatch,
-    /// `W001`: a fragment is equivalent to an earlier same-store fragment.
+    /// `E005`: a constraint premise is certainly unsatisfiable under the
+    /// schema constraints — it can never fire on a consistent instance.
+    UnsatisfiableConstraintBody,
+    /// `W001`: a fragment is equivalent to an earlier fragment (same store
+    /// = redundancy; cross store = consolidation candidate).
     SubsumedFragment,
-    /// `W002`: a schema TGD is implied by the rest of the constraint set.
+    /// `W002`: a schema constraint (TGD or EGD) is implied by the rest of
+    /// the constraint set.
     RedundantConstraint,
     /// `W003`: a CQ body is a cross product of disconnected components.
     CartesianProductBody,
     /// `W004`: a fragment has never served a query while others have.
     UnusedFragment,
+    /// `W005`: a fragment's defining view reads relations maintained in
+    /// different strata of a stratified deployment.
+    StratumSpanningFragment,
+    /// `W006`: the termination certificate degraded to `Unknown`; the
+    /// message names the blocking EGD/TGD pair.
+    CertificateDowngrade,
 }
 
 impl Code {
@@ -84,10 +109,13 @@ impl Code {
             Code::DanglingSymbol => "E002",
             Code::UnboundHeadVariable => "E003",
             Code::ArityMismatch => "E004",
+            Code::UnsatisfiableConstraintBody => "E005",
             Code::SubsumedFragment => "W001",
             Code::RedundantConstraint => "W002",
             Code::CartesianProductBody => "W003",
             Code::UnusedFragment => "W004",
+            Code::StratumSpanningFragment => "W005",
+            Code::CertificateDowngrade => "W006",
         }
     }
 
@@ -98,10 +126,13 @@ impl Code {
             Code::DanglingSymbol => "DanglingSymbol",
             Code::UnboundHeadVariable => "UnboundHeadVariable",
             Code::ArityMismatch => "ArityMismatch",
+            Code::UnsatisfiableConstraintBody => "UnsatisfiableConstraintBody",
             Code::SubsumedFragment => "SubsumedFragment",
             Code::RedundantConstraint => "RedundantConstraint",
             Code::CartesianProductBody => "CartesianProductBody",
             Code::UnusedFragment => "UnusedFragment",
+            Code::StratumSpanningFragment => "StratumSpanningFragment",
+            Code::CertificateDowngrade => "CertificateDowngrade",
         }
     }
 
@@ -111,11 +142,14 @@ impl Code {
             Code::NonTerminatingTgdCycle
             | Code::DanglingSymbol
             | Code::UnboundHeadVariable
-            | Code::ArityMismatch => Severity::Error,
+            | Code::ArityMismatch
+            | Code::UnsatisfiableConstraintBody => Severity::Error,
             Code::SubsumedFragment
             | Code::RedundantConstraint
             | Code::CartesianProductBody
-            | Code::UnusedFragment => Severity::Warning,
+            | Code::UnusedFragment
+            | Code::StratumSpanningFragment
+            | Code::CertificateDowngrade => Severity::Warning,
         }
     }
 }
@@ -200,8 +234,10 @@ fn lint_chase_cfg(base: &ChaseConfig) -> ChaseConfig {
 
 /// The full constraint set the rewriting chase runs over: schema
 /// constraints plus both directions of every fragment view, plus an
-/// optional candidate view not yet in the catalog.
-fn combined_constraints(
+/// optional candidate view not yet in the catalog. Public so snapshot
+/// tooling and benches can chase exactly the set the certificate
+/// ([`termination_certificate`]) speaks about.
+pub fn combined_constraints(
     schema: &Schema,
     catalog: &Catalog,
     candidate: Option<&ViewDef>,
@@ -231,7 +267,10 @@ fn render_cycle(cycle: &[(estocada_pivot::Symbol, usize)]) -> String {
         .join(" → ")
 }
 
-/// `E001` from a certificate, if it is non-terminating.
+/// `E001` from a non-terminating certificate; `W006` from an `Unknown`
+/// one — the downgrade explanation names the exact EGD/TGD pair that
+/// blocks certification, so "why is my deployment budget-guarded" has an
+/// actionable answer.
 fn termination_pass(cert: &TerminationCertificate, out: &mut Vec<Diagnostic>) {
     if let Some(cycle) = cert.cycle() {
         out.push(
@@ -243,6 +282,21 @@ fn termination_pass(cert: &TerminationCertificate, out: &mut Vec<Diagnostic>) {
             )
             .with_witness(render_cycle(cycle)),
         );
+    }
+    if let TerminationCertificate::Unknown { reason } = cert {
+        let mut d = Diagnostic::new(
+            Code::CertificateDowngrade,
+            "constraints",
+            format!("termination certificate downgraded to unknown: {reason}"),
+        );
+        if let Some((egd, tgd)) = cert.blocking_pair() {
+            d = d.with_witness(format!(
+                "blocking pair: EGD {} / TGD {}",
+                egd.as_str(),
+                tgd.as_str()
+            ));
+        }
+        out.push(d);
     }
 }
 
@@ -353,28 +407,14 @@ fn cq_hygiene(cq: &Cq, target: &str, schema: &Schema, out: &mut Vec<Diagnostic>)
     }
 }
 
-/// `W002`: schema TGDs implied by the remaining constraints. A TGD
-/// `P → C` is implied by `Σ∖σ` iff the premise-as-CQ is contained in the
-/// conclusion-as-CQ (over the shared frontier) under `Σ∖σ`. Budget
-/// exhaustion or inconsistency abstains — "not proven redundant" is never
-/// a finding.
+/// `W002`: schema constraints implied by the remaining constraints,
+/// decided by [`estocada_chase::implies`] — the frozen premise is chased
+/// under `Σ∖σ`, so the check covers TGDs *and* EGDs, including
+/// implications that only hold after EGD merges identify premise
+/// variables. Budget exhaustion abstains — "not proven redundant" is
+/// never a finding.
 fn redundant_constraint_pass(schema: &Schema, cfg: &ChaseConfig, out: &mut Vec<Diagnostic>) {
     for (idx, c) in schema.constraints.iter().enumerate() {
-        let Constraint::Tgd(t) = c else {
-            continue;
-        };
-        let frontier = t.frontier();
-        let mut shared: Vec<Var> = t
-            .conclusion
-            .iter()
-            .flat_map(|a| a.vars())
-            .filter(|v| frontier.contains(v))
-            .collect();
-        shared.sort_unstable();
-        shared.dedup();
-        let head: Vec<Term> = shared.iter().map(|v| Term::Var(*v)).collect();
-        let qp = Cq::new("_w002_premise", head.clone(), t.premise.clone());
-        let qc = Cq::new("_w002_conclusion", head, t.conclusion.clone());
         let rest: Vec<Constraint> = schema
             .constraints
             .iter()
@@ -382,27 +422,110 @@ fn redundant_constraint_pass(schema: &Schema, cfg: &ChaseConfig, out: &mut Vec<D
             .filter(|(j, _)| *j != idx)
             .map(|(_, c)| c.clone())
             .collect();
-        if matches!(contained_in(&qp, &qc, &rest, cfg), Ok(true)) {
+        if matches!(implies(c, &rest, cfg), Ok(true)) {
             out.push(Diagnostic::new(
                 Code::RedundantConstraint,
-                t.name.as_str().to_string(),
+                c.name().as_str().to_string(),
                 "constraint is implied by the remaining constraint set",
             ));
         }
     }
 }
 
+/// `E005`: constraints whose premise is certainly unsatisfiable — the
+/// frozen body, chased under the full schema constraint set, derives a
+/// contradiction (an EGD forced to merge distinct constants). Such a
+/// constraint never fires on any consistent instance; it is a deployment
+/// bug, not a harmless redundancy, so the severity is error. Budget
+/// exhaustion abstains.
+fn unsatisfiable_body_pass(schema: &Schema, cfg: &ChaseConfig, out: &mut Vec<Diagnostic>) {
+    for c in &schema.constraints {
+        if matches!(premise_unsatisfiable(c, &schema.constraints, cfg), Ok(true)) {
+            out.push(Diagnostic::new(
+                Code::UnsatisfiableConstraintBody,
+                c.name().as_str().to_string(),
+                "constraint body is certainly unsatisfiable under the schema constraints; \
+                 the constraint can never fire on a consistent instance",
+            ));
+        }
+    }
+}
+
+/// `W005`: under a stratified certificate, fragments whose defining view
+/// reads relations maintained (written by TGD conclusions) in *different*
+/// strata. The fragment's contents are only meaningful once the last
+/// involved stratum reaches fixpoint — worth knowing when reasoning about
+/// intermediate states of a stratum-by-stratum chase
+/// ([`estocada_chase::chase_stratified`]).
+fn stratum_span_pass(
+    cert: &TerminationCertificate,
+    constraints: &[Constraint],
+    catalog: &Catalog,
+    out: &mut Vec<Diagnostic>,
+) {
+    let TerminationCertificate::Stratified { strata } = cert else {
+        return;
+    };
+    // relation → earliest stratum writing it.
+    let mut writer: HashMap<Symbol, usize> = HashMap::new();
+    for (si, stratum) in strata.iter().enumerate() {
+        for &ci in &stratum.members {
+            if let Some(Constraint::Tgd(t)) = constraints.get(ci) {
+                for a in &t.conclusion {
+                    writer.entry(a.pred).or_insert(si);
+                }
+            }
+        }
+    }
+    for f in catalog.fragments() {
+        let Some(view) = f.spec.view() else {
+            continue;
+        };
+        let mut hits: Vec<(usize, Symbol)> = Vec::new();
+        for a in &view.body {
+            if let Some(&si) = writer.get(&a.pred) {
+                if !hits.iter().any(|(s, p)| *s == si && *p == a.pred) {
+                    hits.push((si, a.pred));
+                }
+            }
+        }
+        let spanned: std::collections::BTreeSet<usize> = hits.iter().map(|(s, _)| *s).collect();
+        if spanned.len() > 1 {
+            hits.sort_by(|(sa, pa), (sb, pb)| (sa, pa.as_str()).cmp(&(sb, pb.as_str())));
+            let witness: Vec<String> = hits
+                .iter()
+                .map(|(s, p)| format!("{} ← stratum {}", p.as_str(), s))
+                .collect();
+            out.push(
+                Diagnostic::new(
+                    Code::StratumSpanningFragment,
+                    f.id.clone(),
+                    format!(
+                        "defining view reads relations maintained in {} different strata; \
+                         fragment contents are only meaningful after the last involved \
+                         stratum reaches fixpoint",
+                        spanned.len()
+                    ),
+                )
+                .with_witness(witness.join("; ")),
+            );
+        }
+    }
+}
+
 /// `W001` + `W004`: fragment-level lints, shared with the advisor.
 ///
-/// `W001` compares the defining CQs of fragment pairs *on the same store*
-/// — cross-store overlap is the paper's whole point, so `PrefsKV`
-/// mirroring a relational table is intentional, but two equivalent views
-/// on one store are pure redundancy. Equivalence (containment both ways,
-/// cross-checked by `tests/analyzer_properties.rs` against brute-force
-/// [`contained_in`]) is decided under the schema constraints; the later
-/// fragment is flagged. `W004` flags never-used fragments, but only once
-/// at least one fragment *has* served a query — a freshly deployed
-/// catalog, where every count is zero, stays clean.
+/// `W001` compares the defining CQs of *all* fragment pairs. A same-store
+/// pair is pure redundancy; a **cross-store** pair is deliberate in the
+/// paper's hybrid-store story (mirroring buys rewriting alternatives) but
+/// is exactly what the advisor's consolidation reasoning wants surfaced —
+/// the message distinguishes the two so consumers can tell them apart.
+/// Equivalence (containment both ways, cross-checked by
+/// `tests/analyzer_properties.rs` against brute-force
+/// [`estocada_chase::contained_in`]) is decided under the schema
+/// constraints; the later fragment is flagged. `W004` flags never-used
+/// fragments, but only once at least one fragment *has* served a query —
+/// a freshly deployed catalog, where every count is zero, stays clean.
 pub fn fragment_lints(schema: &Schema, catalog: &Catalog, cfg: &ChaseConfig) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let cfg = lint_chase_cfg(cfg);
@@ -419,20 +542,22 @@ pub fn fragment_lints(schema: &Schema, catalog: &Catalog, cfg: &ChaseConfig) -> 
     if !skip_containment {
         for (a, (_, fa, va)) in frags.iter().enumerate() {
             for (_, fb, vb) in frags.iter().take(a) {
-                if fa.system != fb.system {
-                    continue;
-                }
                 if matches!(equivalent(va, vb, &schema.constraints, &cfg), Ok(true)) {
-                    out.push(
-                        Diagnostic::new(
-                            Code::SubsumedFragment,
-                            fa.id.clone(),
-                            format!(
-                                "defining view is equivalent to fragment {} on the same store",
-                                fb.id
-                            ),
+                    let msg = if fa.system == fb.system {
+                        format!(
+                            "defining view is equivalent to fragment {} on the same store",
+                            fb.id
                         )
-                        .with_witness(format!("equivalent to {}", fb.id)),
+                    } else {
+                        format!(
+                            "defining view is equivalent to fragment {} on another store \
+                             (cross-store mirror; consolidation candidate)",
+                            fb.id
+                        )
+                    };
+                    out.push(
+                        Diagnostic::new(Code::SubsumedFragment, fa.id.clone(), msg)
+                            .with_witness(format!("equivalent to {}", fb.id)),
                     );
                     break; // one subsumption witness per fragment
                 }
@@ -498,8 +623,10 @@ pub fn analyze_deployment(
     chase_cfg: &ChaseConfig,
 ) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    let cert = termination_certificate(schema, catalog);
+    let combined = combined_constraints(schema, catalog, None);
+    let cert = certify(&combined);
     termination_pass(&cert, &mut out);
+    stratum_span_pass(&cert, &combined, catalog, &mut out);
     for f in catalog.fragments() {
         if let Some(view) = f.spec.view() {
             cq_hygiene(view, &f.id, schema, &mut out);
@@ -509,6 +636,7 @@ pub fn analyze_deployment(
     // provably divergent set; E001 already says everything.
     if !matches!(cert, TerminationCertificate::NonTerminating { .. }) {
         redundant_constraint_pass(schema, &lint_chase_cfg(chase_cfg), &mut out);
+        unsatisfiable_body_pass(schema, &lint_chase_cfg(chase_cfg), &mut out);
     }
     out.extend(fragment_lints(schema, catalog, chase_cfg));
     finish(&mut out);
@@ -543,12 +671,21 @@ mod tests {
         assert_eq!(Code::DanglingSymbol.id(), "E002");
         assert_eq!(Code::UnboundHeadVariable.id(), "E003");
         assert_eq!(Code::ArityMismatch.id(), "E004");
+        assert_eq!(Code::UnsatisfiableConstraintBody.id(), "E005");
         assert_eq!(Code::SubsumedFragment.id(), "W001");
         assert_eq!(Code::RedundantConstraint.id(), "W002");
         assert_eq!(Code::CartesianProductBody.id(), "W003");
         assert_eq!(Code::UnusedFragment.id(), "W004");
+        assert_eq!(Code::StratumSpanningFragment.id(), "W005");
+        assert_eq!(Code::CertificateDowngrade.id(), "W006");
         assert_eq!(Code::NonTerminatingTgdCycle.severity(), Severity::Error);
+        assert_eq!(
+            Code::UnsatisfiableConstraintBody.severity(),
+            Severity::Error
+        );
         assert_eq!(Code::UnusedFragment.severity(), Severity::Warning);
+        assert_eq!(Code::StratumSpanningFragment.severity(), Severity::Warning);
+        assert_eq!(Code::CertificateDowngrade.severity(), Severity::Warning);
     }
 
     #[test]
@@ -653,6 +790,138 @@ mod tests {
         assert_eq!(e001.severity, Severity::Error);
         let witness = e001.witness.as_ref().expect("witness cycle");
         assert!(witness.contains("S.1"), "{witness}");
+    }
+
+    #[test]
+    fn redundant_egd_flagged_via_egd_reasoning() {
+        use estocada_pivot::Egd;
+        let mut schema = schema_with(&[("R", 3), ("S", 1)]);
+        // key: R(k,v,w) ∧ R(k,v',w') → v = v'. The guarded variant adding
+        // an S(k) atom is implied by it (the chase merges v ~ v' on the
+        // frozen premise regardless of S) — provable only with EGD merge
+        // reasoning, not a containment mapping. The converse fails: the
+        // frozen two-atom premise has no S fact, so the guarded key never
+        // fires.
+        schema.constraints.push(
+            Egd::new(
+                "key",
+                vec![
+                    Atom::new("R", vec![Term::var(0), Term::var(1), Term::var(2)]),
+                    Atom::new("R", vec![Term::var(0), Term::var(3), Term::var(4)]),
+                ],
+                (Term::var(1), Term::var(3)),
+            )
+            .into(),
+        );
+        schema.constraints.push(
+            Egd::new(
+                "key_guarded",
+                vec![
+                    Atom::new("R", vec![Term::var(0), Term::var(1), Term::var(2)]),
+                    Atom::new("R", vec![Term::var(0), Term::var(3), Term::var(4)]),
+                    Atom::new("S", vec![Term::var(0)]),
+                ],
+                (Term::var(1), Term::var(3)),
+            )
+            .into(),
+        );
+        let diags = analyze_deployment(&schema, &Catalog::new(), &ChaseConfig::default());
+        let w002: Vec<&Diagnostic> = diags
+            .iter()
+            .filter(|d| d.code == Code::RedundantConstraint)
+            .collect();
+        assert_eq!(w002.len(), 1, "{diags:?}");
+        assert_eq!(w002[0].target, "key_guarded");
+    }
+
+    #[test]
+    fn unknown_certificate_yields_w006_naming_the_blocking_pair() {
+        use estocada_pivot::Egd;
+        let mut schema = schema_with(&[("A", 1), ("B", 2)]);
+        // t: A(x) → ∃y B(x,y); t2: B(x,y) → A(x); e: B(x,y) → x = y.
+        // The contraction closes a special-edge cycle and the precedence
+        // graph is one big SCC — certificate falls to Unknown, and W006
+        // must blame the (e, t) pair.
+        schema.constraints.push(
+            Tgd::new(
+                "t",
+                vec![Atom::new("A", vec![Term::var(0)])],
+                vec![Atom::new("B", vec![Term::var(0), Term::var(1)])],
+            )
+            .into(),
+        );
+        schema.constraints.push(
+            Tgd::new(
+                "t2",
+                vec![Atom::new("B", vec![Term::var(0), Term::var(1)])],
+                vec![Atom::new("A", vec![Term::var(0)])],
+            )
+            .into(),
+        );
+        schema.constraints.push(
+            Egd::new(
+                "e",
+                vec![Atom::new("B", vec![Term::var(0), Term::var(1)])],
+                (Term::var(0), Term::var(1)),
+            )
+            .into(),
+        );
+        let diags = analyze_deployment(&schema, &Catalog::new(), &ChaseConfig::default());
+        let w006 = diags
+            .iter()
+            .find(|d| d.code == Code::CertificateDowngrade)
+            .expect("W006");
+        assert_eq!(w006.severity, Severity::Warning);
+        let witness = w006.witness.as_ref().expect("blocking pair witness");
+        assert!(witness.contains("EGD e"), "{witness}");
+        assert!(witness.contains("TGD t"), "{witness}");
+        // No E001: the set is not *provably* divergent.
+        assert!(
+            !diags.iter().any(|d| d.code == Code::NonTerminatingTgdCycle),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_body_yields_e005() {
+        use estocada_pivot::{Egd, Value};
+        let mut schema = schema_with(&[("Flag", 1), ("Two", 1), ("Out", 1)]);
+        schema.constraints.push(
+            Egd::new(
+                "to_one",
+                vec![Atom::new("Flag", vec![Term::var(0)])],
+                (Term::var(0), Term::Const(Value::Int(1))),
+            )
+            .into(),
+        );
+        schema.constraints.push(
+            Egd::new(
+                "to_two",
+                vec![Atom::new("Two", vec![Term::var(0)])],
+                (Term::var(0), Term::Const(Value::Int(2))),
+            )
+            .into(),
+        );
+        // Premise requires an element that is both Flag and Two — chases
+        // to 1 = 2, a contradiction: the constraint can never fire.
+        schema.constraints.push(
+            Tgd::new(
+                "dead",
+                vec![
+                    Atom::new("Flag", vec![Term::var(0)]),
+                    Atom::new("Two", vec![Term::var(0)]),
+                ],
+                vec![Atom::new("Out", vec![Term::var(0)])],
+            )
+            .into(),
+        );
+        let diags = analyze_deployment(&schema, &Catalog::new(), &ChaseConfig::default());
+        let e005 = diags
+            .iter()
+            .find(|d| d.code == Code::UnsatisfiableConstraintBody)
+            .expect("E005");
+        assert_eq!(e005.severity, Severity::Error);
+        assert_eq!(e005.target, "dead");
     }
 
     #[test]

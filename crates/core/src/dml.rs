@@ -1013,6 +1013,46 @@ mod tests {
     }
 
     #[test]
+    fn dml_keeps_cached_lints() {
+        // The lint cache keys on the catalog epoch alone; a DML batch
+        // bumps only the data epoch, so the post-write query must be
+        // served from the lint cache — no per-query re-analysis.
+        let mut est = deploy(shop(&[(1, 1, 10), (2, 2, 20)]));
+        let sql = "SELECT o.oid, o.amount FROM Orders o WHERE o.uid = 1";
+        let first = est.query_sql(sql).unwrap();
+        let lc = first.report.lint_cache.expect("lint activity");
+        assert!(!lc.hit, "first run computes the lints");
+        est.insert_rows(
+            "shop",
+            "Orders",
+            vec![vec![Value::Int(3), Value::Int(1), Value::Int(30)]],
+        )
+        .unwrap();
+        let before = est.lint_cache_stats();
+        let r = est.query_sql(sql).unwrap();
+        let lc = r.report.lint_cache.expect("lint activity");
+        assert!(lc.hit, "DML must not invalidate the lint cache");
+        assert_eq!(
+            est.lint_cache_stats().misses,
+            before.misses,
+            "no lint recomputation after a write"
+        );
+        // DDL bumps the catalog epoch and genuinely invalidates lints.
+        est.add_fragment(FragmentSpec::KeyValue {
+            view: CqBuilder::new("UsersKV2")
+                .head_vars(["uid", "name"])
+                .atom("Users", |a| a.v("uid").v("name"))
+                .build(),
+        })
+        .unwrap();
+        let r = est.query_sql(sql).unwrap();
+        assert!(
+            r.report.lint_cache.is_some_and(|lc| !lc.hit),
+            "DDL must invalidate cached lints"
+        );
+    }
+
+    #[test]
     fn delete_only_touches_support_crossings() {
         // Orders 1 and 2 derive the same BigOrders row (uid, name, amount):
         // deleting one of them must leave the table row in place.

@@ -69,7 +69,9 @@ use crate::resilience::{
 };
 use crate::system::{Latencies, Stores, SystemId};
 use crate::translate::{translate, Translation};
-use estocada_chase::{pacb_rewrite, Instance, RewriteConfig, RewriteOutcome, RewriteProblem};
+use estocada_chase::{
+    pacb_rewrite, Instance, RewriteConfig, RewriteOutcome, RewriteProblem, TerminationCertificate,
+};
 use estocada_engine::{execute_with, EngineError, ExecOptions, Expr, Plan};
 use estocada_pivot::encoding::document::TreePattern;
 use estocada_pivot::{Constraint, Cq, IdGen, Schema};
@@ -512,6 +514,33 @@ impl Estocada {
     /// Rewrite-plan cache counters and size.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.plan_cache.stats()
+    }
+
+    /// Lint-cache counters and size. The lint cache keys per-query
+    /// diagnostics on the **catalog** epoch alone: DML batches bump only
+    /// the data epoch, so writes never force lint recomputation (see
+    /// `dml::dml_keeps_cached_lints`).
+    pub fn lint_cache_stats(&self) -> PlanCacheStats {
+        self.lint_cache.stats()
+    }
+
+    /// The termination certificate of the deployment's combined
+    /// constraint set — the verdict the planner feeds into
+    /// [`estocada_chase::ChaseConfig::with_certificate`] on every
+    /// plan-cache miss. Certified deployments (`WeaklyAcyclic`,
+    /// `SuperWeaklyAcyclic`, `Stratified`) chase budget-free; the rest
+    /// keep the configured budget guard. Snapshot tooling pins
+    /// [`TerminationCertificate::rung`] per deployment.
+    pub fn termination_certificate(&self) -> TerminationCertificate {
+        analyze::termination_certificate(&self.schema, &self.catalog)
+    }
+
+    /// The combined constraint set the certificate speaks about: schema
+    /// constraints (including declared-key EGDs) plus both directions of
+    /// every fragment view. Snapshot tooling and benches chase exactly
+    /// this set to reproduce the planner's termination behaviour.
+    pub fn constraint_set(&self) -> Vec<Constraint> {
+        analyze::combined_constraints(&self.schema, &self.catalog, None)
     }
 
     /// Set the worker count of the parallel PACB backchase (candidate
@@ -970,21 +999,30 @@ fn wrap_aggregate(core: Plan, spec: &AggregateSpec) -> Plan {
 
 impl Estocada {
     /// The analyzer's findings on this query's CQ for the report,
-    /// cached per catalog epoch alongside the rewrite-plan cache.
-    /// [`ValidationMode::Off`] skips analysis entirely.
-    fn query_lints(&self, cq: &Cq) -> Vec<Diagnostic> {
+    /// cached per **catalog** epoch alongside the rewrite-plan cache (DML
+    /// bumps only the data epoch, so writes keep lints cached).
+    /// [`ValidationMode::Off`] skips analysis entirely (`None` activity).
+    /// The second component is the lint-cache activity for the report.
+    fn query_lints(&self, cq: &Cq) -> (Vec<Diagnostic>, Option<PlanCacheActivity>) {
         if matches!(self.validation, ValidationMode::Off) {
-            return Vec::new();
+            return (Vec::new(), None);
         }
         // Keyed on the exact CQ (not the alpha-invariant canonical form):
         // lint messages name the query's concrete variables.
         let key = format!("l|{}|{:?}|{:?}", cq.name, cq.head, cq.body);
-        if let Some(cached) = self.lint_cache.lookup(&key, self.epoch) {
-            return (*cached).clone();
-        }
-        let diags = Arc::new(analyze::analyze_query(cq, &self.schema));
-        self.lint_cache.insert(key, self.epoch, diags.clone());
-        (*diags).clone()
+        let (diags, hit) = match self.lint_cache.lookup(&key, self.epoch) {
+            Some(cached) => ((*cached).clone(), true),
+            None => {
+                let diags = Arc::new(analyze::analyze_query(cq, &self.schema));
+                self.lint_cache.insert(key, self.epoch, diags.clone());
+                ((*diags).clone(), false)
+            }
+        };
+        let activity = PlanCacheActivity {
+            hit,
+            totals: self.lint_cache.stats(),
+        };
+        (diags, Some(activity))
     }
 
     /// Plan `cq` and either execute it or stop at the report, per `opts`.
@@ -1006,7 +1044,7 @@ impl Estocada {
         let deadline = opts.deadline.or(self.default_opts.deadline);
         let ctx = QueryResilience::new(retry, deadline, self.health.clone());
         let mut plan = self.plan_cq(cq, head_names, residuals, &cfg, use_cache, Some(&ctx))?;
-        let diagnostics = self.query_lints(cq);
+        let (diagnostics, lint_cache) = self.query_lints(cq);
 
         // An aggregate query's output columns come from its SELECT list,
         // not the conjunctive core's head.
@@ -1049,6 +1087,7 @@ impl Estocada {
                     plan_cache: self.cache_activity(plan.cache_hit),
                     resilience: None,
                     diagnostics,
+                    lint_cache,
                 },
             });
         }
@@ -1182,6 +1221,7 @@ impl Estocada {
                 plan_cache: self.cache_activity(plan.cache_hit),
                 resilience,
                 diagnostics,
+                lint_cache,
             },
         })
     }

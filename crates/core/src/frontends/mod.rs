@@ -16,7 +16,15 @@ use estocada_pivot::Schema;
 /// the frontend-level entry to the analyzer: `E002`/`E004` for dangling
 /// or arity-mismatched relation references, `E003` for unsafe heads,
 /// `W003` for cartesian-product bodies. The same lints are attached to
-/// [`crate::report::Report::diagnostics`] when the query actually runs.
+/// [`crate::report::Report::diagnostics`] when the query actually runs
+/// (served from the catalog-epoch-keyed lint cache —
+/// [`crate::report::Report::lint_cache`] shows the activity).
+///
+/// Deployment-level findings — the termination-certificate lattice
+/// (`E001`/`W006`), unsatisfiable constraint bodies (`E005`), fragment
+/// subsumption and stratum spans (`W001`/`W005`) — are not per-query;
+/// query them through [`crate::Estocada::analyze`] and
+/// [`crate::Estocada::termination_certificate`].
 pub fn lint_sql(sql: &str, catalog: &SqlCatalog, schema: &Schema) -> Result<Vec<Diagnostic>> {
     Ok(analyze_query(&parse_sql(sql, catalog)?.cq, schema))
 }

@@ -71,6 +71,13 @@ pub struct Report {
     /// epoch alongside the plan cache). Empty for a clean query, keeping
     /// the clean-path report identical to an engine without the analyzer.
     pub diagnostics: Vec<Diagnostic>,
+    /// Lint-cache activity for this query's diagnostics: whether they
+    /// were served from the epoch-keyed lint cache, plus the engine-wide
+    /// counters. `None` when analysis was skipped
+    /// ([`crate::ValidationMode::Off`]). The cache keys on the **catalog**
+    /// epoch alone — DML bumps only the data epoch, so writes keep lints
+    /// cached (pinned by `dml::dml_keeps_cached_lints`).
+    pub lint_cache: Option<PlanCacheActivity>,
 }
 
 impl fmt::Display for Report {
@@ -120,6 +127,20 @@ impl fmt::Display for Report {
                 pc.totals.hits,
                 pc.totals.misses,
                 pc.totals.entries,
+            )?;
+        }
+        if let Some(lc) = &self.lint_cache {
+            writeln!(
+                f,
+                "lint cache:     {} (engine totals: {} hits / {} misses, {} entries)",
+                if lc.hit {
+                    "hit — analysis skipped"
+                } else {
+                    "miss"
+                },
+                lc.totals.hits,
+                lc.totals.misses,
+                lc.totals.entries,
             )?;
         }
         if let Some(r) = &self.resilience {

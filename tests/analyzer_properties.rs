@@ -1,6 +1,6 @@
-//! Differential tests of the **deployment static analyzer** (PR 8):
-//! the termination certificate against the chase it certifies, and the
-//! `W001` fragment-subsumption lint against brute-force containment.
+//! Differential tests of the **deployment static analyzer**: the
+//! certificate lattice against the chase it certifies, and the `W001`
+//! fragment-subsumption lint against brute-force containment.
 //!
 //! Contracts pinned here:
 //!
@@ -10,24 +10,31 @@
 //!   *identical* fixpoint with the budget guard lifted by
 //!   `ChaseConfig::with_certificate` (the certificate is trustworthy,
 //!   not merely optimistic);
-//! - **NonTerminating witnesses replay**: each member of a parameterized
-//!   divergent family certifies `NonTerminating` with a witness cycle,
-//!   and chasing it really does exhaust the budget
-//!   (`ChaseError::Budget`);
+//! - **one parameterized family per lattice rung**: weakly-acyclic-but-
+//!   not-trivial, super-weakly-acyclic-but-not-WA, stratified-but-not-
+//!   EGD-contractible, and genuinely non-terminating. Each family
+//!   certifies at exactly its rung, and every terminating rung chases
+//!   budget-free to the identical fixpoint as the budget-guarded run;
+//! - **NonTerminating witnesses replay**: each member of the divergent
+//!   family certifies `NonTerminating` with a witness cycle, and chasing
+//!   it really does exhaust the budget (`ChaseError::Budget`);
+//! - **W005**: a fragment whose defining view reads relations written in
+//!   different strata is flagged with the per-relation stratum map;
 //! - **W001 vs brute force**: `fragment_lints` flags a fragment as
 //!   subsumed iff bidirectional `contained_in` says its defining view is
-//!   equivalent to an earlier same-system fragment's;
+//!   equivalent to an earlier fragment's (same-store or cross-store);
 //! - **purity**: analyzing the same deployment twice yields byte-identical
 //!   diagnostics, and the builtin scenario deployments analyze clean.
 
-use estocada::analyze::fragment_lints;
+use estocada::analyze::{analyze_deployment, fragment_lints};
 use estocada::catalog::{Catalog, FragmentMeta, FragmentSpec};
 use estocada::{Code, SystemId};
 use estocada_chase::testkit::dump_state;
 use estocada_chase::{
-    certify, chase, contained_in, ChaseConfig, ChaseError, Elem, Instance, TerminationCertificate,
+    certify, chase, chase_stratified, contained_in, ChaseConfig, ChaseError, Elem, Instance,
+    TerminationCertificate,
 };
-use estocada_pivot::{Atom, Constraint, Cq, CqBuilder, Schema, Term, Tgd};
+use estocada_pivot::{Atom, Constraint, Cq, CqBuilder, Egd, Schema, Term, Tgd};
 use proptest::prelude::*;
 
 const RELS: [&str; 3] = ["Ra", "Rb", "Rc"];
@@ -137,6 +144,186 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// One parameterized constraint family per certificate-lattice rung. The
+// fourth rung (genuinely non-terminating) is the divergent family pinned by
+// `non_terminating_witness_replays_as_budget_exhaustion` above.
+// ---------------------------------------------------------------------------
+
+/// Weakly acyclic but not trivial: an existential chain
+/// `L_i(x, y) → ∃z. L_{i+1}(y, z)` of length `k` — every rule creates
+/// nulls, yet the position graph is acyclic.
+fn wa_chain_family(k: usize) -> Vec<Constraint> {
+    (0..k)
+        .map(|i| {
+            Tgd::new(
+                format!("chain{i}").as_str(),
+                vec![Atom::new(
+                    format!("L{i}").as_str(),
+                    vec![Term::var(0), Term::var(1)],
+                )],
+                vec![Atom::new(
+                    format!("L{}", i + 1).as_str(),
+                    vec![Term::var(1), Term::var(2)],
+                )],
+            )
+            .into()
+        })
+        .collect()
+}
+
+/// Super-weakly acyclic but not weakly acyclic: `Sw_i(x, x) → ∃y.
+/// Sw_i(x, y)` puts a special self-edge in the plain position graph, yet
+/// the created null lands in a position the premise can never read back
+/// (the premise requires both arguments equal; a fresh null never equals
+/// its partner).
+fn swa_family(k: usize) -> Vec<Constraint> {
+    (0..k)
+        .map(|i| {
+            let r = format!("Sw{i}");
+            Tgd::new(
+                format!("swa{i}").as_str(),
+                vec![Atom::new(r.as_str(), vec![Term::var(0), Term::var(0)])],
+                vec![Atom::new(r.as_str(), vec![Term::var(0), Term::var(1)])],
+            )
+            .into()
+        })
+        .collect()
+}
+
+/// Stratified but not EGD-contractible: the feeder `Af_i(x) → ∃y.
+/// Bf_i(x, y)` creates a null that the EGD `Bf_i(x, y) ∧ Af_i(x) → y = x`
+/// merges *across* positions, so contraction closes a special cycle — but
+/// the firing graph is acyclic (the merge never re-enables the feeder),
+/// and each stratum certifies on its own.
+fn stratified_family(k: usize) -> Vec<Constraint> {
+    let mut cs: Vec<Constraint> = Vec::new();
+    for i in 0..k {
+        let a = format!("Af{i}");
+        let b = format!("Bf{i}");
+        cs.push(
+            Tgd::new(
+                format!("feed{i}").as_str(),
+                vec![Atom::new(a.as_str(), vec![Term::var(0)])],
+                vec![Atom::new(b.as_str(), vec![Term::var(0), Term::var(1)])],
+            )
+            .into(),
+        );
+        cs.push(
+            Egd::new(
+                format!("pin{i}").as_str(),
+                vec![
+                    Atom::new(b.as_str(), vec![Term::var(0), Term::var(1)]),
+                    Atom::new(a.as_str(), vec![Term::var(0)]),
+                ],
+                (Term::var(1), Term::var(0)),
+            )
+            .into(),
+        );
+    }
+    cs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The WA family certifies at exactly the bottom (strongest) rung and
+    /// chases budget-free to the guarded fixpoint.
+    #[test]
+    fn wa_chain_family_certifies_and_chases_budget_free(k in 1usize..5) {
+        let cs = wa_chain_family(k);
+        let cert = certify(&cs);
+        prop_assert_eq!(cert.rung(), "weakly acyclic");
+
+        let seed = |inst: &mut Instance| {
+            inst.insert(
+                estocada_pivot::Symbol::intern("L0"),
+                vec![Elem::of(1i64), Elem::of(2i64)],
+            );
+        };
+        let mut guarded = Instance::new();
+        seed(&mut guarded);
+        chase(&mut guarded, &cs, &ChaseConfig::default()).expect("guarded chase");
+
+        let free_cfg = ChaseConfig::default().with_certificate(&cert);
+        prop_assert_eq!(free_cfg.max_rounds, usize::MAX, "certificate lifts the budget");
+        let mut free = Instance::new();
+        seed(&mut free);
+        chase(&mut free, &cs, &free_cfg).expect("budget-free chase");
+        prop_assert_eq!(dump_state(&guarded), dump_state(&free));
+    }
+
+    /// The SWA family is rejected by plain weak acyclicity (certify only
+    /// attempts the super-weak refinement once the plain position graph
+    /// has a special cycle), certifies `SuperWeaklyAcyclic`, and chases
+    /// budget-free to the guarded fixpoint.
+    #[test]
+    fn swa_family_certifies_beyond_plain_wa(k in 1usize..4) {
+        let cs = swa_family(k);
+        let cert = certify(&cs);
+        prop_assert!(
+            matches!(cert, TerminationCertificate::SuperWeaklyAcyclic { .. }),
+            "expected super-weakly acyclic, got {}",
+            cert.rung()
+        );
+
+        let seed = |inst: &mut Instance| {
+            for i in 0..k {
+                inst.insert(
+                    estocada_pivot::Symbol::intern(&format!("Sw{i}")),
+                    vec![Elem::of(7i64), Elem::of(7i64)],
+                );
+            }
+        };
+        let mut guarded = Instance::new();
+        seed(&mut guarded);
+        chase(&mut guarded, &cs, &ChaseConfig::default()).expect("guarded chase");
+
+        let free_cfg = ChaseConfig::default().with_certificate(&cert);
+        prop_assert_eq!(free_cfg.max_rounds, usize::MAX, "certificate lifts the budget");
+        let mut free = Instance::new();
+        seed(&mut free);
+        chase(&mut free, &cs, &free_cfg).expect("budget-free chase");
+        prop_assert_eq!(dump_state(&guarded), dump_state(&free));
+    }
+
+    /// The stratified family certifies `Stratified` (EGD contraction
+    /// fails, but every stratum certifies alone) and the budget-free
+    /// stratum-by-stratum chase reproduces the guarded whole-set fixpoint
+    /// bit-identically — including the cross-position null merges.
+    #[test]
+    fn stratified_family_certifies_and_chases_budget_free(k in 1usize..4) {
+        let cs = stratified_family(k);
+        let cert = certify(&cs);
+        prop_assert_eq!(cert.rung(), "stratified");
+        prop_assert!(cert.guarantees_termination());
+
+        let seed = |inst: &mut Instance| {
+            for i in 0..k {
+                inst.insert(
+                    estocada_pivot::Symbol::intern(&format!("Af{i}")),
+                    vec![Elem::of(3i64)],
+                );
+            }
+        };
+        let mut guarded = Instance::new();
+        seed(&mut guarded);
+        chase(&mut guarded, &cs, &ChaseConfig::default()).expect("guarded whole-set chase");
+
+        let mut free = Instance::new();
+        seed(&mut free);
+        chase_stratified(&mut free, &cs, &ChaseConfig::default(), &cert)
+            .expect("budget-free stratified chase");
+        // Identity on (insertion id, resolved fact): the per-fact round
+        // epoch is execution bookkeeping and legitimately differs between
+        // the one-shot and the stratum-by-stratum executor.
+        let facts = |i: &Instance| -> Vec<(u32, String)> {
+            dump_state(i).into_iter().map(|(id, f, _, _)| (id, f)).collect()
+        };
+        prop_assert_eq!(facts(&guarded), facts(&free));
+    }
+}
+
 /// The pool of candidate fragment views over `T(k, v)`, `U(k, w)` used by
 /// the W001 cross-check. Some pairs are equivalent (0/1/2), others are
 /// strictly contained or incomparable.
@@ -225,6 +412,69 @@ proptest! {
             );
         }
     }
+}
+
+/// `W005`: a fragment whose defining view reads relations written in
+/// different strata is flagged with the per-relation stratum map. The
+/// deployment reuses the stratified family's shape — a feeder TGD whose
+/// null an EGD pins across positions — plus a second-stratum derivation
+/// `B(x, y) → C(y)`; the fragment view joins first-stratum `B` with
+/// second-stratum `C`.
+#[test]
+fn stratum_spanning_fragment_yields_w005() {
+    let mut schema = Schema::new();
+    schema.add_relation(estocada_pivot::RelationDecl::new("A", &["a"]));
+    schema.add_relation(estocada_pivot::RelationDecl::new("B", &["k", "v"]));
+    schema.add_relation(estocada_pivot::RelationDecl::new("C", &["c"]));
+    schema.add_constraint(Tgd::new(
+        "feed",
+        vec![Atom::new("A", vec![Term::var(0)])],
+        vec![Atom::new("B", vec![Term::var(0), Term::var(1)])],
+    ));
+    schema.add_constraint(Egd::new(
+        "pin",
+        vec![
+            Atom::new("B", vec![Term::var(0), Term::var(1)]),
+            Atom::new("A", vec![Term::var(0)]),
+        ],
+        (Term::var(1), Term::var(0)),
+    ));
+    schema.add_constraint(Tgd::new(
+        "derive",
+        vec![Atom::new("B", vec![Term::var(0), Term::var(1)])],
+        vec![Atom::new("C", vec![Term::var(1)])],
+    ));
+
+    let span_view = CqBuilder::new("Span")
+        .head_vars(["k", "v"])
+        .atom("B", |a| a.v("k").v("v"))
+        .atom("C", |a| a.v("v"))
+        .build();
+    let mut catalog = Catalog::new();
+    catalog.add(kv_meta("FSpan", span_view));
+
+    let diags = analyze_deployment(&schema, &catalog, &ChaseConfig::default());
+    let w005: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == Code::StratumSpanningFragment)
+        .collect();
+    assert_eq!(w005.len(), 1, "expected exactly one W005, got: {diags:?}");
+    assert_eq!(w005[0].target, "FSpan");
+    assert!(
+        w005[0]
+            .witness
+            .as_deref()
+            .unwrap_or_default()
+            .contains("stratum"),
+        "witness must carry the per-relation stratum map: {:?}",
+        w005[0].witness
+    );
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.severity == estocada::analyze::Severity::Error),
+        "a stratum span is a warning, not an error: {diags:?}"
+    );
 }
 
 #[test]

@@ -56,6 +56,107 @@ fn builtin_deployments_analyze_clean_under_strict() {
     }
 }
 
+/// The acceptance pin for the certificate lattice. Every builtin
+/// deployment declares keys on its sales tables, so the combined
+/// constraint set mixes key EGDs with the existential backward view
+/// TGDs — exactly the shape the pre-lattice analyzer degraded to
+/// `Unknown` (EGDs present, no EGD reasoning). EGD-aware contraction
+/// recognizes key equalities as position-preserving no-ops, certifies
+/// `WeaklyAcyclic`, and the budget-free chase of the certified set
+/// reproduces the budget-guarded fixpoint bit-identically. The bench
+/// twin of this pin lives in `e14_certificate_lattice`.
+#[test]
+fn key_egd_deployments_certify_weakly_acyclic_and_chase_budget_free() {
+    use estocada_chase::testkit::dump_state;
+    use estocada_chase::{chase, ChaseConfig, Elem, Instance};
+    use estocada_pivot::Symbol;
+
+    let m = small();
+    let mut any_existential = false;
+    for (name, est) in [
+        ("baseline", deploy_baseline(&m, Latencies::zero())),
+        ("kv_migrated", deploy_kv_migrated(&m, Latencies::zero())),
+        (
+            "materialized_join",
+            deploy_materialized_join(&m, Latencies::zero()),
+        ),
+    ] {
+        let cs = est.constraint_set();
+        assert!(
+            cs.iter().any(|c| matches!(c, Constraint::Egd(_))),
+            "{name}: builtin deployments carry declared-key EGDs"
+        );
+        any_existential |= cs
+            .iter()
+            .any(|c| matches!(c, Constraint::Tgd(t) if !t.existentials().is_empty()));
+
+        let cert = est.termination_certificate();
+        assert_eq!(
+            cert.rung(),
+            "weakly acyclic",
+            "{name}: key EGDs must not degrade the certificate"
+        );
+        assert!(cert.guarantees_termination(), "{name}");
+
+        // Differential: chase a seed instance over the deployment's own
+        // constraint set, budget-guarded vs certificate-lifted.
+        let seed = |inst: &mut Instance| {
+            for uid in 0..3i64 {
+                inst.insert(
+                    Symbol::intern("Users"),
+                    vec![Elem::of(uid), Elem::of(100 + uid), Elem::of(1i64)],
+                );
+                inst.insert(
+                    Symbol::intern("Prefs"),
+                    vec![
+                        Elem::of(uid),
+                        Elem::of(200 + uid),
+                        Elem::of(300 + uid),
+                        Elem::of(uid % 2),
+                    ],
+                );
+                inst.insert(
+                    Symbol::intern("Orders"),
+                    vec![
+                        Elem::of(500 + uid),
+                        Elem::of(uid),
+                        Elem::of(700 + uid),
+                        Elem::of(800 + uid),
+                        Elem::of(2 * uid),
+                    ],
+                );
+            }
+        };
+        let guarded_cfg = ChaseConfig::default();
+        let mut guarded = Instance::new();
+        seed(&mut guarded);
+        let stats = chase(&mut guarded, &cs, &guarded_cfg)
+            .unwrap_or_else(|e| panic!("{name}: guarded chase must reach fixpoint: {e:?}"));
+        assert!(stats.rounds < guarded_cfg.max_rounds, "{name}");
+
+        let free_cfg = guarded_cfg.with_certificate(&cert);
+        assert_eq!(
+            free_cfg.max_rounds,
+            usize::MAX,
+            "{name}: the certificate lifts the budget guard"
+        );
+        let mut free = Instance::new();
+        seed(&mut free);
+        chase(&mut free, &cs, &free_cfg)
+            .unwrap_or_else(|e| panic!("{name}: budget-free chase must terminate: {e:?}"));
+        assert_eq!(
+            dump_state(&guarded),
+            dump_state(&free),
+            "{name}: bit-identical fixpoint with or without the guard"
+        );
+    }
+    assert!(
+        any_existential,
+        "at least one builtin deployment must mix key EGDs with \
+         existential view TGDs (the shape plain WA cannot certify)"
+    );
+}
+
 /// A two-table engine with no declared keys (so the planted TGD cycle is
 /// the only constraint in play).
 fn tiny_engine() -> Estocada {
